@@ -1,0 +1,1 @@
+bench/genndb.ml: Array Buffer Filename Printf Sys Unix

@@ -1,0 +1,1 @@
+bench/table1.ml: Block Dk Inet Netsim Option Printf Sim Streams String

@@ -1,0 +1,42 @@
+(* Synthetic network database generator: reproduces the scale of the
+   paper's /lib/ndb/global — "containing all information about both
+   Datakit and Internet systems in AT&T, has 43,000 lines". *)
+
+let system_lines = 5
+
+let generate ~lines =
+  let systems = lines / system_lines in
+  let b = Buffer.create (lines * 40) in
+  Buffer.add_string b
+    "ipnet=att-net ip=135.0.0.0 ipmask=255.255.0.0\n\tauth=attauth\n";
+  for i = 0 to systems - 1 do
+    let third = (i / 250) mod 250 and fourth = i mod 250 in
+    Buffer.add_string b (Printf.sprintf "sys=sys%06d\n" i);
+    Buffer.add_string b
+      (Printf.sprintf "\tdom=sys%06d.att.com\n" i);
+    Buffer.add_string b
+      (Printf.sprintf "\tip=135.%d.%d.%d\n" ((i / 62500) mod 120)
+         third fourth);
+    Buffer.add_string b
+      (Printf.sprintf "\tether=aa0069%06x\n" (i land 0xffffff));
+    Buffer.add_string b (Printf.sprintf "\tdk=nj/astro/sys%06d\n" i)
+  done;
+  Buffer.contents b
+
+let nth_sys i = Printf.sprintf "sys%06d" i
+
+let write_temp ~lines =
+  let dir = Filename.temp_file "ndbbench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "global" in
+  let oc = open_out path in
+  output_string oc (generate ~lines);
+  close_out oc;
+  (dir, path)
+
+let cleanup dir =
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  try Unix.rmdir dir with Unix.Unix_error (_, _, _) -> ()

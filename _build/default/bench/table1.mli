@@ -1,0 +1,36 @@
+(** The Table 1 harness: "We measured both latency and throughput of
+    reading and writing bytes between two processes for a number of
+    different paths ... The latency is measured as the round trip time
+    for a byte sent from one process to another and back again.
+    Throughput is measured using 16k writes from one process to
+    another."
+
+    Each path builds a fresh deterministic world with CPU cost models
+    calibrated (see DESIGN.md) to a 25 MHz MIPS: a fixed system-call
+    cost, per-message protocol costs, and per-byte copy costs, all
+    competing for each host's single serialized {!Sim.Cpu.t}. *)
+
+type conv = {
+  c_send : string -> unit;  (** blocking write *)
+  c_recv : int -> string;  (** blocking read, up to n bytes *)
+}
+
+type path = {
+  p_name : string;
+  p_paper_mbs : float;  (** the paper's throughput, MB/s *)
+  p_paper_ms : float;  (** the paper's round-trip latency, ms *)
+  p_build : unit -> Sim.Engine.t * conv * conv;
+      (** fresh engine plus the two processes' endpoints *)
+}
+
+val pipes : path
+val il_ether : path
+val urp_datakit : path
+val cyclone : path
+val all : path list
+
+val throughput_mbs : ?bytes:int -> path -> float
+(** Simulated MB/s moving [bytes] (default 2 MiB) with 16 KiB writes. *)
+
+val latency_ms : ?rounds:int -> path -> float
+(** Simulated milliseconds for a 1-byte round trip (averaged). *)

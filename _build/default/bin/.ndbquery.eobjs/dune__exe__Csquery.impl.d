@@ -1,0 +1,1 @@
+bin/csquery.ml: Arg Cmd Cmdliner List Ndb P9net Printf Term

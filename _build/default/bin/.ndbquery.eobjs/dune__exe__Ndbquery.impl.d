@@ -1,0 +1,1 @@
+bin/ndbquery.ml: Arg Cmd Cmdliner List Ndb Printf Term

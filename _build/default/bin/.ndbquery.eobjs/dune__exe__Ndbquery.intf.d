@@ -1,0 +1,1 @@
+bin/ndbquery.mli:

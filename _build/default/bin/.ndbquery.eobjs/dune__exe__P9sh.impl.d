@@ -1,0 +1,1 @@
+bin/p9sh.ml: Arg Cmd Cmdliner Format Fun Int32 List Ninep P9net Printf Sim String Term Vfs

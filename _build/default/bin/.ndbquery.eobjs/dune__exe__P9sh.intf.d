@@ -1,0 +1,1 @@
+bin/p9sh.mli:

@@ -1,0 +1,88 @@
+(* csquery — the paper's ndb/csquery: "a program that prompts for
+   strings to write to /net/cs and prints the replies."
+
+   Queries run against a connection server for a host described in a
+   database file (default: the built-in bell-labs world, host helix).
+
+     csquery                           # interactive, built-in world
+     csquery 'net!helix!9fs'           # one-shot
+     csquery -f mydb -s mysys 'net!dest!svc'                       *)
+
+open Cmdliner
+
+let file =
+  Arg.(
+    value
+    & opt (some non_dir_file) None
+    & info [ "f"; "file" ] ~docv:"FILE"
+        ~doc:"Network database file (default: the built-in world).")
+
+let sysname =
+  Arg.(
+    value
+    & opt string "helix"
+    & info [ "s"; "sys" ] ~docv:"SYS"
+        ~doc:"Answer as this system (\\$attr searches start here).")
+
+let queries = Arg.(value & pos_all string [] & info [] ~docv:"QUERY")
+
+let networks_for db sysname =
+  let entry = Ndb.sys_entry db sysname in
+  let has attr =
+    match entry with Some e -> Ndb.get e attr <> None | None -> false
+  in
+  List.concat
+    [
+      (if has "ip" then
+         [
+           { P9net.Cs.nw_proto = "il"; nw_clone = "/net/il/clone"; nw_kind = `Inet };
+         ]
+       else []);
+      (if has "dk" then
+         [ { P9net.Cs.nw_proto = "dk"; nw_clone = "/net/dk/clone"; nw_kind = `Dk } ]
+       else []);
+      (if has "ip" then
+         [
+           { P9net.Cs.nw_proto = "tcp"; nw_clone = "/net/tcp/clone"; nw_kind = `Inet };
+           { P9net.Cs.nw_proto = "udp"; nw_clone = "/net/udp/clone"; nw_kind = `Inet };
+         ]
+       else []);
+    ]
+
+let run file sysname queries =
+  let db =
+    match file with
+    | Some path -> Ndb.open_files [ path ]
+    | None -> Ndb.of_string P9net.World.bell_labs_ndb
+  in
+  if Ndb.sys_entry db sysname = None then
+    `Error (false, Printf.sprintf "no entry for system %s" sysname)
+  else begin
+    let cs =
+      P9net.Cs.make ~sysname ~db ~networks:(networks_for db sysname) ()
+    in
+    let ask q =
+      match P9net.Cs.translate cs q with
+      | Ok lines -> List.iter print_endline lines
+      | Error e -> Printf.printf "! %s\n" e
+    in
+    (match queries with
+    | [] -> (
+      (* interactive: prompt like the paper's transcript *)
+      try
+        while true do
+          print_string "> ";
+          ask (input_line stdin)
+        done
+      with End_of_file -> ())
+    | qs -> List.iter ask qs);
+    `Ok ()
+  end
+
+let cmd =
+  let doc = "translate symbolic network names, like writing to /net/cs" in
+  Cmd.v
+    (Cmd.info "csquery" ~doc)
+    Term.(ret (const run $ file $ sysname $ queries))
+
+let () = exit (Cmd.eval cmd)

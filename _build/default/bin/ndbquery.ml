@@ -1,0 +1,83 @@
+(* ndbquery — query network database files from the command line,
+   like Plan 9's ndb/query.
+
+     ndbquery -f /lib/ndb/local sys helix          # whole entries
+     ndbquery -f local -f global sys helix ip      # just one attribute
+     ndbquery -f local -ipinfo 135.104.9.31 auth   # inherited attribute
+     ndbquery -f local -hash sys                   # build an index file *)
+
+open Cmdliner
+
+let files =
+  Arg.(
+    value
+    & opt_all non_dir_file []
+    & info [ "f"; "file" ] ~docv:"FILE"
+        ~doc:"Database file (repeatable; searched in order).")
+
+let hash_attr =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "hash" ] ~docv:"ATTR"
+        ~doc:"Build the on-disk hash index for $(docv) and exit.")
+
+let ipinfo =
+  Arg.(
+    value
+    & opt (some (pair ~sep:' ' string string)) None
+    & info [ "ipinfo" ] ~docv:"IP ATTR"
+        ~doc:
+          "Print the value of ATTR most closely associated with IP \
+           (host, then subnet, then network) and exit.")
+
+let query =
+  Arg.(value & pos_all string [] & info [] ~docv:"ATTR VALUE [RATTR]")
+
+let print_entry e =
+  List.iteri
+    (fun i (a, v) ->
+      if i = 0 then Printf.printf "%s=%s\n" a v
+      else Printf.printf "\t%s=%s\n" a v)
+    e
+
+let run files hash_attr ipinfo query =
+  if files = [] then `Error (false, "no database files; use -f")
+  else begin
+    let db = Ndb.open_files files in
+    match (hash_attr, ipinfo, query) with
+    | Some attr, _, _ ->
+      Ndb.write_hash db ~attr;
+      Printf.printf "indexed %s (%d entries)\n" attr
+        (List.length (Ndb.entries db));
+      `Ok ()
+    | None, Some (ip, attr), _ -> (
+      match Ndb.ipattr db ~ip ~attr with
+      | Some v ->
+        print_endline v;
+        `Ok ()
+      | None -> `Error (false, Printf.sprintf "no %s for %s" attr ip))
+    | None, None, [ attr; value ] ->
+      let es = Ndb.search db ~attr ~value in
+      if es = [] then `Error (false, "no match")
+      else begin
+        List.iter print_entry es;
+        `Ok ()
+      end
+    | None, None, [ attr; value; rattr ] -> (
+      match Ndb.find db ~attr ~value ~rattr with
+      | [] -> `Error (false, "no match")
+      | vs ->
+        List.iter print_endline vs;
+        `Ok ())
+    | None, None, _ ->
+      `Error (true, "expected: ATTR VALUE [RATTR], -hash, or -ipinfo")
+  end
+
+let cmd =
+  let doc = "query Plan 9 network database files" in
+  Cmd.v
+    (Cmd.info "ndbquery" ~doc)
+    Term.(ret (const run $ files $ hash_attr $ ipinfo $ query))
+
+let () = exit (Cmd.eval cmd)

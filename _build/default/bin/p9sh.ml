@@ -1,0 +1,143 @@
+(* p9sh — a scripted shell over the canonical world.
+
+   Runs a sequence of commands as a user process on a chosen host and
+   prints what a Plan 9 user would see.  Commands are separated by ';'
+   or given with repeated -c flags, or read from stdin (one per line).
+
+     p9sh -h musca 'ls /net; cat /net/ipifc'
+     p9sh -h philw-gnot 'import helix /net; ls /net; dial tcp!135.104.9.99!23 hello'
+     echo 'csquery net!helix!9fs' | p9sh
+
+   Commands:
+     ls PATH                 cat PATH             echo TEXT > PATH
+     mkdir PATH              rm PATH              stat PATH
+     bind [-a|-b] SRC ONTO   unmount ONTO         cd PATH
+     import HOST REMOTE [ONTO]                    csquery QUERY
+     dial ADDR [TEXT]        dns NAME             sleep SECONDS
+     hosts                                                     *)
+
+open Cmdliner
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "musca"
+    & info [ "h"; "host" ] ~docv:"HOST" ~doc:"Run on this host.")
+
+let cmds_arg = Arg.(value & pos_all string [] & info [] ~docv:"COMMANDS")
+
+let split_cmds args =
+  String.concat " " args |> String.split_on_char ';'
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let perm_dir = Int32.logor Ninep.Fcall.dmdir 0o775l
+
+let run_command w env eng line =
+  let out = Printf.printf in
+  try
+    match words line with
+    | [ "ls"; path ] ->
+      List.iter
+        (fun d -> out "%s\n" (Format.asprintf "%a" Ninep.Fcall.pp_dir d))
+        (Vfs.Env.ls env path)
+    | [ "cat"; path ] -> out "%s" (Vfs.Env.read_file env path)
+    | "echo" :: rest -> (
+      (* echo TEXT > PATH  or plain echo *)
+      match List.rev rest with
+      | path :: ">" :: rtext ->
+        Vfs.Env.write_file env path (String.concat " " (List.rev rtext))
+      | _ -> out "%s\n" (String.concat " " rest))
+    | [ "mkdir"; path ] ->
+      Vfs.Env.close env (Vfs.Env.create env path ~perm:perm_dir Ninep.Fcall.Oread)
+    | [ "rm"; path ] -> Vfs.Env.remove env path
+    | [ "stat"; path ] ->
+      out "%s\n" (Format.asprintf "%a" Ninep.Fcall.pp_dir (Vfs.Env.stat env path))
+    | [ "cd"; path ] -> Vfs.Env.chdir env path
+    | [ "bind"; src; onto ] -> Vfs.Env.bind env ~src ~onto Vfs.Ns.Repl
+    | [ "bind"; "-a"; src; onto ] -> Vfs.Env.bind env ~src ~onto Vfs.Ns.After
+    | [ "bind"; "-b"; src; onto ] -> Vfs.Env.bind env ~src ~onto Vfs.Ns.Before
+    | [ "unmount"; onto ] -> Vfs.Env.unmount env ~onto
+    | [ "import"; host; remote ] | [ "import"; host; remote; _ ] ->
+      let onto =
+        match words line with [ _; _; _; o ] -> o | _ -> remote
+      in
+      P9net.Exportfs.import eng env ~host ~remote_root:remote ~onto
+        ~flag:Vfs.Ns.After ()
+    | [ "csquery"; q ] ->
+      let fd = Vfs.Env.open_ env "/net/cs" Ninep.Fcall.Ordwr in
+      Fun.protect
+        ~finally:(fun () -> Vfs.Env.close env fd)
+        (fun () ->
+          ignore (Vfs.Env.write env fd q);
+          Vfs.Env.seek env fd 0L;
+          out "%s" (Vfs.Env.read env fd 8192))
+    | "dial" :: addr :: rest ->
+      let conn = P9net.Dial.dial env addr in
+      out "connected via %s\n" conn.P9net.Dial.dir;
+      if rest <> [] then begin
+        ignore
+          (Vfs.Env.write env conn.P9net.Dial.data_fd (String.concat " " rest));
+        out "%s\n" (Vfs.Env.read env conn.P9net.Dial.data_fd 8192)
+      end;
+      P9net.Dial.hangup env conn
+    | [ "dns"; name ] ->
+      let fd = Vfs.Env.open_ env "/net/dns" Ninep.Fcall.Ordwr in
+      Fun.protect
+        ~finally:(fun () -> Vfs.Env.close env fd)
+        (fun () ->
+          ignore (Vfs.Env.write env fd (name ^ " ip"));
+          Vfs.Env.seek env fd 0L;
+          out "%s" (Vfs.Env.read env fd 8192))
+    | "cpu" :: host :: cmd :: rest ->
+      out "%s"
+        (P9net.Cpu_cmd.cpu eng env ~host ~cmd ~args:rest ())
+    | [ "sleep"; s ] -> Sim.Time.sleep eng (float_of_string s)
+    | [ "hosts" ] ->
+      List.iter (fun (n, _) -> out "%s\n" n) w.P9net.World.hosts
+    | [] -> ()
+    | cmd :: _ -> out "p9sh: unknown command: %s\n" cmd
+  with
+  | Vfs.Chan.Error e -> Printf.printf "p9sh: %s\n" e
+  | P9net.Dial.Dial_error e -> Printf.printf "p9sh: %s\n" e
+  | Failure e -> Printf.printf "p9sh: %s\n" e
+
+let run hostname args =
+  let cmds =
+    match split_cmds args with
+    | [] ->
+      (* read stdin *)
+      let rec go acc =
+        match input_line stdin with
+        | line -> go (String.trim line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      List.filter (fun s -> s <> "" && s.[0] <> '#') (go [])
+    | cs -> cs
+  in
+  let w = P9net.World.bell_labs () in
+  match List.assoc_opt hostname w.P9net.World.hosts with
+  | None ->
+    Printf.eprintf "p9sh: no host %s (try: helix musca bootes ai philw-gnot)\n"
+      hostname;
+    `Error (false, "unknown host")
+  | Some h ->
+    ignore
+      (P9net.Host.spawn h "p9sh" (fun env ->
+           Printf.printf "p9sh on %s\n" hostname;
+           List.iter
+             (fun cmd ->
+               Printf.printf "%s%% %s\n" hostname cmd;
+               run_command w env w.P9net.World.eng cmd)
+             cmds));
+    P9net.World.run ~until:600.0 w;
+    `Ok ()
+
+let cmd =
+  let doc = "run commands as a user on a simulated Plan 9 host" in
+  Cmd.v (Cmd.info "p9sh" ~doc) Term.(ret (const run $ host_arg $ cmds_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/csquery_tour.ml: List Ndb Option P9net Printf

@@ -1,0 +1,1 @@
+examples/csquery_tour.mli:

@@ -1,0 +1,1 @@
+examples/diskless_boot.ml: Inet Ninep P9net Printf Sim String

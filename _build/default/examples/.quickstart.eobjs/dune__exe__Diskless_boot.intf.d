@@ -1,0 +1,1 @@
+examples/diskless_boot.mli:

@@ -1,0 +1,1 @@
+examples/echo_server.ml: List P9net Printf Sim Vfs

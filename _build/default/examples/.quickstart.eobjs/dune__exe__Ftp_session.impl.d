@@ -1,0 +1,1 @@
+examples/ftp_session.ml: List Ninep Option P9net Printf Sim Vfs

@@ -1,0 +1,1 @@
+examples/ftp_session.mli:

@@ -1,0 +1,1 @@
+examples/import_gateway.ml: List Ninep P9net Printf String Vfs

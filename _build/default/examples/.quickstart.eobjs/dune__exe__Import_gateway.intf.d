@@ -1,0 +1,1 @@
+examples/import_gateway.mli:

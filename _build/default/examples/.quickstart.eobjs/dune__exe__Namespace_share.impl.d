@@ -1,0 +1,1 @@
+examples/namespace_share.ml: List Ninep Option P9net Printf Vfs

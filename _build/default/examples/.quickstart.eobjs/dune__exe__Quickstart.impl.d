@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ninep P9net Printf Vfs

@@ -1,0 +1,1 @@
+examples/remote_cpu.ml: List P9net Printf Sim String Vfs

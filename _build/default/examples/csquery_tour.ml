@@ -1,0 +1,54 @@
+(* A tour of the connection server and the network database — every
+   query form from section 4 of the paper, from three different hosts
+   (the answers depend on where you ask).
+
+   Run with:  dune exec examples/csquery_tour.exe *)
+
+let ask host q =
+  Printf.printf "> %s\n" q;
+  (match P9net.Cs.translate host.P9net.Host.cs q with
+  | Ok lines -> List.iter (fun l -> Printf.printf "%s\n" l) lines
+  | Error e -> Printf.printf "! %s\n" e);
+  print_newline ()
+
+let () =
+  let w = P9net.World.bell_labs () in
+  let helix = P9net.World.host w "helix" in
+  let gnot = P9net.World.host w "philw-gnot" in
+
+  ignore
+    (P9net.Host.spawn helix "tour" (fun _env ->
+         print_endline "=== ndb/csquery on helix (ether + datakit) ===";
+         (* the paper's own examples *)
+         ask helix "net!helix!9fs";
+         ask helix "net!$auth!rexauth";
+         (* explicit networks and literal addresses *)
+         ask helix "il!musca!echo";
+         ask helix "tcp!135.104.117.5!513";
+         ask helix "tcp!musca!login";
+         (* domain names resolve through the database *)
+         ask helix "net!helix.research.bell-labs.com!echo";
+         (* ... or through DNS when the database has no entry *)
+         ask helix "tcp!ai.mit.edu!telnet";
+
+         print_endline "=== the same questions on a datakit-only terminal ===";
+         ask gnot "net!helix!9fs";
+         ask gnot "net!$auth!rexauth";
+
+         print_endline "=== the database behind the answers ===";
+         let db = w.P9net.World.db in
+         Printf.printf "helix's entry:\n";
+         (match Ndb.sys_entry db "helix" with
+         | Some e ->
+           List.iter (fun (a, v) -> Printf.printf "  %s=%s\n" a v) e
+         | None -> ());
+         Printf.printf "\nattribute inheritance (host -> subnet -> network):\n";
+         List.iter
+           (fun attr ->
+             Printf.printf "  %s for 135.104.9.31 = %s\n" attr
+               (Option.value ~default:"<none>"
+                  (Ndb.ipattr db ~ip:"135.104.9.31" ~attr)))
+           [ "bootf"; "ipgw"; "auth"; "fs"; "dns" ]));
+
+  P9net.World.run ~until:60.0 w;
+  print_endline "csquery_tour done."

@@ -1,0 +1,44 @@
+(* A diskless terminal boots: it knows nothing but its Ethernet
+   address.  The boot server answers from the network database (the
+   paper's [bootf=], [ipmask=], [ipgw=], and [fs=] attributes, section
+   4.1), and the station fetches its kernel from the file server over
+   9P/IL.
+
+   Run with:  dune exec examples/diskless_boot.exe *)
+
+let () =
+  let w = P9net.World.bell_labs () in
+  let helix = P9net.World.host w "helix" in
+  let bootes = P9net.World.host w "bootes" in
+
+  (* bootes is the network's file server; it carries the kernels *)
+  Ninep.Ramfs.add_file bootes.P9net.Host.root "/mips/9power"
+    "[MIPS R3000 kernel, 9power, for diskless gnots]";
+  P9net.Host.serve_exportfs bootes;
+
+  (* helix answers boot requests out of the shared database *)
+  ignore (P9net.Boot.serve helix);
+
+  ignore
+    (P9net.Host.spawn helix "narrator" (fun _env ->
+         Sim.Time.sleep helix.P9net.Host.eng 0.2;
+         print_endline "station 08006902d15c: power on";
+         print_endline "station: broadcasting boot request...";
+         let cfg, kernel =
+           P9net.Boot.boot_diskless w ~ether_addr:"08006902d15c" None
+         in
+         Printf.printf "server:  boot %s %s %s %s\n"
+           (Inet.Ipaddr.to_string cfg.P9net.Boot.bc_ip)
+           (Inet.Ipaddr.to_string cfg.P9net.Boot.bc_mask)
+           cfg.P9net.Boot.bc_bootf
+           (match cfg.P9net.Boot.bc_fs with
+           | Some fs -> Inet.Ipaddr.to_string fs
+           | None -> "none");
+         Printf.printf "station: fetching %s from the file server over 9P/IL\n"
+           cfg.P9net.Boot.bc_bootf;
+         Printf.printf "station: got %d bytes: %s\n" (String.length kernel)
+           kernel;
+         print_endline "station: booted."));
+
+  P9net.World.run ~until:60.0 w;
+  print_endline "diskless_boot done."

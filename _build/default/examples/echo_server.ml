@@ -1,0 +1,57 @@
+(* The echo server from section 5.2 of the paper, translated line for
+   line: announce, listen, fork a process per call, accept, echo until
+   EOF.  Three clients connect concurrently over different networks.
+
+   Run with:  dune exec examples/echo_server.exe *)
+
+(* the paper's listing, OCaml-shaped: *)
+let echo_server eng env =
+  (* afd = announce("tcp!*!echo", adir) *)
+  let ann = P9net.Dial.announce env "tcp!*!7007" in
+  Printf.printf "[server] announced tcp!*!7007 at %s\n" ann.P9net.Dial.ann_dir;
+  let rec serve () =
+    (* lcfd = listen(adir, ldir) *)
+    let conn = P9net.Dial.listen env ann in
+    (* switch(fork()) case 0: dfd = accept(lcfd, ldir); echo *)
+    let child = Vfs.Env.fork env in
+    ignore
+      (Sim.Proc.spawn eng ~name:"echo-child" (fun () ->
+           let dfd = P9net.Dial.accept child conn in
+           let rec echo () =
+             let n = Vfs.Env.read child dfd 256 in
+             if n <> "" then begin
+               ignore (Vfs.Env.write child dfd n);
+               echo ()
+             end
+           in
+           echo ();
+           Vfs.Env.close child dfd;
+           Vfs.Env.close child conn.P9net.Dial.ctl_fd));
+    (* default: close(lcfd) *)
+    Vfs.Env.close env conn.P9net.Dial.ctl_fd;
+    serve ()
+  in
+  serve ()
+
+let () =
+  let w = P9net.World.bell_labs () in
+  let helix = P9net.World.host w "helix" in
+  ignore (P9net.Host.spawn helix "echo-server" (fun env -> echo_server helix.P9net.Host.eng env));
+
+  (* three concurrent clients, from different machines *)
+  List.iteri
+    (fun i hostname ->
+      let h = P9net.World.host w hostname in
+      ignore
+        (P9net.Host.spawn h (Printf.sprintf "client%d" i) (fun env ->
+             Sim.Time.sleep h.P9net.Host.eng 0.1;
+             let conn = P9net.Dial.dial env "tcp!135.104.9.31!7007" in
+             let msg = Printf.sprintf "greetings from %s" hostname in
+             ignore (Vfs.Env.write env conn.P9net.Dial.data_fd msg);
+             let reply = Vfs.Env.read env conn.P9net.Dial.data_fd 8192 in
+             Printf.printf "[%s] sent %S, got %S\n" hostname msg reply;
+             P9net.Dial.hangup env conn)))
+    [ "musca"; "bootes"; "ai" ];
+
+  P9net.World.run ~until:60.0 w;
+  print_endline "echo_server done."

@@ -1,0 +1,53 @@
+(* ftpfs (section 6.2): "We decided to make our interface to FTP a
+   file system rather than the traditional command" — the remote FTP
+   server's tree appears at /n/ftp and ordinary file operations drive
+   the protocol, with caching to reduce traffic.
+
+   Run with:  dune exec examples/ftp_session.exe *)
+
+let () =
+  let w = P9net.World.bell_labs () in
+  let helix = P9net.World.host w "helix" in
+  let musca = P9net.World.host w "musca" in
+
+  (* helix plays the remote system (TOPS-20 in the paper's day) *)
+  Ninep.Ramfs.add_file helix.P9net.Host.root "/pub/README"
+    "anonymous ftp welcome";
+  Ninep.Ramfs.add_file helix.P9net.Host.root "/pub/plan9.tar"
+    "<tarball bytes>";
+  Ninep.Ramfs.mkdir helix.P9net.Host.root "/incoming";
+  P9net.Ftp.serve helix;
+
+  ignore
+    (P9net.Host.spawn musca "ftp-user" (fun env ->
+         Sim.Time.sleep musca.P9net.Host.eng 0.1;
+         Ninep.Ramfs.mkdir musca.P9net.Host.root "/n/ftp";
+         print_endline "musca% ftpfs helix   # mounts on /n/ftp";
+         let mp = P9net.Ftp.mount env ~host:"helix" ~onto:"/n/ftp" () in
+
+         print_endline "musca% ls /n/ftp/pub";
+         List.iter
+           (fun d ->
+             Printf.printf "  %s (%Ld bytes)\n" d.Ninep.Fcall.d_name
+               d.Ninep.Fcall.d_length)
+           (Vfs.Env.ls env "/n/ftp/pub");
+
+         Printf.printf "musca%% cat /n/ftp/pub/README\n  %s\n"
+           (Vfs.Env.read_file env "/n/ftp/pub/README");
+
+         (* the cache: a second read costs no wire traffic *)
+         let before = (P9net.Ftp.counters mp).P9net.Ftp.ftp_commands in
+         ignore (Vfs.Env.read_file env "/n/ftp/pub/README");
+         Printf.printf
+           "musca%% cat /n/ftp/pub/README   # again: %d wire commands (cached)\n"
+           ((P9net.Ftp.counters mp).P9net.Ftp.ftp_commands - before);
+
+         print_endline "musca% echo hello > /n/ftp/incoming/note";
+         Vfs.Env.write_file env "/n/ftp/incoming/note" "hello";
+         Printf.printf "  (helix now has /incoming/note = %S)\n"
+           (Option.value ~default:"<missing>"
+              (Ninep.Ramfs.read_file helix.P9net.Host.root "/incoming/note"));
+         P9net.Ftp.unmount ~t:env mp));
+
+  P9net.World.run ~until:120.0 w;
+  print_endline "ftp_session done."

@@ -1,0 +1,57 @@
+(* The section 6.1 gateway example, exactly as the paper shows it.
+
+   philw-gnot is a terminal whose only connection is a Datakit line.
+   It imports /net from the CPU server helix, which has Ethernet, IL,
+   TCP, and UDP.  After the union mount, every network connected to
+   helix is available on the terminal, and a telnet to an Internet host
+   works transparently — the TCP connection is made by helix's kernel,
+   reached through 9P over URP over Datakit.
+
+   Run with:  dune exec examples/import_gateway.exe *)
+
+let ls env path =
+  Vfs.Env.ls env path
+  |> List.map (fun d -> Printf.sprintf "/net/%s" d.Ninep.Fcall.d_name)
+  |> List.iter print_endline
+
+let () =
+  let w = P9net.World.bell_labs () in
+  let gnot = P9net.World.host w "philw-gnot" in
+
+  ignore
+    (P9net.Host.spawn gnot "session" (fun env ->
+         print_endline "philw-gnot% ls /net";
+         ls env "/net";
+
+         print_endline "philw-gnot% import -a helix /net";
+         P9net.Exportfs.import w.P9net.World.eng env ~host:"helix"
+           ~remote_root:"/net" ~onto:"/net" ~flag:Vfs.Ns.After ();
+
+         print_endline "philw-gnot% ls /net";
+         ls env "/net";
+
+         print_endline "philw-gnot% telnet ai.mit.edu";
+         (* resolve through the imported /net/dns: helix's resolver *)
+         let fd = Vfs.Env.open_ env "/net/dns" Ninep.Fcall.Ordwr in
+         ignore (Vfs.Env.write env fd "ai.mit.edu ip");
+         Vfs.Env.seek env fd 0L;
+         let rr = Vfs.Env.read env fd 8192 in
+         Vfs.Env.close env fd;
+         let ip =
+           match String.split_on_char '\t' (String.trim rr) with
+           | [ _; ip ] -> ip
+           | _ -> failwith ("unexpected dns reply: " ^ rr)
+         in
+         (* the tcp clone file now resolves to helix's TCP device *)
+         let conn = P9net.Dial.dial env (Printf.sprintf "tcp!%s!telnet" ip) in
+         print_string (Vfs.Env.read env conn.P9net.Dial.data_fd 8192);
+         ignore (Vfs.Env.write env conn.P9net.Dial.data_fd "philw\n");
+         print_string (Vfs.Env.read env conn.P9net.Dial.data_fd 8192);
+         P9net.Dial.hangup env conn;
+         print_endline "philw-gnot% ";
+         Printf.printf
+           "(the TCP conversation above ran on helix; the terminal used\n\
+           \ 9P over URP over the Datakit circuit to drive it)\n"));
+
+  P9net.World.run ~until:120.0 w;
+  print_endline "import_gateway done."

@@ -1,0 +1,48 @@
+(* Resource sharing through exportfs (section 6): two machines edit a
+   shared tree, a third watches both through unions — "a building block
+   for constructing complex name spaces served from many machines."
+
+   Run with:  dune exec examples/namespace_share.exe *)
+
+let () =
+  let w = P9net.World.bell_labs () in
+  let helix = P9net.World.host w "helix" in
+  let musca = P9net.World.host w "musca" in
+  let gnot = P9net.World.host w "philw-gnot" in
+  let eng = w.P9net.World.eng in
+
+  (* seed some files on the two servers *)
+  Ninep.Ramfs.add_file helix.P9net.Host.root "/tmp/plan" "dial(2) rewrite";
+  Ninep.Ramfs.add_file musca.P9net.Host.root "/tmp/notes" "auth tickets";
+  Ninep.Ramfs.add_file musca.P9net.Host.root "/tmp/plan" "musca's plan";
+  (* helix and musca already run exportfs listeners (bell_labs does) *)
+
+  ignore
+    (P9net.Host.spawn gnot "sharer" (fun env ->
+         (* mount helix:/tmp and musca:/tmp as a single union at /n *)
+         P9net.Exportfs.import eng env ~host:"helix" ~remote_root:"/tmp"
+           ~onto:"/n" ~flag:Vfs.Ns.Repl ();
+         P9net.Exportfs.import eng env ~host:"musca" ~remote_root:"/tmp"
+           ~onto:"/n" ~flag:Vfs.Ns.After ();
+
+         print_endline "philw-gnot% ls /n        # union of two machines";
+         List.iter
+           (fun d ->
+             Printf.printf "  %s  (served by %s)\n" d.Ninep.Fcall.d_name
+               d.Ninep.Fcall.d_uid)
+           (Vfs.Env.ls env "/n");
+
+         Printf.printf "philw-gnot%% cat /n/plan\n  %s\n"
+           (Vfs.Env.read_file env "/n/plan");
+         Printf.printf "philw-gnot%% cat /n/notes\n  %s\n"
+           (Vfs.Env.read_file env "/n/notes");
+
+         (* writes land on the machine that serves the file *)
+         print_endline "philw-gnot% echo done > /n/status";
+         Vfs.Env.write_file env "/n/status" "done";
+         Printf.printf "  (helix now has /tmp/status = %S)\n"
+           (Option.value ~default:"<missing>"
+              (Ninep.Ramfs.read_file helix.P9net.Host.root "/tmp/status"))));
+
+  P9net.World.run ~until:120.0 w;
+  print_endline "namespace_share done."

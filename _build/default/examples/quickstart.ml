@@ -1,0 +1,46 @@
+(* Quickstart: boot the canonical world, ask the connection server a
+   question, dial a service, and talk to it — the whole public API in
+   thirty lines.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* a deterministic world: Ethernet + Datakit, four hosts, CS + DNS *)
+  let w = P9net.World.bell_labs () in
+  let musca = P9net.World.host w "musca" in
+
+  ignore
+    (P9net.Host.spawn musca "quickstart" (fun env ->
+         (* 1. ask the connection server to translate a symbolic name,
+            exactly like ndb/csquery *)
+         print_endline "% ndb/csquery";
+         print_endline "> net!helix!9fs";
+         let fd = Vfs.Env.open_ env "/net/cs" Ninep.Fcall.Ordwr in
+         ignore (Vfs.Env.write env fd "net!helix!9fs");
+         Vfs.Env.seek env fd 0L;
+         print_string (Vfs.Env.read env fd 8192);
+         Vfs.Env.close env fd;
+
+         (* 2. dial the echo service on helix; CS picks the network *)
+         let conn = P9net.Dial.dial env "net!helix!echo" in
+         Printf.printf "\ndialed net!helix!echo -> %s\n" conn.P9net.Dial.dir;
+         Printf.printf "   status: %s"
+           (Vfs.Env.read_file env (conn.P9net.Dial.dir ^ "/status"));
+
+         (* 3. converse over the data file *)
+         ignore
+           (Vfs.Env.write env conn.P9net.Dial.data_fd
+              "hello from musca via IL");
+         let reply = Vfs.Env.read env conn.P9net.Dial.data_fd 8192 in
+         Printf.printf "   echo reply: %S\n" reply;
+         P9net.Dial.hangup env conn;
+
+         (* 4. resolve a name through /net/dns (recursive, cached) *)
+         let fd = Vfs.Env.open_ env "/net/dns" Ninep.Fcall.Ordwr in
+         ignore (Vfs.Env.write env fd "ai.mit.edu ip");
+         Vfs.Env.seek env fd 0L;
+         Printf.printf "\n/net/dns says: %s" (Vfs.Env.read env fd 8192);
+         Vfs.Env.close env fd));
+
+  P9net.World.run ~until:60.0 w;
+  print_endline "\nquickstart done."

@@ -1,0 +1,72 @@
+(* The cpu service (section 6): run a command on the CPU server with
+   your terminal's name space attached at /mnt/term — "cpu creates a
+   process on the remote machine whose name space is an analogue of the
+   window in which it was invoked."
+
+   The terminal here is philw-gnot, which has only a Datakit line; the
+   command runs on helix and reads and writes the terminal's files
+   through 9P flowing back over the same circuit.
+
+   Run with:  dune exec examples/remote_cpu.exe *)
+
+let commands =
+  [
+    ( "grep",
+      fun env ~args ->
+        match args with
+        | [ pat; path ] ->
+          let text = Vfs.Env.read_file env ("/mnt/term" ^ path) in
+          String.split_on_char '\n' text
+          |> List.filter (fun line ->
+                 let nl = String.length line and np = String.length pat in
+                 let rec at i =
+                   i + np <= nl && (String.sub line i np = pat || at (i + 1))
+                 in
+                 at 0)
+          |> List.map (fun l -> l ^ "\n")
+          |> String.concat ""
+        | _ -> "usage: grep pattern file\n" );
+    ( "mk",
+      (* "compile" on the fast machine, leave the output on the slow one *)
+      fun env ~args ->
+        match args with
+        | [ src; obj ] ->
+          let source = Vfs.Env.read_file env ("/mnt/term" ^ src) in
+          let compiled =
+            Printf.sprintf "9power object (%d bytes of source)\n"
+              (String.length source)
+          in
+          Vfs.Env.write_file env ("/mnt/term" ^ obj) compiled;
+          Printf.sprintf "mk: %s -> %s\n" src obj
+        | _ -> "usage: mk src obj\n" );
+  ]
+
+let () =
+  let w = P9net.World.bell_labs ~cpu_commands:commands () in
+  let gnot = P9net.World.host w "philw-gnot" in
+
+  ignore
+    (P9net.Host.spawn gnot "session" (fun env ->
+         Sim.Time.sleep gnot.P9net.Host.eng 0.1;
+         (* some files that exist only on the terminal *)
+         Vfs.Env.write_file env "/tmp/profile"
+           "bind -a /n/dump /n\nimport -a helix /net\nfn cpu { ... }\n";
+         Vfs.Env.write_file env "/tmp/main.c" "void main(void){print(\"hi\");}";
+
+         print_endline "philw-gnot% cpu helix grep import /tmp/profile";
+         print_string
+           (P9net.Cpu_cmd.cpu w.P9net.World.eng env ~host:"helix" ~cmd:"grep"
+              ~args:[ "import"; "/tmp/profile" ] ());
+
+         print_endline "philw-gnot% cpu helix mk /tmp/main.c /tmp/main.o";
+         print_string
+           (P9net.Cpu_cmd.cpu w.P9net.World.eng env ~host:"helix" ~cmd:"mk"
+              ~args:[ "/tmp/main.c"; "/tmp/main.o" ] ());
+
+         Printf.printf "philw-gnot%% cat /tmp/main.o\n%s"
+           (Vfs.Env.read_file env "/tmp/main.o");
+         print_endline
+           "(both commands executed on helix; /tmp lives on the terminal)"));
+
+  P9net.World.run ~until:120.0 w;
+  print_endline "remote_cpu done."

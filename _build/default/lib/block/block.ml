@@ -1,0 +1,212 @@
+type kind = Data | Ctl | Hangup
+
+type t = {
+  kind : kind;
+  buf : Bytes.t;
+  mutable rp : int;
+  mutable wp : int;
+  mutable delim : bool;
+}
+
+let max_atomic_write = 32 * 1024
+
+let make_bytes ?(kind = Data) ?(delim = false) b =
+  { kind; buf = b; rp = 0; wp = Bytes.length b; delim }
+
+let make ?kind ?delim s = make_bytes ?kind ?delim (Bytes.of_string s)
+
+let alloc ?(kind = Data) n =
+  { kind; buf = Bytes.create n; rp = 0; wp = 0; delim = false }
+
+let hangup () =
+  { kind = Hangup; buf = Bytes.create 0; rp = 0; wp = 0; delim = true }
+
+let len b = b.wp - b.rp
+let to_string b = Bytes.sub_string b.buf b.rp (len b)
+let is_ctl b = b.kind = Ctl
+
+let consume b n =
+  if n < 0 || n > len b then invalid_arg "Block.consume";
+  b.rp <- b.rp + n
+
+let sub b n =
+  if n < 0 || n > len b then invalid_arg "Block.sub";
+  {
+    kind = b.kind;
+    buf = Bytes.sub b.buf b.rp n;
+    rp = 0;
+    wp = n;
+    delim = b.delim && n = len b;
+  }
+
+let concat bs =
+  let total = List.fold_left (fun acc b -> acc + len b) 0 bs in
+  let buf = Bytes.create total in
+  let off = ref 0 in
+  List.iter
+    (fun b ->
+      Bytes.blit b.buf b.rp buf !off (len b);
+      off := !off + len b)
+    bs;
+  let delim = match List.rev bs with [] -> false | last :: _ -> last.delim in
+  { kind = Data; buf; rp = 0; wp = total; delim }
+
+let ctl_words b =
+  String.split_on_char ' ' (to_string b)
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.filter (fun w -> w <> "")
+
+module Q = struct
+  type block = t
+
+  type q = {
+    eng : Sim.Engine.t;
+    limit : int;
+    items : block Queue.t;
+    mutable nbytes : int;
+    mutable closed : bool;
+    mutable eof : bool;  (* a Hangup has been delivered or drain done *)
+    readers : Sim.Rendez.t;
+    writers : Sim.Rendez.t;
+    mutable kick : (unit -> unit) option;
+  }
+
+  type t = q
+
+  exception Closed
+
+  let create ?(limit = 64 * 1024) eng =
+    {
+      eng;
+      limit;
+      items = Queue.create ();
+      nbytes = 0;
+      closed = false;
+      eof = false;
+      readers = Sim.Rendez.create eng;
+      writers = Sim.Rendez.create eng;
+      kick = None;
+    }
+
+  let bytes q = q.nbytes
+  let blocks q = Queue.length q.items
+  let is_closed q = q.closed
+  let full q = q.nbytes >= q.limit
+  let set_kick q fn = q.kick <- fn
+
+  let enqueue q b =
+    Queue.push b q.items;
+    q.nbytes <- q.nbytes + len b;
+    Sim.Rendez.wakeup q.readers;
+    match q.kick with None -> () | Some fn -> fn ()
+
+  let force_put q b = if not q.eof then enqueue q b
+
+  let try_put q b =
+    if q.closed then raise Closed;
+    match b.kind with
+    | Ctl | Hangup ->
+      enqueue q b;
+      true
+    | Data ->
+      if full q then false
+      else begin
+        enqueue q b;
+        true
+      end
+
+  let put q b =
+    if q.closed then raise Closed;
+    (match b.kind with
+    | Ctl | Hangup -> ()
+    | Data ->
+      while full q && not q.closed do
+        Sim.Rendez.sleep q.writers
+      done;
+      if q.closed then raise Closed);
+    enqueue q b
+
+  let dequeue q =
+    let b = Queue.pop q.items in
+    q.nbytes <- q.nbytes - len b;
+    Sim.Rendez.wakeup q.writers;
+    b
+
+  let rec get q =
+    if q.eof then None
+    else
+      match Queue.is_empty q.items with
+      | true ->
+        if q.closed then begin
+          q.eof <- true;
+          None
+        end
+        else begin
+          Sim.Rendez.sleep q.readers;
+          get q
+        end
+      | false -> (
+        let b = dequeue q in
+        match b.kind with
+        | Hangup ->
+          q.eof <- true;
+          None
+        | Data | Ctl -> Some b)
+
+  let read q want =
+    (* Block until there is a block to look at, or EOF. *)
+    let rec wait () =
+      if q.eof then false
+      else if not (Queue.is_empty q.items) then true
+      else if q.closed then begin
+        q.eof <- true;
+        false
+      end
+      else begin
+        Sim.Rendez.sleep q.readers;
+        wait ()
+      end
+    in
+    if want <= 0 || not (wait ()) then ""
+    else begin
+      let buf = Buffer.create (min want 4096) in
+      let stop = ref false in
+      while
+        (not !stop)
+        && Buffer.length buf < want
+        && not (Queue.is_empty q.items)
+      do
+        let b = Queue.peek q.items in
+        match b.kind with
+        | Hangup ->
+          ignore (Queue.pop q.items);
+          q.eof <- true;
+          stop := true
+        | Ctl ->
+          (* control blocks are invisible to byte-stream reads; callers
+             that care use [get] *)
+          ignore (Queue.pop q.items);
+          q.nbytes <- q.nbytes - len b
+        | Data ->
+          let take = min (want - Buffer.length buf) (len b) in
+          Buffer.add_subbytes buf b.buf b.rp take;
+          consume b take;
+          q.nbytes <- q.nbytes - take;
+          Sim.Rendez.wakeup q.writers;
+          if len b = 0 then begin
+            ignore (Queue.pop q.items);
+            if b.delim then stop := true
+          end
+      done;
+      Buffer.contents buf
+    end
+
+  let close q =
+    if not q.closed then begin
+      q.closed <- true;
+      Sim.Rendez.wakeup_all q.readers;
+      Sim.Rendez.wakeup_all q.writers;
+      match q.kick with None -> () | Some fn -> fn ()
+    end
+end

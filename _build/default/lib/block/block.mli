@@ -1,0 +1,114 @@
+(** Kernel blocks and blocking queues.
+
+    Section 2.4 of the paper: "Information is represented by linked
+    lists of kernel structures called blocks.  Each block contains a
+    type, some state flags, and pointers to an optional buffer.  Block
+    buffers can hold either data or control information."
+
+    A {!t} is one block; a {!Q.t} is the queue half of a stream
+    processing module, with the paper's read/write semantics: writes of
+    up to {!max_atomic_write} bytes form a single delimited block, reads
+    stop at a delimiter boundary, and a full queue blocks the writer. *)
+
+type kind =
+  | Data  (** ordinary payload *)
+  | Ctl  (** control directive; ASCII command for the modules *)
+  | Hangup  (** synthesized end-of-stream marker sent up from a device *)
+
+type t = {
+  kind : kind;
+  buf : Bytes.t;
+  mutable rp : int;  (** read pointer: first live byte *)
+  mutable wp : int;  (** write pointer: one past last live byte *)
+  mutable delim : bool;  (** this block ends a message *)
+}
+
+val max_atomic_write : int
+(** 32768: "A write of less than 32K is guaranteed to be contained by a
+    single block." *)
+
+val make : ?kind:kind -> ?delim:bool -> string -> t
+(** Block holding a copy of the string. *)
+
+val make_bytes : ?kind:kind -> ?delim:bool -> bytes -> t
+(** Block taking ownership of [bytes] (no copy). *)
+
+val alloc : ?kind:kind -> int -> t
+(** Empty block with [n] bytes of capacity ([rp = wp = 0]). *)
+
+val hangup : unit -> t
+
+val len : t -> int
+(** Live bytes, [wp - rp]. *)
+
+val to_string : t -> string
+(** Copy of the live bytes. *)
+
+val is_ctl : t -> bool
+
+val consume : t -> int -> unit
+(** Advance [rp] by [n].  @raise Invalid_argument if [n > len]. *)
+
+val sub : t -> int -> t
+(** [sub b n] is a fresh block holding the first [n] live bytes of [b]
+    (the delimiter flag carries over only when the whole block is
+    taken). *)
+
+val concat : t list -> t
+(** Single data block with the concatenated payloads; delimited if the
+    last input block was. *)
+
+val ctl_words : t -> string list
+(** Split a control block's text into whitespace-separated words, the
+    way stream modules parse commands like ["connect 2048"]. *)
+
+module Q : sig
+  type block = t
+
+  type t
+  (** A blocking FIFO of blocks with a byte-count limit.  Producers
+      block in {!put} while the queue is over its limit; consumers block
+      in {!read}/{!get} while it is empty.  [close]d queues deliver
+      remaining data and then EOF. *)
+
+  exception Closed
+  (** Raised by {!put}/{!write} on a closed queue. *)
+
+  val create : ?limit:int -> Sim.Engine.t -> t
+  (** [limit] defaults to 64 KiB of buffered payload. *)
+
+  val put : t -> block -> unit
+  (** Append a block, blocking while the queue is over its limit.
+      Control and hangup blocks are never blocked (they must be able to
+      overtake a congested stream). *)
+
+  val try_put : t -> block -> bool
+  (** Non-blocking append: [false] if the queue is over its limit.  For
+      interrupt-context producers that must not block; they drop or
+      re-stage instead. *)
+
+  val force_put : t -> block -> unit
+  (** Append ignoring the limit (never blocks, never raises on closed —
+      used by devices racing a close). *)
+
+  val get : t -> block option
+  (** Remove the head block; blocks while empty; [None] at EOF (closed
+      and drained, or after a [Hangup] block). *)
+
+  val read : t -> int -> string
+  (** Byte-stream read with the paper's semantics: collects up to [n]
+      bytes but stops early at a delimiter boundary; [""] at EOF.
+      Partial blocks stay queued. *)
+
+  val close : t -> unit
+  (** No more {!put}s; readers drain then see EOF. *)
+
+  val is_closed : t -> bool
+  val bytes : t -> int
+  val blocks : t -> int
+  val full : t -> bool
+
+  val set_kick : t -> (unit -> unit) option -> unit
+  (** Callback invoked (outside process context) whenever a block is
+      queued — how a device-end queue wakes its kernel process. *)
+end

@@ -1,0 +1,1 @@
+lib/core/auth.ml: Char Dial Fun Host Int64 List Listener Ninep Printf String Vfs

@@ -1,0 +1,1 @@
+lib/core/boot.ml: Fun Host Inet List Ndb Netsim Ninep Option Printf Sim String World

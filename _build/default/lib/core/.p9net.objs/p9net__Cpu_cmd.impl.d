@@ -1,0 +1,1 @@
+lib/core/cpu_cmd.ml: Dial Exportfs Fdtrans Host Int32 List Listener Logs Ninep Printf Sim String Vfs

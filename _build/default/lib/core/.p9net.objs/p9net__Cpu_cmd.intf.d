@@ -1,0 +1,1 @@
+lib/core/cpu_cmd.mli: Host Sim Vfs

@@ -1,0 +1,1 @@
+lib/core/cs.ml: List Ndb Onefile Printf String Vfs

@@ -1,0 +1,1 @@
+lib/core/cs.mli: Ndb Ninep Onefile Vfs

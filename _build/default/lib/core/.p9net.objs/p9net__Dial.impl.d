@@ -1,0 +1,1 @@
+lib/core/dial.ml: Buffer Filename Fun List Ninep Printf String Vfs

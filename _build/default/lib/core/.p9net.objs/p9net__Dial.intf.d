@@ -1,0 +1,1 @@
+lib/core/dial.mli: Vfs

@@ -1,0 +1,1 @@
+lib/core/dns.ml: Fun Hashtbl Inet List Logs Ndb Onefile Option Printf Sim String Vfs

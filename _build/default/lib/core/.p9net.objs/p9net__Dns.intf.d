@@ -1,0 +1,1 @@
+lib/core/dns.mli: Inet Ndb Ninep Onefile Sim Vfs

@@ -1,0 +1,1 @@
+lib/core/eia_dev.ml: Block Char Int32 Netsim Ninep Printf String Vfs

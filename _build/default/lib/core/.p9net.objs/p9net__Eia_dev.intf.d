@@ -1,0 +1,1 @@
+lib/core/eia_dev.mli: Netsim Ninep Vfs

@@ -1,0 +1,1 @@
+lib/core/ether_dev.ml: Block Buffer Char Hashtbl Inet Int32 List Netsim Ninep Option Printf String Vfs

@@ -1,0 +1,1 @@
+lib/core/ether_dev.mli: Inet Ninep Vfs

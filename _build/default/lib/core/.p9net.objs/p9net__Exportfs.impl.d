@@ -1,0 +1,1 @@
+lib/core/exportfs.ml: Dial Fdtrans List Ninep Printf String Vfs

@@ -1,0 +1,1 @@
+lib/core/exportfs.mli: Ninep Sim Vfs

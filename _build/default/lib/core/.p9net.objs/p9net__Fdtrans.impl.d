@@ -1,0 +1,1 @@
+lib/core/fdtrans.ml: List Ninep Queue Vfs

@@ -1,0 +1,1 @@
+lib/core/fdtrans.mli: Ninep Vfs

@@ -1,0 +1,1 @@
+lib/core/ftp.ml: Buffer Char Dial Hashtbl Host Int32 Int64 List Listener Logs Ninep Option Printf String Vfs

@@ -1,0 +1,1 @@
+lib/core/ftp.mli: Host Vfs

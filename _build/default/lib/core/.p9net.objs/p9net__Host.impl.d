@@ -1,0 +1,1 @@
+lib/core/host.ml: Cs Dk Dns Ether_dev Exportfs Fdtrans Inet List Listener Ndb Netdev Netinfo Netsim Ninep Option Printf Sim Vfs

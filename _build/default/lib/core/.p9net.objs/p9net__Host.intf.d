@@ -1,0 +1,1 @@
+lib/core/host.mli: Cs Dk Dns Inet Ndb Netsim Ninep Sim Vfs

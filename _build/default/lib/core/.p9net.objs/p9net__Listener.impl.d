@@ -1,0 +1,1 @@
+lib/core/listener.ml: Dial Fun Logs Sim Vfs

@@ -1,0 +1,1 @@
+lib/core/listener.mli: Dial Sim Vfs

@@ -1,0 +1,1 @@
+lib/core/netdev.ml: Buffer Char Dk Hashtbl Inet Int32 List Ninep Option Printf Sim String Vfs

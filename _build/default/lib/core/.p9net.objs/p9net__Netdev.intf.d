@@ -1,0 +1,1 @@
+lib/core/netdev.mli: Dk Inet Ninep Sim Vfs

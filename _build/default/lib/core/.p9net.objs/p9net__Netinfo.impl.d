@@ -1,0 +1,1 @@
+lib/core/netinfo.ml: Inet List Netsim Onefile Printf String Vfs

@@ -1,0 +1,1 @@
+lib/core/netinfo.mli: Inet Vfs

@@ -1,0 +1,1 @@
+lib/core/onefile.ml: Char Int32 Ninep String

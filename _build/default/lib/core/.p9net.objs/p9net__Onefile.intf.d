@@ -1,0 +1,1 @@
+lib/core/onefile.mli: Ninep

@@ -1,0 +1,1 @@
+lib/core/pipedev.ml: Char Int32 Ninep Streams String Vfs

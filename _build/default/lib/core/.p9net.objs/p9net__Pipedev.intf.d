@@ -1,0 +1,1 @@
+lib/core/pipedev.mli: Ninep Sim Vfs

@@ -1,0 +1,1 @@
+lib/core/world.ml: Cpu_cmd Dk Dns Host List Listener Ndb Netsim Printf Sim String Vfs

@@ -1,0 +1,1 @@
+lib/core/world.mli: Cpu_cmd Dk Host Inet Ndb Netsim Sim

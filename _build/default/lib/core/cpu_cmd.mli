@@ -1,0 +1,41 @@
+(** The cpu service (paper section 6).
+
+    "The cpu service is analogous to rlogin.  However, rather than
+    emulating a terminal session across the network, cpu creates a
+    process on the remote machine whose name space is an analogue of
+    the window in which it was invoked.  Exportfs ... is used by the
+    cpu command to serve the files in the terminal's name space when
+    they are accessed from the cpu server."
+
+    Wire protocol on the dialed connection (one delimited message
+    each): the terminal sends the request line ["<cmd> <args...>"];
+    then the link becomes a 9P connection in the {e reverse} direction
+    — the terminal runs exportfs over the same descriptor, and the CPU
+    server mounts it at [/mnt/term] in the process it creates.  The
+    command's output is delivered by the server {e writing it into the
+    terminal's own name space} at [/mnt/term/dev/cons]; closing the
+    connection ends the session.
+
+    Commands are OCaml functions standing in for the user's programs;
+    they run on the CPU server with the terminal's files at
+    [/mnt/term]. *)
+
+type command = Vfs.Env.t -> args:string list -> string
+(** Runs on the CPU server in an environment whose [/mnt/term] is the
+    caller's name space; returns the output text. *)
+
+val serve : Host.t -> commands:(string * command) list -> unit
+(** Announce [net!*!cpu] on every network the host has and serve
+    sessions forever. *)
+
+val cpu :
+  Sim.Engine.t ->
+  Vfs.Env.t ->
+  host:string ->
+  cmd:string ->
+  ?args:string list ->
+  unit ->
+  string
+(** Run [cmd] on the remote CPU server with this environment's name
+    space attached; blocks until the session ends and returns the
+    output.  @raise Dial.Dial_error on connection failure. *)

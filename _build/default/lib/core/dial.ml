@@ -1,0 +1,161 @@
+exception Dial_error of string
+
+type conn = {
+  dir : string;
+  ctl_fd : Vfs.Env.fd;
+  data_fd : Vfs.Env.fd;
+}
+
+type announcement = { ann_dir : string; ann_ctl_fd : Vfs.Env.fd }
+
+let netmkaddr addr ?(defnet = "net") ?(defsvc = "") () =
+  match String.split_on_char '!' addr with
+  | [ _; _; _ ] -> addr
+  | [ net; host ] when defsvc <> "" -> Printf.sprintf "%s!%s!%s" net host defsvc
+  | [ _; _ ] -> addr
+  | [ host ] ->
+    if defsvc = "" then Printf.sprintf "%s!%s" defnet host
+    else Printf.sprintf "%s!%s!%s" defnet host defsvc
+  | _ -> addr
+
+(* consult /net/cs; fall back to treating the name as
+   net!rawaddr!service when there is no cs file *)
+let translate env addr =
+  match
+    (try Some (Vfs.Env.open_ env "/net/cs" Ninep.Fcall.Ordwr)
+     with Vfs.Chan.Error _ -> None)
+  with
+  | Some fd ->
+    Fun.protect
+      ~finally:(fun () -> Vfs.Env.close env fd)
+      (fun () ->
+        (match Vfs.Env.write env fd addr with
+        | _ -> ()
+        | exception Vfs.Chan.Error e -> raise (Dial_error e));
+        Vfs.Env.seek env fd 0L;
+        let buf = Buffer.create 256 in
+        let rec drain () =
+          let s = Vfs.Env.read env fd 8192 in
+          if s <> "" then begin
+            Buffer.add_string buf s;
+            drain ()
+          end
+        in
+        drain ();
+        Buffer.contents buf |> String.split_on_char '\n'
+        |> List.filter (fun l -> String.trim l <> "")
+        |> List.filter_map (fun line ->
+               match String.index_opt line ' ' with
+               | Some i ->
+                 Some
+                   ( String.sub line 0 i,
+                     String.sub line (i + 1) (String.length line - i - 1) )
+               | None -> None))
+  | None -> (
+    (* no cs: net!host!svc -> /net/<net>/clone host!svc *)
+    match String.split_on_char '!' addr with
+    | net :: rest when net <> "net" && rest <> [] ->
+      [ (Printf.sprintf "/net/%s/clone" net, String.concat "!" rest) ]
+    | _ -> [])
+
+(* open a clone file, read the connection number, return (dir, ctl fd) *)
+let reserve env clone_path =
+  let ctl_fd = Vfs.Env.open_ env clone_path Ninep.Fcall.Ordwr in
+  let n = Vfs.Env.read env ctl_fd 32 in
+  if n = "" then begin
+    Vfs.Env.close env ctl_fd;
+    raise (Dial_error (clone_path ^ ": cannot read connection number"))
+  end;
+  let proto_dir = Filename.dirname clone_path in
+  (Printf.sprintf "%s/%s" proto_dir (String.trim n), ctl_fd)
+
+let dial env ?local addr =
+  ignore local;
+  let translations = translate env addr in
+  if translations = [] then
+    raise (Dial_error ("cannot translate address " ^ addr));
+  let rec try_each last_err = function
+    | [] ->
+      raise
+        (Dial_error
+           (Printf.sprintf "dial %s: %s" addr
+              (match last_err with Some e -> e | None -> "no destinations")))
+    | (clone_path, message) :: rest -> (
+      match
+        (try
+           let dir, ctl_fd = reserve env clone_path in
+           (try ignore (Vfs.Env.write env ctl_fd ("connect " ^ message))
+            with Vfs.Chan.Error e ->
+              Vfs.Env.close env ctl_fd;
+              raise (Dial_error e));
+           let data_fd =
+             try Vfs.Env.open_ env (dir ^ "/data") Ninep.Fcall.Ordwr
+             with Vfs.Chan.Error e ->
+               Vfs.Env.close env ctl_fd;
+               raise (Dial_error e)
+           in
+           Ok { dir; ctl_fd; data_fd }
+         with
+        | Dial_error e -> Error e
+        | Vfs.Chan.Error e -> Error e)
+      with
+      | Ok conn -> conn
+      | Error e -> try_each (Some e) rest)
+  in
+  try_each None translations
+
+let announce env addr =
+  let translations = translate env addr in
+  let rec try_each last_err = function
+    | [] ->
+      raise
+        (Dial_error
+           (Printf.sprintf "announce %s: %s" addr
+              (match last_err with Some e -> e | None -> "cannot translate")))
+    | (clone_path, message) :: rest -> (
+      match
+        (try
+           let dir, ctl_fd = reserve env clone_path in
+           (try ignore (Vfs.Env.write env ctl_fd ("announce " ^ message))
+            with Vfs.Chan.Error e ->
+              Vfs.Env.close env ctl_fd;
+              raise (Dial_error e));
+           Ok { ann_dir = dir; ann_ctl_fd = ctl_fd }
+         with
+        | Dial_error e -> Error e
+        | Vfs.Chan.Error e -> Error e)
+      with
+      | Ok a -> a
+      | Error e -> try_each (Some e) rest)
+  in
+  try_each None translations
+
+let listen env ann =
+  (* opening the listen file blocks until a call arrives; the returned
+     descriptor points at the new connection's ctl file *)
+  let lcfd =
+    try Vfs.Env.open_ env (ann.ann_dir ^ "/listen") Ninep.Fcall.Ordwr
+    with Vfs.Chan.Error e -> raise (Dial_error e)
+  in
+  let n = String.trim (Vfs.Env.read env lcfd 32) in
+  if n = "" then begin
+    Vfs.Env.close env lcfd;
+    raise (Dial_error "listen: cannot read connection number")
+  end;
+  let proto_dir = Filename.dirname ann.ann_dir in
+  { dir = Printf.sprintf "%s/%s" proto_dir n; ctl_fd = lcfd; data_fd = -1 }
+
+let accept env conn =
+  try Vfs.Env.open_ env (conn.dir ^ "/data") Ninep.Fcall.Ordwr
+  with Vfs.Chan.Error e -> raise (Dial_error e)
+
+let reject env conn ~reason =
+  (try ignore (Vfs.Env.write env conn.ctl_fd ("hangup " ^ reason))
+   with Vfs.Chan.Error _ -> (
+     try ignore (Vfs.Env.write env conn.ctl_fd "hangup")
+     with Vfs.Chan.Error _ -> ()));
+  Vfs.Env.close env conn.ctl_fd
+
+let hangup env conn =
+  if conn.data_fd >= 0 then Vfs.Env.close env conn.data_fd;
+  Vfs.Env.close env conn.ctl_fd

@@ -1,0 +1,52 @@
+(** The connection library (paper section 5): [dial], [announce],
+    [listen], [accept], [reject].
+
+    These are user-level routines working purely through the file
+    system: dial writes the symbolic name to [/net/cs], reads back
+    destination lines, and "attempts to connect to each in turn until
+    one works" — opening the clone file, reading the connection number,
+    writing the address to ctl, then opening the data file.  Because
+    everything is file operations, a [/net] imported from another
+    machine works transparently as a gateway (section 6.1). *)
+
+exception Dial_error of string
+
+type conn = {
+  dir : string;  (** the connection directory, e.g. "/net/il/3" *)
+  ctl_fd : Vfs.Env.fd;
+  data_fd : Vfs.Env.fd;
+}
+
+val dial : Vfs.Env.t -> ?local:string -> string -> conn
+(** [dial env "net!helix!9fs"].  Tries every translation CS returns;
+    raises {!Dial_error} with the last failure if none works.  [local]
+    is accepted for symmetry and ignored, as on most networks (paper:
+    "since most networks do not support this, it is usually zero"). *)
+
+type announcement = {
+  ann_dir : string;
+  ann_ctl_fd : Vfs.Env.fd;
+}
+
+val announce : Vfs.Env.t -> string -> announcement
+(** [announce env "tcp!*!echo"].  The announcement stays in force until
+    the control file is closed. *)
+
+val listen : Vfs.Env.t -> announcement -> conn
+(** Block for an incoming call; returns the new connection with its ctl
+    open (data not yet opened). *)
+
+val accept : Vfs.Env.t -> conn -> Vfs.Env.fd
+(** Open and return the data file descriptor. *)
+
+val reject : Vfs.Env.t -> conn -> reason:string -> unit
+(** Hang the call up.  The reason reaches the caller on networks that
+    support one (Datakit); IP networks ignore it. *)
+
+val hangup : Vfs.Env.t -> conn -> unit
+(** Close both descriptors (and therefore, eventually, the
+    connection). *)
+
+val netmkaddr : string -> ?defnet:string -> ?defsvc:string -> unit -> string
+(** Fill in missing components: [netmkaddr "helix" ~defnet:"net"
+    ~defsvc:"9fs" ()] is ["net!helix!9fs"]. *)

@@ -1,0 +1,309 @@
+type conn = {
+  id : int;
+  port_conn : Inet.Etherport.conn;
+  (* [Some q] for connections created through the clone file; [None]
+     for the kernel's own connections (IP, ARP), which are visible in
+     the tree but whose data belongs to the kernel *)
+  rq : Block.Q.t option;
+  mutable users : int;
+}
+
+type dev = {
+  port : Inet.Etherport.t;
+  conns : (int, conn) Hashtbl.t;  (* every conn we have exposed *)
+}
+
+type file =
+  | Root
+  | Clone
+  | ConnDir of conn
+  | Ctl of conn
+  | Data of conn
+  | Stats of conn
+  | Type of conn
+
+type node = { mutable f : file; mutable opened : bool }
+
+let conn_files = [ "ctl"; "data"; "stats"; "type" ]
+
+let file_slot = function
+  | Ctl _ -> 1
+  | Data _ -> 2
+  | Stats _ -> 3
+  | Type _ -> 4
+  | Root | Clone | ConnDir _ -> 0
+
+let qid_of = function
+  | Root -> { Ninep.Fcall.qpath = Int32.logor Ninep.Fcall.qdir_bit 1l; qvers = 0l }
+  | Clone -> { Ninep.Fcall.qpath = 2l; qvers = 0l }
+  | ConnDir c ->
+    {
+      Ninep.Fcall.qpath =
+        Int32.logor Ninep.Fcall.qdir_bit (Int32.of_int (0x100 * (c.id + 1)));
+      qvers = 0l;
+    }
+  | (Ctl c | Data c | Stats c | Type c) as f ->
+    {
+      Ninep.Fcall.qpath = Int32.of_int ((0x100 * (c.id + 1)) + file_slot f);
+      qvers = 0l;
+    }
+
+let file_name = function
+  | Root -> "."
+  | Clone -> "clone"
+  | ConnDir c -> string_of_int c.id
+  | Ctl _ -> "ctl"
+  | Data _ -> "data"
+  | Stats _ -> "stats"
+  | Type _ -> "type"
+
+let stat_of f =
+  let dir = match f with Root | ConnDir _ -> true | _ -> false in
+  {
+    Ninep.Fcall.d_name = file_name f;
+    d_uid = "bootes";
+    d_gid = "bootes";
+    d_qid = qid_of f;
+    d_mode = (if dir then Int32.logor Ninep.Fcall.dmdir 0o555l else 0o666l);
+    d_atime = 0l;
+    d_mtime = 0l;
+    d_length = 0L;
+    d_type = Char.code 'l';
+    d_dev = 0;
+  }
+
+let hex_of_frame (fr : Netsim.Ether.frame) =
+  Netsim.Eaddr.to_string fr.Netsim.Ether.src ^ fr.Netsim.Ether.payload
+
+let alloc_conn dev =
+  let eng = Inet.Etherport.engine dev.port in
+  let port_conn = Inet.Etherport.connect dev.port 0 in
+  let id = Inet.Etherport.conn_id port_conn in
+  let q = Block.Q.create ~limit:(128 * 1024) eng in
+  let c = { id; port_conn; rq = Some q; users = 0 } in
+  Inet.Etherport.set_rx port_conn (fun fr ->
+      (* drop when the reader is slow, like real hardware *)
+      ignore (Block.Q.try_put q (Block.make ~delim:true (hex_of_frame fr))));
+  Hashtbl.replace dev.conns id c;
+  c
+
+(* the kernel's own connections are exposed read-only under their
+   driver ids, so the tree shows the whole interface (Figure 1) *)
+let lookup_conn dev id =
+  match Hashtbl.find_opt dev.conns id with
+  | Some c -> Some c
+  | None -> (
+    match
+      List.find_opt
+        (fun pc -> Inet.Etherport.conn_id pc = id)
+        (Inet.Etherport.conns dev.port)
+    with
+    | Some pc ->
+      let c = { id; port_conn = pc; rq = None; users = 0 } in
+      Hashtbl.replace dev.conns id c;
+      Some c
+    | None -> None)
+
+let release dev c =
+  match c.rq with
+  | None -> () (* not ours to close *)
+  | Some q ->
+    c.users <- c.users - 1;
+    if c.users <= 0 then begin
+      Inet.Etherport.close_conn c.port_conn;
+      Block.Q.close q;
+      Hashtbl.remove dev.conns c.id
+    end
+
+let ctl_write c text =
+  let words =
+    String.split_on_char ' ' (String.trim text)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [ "connect"; ty ] -> (
+    match int_of_string_opt ty with
+    | Some ty ->
+      Inet.Etherport.set_conn_type c.port_conn ty;
+      Ok ()
+    | None -> Error ("bad packet type: " ^ ty))
+  | [ "promiscuous" ] ->
+    Inet.Etherport.set_promiscuous c.port_conn true;
+    Ok ()
+  | _ -> Error ("bad control message: " ^ String.trim text)
+
+let parse_dst data =
+  if String.length data < 12 then None
+  else
+    match Netsim.Eaddr.of_string (String.sub data 0 12) with
+    | dst -> Some (dst, String.sub data 12 (String.length data - 12))
+    | exception Invalid_argument _ -> None
+
+let fs port =
+  let dev = { port; conns = Hashtbl.create 17 } in
+  let root_entries () =
+    (* every live driver connection appears, kernel-owned included *)
+    let ids =
+      List.map Inet.Etherport.conn_id (Inet.Etherport.conns dev.port)
+      |> List.sort compare
+    in
+    stat_of Clone
+    :: List.filter_map
+         (fun id ->
+           Option.map (fun c -> stat_of (ConnDir c)) (lookup_conn dev id))
+         ids
+  in
+  let conn_entries c =
+    List.map
+      (fun name ->
+        stat_of
+          (match name with
+          | "ctl" -> Ctl c
+          | "data" -> Data c
+          | "stats" -> Stats c
+          | _ -> Type c))
+      conn_files
+  in
+  {
+    Ninep.Server.fs_name = "etherdev";
+    fs_attach = (fun ~uname:_ ~aname:_ -> Ok { f = Root; opened = false });
+    fs_qid = (fun n -> qid_of n.f);
+    fs_walk =
+      (fun n name ->
+        match (n.f, name) with
+        | Root, "clone" ->
+          n.f <- Clone;
+          Ok n
+        | Root, ".." -> Ok n
+        | Root, name -> (
+          match Option.bind (int_of_string_opt name) (lookup_conn dev) with
+          | Some c ->
+            n.f <- ConnDir c;
+            Ok n
+          | None -> Error "file does not exist")
+        | ConnDir _, ".." ->
+          n.f <- Root;
+          Ok n
+        | ConnDir c, ("ctl" | "data" | "stats" | "type") ->
+          n.f <-
+            (match name with
+            | "ctl" -> Ctl c
+            | "data" -> Data c
+            | "stats" -> Stats c
+            | _ -> Type c);
+          Ok n
+        | (Clone | ConnDir _ | Ctl _ | Data _ | Stats _ | Type _), _ ->
+          Error "file does not exist")
+    ;
+    fs_open =
+      (fun n _mode ~trunc:_ ->
+        match n.f with
+        | Root | ConnDir _ ->
+          n.opened <- true;
+          Ok ()
+        | Clone ->
+          let c = alloc_conn dev in
+          c.users <- c.users + 1;
+          n.f <- Ctl c;
+          n.opened <- true;
+          Ok ()
+        | Ctl c | Data c | Stats c | Type c ->
+          c.users <- c.users + 1;
+          n.opened <- true;
+          Ok ())
+    ;
+    fs_read =
+      (fun n ~offset ~count ->
+        if not n.opened then Error "not open"
+        else
+          match n.f with
+          | Root -> Ok (Ninep.Server.dir_data (root_entries ()) ~offset ~count)
+          | ConnDir c ->
+            Ok (Ninep.Server.dir_data (conn_entries c) ~offset ~count)
+          | Clone -> Error "not open"
+          | Ctl c -> Ok (Ninep.Server.slice (string_of_int c.id) ~offset ~count)
+          | Data c -> (
+            match c.rq with
+            | Some q -> Ok (Block.Q.read q count)
+            | None -> Error "connection belongs to the kernel")
+          | Stats _ -> Ok (Ninep.Server.slice (Inet.Etherport.stats_text dev.port) ~offset ~count)
+          | Type c ->
+            Ok
+              (Ninep.Server.slice
+                 (string_of_int (Inet.Etherport.conn_type c.port_conn) ^ "\n")
+                 ~offset ~count))
+    ;
+    fs_write =
+      (fun n ~offset:_ ~data ->
+        if not n.opened then Error "not open"
+        else
+          match n.f with
+          | Ctl c -> (
+            if c.rq = None then Error "connection belongs to the kernel"
+            else
+              match ctl_write c data with
+              | Ok () -> Ok (String.length data)
+              | Error e -> Error e)
+          | Data c -> (
+            if c.rq = None then Error "connection belongs to the kernel"
+            else
+              match parse_dst data with
+              | Some (dst, payload) ->
+                Inet.Etherport.send c.port_conn ~dst payload;
+                Ok (String.length data)
+              | None -> Error "bad frame: want 12 hex digit destination")
+          | Root | Clone | ConnDir _ | Stats _ | Type _ ->
+            Error "permission denied")
+    ;
+    fs_create = (fun _ ~name:_ ~perm:_ _ -> Error "permission denied");
+    fs_remove = (fun _ -> Error "permission denied");
+    fs_stat = (fun n -> Ok (stat_of n.f));
+    fs_wstat = (fun _ _ -> Error "permission denied");
+    fs_clunk =
+      (fun n ->
+        if n.opened then begin
+          n.opened <- false;
+          match n.f with
+          | Ctl c | Data c | Stats c | Type c -> release dev c
+          | Root | Clone | ConnDir _ -> ()
+        end)
+    ;
+    fs_clone = (fun n -> { f = n.f; opened = false });
+  }
+
+let mount env port ~name =
+  (try ignore (Vfs.Env.stat env "/net") with
+  | Vfs.Chan.Error _ ->
+    Vfs.Env.close env
+      (Vfs.Env.create env "/net"
+         ~perm:(Int32.logor Ninep.Fcall.dmdir 0o775l)
+         Ninep.Fcall.Oread));
+  let dir = "/net/" ^ name in
+  (try ignore (Vfs.Env.stat env dir) with
+  | Vfs.Chan.Error _ ->
+    Vfs.Env.close env
+      (Vfs.Env.create env dir
+         ~perm:(Int32.logor Ninep.Fcall.dmdir 0o775l)
+         Ninep.Fcall.Oread));
+  Vfs.Env.mount_fs env (fs port) ~onto:dir Vfs.Ns.Repl
+
+let render_tree port =
+  let conns = Inet.Etherport.conns port in
+  let b = Buffer.create 256 in
+  Buffer.add_string b "ether\n";
+  Buffer.add_string b "|-- clone\n";
+  List.iteri
+    (fun i c ->
+      let last = i = List.length conns - 1 in
+      let branch = if last then "`--" else "|--" in
+      let stem = if last then "    " else "|   " in
+      Buffer.add_string b
+        (Printf.sprintf "%s %d (type %d)\n" branch (Inet.Etherport.conn_id c)
+           (Inet.Etherport.conn_type c));
+      List.iteri
+        (fun j f ->
+          let fl = if j = 3 then "`--" else "|--" in
+          Buffer.add_string b (Printf.sprintf "%s %s %s\n" stem fl f))
+        [ "ctl"; "data"; "stats"; "type" ])
+    conns;
+  Buffer.contents b

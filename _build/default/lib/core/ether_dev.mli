@@ -1,0 +1,32 @@
+(** The Ethernet device file tree (paper section 2.2, Figure 1).
+
+    {v
+    ether/clone
+    ether/0/ctl  0/data  0/stats  0/type
+    ether/1/...
+    v}
+
+    "Each connection directory corresponds to an Ethernet packet type.
+    Opening the clone file finds an unused connection directory and
+    opens its ctl file ... Writing the string [connect 2048] to the ctl
+    file sets the packet type to 2048 and configures the connection to
+    receive all IP packets sent to the machine.  Subsequent reads of
+    the file [type] yield the string 2048 ... The special packet type
+    -1 selects all packets.  Writing the strings [promiscuous] and
+    [connect -1] to the ctl file configures a conversation to receive
+    all packets on the Ethernet."
+
+    Data format: a written packet is 12 hex digits of destination
+    address followed by the payload (the driver prepends the source
+    address and packet type); a read returns 12 hex digits of source
+    address followed by the payload. *)
+
+type node
+
+val fs : Inet.Etherport.t -> node Ninep.Server.fs
+
+val mount : Vfs.Env.t -> Inet.Etherport.t -> name:string -> unit
+(** Serve the tree at [/net/<name>] (e.g. "ether0"). *)
+
+val render_tree : Inet.Etherport.t -> string
+(** Figure 1 as ASCII art (used by the [fig1] bench section). *)

@@ -1,0 +1,118 @@
+type node = {
+  env : Vfs.Env.t;
+  mutable ch : Vfs.Chan.t;
+  mutable opened : bool;
+  mutable dirdata : string option;  (* union snapshot for dir reads *)
+}
+
+let union_snapshot env ch =
+  let entries = Vfs.Ns.read_dir (Vfs.Env.ns env) ch in
+  String.concat "" (List.map Ninep.Fcall.encode_dir entries)
+
+let fs env =
+  {
+    Ninep.Server.fs_name = "exportfs";
+    fs_attach =
+      (fun ~uname:_ ~aname ->
+        let path = if aname = "" then "/" else aname in
+        match Vfs.Env.resolve env path with
+        | ch -> Ok { env; ch; opened = false; dirdata = None }
+        | exception Vfs.Chan.Error e -> Error e);
+    fs_qid = (fun n -> Vfs.Chan.qid n.ch);
+    fs_walk =
+      (fun n name ->
+        if name = ".." then
+          (* exportfs keeps no path state; ".." is resolved by the
+             importer's lexical cleanup before it ever reaches us *)
+          Error "walk .. not supported across export"
+        else
+          match Vfs.Ns.walk1 (Vfs.Env.ns n.env) n.ch name with
+          | Ok ch ->
+            n.ch <- ch;
+            Ok n
+          | Error e -> Error e);
+    fs_open =
+      (fun n mode ~trunc ->
+        match
+          if Vfs.Chan.is_dir n.ch then begin
+            (* union listing is computed from the underlying channel *)
+            n.dirdata <- Some (union_snapshot n.env n.ch);
+            Vfs.Chan.open_ n.ch mode
+          end
+          else begin
+            (* a file that is a mount point must be entered so the
+               mounted file, not the one beneath, is opened *)
+            n.ch <- Vfs.Ns.enter (Vfs.Env.ns n.env) n.ch;
+            Vfs.Chan.open_ n.ch ~trunc mode
+          end
+        with
+        | () ->
+          n.opened <- true;
+          Ok ()
+        | exception Vfs.Chan.Error e -> Error e);
+    fs_read =
+      (fun n ~offset ~count ->
+        if not n.opened then Error "not open"
+        else
+          match n.dirdata with
+          | Some data -> Ok (Ninep.Server.slice data ~offset ~count)
+          | None -> (
+            match Vfs.Chan.read n.ch ~offset ~count with
+            | data -> Ok data
+            | exception Vfs.Chan.Error e -> Error e));
+    fs_write =
+      (fun n ~offset ~data ->
+        if not n.opened then Error "not open"
+        else
+          match Vfs.Chan.write n.ch ~offset data with
+          | count -> Ok count
+          | exception Vfs.Chan.Error e -> Error e);
+    fs_create =
+      (fun n ~name ~perm mode ->
+        (* create lands in the first union member, as in the kernel *)
+        match
+          Vfs.Chan.create
+            (Vfs.Ns.enter (Vfs.Env.ns n.env) n.ch)
+            ~name ~perm mode
+        with
+        | ch ->
+          n.ch <- ch;
+          n.opened <- true;
+          Ok n
+        | exception Vfs.Chan.Error e -> Error e);
+    fs_remove =
+      (fun n ->
+        match Vfs.Chan.remove n.ch with
+        | () -> Ok ()
+        | exception Vfs.Chan.Error e -> Error e);
+    fs_stat =
+      (fun n ->
+        match Vfs.Chan.stat n.ch with
+        | d -> Ok d
+        | exception Vfs.Chan.Error e -> Error e);
+    fs_wstat =
+      (fun n d ->
+        match Vfs.Chan.wstat n.ch d with
+        | () -> Ok ()
+        | exception Vfs.Chan.Error e -> Error e);
+    fs_clunk = (fun n -> Vfs.Chan.clunk n.ch);
+    fs_clone =
+      (fun n ->
+        {
+          env = n.env;
+          ch = Vfs.Chan.clone n.ch;
+          opened = false;
+          dirdata = None;
+        });
+  }
+
+let serve eng env tr = Ninep.Server.serve ~threaded:true eng (fs env) tr
+
+let import eng env ~host ~remote_root ~onto ?(flag = Vfs.Ns.After) () =
+  let conn = Dial.dial env (Printf.sprintf "net!%s!exportfs" host) in
+  (* the ctl fd must stay open or the connection would drop; it is
+     owned by the mount from here on.  9P flows over the data fd. *)
+  let tr = Fdtrans.of_fd env conn.Dial.data_fd in
+  let client = Ninep.Client.make eng tr in
+  Ninep.Client.session client;
+  Vfs.Env.mount env client ~aname:remote_root ~onto flag

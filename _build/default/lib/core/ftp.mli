@@ -1,0 +1,45 @@
+(** A small FTP service and the ftpfs client (paper section 6.2).
+
+    "We decided to make our interface to FTP a file system rather than
+    the traditional command.  Our command, ftpfs, dials the FTP port of
+    a remote system, prompts for login and password, sets image mode,
+    and mounts the remote file system onto /n/ftp.  Files and
+    directories are cached to reduce traffic."
+
+    The server speaks a classic command/reply FTP dialect (USER, PASS,
+    TYPE, CWD, LIST, RETR, STOR, DELE, QUIT) over one TCP connection;
+    as a documented simplification there is no separate data port —
+    transfers are length-prefixed on the control connection.  The
+    server serves its host's name space, so an ftpfs mount is a poor
+    man's exportfs toward systems that don't speak 9P — TOPS-20 and
+    VMS in the paper, another Plan 9 host here. *)
+
+val serve : Host.t -> unit
+(** Announce [tcp!*!ftp] and serve the host's file tree to logged-in
+    clients. *)
+
+type counters = {
+  mutable ftp_commands : int;  (** commands sent on the wire *)
+  mutable cache_hits : int;  (** reads answered from the cache *)
+}
+
+type mountpoint
+
+val mount :
+  Vfs.Env.t ->
+  host:string ->
+  ?user:string ->
+  ?password:string ->
+  onto:string ->
+  unit ->
+  mountpoint
+(** Dial [tcp!host!ftp], log in, set image mode, and mount the remote
+    tree read-write at [onto] (conventionally [/n/ftp]).  Files and
+    directory listings are cached; writes invalidate the affected
+    entries and are sent with STOR. *)
+
+val counters : mountpoint -> counters
+
+val unmount : t:Vfs.Env.t -> mountpoint -> unit
+(** QUIT and drop the connection (the mount itself stays in the name
+    space until unmounted there). *)

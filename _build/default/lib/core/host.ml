@@ -1,0 +1,175 @@
+type t = {
+  name : string;
+  eng : Sim.Engine.t;
+  env : Vfs.Env.t;
+  root : Ninep.Ramfs.t;
+  db : Ndb.t;
+  etherport : Inet.Etherport.t option;
+  ip : Inet.Ip.stack option;
+  il : Inet.Il.stack option;
+  tcp : Inet.Tcp.stack option;
+  udp : Inet.Udp.stack option;
+  dkline : Dk.Switch.line option;
+  resolver : Dns.resolver option;
+  cs : Cs.t;
+}
+
+let create ?uname ?ether ?dk ?il_config ?tcp_config ?(dns_server = false)
+    ~db ~name eng =
+  let entry =
+    match Ndb.sys_entry db name with
+    | Some e -> e
+    | None -> failwith ("Host.create: no database entry for " ^ name)
+  in
+  let uname = match uname with Some u -> u | None -> name in
+  let root = Ninep.Ramfs.make ~owner:uname ~name:(name ^ "-root") () in
+  Ninep.Ramfs.mkdir root "/net";
+  Ninep.Ramfs.mkdir root "/n";
+  Ninep.Ramfs.mkdir root "/tmp";
+  Ninep.Ramfs.mkdir root "/lib/ndb";
+  let ns = Vfs.Ns.make ~root:(Ninep.Ramfs.fs root) ~uname in
+  let env = Vfs.Env.make ~ns ~uname in
+
+  (* --- Ethernet + the IP protocol suite --- *)
+  let etherport, ip, il, tcp, udp =
+    match
+      (ether, Ndb.get entry "ether", Ndb.get entry "ip")
+    with
+    | Some segment, Some ea, Some ipstr ->
+      let nic = Netsim.Ether.attach segment (Netsim.Eaddr.of_string ea) in
+      let port = Inet.Etherport.create eng nic in
+      let addr = Inet.Ipaddr.of_string ipstr in
+      let mask =
+        match Ndb.ipattr db ~ip:ipstr ~attr:"ipmask" with
+        | Some m -> Inet.Ipaddr.of_string m
+        | None -> Inet.Ipaddr.class_mask addr
+      in
+      let gateway =
+        Option.map Inet.Ipaddr.of_string
+          (Ndb.ipattr db ~ip:ipstr ~attr:"ipgw")
+      in
+      let ipstack = Inet.Ip.create ?gateway ~addr ~mask port in
+      let il = Inet.Il.attach ?config:il_config ipstack in
+      let tcp = Inet.Tcp.attach ?config:tcp_config ipstack in
+      let udp = Inet.Udp.attach ipstack in
+      Ether_dev.mount env port ~name:"ether0";
+      Netdev.mount env eng (Netdev.il_proto il);
+      Netdev.mount env eng (Netdev.tcp_proto tcp);
+      Netdev.mount env eng (Netdev.udp_proto udp);
+      Netinfo.mount_arp env ipstack;
+      Netinfo.mount_ipifc env ipstack;
+      (Some port, Some ipstack, Some il, Some tcp, Some udp)
+    | _, _, _ -> (None, None, None, None, None)
+  in
+
+  (* --- Datakit --- *)
+  let dkline =
+    match (dk, Ndb.get entry "dk") with
+    | Some switch, Some dkname ->
+      let line = Dk.Switch.attach switch ~name:dkname in
+      Netdev.mount env eng (Netdev.dk_proto line);
+      Some line
+    | _, _ -> None
+  in
+
+  (* --- DNS --- *)
+  let resolver =
+    match (udp, Ndb.get entry "ip") with
+    | Some udp, Some ipstr -> (
+      if dns_server then ignore (Dns.serve_zone udp ~db);
+      match Ndb.ipattr db ~ip:ipstr ~attr:"dns" with
+      | Some server_ip ->
+        let r =
+          Dns.resolver udp ~server:(Inet.Ipaddr.of_string server_ip) ()
+        in
+        Dns.mount env r;
+        Some r
+      | None -> None)
+    | _, _ -> None
+  in
+
+  (* --- the connection server --- *)
+  let networks =
+    List.concat
+      [
+        (match il with
+        | Some _ ->
+          [ { Cs.nw_proto = "il"; nw_clone = "/net/il/clone"; nw_kind = `Inet } ]
+        | None -> []);
+        (match dkline with
+        | Some _ ->
+          [ { Cs.nw_proto = "dk"; nw_clone = "/net/dk/clone"; nw_kind = `Dk } ]
+        | None -> []);
+        (match tcp with
+        | Some _ ->
+          [ { Cs.nw_proto = "tcp"; nw_clone = "/net/tcp/clone"; nw_kind = `Inet } ]
+        | None -> []);
+        (match udp with
+        | Some _ ->
+          [ { Cs.nw_proto = "udp"; nw_clone = "/net/udp/clone"; nw_kind = `Inet } ]
+        | None -> []);
+      ]
+  in
+  let dns_fn =
+    match resolver with
+    | Some r -> Some (fun dom -> Dns.lookup_ip r dom)
+    | None -> None
+  in
+  let cs = Cs.make ~sysname:name ~db ~networks ?dns:dns_fn () in
+  Cs.mount env cs;
+  {
+    name;
+    eng;
+    env;
+    root;
+    db;
+    etherport;
+    ip;
+    il;
+    tcp;
+    udp;
+    dkline;
+    resolver;
+    cs;
+  }
+
+let spawn t name fn =
+  let env = Vfs.Env.fork t.env in
+  Sim.Proc.spawn t.eng ~name:(t.name ^ ":" ^ name) (fun () -> fn env)
+
+let nets_of t =
+  List.concat
+    [
+      (match t.il with Some _ -> [ "il" ] | None -> []);
+      (match t.dkline with Some _ -> [ "dk" ] | None -> []);
+      (match t.tcp with Some _ -> [ "tcp" ] | None -> []);
+    ]
+
+let serve_exportfs t =
+  List.iter
+    (fun proto ->
+      ignore
+        (Listener.start t.eng t.env
+           ~addr:(Printf.sprintf "%s!*!exportfs" proto)
+           ~handler:(fun env _conn ~data_fd ->
+             let tr = Fdtrans.of_fd env data_fd in
+             let srv = Exportfs.serve t.eng env tr in
+             Sim.Proc.join srv)))
+    (nets_of t)
+
+let serve_echo t =
+  List.iter
+    (fun proto ->
+      ignore
+        (Listener.start t.eng t.env
+           ~addr:(Printf.sprintf "%s!*!echo" proto)
+           ~handler:(fun env _conn ~data_fd ->
+             let rec go () =
+               let data = Vfs.Env.read env data_fd 8192 in
+               if data <> "" then begin
+                 ignore (Vfs.Env.write env data_fd data);
+                 go ()
+               end
+             in
+             go ())))
+    (nets_of t)

@@ -1,0 +1,53 @@
+(** A complete simulated Plan 9 machine.
+
+    [create] assembles everything the paper describes on one host,
+    driven by the machine's network-database entry: a root file tree,
+    [/net] with one protocol device per attached network (IL, TCP, UDP
+    on Ethernet; URP on Datakit), the Ethernet diagnostic device tree,
+    the connection server on [/net/cs], and the DNS resolver on
+    [/net/dns].  "Since CPU servers and terminals use the same kernel"
+    — every host is built by this one function; what differs is which
+    networks its ndb entry gives it. *)
+
+type t = {
+  name : string;
+  eng : Sim.Engine.t;
+  env : Vfs.Env.t;  (** the boot environment; user procs fork it *)
+  root : Ninep.Ramfs.t;
+  db : Ndb.t;
+  etherport : Inet.Etherport.t option;
+  ip : Inet.Ip.stack option;
+  il : Inet.Il.stack option;
+  tcp : Inet.Tcp.stack option;
+  udp : Inet.Udp.stack option;
+  dkline : Dk.Switch.line option;
+  resolver : Dns.resolver option;
+  cs : Cs.t;
+}
+
+val create :
+  ?uname:string ->
+  ?ether:Netsim.Ether.t ->
+  ?dk:Dk.Switch.t ->
+  ?il_config:Inet.Il.config ->
+  ?tcp_config:Inet.Tcp.config ->
+  ?dns_server:bool ->
+  db:Ndb.t ->
+  name:string ->
+  Sim.Engine.t ->
+  t
+(** Boot a host named [name].  Its database entry supplies addresses:
+    [ip=]/[ether=] attach it to [ether]; [dk=] attaches it to [dk];
+    the inherited [dns=] attribute selects the resolver's server.  With
+    [dns_server] the host also answers zone queries from [db].
+    @raise Failure if the database has no entry for [name]. *)
+
+val spawn : t -> string -> (Vfs.Env.t -> unit) -> Sim.Proc.t
+(** Run a user process with a forked environment. *)
+
+val serve_exportfs : t -> unit
+(** Start the standard listener: exportfs on every network the host
+    has ([net!*!exportfs]). *)
+
+val serve_echo : t -> unit
+(** The section 5.2 echo service on every network. *)

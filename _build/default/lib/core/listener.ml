@@ -1,0 +1,31 @@
+let src = Logs.Src.create "listener" ~doc:"service listener"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let start eng env ~addr ~handler =
+  Sim.Proc.spawn eng ~name:("listen:" ^ addr) (fun () ->
+      let ann = Dial.announce env addr in
+      let rec loop () =
+        match Dial.listen env ann with
+        | conn ->
+          (* fork a process to serve the call; the parent closes its
+             copy of the descriptor, as in the paper's echo listing *)
+          let child_env = Vfs.Env.fork env in
+          ignore
+            (Sim.Proc.spawn eng ~name:("serve:" ^ addr) (fun () ->
+                 match Dial.accept child_env conn with
+                 | data_fd ->
+                   Fun.protect
+                     ~finally:(fun () ->
+                       Vfs.Env.close child_env data_fd;
+                       Vfs.Env.close child_env conn.Dial.ctl_fd)
+                     (fun () -> handler child_env conn ~data_fd)
+                 | exception Dial.Dial_error e ->
+                   Vfs.Env.close child_env conn.Dial.ctl_fd;
+                   Log.debug (fun m -> m "%s: accept: %s" addr e)));
+          Vfs.Env.close env conn.Dial.ctl_fd;
+          loop ()
+        | exception Dial.Dial_error e ->
+          Log.debug (fun m -> m "%s: listen: %s" addr e)
+      in
+      loop ())

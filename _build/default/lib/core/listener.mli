@@ -1,0 +1,19 @@
+(** The listener — Plan 9's inetd equivalent (paper section 6.1:
+    "Exportfs is invoked by an incoming network call.  The listener
+    (the Plan 9 equivalent of inetd) runs the profile of the user
+    requesting the service to construct a name space before starting
+    exportfs").
+
+    [start] announces once and forks a handler process per call, like
+    the echo server listing in section 5.2. *)
+
+val start :
+  Sim.Engine.t ->
+  Vfs.Env.t ->
+  addr:string ->
+  handler:(Vfs.Env.t -> Dial.conn -> data_fd:Vfs.Env.fd -> unit) ->
+  Sim.Proc.t
+(** [start eng env ~addr:"il!*!exportfs" ~handler] announces [addr] and
+    accepts calls forever; each accepted call runs [handler] in a fresh
+    process with a forked environment (its own name space, like running
+    the user's profile).  The handler owns the descriptors. *)

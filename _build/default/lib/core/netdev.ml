@@ -1,0 +1,673 @@
+type conv_ops = {
+  cv_read : count:int -> string;
+  cv_write : string -> (int, string) result;
+  cv_local : unit -> string;
+  cv_remote : unit -> string;
+  cv_status : unit -> string;
+  cv_close : unit -> unit;
+}
+
+type listener_ops = {
+  ln_accept : unit -> (conv_ops * string, string) result;
+  ln_close : unit -> unit;
+}
+
+type proto = {
+  pr_name : string;
+  pr_connect : string -> (conv_ops * string, string) result;
+  pr_announce : string -> (listener_ops, string) result;
+}
+
+type conn_state =
+  | Idle
+  | Announced of listener_ops * string  (* announce address *)
+  | Connected of conv_ops * string  (* remote address *)
+  | Hungup
+
+type conn = {
+  id : int;
+  dev : dev;
+  mutable state : conn_state;
+  mutable users : int;  (* open file handles on this conn's files *)
+}
+
+and dev = {
+  eng : Sim.Engine.t;
+  proto : proto;
+  conns : (int, conn) Hashtbl.t;
+  mutable next_conn : int;
+}
+
+type file =
+  | Root
+  | Clone
+  | ConnDir of conn
+  | Ctl of conn
+  | Data of conn
+  | Listen of conn
+  | Local of conn
+  | Remote of conn
+  | Status of conn
+
+type node = { mutable f : file; mutable opened : bool }
+
+(* ---- qids ---- *)
+
+let conn_files = [ "ctl"; "data"; "listen"; "local"; "remote"; "status" ]
+
+let file_slot = function
+  | Ctl _ -> 1
+  | Data _ -> 2
+  | Listen _ -> 3
+  | Local _ -> 4
+  | Remote _ -> 5
+  | Status _ -> 6
+  | Root | Clone | ConnDir _ -> 0
+
+let qid_of = function
+  | Root -> { Ninep.Fcall.qpath = Int32.logor Ninep.Fcall.qdir_bit 1l; qvers = 0l }
+  | Clone -> { Ninep.Fcall.qpath = 2l; qvers = 0l }
+  | ConnDir c ->
+    {
+      Ninep.Fcall.qpath =
+        Int32.logor Ninep.Fcall.qdir_bit (Int32.of_int (0x100 * (c.id + 1)));
+      qvers = 0l;
+    }
+  | (Ctl c | Data c | Listen c | Local c | Remote c | Status c) as f ->
+    {
+      Ninep.Fcall.qpath = Int32.of_int ((0x100 * (c.id + 1)) + file_slot f);
+      qvers = 0l;
+    }
+
+let file_name = function
+  | Root -> "."
+  | Clone -> "clone"
+  | ConnDir c -> string_of_int c.id
+  | Ctl _ -> "ctl"
+  | Data _ -> "data"
+  | Listen _ -> "listen"
+  | Local _ -> "local"
+  | Remote _ -> "remote"
+  | Status _ -> "status"
+
+let stat_of dev f =
+  let dir = match f with Root | ConnDir _ -> true | _ -> false in
+  {
+    Ninep.Fcall.d_name = file_name f;
+    d_uid = "network";
+    d_gid = "network";
+    d_qid = qid_of f;
+    d_mode =
+      (if dir then Int32.logor Ninep.Fcall.dmdir 0o555l else 0o666l);
+    d_atime = 0l;
+    d_mtime = 0l;
+    d_length = 0L;
+    d_type = Char.code 'I';
+    d_dev = 0;
+  }
+  |> fun d -> ignore dev; d
+
+(* ---- connection lifecycle ---- *)
+
+let alloc_conn dev =
+  let id = dev.next_conn in
+  dev.next_conn <- id + 1;
+  let c = { id; dev; state = Idle; users = 0 } in
+  Hashtbl.replace dev.conns id c;
+  c
+
+let close_conn c =
+  (match c.state with
+  | Connected (cv, _) -> cv.cv_close ()
+  | Announced (ln, _) -> ln.ln_close ()
+  | Idle | Hungup -> ());
+  c.state <- Hungup
+
+let release c =
+  c.users <- c.users - 1;
+  if c.users <= 0 then begin
+    (* "A connection remains established while any of the files in the
+       connection directory are referenced" — last reference gone *)
+    close_conn c;
+    Hashtbl.remove c.dev.conns c.id
+  end
+
+(* ---- ctl commands ---- *)
+
+let ctl_write dev c text =
+  let words =
+    String.split_on_char ' ' (String.trim text)
+    |> List.filter (fun w -> w <> "")
+  in
+  match (words, c.state) with
+  | [ "connect"; addr ], Idle -> (
+    match dev.proto.pr_connect addr with
+    | Ok (cv, remote) ->
+      c.state <- Connected (cv, remote);
+      Ok ()
+    | Error e -> Error e)
+  | "connect" :: _, (Announced _ | Connected _ | Hungup) ->
+    Error "connection in use"
+  | [ "announce"; addr ], Idle -> (
+    match dev.proto.pr_announce addr with
+    | Ok ln ->
+      c.state <- Announced (ln, addr);
+      Ok ()
+    | Error e -> Error e)
+  | "hangup" :: _, _ ->
+    (* an optional rejection reason is accepted and, on IP networks,
+       ignored — as the paper says *)
+    close_conn c;
+    Ok ()
+  | _, _ -> Error ("bad control message: " ^ String.trim text)
+
+(* ---- the fs ---- *)
+
+let fs eng proto =
+  let dev = { eng; proto; conns = Hashtbl.create 17; next_conn = 0 } in
+  let root_entries () =
+    stat_of dev Clone
+    :: (Hashtbl.fold (fun _ c acc -> c :: acc) dev.conns []
+       |> List.sort (fun a b -> compare a.id b.id)
+       |> List.map (fun c -> stat_of dev (ConnDir c)))
+  in
+  let conn_entries c =
+    List.map
+      (fun name ->
+        let f =
+          match name with
+          | "ctl" -> Ctl c
+          | "data" -> Data c
+          | "listen" -> Listen c
+          | "local" -> Local c
+          | "remote" -> Remote c
+          | "status" -> Status c
+          | _ -> assert false
+        in
+        stat_of dev f)
+      conn_files
+  in
+  let local_text c =
+    match c.state with
+    | Connected (cv, _) -> cv.cv_local () ^ "\n"
+    | Announced (_, addr) -> addr ^ "\n"
+    | Idle | Hungup -> "\n"
+  in
+  let remote_text c =
+    match c.state with
+    | Connected (cv, _) -> cv.cv_remote () ^ "\n"
+    | Announced _ | Idle | Hungup -> "\n"
+  in
+  let status_text c =
+    let s =
+      match c.state with
+      | Connected (cv, _) -> cv.cv_status ()
+      | Announced _ -> Printf.sprintf "%s/%d 0 Announced" proto.pr_name c.id
+      | Idle -> Printf.sprintf "%s/%d 0 Closed" proto.pr_name c.id
+      | Hungup -> Printf.sprintf "%s/%d 0 Hungup" proto.pr_name c.id
+    in
+    s ^ "\n"
+  in
+  {
+    Ninep.Server.fs_name = "netdev:" ^ proto.pr_name;
+    fs_attach = (fun ~uname:_ ~aname:_ -> Ok { f = Root; opened = false });
+    fs_qid = (fun n -> qid_of n.f);
+    fs_walk =
+      (fun n name ->
+        match (n.f, name) with
+        | Root, "clone" ->
+          n.f <- Clone;
+          Ok n
+        | Root, ".." -> Ok n
+        | Root, name -> (
+          match
+            Option.bind (int_of_string_opt name) (Hashtbl.find_opt dev.conns)
+          with
+          | Some c ->
+            n.f <- ConnDir c;
+            Ok n
+          | None -> Error "file does not exist")
+        | ConnDir _, ".." ->
+          n.f <- Root;
+          Ok n
+        | ConnDir c, ("ctl" | "data" | "listen" | "local" | "remote" | "status")
+          ->
+          n.f <-
+            (match name with
+            | "ctl" -> Ctl c
+            | "data" -> Data c
+            | "listen" -> Listen c
+            | "local" -> Local c
+            | "remote" -> Remote c
+            | _ -> Status c);
+          Ok n
+        | (Clone | ConnDir _ | Ctl _ | Data _ | Listen _ | Local _ | Remote _
+          | Status _), _ ->
+          Error "file does not exist")
+    ;
+    fs_open =
+      (fun n _mode ~trunc:_ ->
+        match n.f with
+        | Root | ConnDir _ ->
+          n.opened <- true;
+          Ok ()
+        | Clone ->
+          (* reserve an unused connection and become its ctl file *)
+          let c = alloc_conn dev in
+          c.users <- c.users + 1;
+          n.f <- Ctl c;
+          n.opened <- true;
+          Ok ()
+        | Listen c -> (
+          match c.state with
+          | Announced (ln, _) -> (
+            (* blocks until an incoming call arrives *)
+            match ln.ln_accept () with
+            | Ok (cv, remote) ->
+              let nc = alloc_conn dev in
+              nc.state <- Connected (cv, remote);
+              nc.users <- nc.users + 1;
+              (* the returned descriptor points at the new conn's ctl *)
+              n.f <- Ctl nc;
+              n.opened <- true;
+              Ok ()
+            | Error e -> Error e)
+          | Idle | Connected _ | Hungup -> Error "not announced")
+        | Ctl c | Data c | Local c | Remote c | Status c ->
+          c.users <- c.users + 1;
+          n.opened <- true;
+          Ok ())
+    ;
+    fs_read =
+      (fun n ~offset ~count ->
+        if not n.opened then Error "not open"
+        else
+          match n.f with
+          | Root ->
+            Ok (Ninep.Server.dir_data (root_entries ()) ~offset ~count)
+          | ConnDir c -> Ok (Ninep.Server.dir_data (conn_entries c) ~offset ~count)
+          | Clone -> Error "not open"
+          | Ctl c ->
+            Ok (Ninep.Server.slice (string_of_int c.id) ~offset ~count)
+          | Data c -> (
+            match c.state with
+            | Connected (cv, _) -> Ok (cv.cv_read ~count)
+            | Idle | Announced _ | Hungup -> Error "not connected")
+          | Listen _ -> Error "not open"
+          | Local c -> Ok (Ninep.Server.slice (local_text c) ~offset ~count)
+          | Remote c -> Ok (Ninep.Server.slice (remote_text c) ~offset ~count)
+          | Status c -> Ok (Ninep.Server.slice (status_text c) ~offset ~count))
+    ;
+    fs_write =
+      (fun n ~offset:_ ~data ->
+        if not n.opened then Error "not open"
+        else
+          match n.f with
+          | Ctl c -> (
+            match ctl_write dev c data with
+            | Ok () -> Ok (String.length data)
+            | Error e -> Error e)
+          | Data c -> (
+            match c.state with
+            | Connected (cv, _) -> cv.cv_write data
+            | Idle | Announced _ | Hungup -> Error "not connected")
+          | Root | Clone | ConnDir _ | Listen _ | Local _ | Remote _
+          | Status _ ->
+            Error "permission denied")
+    ;
+    fs_create = (fun _ ~name:_ ~perm:_ _ -> Error "permission denied");
+    fs_remove = (fun _ -> Error "permission denied");
+    fs_stat = (fun n -> Ok (stat_of dev n.f));
+    fs_wstat = (fun _ _ -> Error "permission denied");
+    fs_clunk =
+      (fun n ->
+        if n.opened then begin
+          n.opened <- false;
+          match n.f with
+          | Ctl c | Data c | Local c | Remote c | Status c | Listen c ->
+            release c
+          | Root | Clone | ConnDir _ -> ()
+        end)
+    ;
+    fs_clone = (fun n -> { f = n.f; opened = false });
+  }
+
+let mount env eng proto =
+  (* ensure /net/<proto> exists as a mount point *)
+  (try ignore (Vfs.Env.stat env "/net") with
+  | Vfs.Chan.Error _ ->
+    Vfs.Env.close env
+      (Vfs.Env.create env "/net"
+         ~perm:(Int32.logor Ninep.Fcall.dmdir 0o775l)
+         Ninep.Fcall.Oread));
+  let dir = "/net/" ^ proto.pr_name in
+  (try ignore (Vfs.Env.stat env dir) with
+  | Vfs.Chan.Error _ ->
+    Vfs.Env.close env
+      (Vfs.Env.create env dir
+         ~perm:(Int32.logor Ninep.Fcall.dmdir 0o775l)
+         Ninep.Fcall.Oread));
+  Vfs.Env.mount_fs env (fs eng proto) ~onto:dir Vfs.Ns.Repl
+
+(* ---- protocol adapters ---- *)
+
+let split_addr addr =
+  match String.index_opt addr '!' with
+  | Some i ->
+    ( String.sub addr 0 i,
+      String.sub addr (i + 1) (String.length addr - i - 1) )
+  | None -> (addr, "")
+
+let il_conv st conv =
+  {
+    cv_read = (fun ~count -> Inet.Il.read conv count);
+    cv_write =
+      (fun data ->
+        try
+          Inet.Il.write conv data;
+          Ok (String.length data)
+        with Inet.Il.Hungup -> Error "hungup");
+    cv_local =
+      (* the paper's transcripts show "address port" *)
+      (fun () ->
+        Printf.sprintf "%s %d"
+          (Inet.Ipaddr.to_string (Inet.Il.local_addr st))
+          (Inet.Il.local_port conv));
+    cv_remote =
+      (fun () ->
+        Printf.sprintf "%s %d"
+          (Inet.Ipaddr.to_string (Inet.Il.remote_addr conv))
+          (Inet.Il.remote_port conv));
+    cv_status = (fun () -> Inet.Il.status conv);
+    cv_close = (fun () -> Inet.Il.close conv);
+  }
+
+let il_proto st =
+  {
+    pr_name = "il";
+    pr_connect =
+      (fun addr ->
+        let host, port = split_addr addr in
+        match
+          (Inet.Ipaddr.of_string_opt host, int_of_string_opt port)
+        with
+        | Some raddr, Some rport -> (
+          try Ok (il_conv st (Inet.Il.connect st ~raddr ~rport), addr) with
+          | Inet.Il.Refused e -> Error e
+          | Inet.Il.Timeout e -> Error e)
+        | _, _ -> Error ("bad il address: " ^ addr));
+    pr_announce =
+      (fun addr ->
+        (* accept "17008" and "*!17008" *)
+        let port_str =
+          match String.rindex_opt addr '!' with
+          | Some i -> String.sub addr (i + 1) (String.length addr - i - 1)
+          | None -> addr
+        in
+        match int_of_string_opt port_str with
+        | None -> Error ("bad il announcement: " ^ addr)
+        | Some port -> (
+          try
+            let lis = Inet.Il.announce st ~port in
+            Ok
+              {
+                ln_accept =
+                  (fun () ->
+                    let conv = Inet.Il.listen lis in
+                    Ok
+                      ( il_conv st conv,
+                        Printf.sprintf "%s!%d"
+                          (Inet.Ipaddr.to_string (Inet.Il.remote_addr conv))
+                          (Inet.Il.remote_port conv) ));
+                ln_close = (fun () -> Inet.Il.close_listener lis);
+              }
+          with Invalid_argument e -> Error e));
+  }
+
+let tcp_conv st conv =
+  {
+    cv_read = (fun ~count -> Inet.Tcp.read conv count);
+    cv_write =
+      (fun data ->
+        try
+          Inet.Tcp.write conv data;
+          Ok (String.length data)
+        with Inet.Tcp.Hungup -> Error "hungup");
+    cv_local =
+      (fun () ->
+        Printf.sprintf "%s %d"
+          (Inet.Ipaddr.to_string (Inet.Tcp.local_addr st))
+          (Inet.Tcp.local_port conv));
+    cv_remote =
+      (fun () ->
+        Printf.sprintf "%s %d"
+          (Inet.Ipaddr.to_string (Inet.Tcp.remote_addr conv))
+          (Inet.Tcp.remote_port conv));
+    cv_status = (fun () -> Inet.Tcp.status conv);
+    cv_close = (fun () -> Inet.Tcp.close conv);
+  }
+
+let tcp_proto st =
+  {
+    pr_name = "tcp";
+    pr_connect =
+      (fun addr ->
+        let host, port = split_addr addr in
+        match (Inet.Ipaddr.of_string_opt host, int_of_string_opt port) with
+        | Some raddr, Some rport -> (
+          try Ok (tcp_conv st (Inet.Tcp.connect st ~raddr ~rport), addr) with
+          | Inet.Tcp.Refused e -> Error e
+          | Inet.Tcp.Timeout e -> Error e)
+        | _, _ -> Error ("bad tcp address: " ^ addr));
+    pr_announce =
+      (fun addr ->
+        let port_str =
+          match String.rindex_opt addr '!' with
+          | Some i -> String.sub addr (i + 1) (String.length addr - i - 1)
+          | None -> addr
+        in
+        match int_of_string_opt port_str with
+        | None -> Error ("bad tcp announcement: " ^ addr)
+        | Some port -> (
+          try
+            let lis = Inet.Tcp.announce st ~port in
+            Ok
+              {
+                ln_accept =
+                  (fun () ->
+                    let conv = Inet.Tcp.listen lis in
+                    Ok
+                      ( tcp_conv st conv,
+                        Printf.sprintf "%s!%d"
+                          (Inet.Ipaddr.to_string (Inet.Tcp.remote_addr conv))
+                          (Inet.Tcp.remote_port conv) ));
+                ln_close = (fun () -> Inet.Tcp.close_listener lis);
+              }
+          with Invalid_argument e -> Error e));
+  }
+
+(* "connected" UDP: a bound socket restricted to one peer *)
+let udp_conv st conv ~raddr ~rport =
+  let pending = Buffer.create 0 in
+  ignore pending;
+  let closed = ref false in
+  {
+    cv_read =
+      (fun ~count ->
+        if !closed then ""
+        else
+          let rec go () =
+            let src, sport, data = Inet.Udp.recv conv in
+            if Inet.Ipaddr.equal src raddr && sport = rport then
+              if String.length data <= count then data
+              else String.sub data 0 count
+            else go ()
+          in
+          go ());
+    cv_write =
+      (fun data ->
+        if !closed then Error "hungup"
+        else begin
+          Inet.Udp.send conv ~dst:raddr ~dport:rport data;
+          Ok (String.length data)
+        end);
+    cv_local =
+      (fun () ->
+        Printf.sprintf "%s!%d"
+          (Inet.Ipaddr.to_string (Inet.Udp.local_addr st))
+          (Inet.Udp.port conv));
+    cv_remote =
+      (fun () ->
+        Printf.sprintf "%s!%d" (Inet.Ipaddr.to_string raddr) rport);
+    cv_status =
+      (fun () -> Printf.sprintf "udp/%d Open" (Inet.Udp.port conv));
+    cv_close =
+      (fun () ->
+        closed := true;
+        Inet.Udp.close conv);
+  }
+
+let udp_proto st =
+  {
+    pr_name = "udp";
+    pr_connect =
+      (fun addr ->
+        let host, port = split_addr addr in
+        match (Inet.Ipaddr.of_string_opt host, int_of_string_opt port) with
+        | Some raddr, Some rport ->
+          let conv = Inet.Udp.bind st in
+          Ok (udp_conv st conv ~raddr ~rport, addr)
+        | _, _ -> Error ("bad udp address: " ^ addr));
+    pr_announce =
+      (fun addr ->
+        let port_str =
+          match String.rindex_opt addr '!' with
+          | Some i -> String.sub addr (i + 1) (String.length addr - i - 1)
+          | None -> addr
+        in
+        match int_of_string_opt port_str with
+        | None -> Error ("bad udp announcement: " ^ addr)
+        | Some port -> (
+          try
+            let conv = Inet.Udp.bind ~port st in
+            let eng = Inet.Udp.engine st in
+            (* a dispatcher demultiplexes datagrams into one
+               conversation per remote endpoint; replies go out from
+               the announced port *)
+            let peers :
+                (int32 * int, string Sim.Mbox.t) Hashtbl.t =
+              Hashtbl.create 7
+            in
+            let accept_q = Sim.Mbox.create eng in
+            let dispatcher =
+              Sim.Proc.spawn eng ~name:"udp-demux" (fun () ->
+                  let rec loop () =
+                    let src, sport, data = Inet.Udp.recv conv in
+                    let key = (Inet.Ipaddr.to_int32 src, sport) in
+                    (match Hashtbl.find_opt peers key with
+                    | Some mb -> Sim.Mbox.send mb data
+                    | None ->
+                      let mb = Sim.Mbox.create eng in
+                      Hashtbl.replace peers key mb;
+                      Sim.Mbox.send mb data;
+                      Sim.Mbox.send accept_q (src, sport, mb));
+                    loop ()
+                  in
+                  loop ())
+            in
+            Ok
+              {
+                ln_accept =
+                  (fun () ->
+                    let src, sport, mb = Sim.Mbox.recv accept_q in
+                    let key = (Inet.Ipaddr.to_int32 src, sport) in
+                    let cv =
+                      {
+                        cv_read =
+                          (fun ~count ->
+                            let d = Sim.Mbox.recv mb in
+                            if String.length d <= count then d
+                            else String.sub d 0 count);
+                        cv_write =
+                          (fun data ->
+                            Inet.Udp.send conv ~dst:src ~dport:sport data;
+                            Ok (String.length data));
+                        cv_local =
+                          (fun () ->
+                            Printf.sprintf "%s!%d"
+                              (Inet.Ipaddr.to_string (Inet.Udp.local_addr st))
+                              port);
+                        cv_remote =
+                          (fun () ->
+                            Printf.sprintf "%s!%d"
+                              (Inet.Ipaddr.to_string src) sport);
+                        cv_status =
+                          (fun () -> Printf.sprintf "udp/%d Open" port);
+                        cv_close = (fun () -> Hashtbl.remove peers key);
+                      }
+                    in
+                    Ok
+                      ( cv,
+                        Printf.sprintf "%s!%d" (Inet.Ipaddr.to_string src)
+                          sport ))
+                ;
+                ln_close =
+                  (fun () ->
+                    Sim.Proc.kill dispatcher;
+                    Inet.Udp.close conv);
+              }
+          with Invalid_argument e -> Error e));
+  }
+
+let urp_conv line conv ~remote =
+  {
+    cv_read = (fun ~count -> Dk.Urp.read conv count);
+    cv_write =
+      (fun data ->
+        try
+          Dk.Urp.write conv data;
+          Ok (String.length data)
+        with Dk.Urp.Hungup -> Error "hungup");
+    cv_local = (fun () -> Dk.Switch.line_name line);
+    cv_remote = (fun () -> remote);
+    cv_status = (fun () -> "urp Established");
+    cv_close = (fun () -> Dk.Urp.close conv);
+  }
+
+let dk_proto line =
+  {
+    pr_name = "dk";
+    pr_connect =
+      (fun addr ->
+        (* nj/astro/helix!9fs *)
+        let dest, service = split_addr addr in
+        if dest = "" then Error ("bad dk address: " ^ addr)
+        else
+          try
+            let circ = Dk.Circuit.dial line ~dest ~service in
+            Ok (urp_conv line (Dk.Urp.over circ) ~remote:addr, addr)
+          with
+          | Dk.Circuit.Rejected reason -> Error reason
+          | Dk.Circuit.No_such_line l -> Error ("no such system: " ^ l));
+    pr_announce =
+      (fun addr ->
+        (* service name, possibly "*" *)
+        let service =
+          match String.rindex_opt addr '!' with
+          | Some i -> String.sub addr (i + 1) (String.length addr - i - 1)
+          | None -> addr
+        in
+        try
+          let calls = Dk.Circuit.announce line ~service in
+          Ok
+            {
+              ln_accept =
+                (fun () ->
+                  let inc = Sim.Mbox.recv calls in
+                  let caller = Dk.Circuit.caller inc in
+                  let circ = Dk.Circuit.accept inc in
+                  Ok (urp_conv line (Dk.Urp.over circ) ~remote:caller, caller));
+              ln_close = (fun () -> ());
+            }
+        with Invalid_argument e -> Error e);
+  }

@@ -1,0 +1,66 @@
+(** Protocol devices (paper section 2.3).
+
+    "Network connections are represented as pseudo-devices called
+    protocol devices ... All protocol devices look identical so user
+    programs contain no network-specific code."
+
+    Each protocol device serves the canonical tree
+
+    {v
+    /clone
+    /0/ctl  /0/data  /0/listen  /0/local  /0/remote  /0/status
+    /1/...
+    v}
+
+    with the paper's semantics: opening [clone] reserves an unused
+    connection and yields its [ctl] file; reading that file returns the
+    ASCII connection number; writing [connect <addr>] establishes a
+    call; writing [announce <addr>] registers a listener; opening
+    [listen] blocks for an incoming call and the descriptor returned
+    points at the {e new} connection's ctl file.
+
+    The same device code serves IL, TCP, UDP, and Datakit/URP through a
+    small record of protocol operations — the network-specific part is
+    only address parsing and the conversation calls. *)
+
+type conv_ops = {
+  cv_read : count:int -> string;
+      (** blocking; respects message delimiters where the protocol has
+          them; [""] at end of conversation *)
+  cv_write : string -> (int, string) result;
+  cv_local : unit -> string;
+  cv_remote : unit -> string;
+  cv_status : unit -> string;
+  cv_close : unit -> unit;
+}
+
+type listener_ops = {
+  ln_accept : unit -> (conv_ops * string, string) result;
+      (** blocks; also returns the remote address for the new conn *)
+  ln_close : unit -> unit;
+}
+
+type proto = {
+  pr_name : string;  (** directory name under /net: "il", "tcp", ... *)
+  pr_connect : string -> (conv_ops * string, string) result;
+      (** [addr] is the protocol-specific ASCII string CS produced,
+          e.g. ["135.104.9.31!17008"]; blocks until established; also
+          returns the remote address string *)
+  pr_announce : string -> (listener_ops, string) result;
+}
+
+type node
+
+val fs : Sim.Engine.t -> proto -> node Ninep.Server.fs
+(** The device as a kernel-resident file server. *)
+
+val mount : Vfs.Env.t -> Sim.Engine.t -> proto -> unit
+(** Serve the device tree at [/net/<pr_name>] (creating the directory
+    if needed). *)
+
+(** {1 Protocol adapters} *)
+
+val il_proto : Inet.Il.stack -> proto
+val tcp_proto : Inet.Tcp.stack -> proto
+val udp_proto : Inet.Udp.stack -> proto
+val dk_proto : Dk.Switch.line -> proto

@@ -1,0 +1,44 @@
+let arp_text ip =
+  String.concat ""
+    (List.map
+       (fun (addr, ea) ->
+         Printf.sprintf "%s %s\n"
+           (Inet.Ipaddr.to_string addr)
+           (Netsim.Eaddr.to_string ea))
+       (Inet.Ip.arp_cache_dump ip))
+
+let mount_arp env ip =
+  Vfs.Env.mount_fs env
+    (Onefile.fs ~name:"arp" ~filename:"arp"
+       ~read_default:(fun () -> arp_text ip)
+       ~handle:(fun ~uname:_ req ->
+         match String.trim req with
+         | "" | "flush" -> Ok (arp_text ip)
+         | other -> Error ("arp: bad request: " ^ other))
+       ())
+    ~onto:"/net" Vfs.Ns.After
+
+let ipifc_text ip =
+  let c = Inet.Ip.counters ip in
+  Printf.sprintf
+    "addr %s mask %s gw %s mtu %d\n\
+     in %d out %d badck %d noproto %d reasmdrop %d fwd %d ttlx %d\n"
+    (Inet.Ipaddr.to_string (Inet.Ip.addr ip))
+    (Inet.Ipaddr.to_string (Inet.Ip.mask ip))
+    (match Inet.Ip.gateway ip with
+    | Some g -> Inet.Ipaddr.to_string g
+    | None -> "none")
+    (Inet.Ip.mtu ip) c.Inet.Ip.ip_in c.Inet.Ip.ip_out
+    c.Inet.Ip.ip_bad_checksum c.Inet.Ip.ip_no_proto c.Inet.Ip.ip_reasm_drops
+    c.Inet.Ip.ip_forwarded c.Inet.Ip.ip_ttl_exceeded
+
+let mount_ipifc env ip =
+  Vfs.Env.mount_fs env
+    (Onefile.fs ~name:"ipifc" ~filename:"ipifc"
+       ~read_default:(fun () -> ipifc_text ip)
+       ~handle:(fun ~uname:_ req ->
+         match String.trim req with
+         | "" -> Ok (ipifc_text ip)
+         | other -> Error ("ipifc: bad request: " ^ other))
+       ())
+    ~onto:"/net" Vfs.Ns.After

@@ -1,0 +1,12 @@
+(** Diagnostic files under /net (paper section 2.2: the driver
+    interfaces include "diagnostic interfaces for snooping software",
+    and ARP is a "user-level protocol").
+
+    - [/net/arp]: one line per resolved entry, "ip ether"; writing
+      [flush] is accepted and ignored (our cache expires by TTL).
+    - [/net/ipifc]: the interface's address, mask, gateway, MTU and
+      packet counters as ASCII — the uniform-representation point of
+      section 2.2. *)
+
+val mount_arp : Vfs.Env.t -> Inet.Ip.stack -> unit
+val mount_ipifc : Vfs.Env.t -> Inet.Ip.stack -> unit

@@ -1,0 +1,85 @@
+type file = Root | File
+
+type node = {
+  mutable f : file;
+  mutable opened : bool;
+  mutable reply : string;
+  uname : string;
+}
+
+let fs ~name ~filename ?read_default ~handle () =
+  let qroot =
+    { Ninep.Fcall.qpath = Int32.logor Ninep.Fcall.qdir_bit 1l; qvers = 0l }
+  in
+  let qfile = { Ninep.Fcall.qpath = 2l; qvers = 0l } in
+  let stat_of f =
+    let dir = f = Root in
+    {
+      Ninep.Fcall.d_name = (if dir then "." else filename);
+      d_uid = name;
+      d_gid = name;
+      d_qid = (if dir then qroot else qfile);
+      d_mode = (if dir then Int32.logor Ninep.Fcall.dmdir 0o555l else 0o666l);
+      d_atime = 0l;
+      d_mtime = 0l;
+      d_length = 0L;
+      d_type = Char.code 's';
+      d_dev = 0;
+    }
+  in
+  {
+    Ninep.Server.fs_name = name;
+    fs_attach =
+      (fun ~uname ~aname:_ ->
+        Ok { f = Root; opened = false; reply = ""; uname });
+    fs_qid = (fun n -> if n.f = Root then qroot else qfile);
+    fs_walk =
+      (fun n nm ->
+        match (n.f, nm) with
+        | Root, nm when nm = filename ->
+          n.f <- File;
+          Ok n
+        | Root, ".." -> Ok n
+        | File, ".." ->
+          n.f <- Root;
+          Ok n
+        | (Root | File), _ -> Error "file does not exist");
+    fs_open =
+      (fun n _mode ~trunc:_ ->
+        n.opened <- true;
+        Ok ());
+    fs_read =
+      (fun n ~offset ~count ->
+        if not n.opened then Error "not open"
+        else
+          match n.f with
+          | Root ->
+            Ok (Ninep.Server.dir_data [ stat_of File ] ~offset ~count)
+          | File ->
+            if n.reply = "" && offset = 0L then begin
+              match read_default with
+              | Some f -> n.reply <- f ()
+              | None -> ()
+            end;
+            Ok (Ninep.Server.slice n.reply ~offset ~count));
+    fs_write =
+      (fun n ~offset:_ ~data ->
+        if not n.opened then Error "not open"
+        else
+          match n.f with
+          | Root -> Error "permission denied"
+          | File -> (
+            match handle ~uname:n.uname (String.trim data) with
+            | Ok reply ->
+              n.reply <- reply;
+              Ok (String.length data)
+            | Error e -> Error e));
+    fs_create = (fun _ ~name:_ ~perm:_ _ -> Error "permission denied");
+    fs_remove = (fun _ -> Error "permission denied");
+    fs_stat = (fun n -> Ok (stat_of n.f));
+    fs_wstat = (fun _ _ -> Error "permission denied");
+    fs_clunk = (fun _ -> ());
+    fs_clone =
+      (fun n ->
+        { f = n.f; opened = false; reply = n.reply; uname = n.uname });
+  }

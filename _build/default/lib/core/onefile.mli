@@ -1,0 +1,22 @@
+(** The single-synthetic-file server pattern shared by [/net/cs] and
+    [/net/dns]: "CS is a file server serving a single file, /net/cs.
+    A client writes a symbolic name to /net/cs then reads one line for
+    each matching destination."
+
+    Each fid has independent request/reply state, so concurrent
+    clients don't interleave. *)
+
+type node
+
+val fs :
+  name:string ->
+  filename:string ->
+  ?read_default:(unit -> string) ->
+  handle:(uname:string -> string -> (string, string) result) ->
+  unit ->
+  node Ninep.Server.fs
+(** [handle ~uname request] returns the full reply text (or an error,
+    which fails the write).  A later read at offset 0 rewinds; writes
+    reset the reply.  [read_default] (if given) supplies the reply for
+    a fid that is read before any write — how /net/arp shows the table
+    on a plain [cat]. *)

@@ -1,0 +1,114 @@
+type instance = { s0 : Streams.stream; s1 : Streams.stream }
+
+type file = Root | Data0 | Data1
+
+type node = { inst : instance; mutable f : file; mutable opened : bool }
+
+let qid_of = function
+  | Root -> { Ninep.Fcall.qpath = Int32.logor Ninep.Fcall.qdir_bit 1l; qvers = 0l }
+  | Data0 -> { Ninep.Fcall.qpath = 2l; qvers = 0l }
+  | Data1 -> { Ninep.Fcall.qpath = 3l; qvers = 0l }
+
+let file_name = function Root -> "." | Data0 -> "data" | Data1 -> "data1"
+
+let stat_of f =
+  {
+    Ninep.Fcall.d_name = file_name f;
+    d_uid = "pipe";
+    d_gid = "pipe";
+    d_qid = qid_of f;
+    d_mode = (if f = Root then Int32.logor Ninep.Fcall.dmdir 0o555l else 0o666l);
+    d_atime = 0l;
+    d_mtime = 0l;
+    d_length = 0L;
+    d_type = Char.code '|';
+    d_dev = 0;
+  }
+
+let stream_of n =
+  match n.f with
+  | Data0 -> Some n.inst.s0
+  | Data1 -> Some n.inst.s1
+  | Root -> None
+
+let fs eng =
+  {
+    Ninep.Server.fs_name = "pipe";
+    fs_attach =
+      (fun ~uname:_ ~aname:_ ->
+        (* every attach is a fresh pipe, like #| *)
+        let s0, s1 = Streams.Pipe.create eng in
+        Ok { inst = { s0; s1 }; f = Root; opened = false });
+    fs_qid = (fun n -> qid_of n.f);
+    fs_walk =
+      (fun n name ->
+        match (n.f, name) with
+        | Root, "data" ->
+          n.f <- Data0;
+          Ok n
+        | Root, "data1" ->
+          n.f <- Data1;
+          Ok n
+        | Root, ".." -> Ok n
+        | (Data0 | Data1), ".." ->
+          n.f <- Root;
+          Ok n
+        | (Root | Data0 | Data1), _ -> Error "file does not exist");
+    fs_open =
+      (fun n _mode ~trunc:_ ->
+        n.opened <- true;
+        Ok ());
+    fs_read =
+      (fun n ~offset ~count ->
+        if not n.opened then Error "not open"
+        else
+          match stream_of n with
+          | None ->
+            Ok
+              (Ninep.Server.dir_data
+                 [ stat_of Data0; stat_of Data1 ]
+                 ~offset ~count)
+          | Some s -> Ok (Streams.read s count));
+    fs_write =
+      (fun n ~offset:_ ~data ->
+        if not n.opened then Error "not open"
+        else
+          match stream_of n with
+          | None -> Error "permission denied"
+          | Some s ->
+            if Streams.closed s then Error "write on closed pipe"
+            else begin
+              Streams.write s data;
+              Ok (String.length data)
+            end);
+    fs_create = (fun _ ~name:_ ~perm:_ _ -> Error "permission denied");
+    fs_remove = (fun _ -> Error "permission denied");
+    fs_stat = (fun n -> Ok (stat_of n.f));
+    fs_wstat = (fun _ _ -> Error "permission denied");
+    fs_clunk =
+      (fun n ->
+        if n.opened then begin
+          n.opened <- false;
+          match stream_of n with
+          | Some s -> Streams.close s
+          | None -> ()
+        end);
+    fs_clone = (fun n -> { inst = n.inst; f = n.f; opened = false });
+  }
+
+let pipe eng env =
+  let ops = fs eng in
+  let root =
+    Vfs.Chan.attach ~devid:(Vfs.Ns.fresh_devid (Vfs.Env.ns env)) ops
+      ~uname:(Vfs.Env.uname env) ~aname:""
+  in
+  let end_of name =
+    match Vfs.Chan.walk1 root name with
+    | Ok c ->
+      Vfs.Chan.open_ c Ninep.Fcall.Ordwr;
+      Vfs.Env.install_chan env c ~path:("/dev/pipe/" ^ name)
+    | Error e -> raise (Vfs.Chan.Error e)
+  in
+  let fd0 = end_of "data" in
+  let fd1 = end_of "data1" in
+  (fd0, fd1)

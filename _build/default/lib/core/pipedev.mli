@@ -1,0 +1,16 @@
+(** The pipe device (paper section 2.4: "Asynchronous communications
+    channels such as pipes ... are implemented using streams").
+
+    Each attach of the device creates a fresh in-kernel stream pipe and
+    serves a one-level directory holding its two ends, [data] and
+    [data1] — Plan 9's [#|].  {!pipe} is the [pipe(2)] system call:
+    it attaches a fresh instance and returns both ends as descriptors
+    in the caller's table. *)
+
+type node
+
+val fs : Sim.Engine.t -> node Ninep.Server.fs
+
+val pipe : Sim.Engine.t -> Vfs.Env.t -> Vfs.Env.fd * Vfs.Env.fd
+(** A connected pair of descriptors; writes on one end are delimited
+    messages readable from the other. *)

@@ -1,0 +1,155 @@
+type t = {
+  eng : Sim.Engine.t;
+  ether : Netsim.Ether.t;
+  dk : Dk.Switch.t;
+  db : Ndb.t;
+  mutable hosts : (string * Host.t) list;
+}
+
+let create ?seed ?(ether_loss = 0.) ?(ether_bandwidth = 10e6) ~db () =
+  let eng = Sim.Engine.create ?seed () in
+  {
+    eng;
+    ether =
+      Netsim.Ether.create ~bandwidth_bps:ether_bandwidth ~loss:ether_loss
+        ~name:"ether0" eng;
+    dk = Dk.Switch.create ~name:"dk" eng;
+    db;
+    hosts = [];
+  }
+
+let add_host ?il_config ?tcp_config ?dns_server t name =
+  let h =
+    Host.create ?il_config ?tcp_config ?dns_server ~ether:t.ether ~dk:t.dk
+      ~db:t.db ~name t.eng
+  in
+  t.hosts <- (name, h) :: t.hosts;
+  h
+
+let host t name = List.assoc name t.hosts
+let run ?until t = Sim.Engine.run ?until t.eng
+
+let bell_labs_ndb =
+  {|#
+# the canonical world, in the paper's own format (section 4.1)
+#
+ipnet=mh-astro-net ip=135.104.0.0 ipmask=255.255.255.0
+	fs=bootes.research.bell-labs.com
+	auth=musca
+	dns=135.104.9.31
+ipnet=unix-room ip=135.104.9.0
+	ipgw=135.104.9.1
+
+dknet=nj/astro
+	auth=musca
+
+sys = helix
+	dom=helix.research.bell-labs.com
+	bootf=/mips/9power
+	ip=135.104.9.31 ether=0800690222f0
+	dk=nj/astro/helix
+	proto=il flavor=9cpu
+
+sys = musca
+	dom=musca.research.bell-labs.com
+	ip=135.104.9.6 ether=0800690222f1
+	dk=nj/astro/musca
+	proto=il
+
+sys = bootes
+	dom=bootes.research.bell-labs.com
+	ip=135.104.9.2 ether=0800690222f2
+	proto=il flavor=9fs
+
+sys = ai
+	ip=135.104.9.99 ether=08006902fff9
+
+sys = philw-gnot
+	dk=nj/astro/philw-gnot
+	flavor=9term
+
+# a diskless terminal: only its ether address is configured; the rest
+# comes from the boot protocol
+sys = gnot-diskless
+	ip=135.104.9.40 ether=08006902d15c
+	bootf=/mips/9power
+
+# delegation: the mit.edu zone lives on ai
+nsfor=mit.edu ns=135.104.9.99
+
+tcp=echo	port=7
+tcp=discard	port=9
+tcp=systat	port=11
+tcp=daytime	port=13
+tcp=ftp	port=21
+tcp=telnet	port=23
+tcp=login	port=513
+tcp=exportfs	port=17007
+tcp=cpu	port=17010
+il=echo	port=56
+il=9fs	port=17008
+il=exportfs	port=17007
+il=cpu	port=17010
+il=rexauth	port=17021
+udp=dns	port=53
+|}
+
+let mit_zone_ndb = "dom=ai.mit.edu ip=135.104.9.99\n"
+
+let bell_labs ?seed ?ether_loss ?(cpu_commands = []) () =
+  let db = Ndb.of_string bell_labs_ndb in
+  let w = create ?seed ?ether_loss ~db () in
+  let helix = add_host ~dns_server:true w "helix" in
+  let musca = add_host w "musca" in
+  let _bootes = add_host w "bootes" in
+  let ai = add_host w "ai" in
+  let _gnot = add_host w "philw-gnot" in
+  Host.serve_exportfs helix;
+  Host.serve_echo helix;
+  Host.serve_exportfs musca;
+  Host.serve_echo musca;
+  (* the cpu service: stock commands plus any the caller supplies *)
+  Cpu_cmd.serve helix
+    ~commands:
+      (cpu_commands
+      @ [
+        ("hostname", fun _env ~args:_ -> "helix\n");
+        ( "echo",
+          fun _env ~args -> String.concat " " args ^ "\n" );
+        ( "cat",
+          fun env ~args ->
+            String.concat ""
+              (List.map
+                 (fun p -> Vfs.Env.read_file env ("/mnt/term" ^ p))
+                 args) );
+        ( "wc",
+          fun env ~args ->
+            String.concat ""
+              (List.map
+                 (fun p ->
+                   Printf.sprintf "%d %s\n"
+                     (String.length
+                        (Vfs.Env.read_file env ("/mnt/term" ^ p)))
+                     p)
+                 args) );
+        ]);
+  (* the mit.edu zone is answered by ai itself *)
+  (match ai.Host.udp with
+  | Some udp -> ignore (Dns.serve_zone udp ~db:(Ndb.of_string mit_zone_ndb))
+  | None -> ());
+  (* a telnet-ish banner service on ai, for the gateway example *)
+  ignore
+    (Listener.start w.eng ai.Host.env ~addr:"tcp!*!telnet"
+       ~handler:(fun env _conn ~data_fd ->
+         ignore (Vfs.Env.write env data_fd "ai.mit.edu login: ");
+         let rec echo_lines () =
+           let s = Vfs.Env.read env data_fd 8192 in
+           if s <> "" then begin
+             ignore
+               (Vfs.Env.write env data_fd
+                  (Printf.sprintf "Last login by %s\n" (String.trim s)));
+             echo_lines ()
+           end
+         in
+         echo_lines ()));
+  w

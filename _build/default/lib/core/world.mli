@@ -1,0 +1,55 @@
+(** Canned worlds for examples, tests, and benchmarks.
+
+    {!bell_labs} reproduces the environment of the paper's examples: a
+    CPU server [helix] on both the Ethernet and Datakit, an auth
+    server [musca], a terminal [philw-gnot] that has {e only} a Datakit
+    connection (the gateway example of section 6.1), and a DNS zone
+    with [ai.mit.edu] behind a delegation, all described by an ndb in
+    the paper's own format. *)
+
+type t = {
+  eng : Sim.Engine.t;
+  ether : Netsim.Ether.t;
+  dk : Dk.Switch.t;
+  db : Ndb.t;
+  mutable hosts : (string * Host.t) list;
+}
+
+val create :
+  ?seed:int ->
+  ?ether_loss:float ->
+  ?ether_bandwidth:float ->
+  db:Ndb.t ->
+  unit ->
+  t
+(** Fresh media + engine; no hosts yet. *)
+
+val add_host :
+  ?il_config:Inet.Il.config ->
+  ?tcp_config:Inet.Tcp.config ->
+  ?dns_server:bool ->
+  t ->
+  string ->
+  Host.t
+(** Boot a host from its database entry and remember it. *)
+
+val host : t -> string -> Host.t
+(** @raise Not_found *)
+
+val run : ?until:float -> t -> unit
+
+val bell_labs_ndb : string
+(** The ndb text for the canonical world (paper-style entries). *)
+
+val bell_labs :
+  ?seed:int ->
+  ?ether_loss:float ->
+  ?cpu_commands:(string * Cpu_cmd.command) list ->
+  unit ->
+  t
+(** The canonical world, fully booted: hosts [helix] (CPU server with
+    the cpu service — stock commands hostname/echo/cat/wc plus
+    [cpu_commands] — ether + dk, DNS server, exportfs + echo services),
+    [musca] (ether + dk, exportfs + echo), [bootes] (the network's
+    file server), [ai] (ether, a distant Internet host), and
+    [philw-gnot] (Datakit only). *)

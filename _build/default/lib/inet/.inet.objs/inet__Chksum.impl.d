@@ -1,0 +1,1 @@
+lib/inet/chksum.ml: Char String

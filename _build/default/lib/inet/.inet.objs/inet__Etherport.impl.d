@@ -1,0 +1,1 @@
+lib/inet/etherport.ml: Lazy List Netsim Printf Sim

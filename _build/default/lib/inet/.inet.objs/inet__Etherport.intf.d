@@ -1,0 +1,1 @@
+lib/inet/etherport.mli: Netsim Sim

@@ -1,0 +1,1 @@
+lib/inet/il.ml: Block Bytes Char Chksum Float Hashtbl Ip Ipaddr Lazy List Logs Printf Random Sim String

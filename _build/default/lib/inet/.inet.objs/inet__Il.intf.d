@@ -1,0 +1,1 @@
+lib/inet/il.mli: Ip Ipaddr Sim

@@ -1,0 +1,1 @@
+lib/inet/ip.ml: Bytes Char Chksum Etherport Hashtbl Int32 Ipaddr List Logs Netsim Printf Sim String

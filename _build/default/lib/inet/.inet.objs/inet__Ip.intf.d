@@ -1,0 +1,1 @@
+lib/inet/ip.mli: Etherport Ipaddr Netsim Sim

@@ -1,0 +1,1 @@
+lib/inet/ipaddr.ml: Format Int32 Printf String

@@ -1,0 +1,1 @@
+lib/inet/tcp.ml: Block Buffer Bytes Char Chksum Float Hashtbl Ip Ipaddr Lazy Logs Printf Random Sim String

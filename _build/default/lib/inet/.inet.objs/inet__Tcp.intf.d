@@ -1,0 +1,1 @@
+lib/inet/tcp.mli: Ip Ipaddr Sim

@@ -1,0 +1,1 @@
+lib/inet/udp.ml: Bytes Char Chksum Hashtbl Ip Ipaddr Printf Sim String

@@ -1,0 +1,1 @@
+lib/inet/udp.mli: Ip Ipaddr Sim

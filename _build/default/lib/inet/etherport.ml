@@ -1,0 +1,117 @@
+type conn = {
+  id : int;
+  driver : t;
+  mutable ptype : int;
+  mutable promiscuous : bool;
+  mutable rx : Netsim.Ether.frame -> unit;
+  mutable open_ : bool;
+}
+
+and t = {
+  eng : Sim.Engine.t;
+  nic : Netsim.Ether.nic;
+  mutable connections : conn list;  (* ascending id *)
+  mutable next_id : int;
+  inbox : Netsim.Ether.frame Sim.Mbox.t;
+  kproc : Sim.Proc.t;
+}
+
+let distribute driver frame =
+  let mine = Netsim.Ether.nic_addr driver.nic in
+  List.iter
+    (fun c ->
+      if c.open_ then begin
+        let type_match = c.ptype = -1 || c.ptype = frame.Netsim.Ether.etype in
+        let addr_match =
+          c.promiscuous
+          || frame.Netsim.Ether.dst = mine
+          || frame.Netsim.Ether.dst = Netsim.Eaddr.broadcast
+        in
+        if type_match && addr_match then c.rx frame
+      end)
+    driver.connections
+
+let create eng nic =
+  let inbox = Sim.Mbox.create eng in
+  let rec driver =
+    lazy
+      {
+        eng;
+        nic;
+        connections = [];
+        next_id = 0;
+        inbox;
+        kproc =
+          Sim.Proc.spawn eng ~name:"etherkproc" (fun () ->
+              let rec loop () =
+                let frame = Sim.Mbox.recv inbox in
+                distribute (Lazy.force driver) frame;
+                loop ()
+              in
+              loop ());
+      }
+  in
+  let driver = Lazy.force driver in
+  (* interrupt side: just queue and wake the kernel process *)
+  Netsim.Ether.set_rx nic (fun frame -> Sim.Mbox.send inbox frame);
+  driver
+
+let engine t = t.eng
+let addr t = Netsim.Ether.nic_addr t.nic
+
+let connect t ptype =
+  let c =
+    {
+      id = t.next_id;
+      driver = t;
+      ptype;
+      promiscuous = false;
+      rx = ignore;
+      open_ = true;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.connections <- t.connections @ [ c ];
+  c
+
+let conn_type c = c.ptype
+let conn_id c = c.id
+let set_conn_type c ptype = c.ptype <- ptype
+
+let refresh_promiscuity t =
+  let any = List.exists (fun c -> c.open_ && c.promiscuous) t.connections in
+  Netsim.Ether.set_promiscuous t.nic any
+
+let set_promiscuous c b =
+  c.promiscuous <- b;
+  refresh_promiscuity c.driver
+
+let send c ~dst payload =
+  Netsim.Ether.transmit c.driver.nic
+    {
+      Netsim.Ether.src = Netsim.Ether.nic_addr c.driver.nic;
+      dst;
+      etype = c.ptype;
+      payload;
+    }
+
+let set_rx c fn = c.rx <- fn
+
+let close_conn c =
+  c.open_ <- false;
+  c.driver.connections <- List.filter (fun x -> x.id <> c.id) c.driver.connections;
+  refresh_promiscuity c.driver
+
+let conns t = List.filter (fun c -> c.open_) t.connections
+
+let stats_text t =
+  let s = Netsim.Ether.nic_stats t.nic in
+  Printf.sprintf
+    "addr: %s\nin: %d\nout: %d\nin bytes: %d\nout bytes: %d\ncrc errs: %d\noverflows: %d\nconnections: %d\n"
+    (Netsim.Eaddr.to_string (Netsim.Ether.nic_addr t.nic))
+    s.Netsim.Ether.in_packets s.Netsim.Ether.out_packets
+    s.Netsim.Ether.in_bytes s.Netsim.Ether.out_bytes s.Netsim.Ether.crc_errors
+    s.Netsim.Ether.overflows
+    (List.length t.connections)
+
+let shutdown t = Sim.Proc.kill t.kproc

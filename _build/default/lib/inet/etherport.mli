@@ -1,0 +1,55 @@
+(** The LANCE-style Ethernet driver (paper section 2.2, Figure 1).
+
+    One driver per interface.  User-level entities open {e connections},
+    each configured for an Ethernet packet type: "Writing the string
+    [connect 2048] to the [ctl] file sets the packet type to 2048 and
+    configures the connection to receive all IP packets sent to the
+    machine."  If several connections select the same type, each
+    receives a copy; type [-1] selects all packets; promiscuous
+    connections see traffic addressed to other stations too.
+
+    Reception follows the paper's interrupt discipline: the medium's
+    delivery callback (interrupt context) only queues the frame; a
+    kernel process distributes copies to connections. *)
+
+type t
+type conn
+
+val create : Sim.Engine.t -> Netsim.Ether.nic -> t
+(** Start the driver and its kernel process. *)
+
+val engine : t -> Sim.Engine.t
+val addr : t -> Netsim.Eaddr.t
+
+val connect : t -> int -> conn
+(** Allocate a connection for the given packet type (-1 = all). *)
+
+val conn_type : conn -> int
+val conn_id : conn -> int
+
+val set_conn_type : conn -> int -> unit
+(** What writing [connect n] to an open connection's ctl file does. *)
+
+val set_promiscuous : conn -> bool -> unit
+(** Also flips the interface itself into promiscuous mode while at
+    least one connection wants it. *)
+
+val send : conn -> dst:Netsim.Eaddr.t -> string -> unit
+(** Transmit a frame: "Writing the file queues a packet for
+    transmission after appending a packet header containing the source
+    address and packet type." *)
+
+val set_rx : conn -> (Netsim.Ether.frame -> unit) -> unit
+(** Frame consumer, invoked from the driver's kernel process. *)
+
+val close_conn : conn -> unit
+
+val conns : t -> conn list
+(** Open connections, lowest-numbered first. *)
+
+val stats_text : t -> string
+(** The ASCII contents of the [stats] file: interface address,
+    input/output counts, error statistics. *)
+
+val shutdown : t -> unit
+(** Kill the kernel process (tests). *)

@@ -1,0 +1,655 @@
+let src = Logs.Src.create "il" ~doc:"IL protocol"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let header_len = 18
+
+type msg_type = Sync | Data | Dataquery | Ack | Query | State | Close | Reset
+
+let type_code = function
+  | Sync -> 0
+  | Data -> 1
+  | Dataquery -> 2
+  | Ack -> 3
+  | Query -> 4
+  | State -> 5
+  | Close -> 6
+  | Reset -> 7
+
+let type_of_code = function
+  | 0 -> Some Sync
+  | 1 -> Some Data
+  | 2 -> Some Dataquery
+  | 3 -> Some Ack
+  | 4 -> Some Query
+  | 5 -> Some State
+  | 6 -> Some Close
+  | 7 -> Some Reset
+  | _ -> None
+
+type config = {
+  window : int;
+  min_timeout : float;
+  max_timeout : float;
+  death_time : float;
+  ack_delay : float;
+  fast_recovery : bool;
+  cpu : Sim.Cpu.t option;
+  cost_per_msg : float;
+  cost_per_byte : float;
+}
+
+let default_config =
+  {
+    window = 20;
+    min_timeout = 0.05;
+    max_timeout = 4.0;
+    death_time = 30.0;
+    ack_delay = 0.02;
+    fast_recovery = true;
+    cpu = None;
+    cost_per_msg = 0.;
+    cost_per_byte = 0.;
+  }
+
+type counters = {
+  mutable msgs_sent : int;
+  mutable msgs_rcvd : int;
+  mutable bytes_sent : int;
+  mutable bytes_rcvd : int;
+  mutable retransmits : int;
+  mutable retransmitted_bytes : int;
+  mutable queries_sent : int;
+  mutable dups_dropped : int;
+  mutable out_of_window : int;
+  mutable resets : int;
+}
+
+type conv_state = SClosed | SSyncer | SSyncee | SEstablished | SClosing
+
+exception Refused of string
+exception Timeout of string
+exception Hungup
+
+type conv = {
+  cid : int;
+  stack : stack;
+  lport : int;
+  rport : int;
+  raddr : Ipaddr.t;
+  mutable state : conv_state;
+  mutable start : int;  (* our initial sequence number *)
+  mutable next : int;  (* next id we will send *)
+  mutable rstart : int;  (* peer's initial sequence number *)
+  mutable recvd : int;  (* highest in-order id received *)
+  mutable unacked : (int * string) list;  (* ascending ids awaiting ack *)
+  mutable oow : (int * string) list;  (* out-of-order buffer, ascending *)
+  rq : Block.Q.t;
+  wwait : Sim.Rendez.t;  (* writers waiting for window space *)
+  estwait : Sim.Rendez.t;  (* connect/close waiters *)
+  mutable srtt : float;
+  mutable mdev : float;
+  mutable backoff : int;
+  mutable timeout_at : float;  (* 0. = no pending retransmit timer *)
+  mutable death_at : float;
+  mutable ack_due : float;  (* 0. = no delayed ack pending *)
+  mutable rtt_id : int;  (* message being timed, 0 = none *)
+  mutable rtt_sent_at : float;
+  mutable err : string option;
+  mutable close_sent : bool;
+}
+
+and listener = {
+  lstack : stack;
+  lis_port : int;
+  accepts : conv Sim.Mbox.t;
+  mutable lis_open : bool;
+}
+
+and stack = {
+  eng : Sim.Engine.t;
+  ip : Ip.stack;
+  cfg : config;
+  convs : (int * int * int32, conv) Hashtbl.t;  (* lport, rport, raddr *)
+  listeners : (int, listener) Hashtbl.t;
+  mutable next_port : int;
+  mutable next_cid : int;
+  stats : counters;
+  ticker : Sim.Time.ticker;
+}
+
+let engine st = st.eng
+let counters st = st.stats
+let local_addr st = Ip.addr st.ip
+let conv_id c = c.cid
+let local_port c = c.lport
+let remote_port c = c.rport
+let remote_addr c = c.raddr
+let rtt_estimate c = c.srtt
+
+let state_name c =
+  match c.state with
+  | SClosed -> "Closed"
+  | SSyncer -> "Syncer"
+  | SSyncee -> "Syncee"
+  | SEstablished -> "Established"
+  | SClosing -> "Closing"
+
+let status c =
+  Printf.sprintf "il/%d %d %s sent %d rcvd %d unacked %d window %d rtt %.0fms"
+    c.cid c.lport (state_name c) (c.next - c.start - 1) (c.recvd - c.rstart)
+    (List.length c.unacked) c.stack.cfg.window (c.srtt *. 1000.)
+
+(* ---- wire format ---- *)
+
+let put16 b off v =
+  Bytes.set b off (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 1) (Char.chr (v land 0xff))
+
+let put32 b off v =
+  put16 b off ((v lsr 16) land 0xffff);
+  put16 b (off + 2) (v land 0xffff)
+
+let get16 s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+let get32 s off = (get16 s off lsl 16) lor get16 s (off + 2)
+
+let encode ~ty ~sport ~dport ~id ~ack payload =
+  let len = header_len + String.length payload in
+  let b = Bytes.create len in
+  put16 b 0 0;
+  put16 b 2 len;
+  Bytes.set b 4 (Char.chr (type_code ty));
+  Bytes.set b 5 '\000';
+  put16 b 6 sport;
+  put16 b 8 dport;
+  put32 b 10 id;
+  put32 b 14 ack;
+  Bytes.blit_string payload 0 b header_len (String.length payload);
+  let sum = Chksum.checksum (Bytes.to_string b) in
+  put16 b 0 sum;
+  Bytes.to_string b
+
+type packet = {
+  p_ty : msg_type;
+  p_sport : int;
+  p_dport : int;
+  p_id : int;
+  p_ack : int;
+  p_data : string;
+}
+
+let decode pkt =
+  if String.length pkt < header_len then None
+  else if not (Chksum.valid pkt) then None
+  else if get16 pkt 2 <> String.length pkt then None
+  else
+    match type_of_code (Char.code pkt.[4]) with
+    | None -> None
+    | Some ty ->
+      Some
+        {
+          p_ty = ty;
+          p_sport = get16 pkt 6;
+          p_dport = get16 pkt 8;
+          p_id = get32 pkt 10;
+          p_ack = get32 pkt 14;
+          p_data = String.sub pkt header_len (String.length pkt - header_len);
+        }
+
+(* ---- output ---- *)
+
+let raw_output st ~dst pkt =
+  match st.cfg.cpu with
+  | None -> Ip.send st.ip ~proto:Ip.proto_il ~dst pkt
+  | Some cpu ->
+    let cost =
+      st.cfg.cost_per_msg
+      +. (st.cfg.cost_per_byte *. float_of_int (String.length pkt))
+    in
+    Sim.Cpu.run_after cpu cost (fun () ->
+        Ip.send st.ip ~proto:Ip.proto_il ~dst pkt)
+
+let xmit c ty ~id ?(data = "") () =
+  (* every outgoing message acknowledges what we have received *)
+  if ty = Data || ty = Ack then c.ack_due <- 0.;
+  raw_output c.stack ~dst:c.raddr
+    (encode ~ty ~sport:c.lport ~dport:c.rport ~id ~ack:c.recvd data)
+
+let rto c =
+  let t = c.srtt +. (4. *. c.mdev) in
+  let t = t *. float_of_int (1 lsl min c.backoff 6) in
+  min c.stack.cfg.max_timeout (max c.stack.cfg.min_timeout t)
+
+let arm_timer c =
+  c.timeout_at <- Sim.Engine.now c.stack.eng +. rto c
+
+let arm_death c =
+  c.death_at <- Sim.Engine.now c.stack.eng +. c.stack.cfg.death_time
+
+(* ---- teardown ---- *)
+
+let conv_key c = (c.lport, c.rport, Ipaddr.to_int32 c.raddr)
+
+let destroy c reason =
+  if c.state <> SClosed then begin
+    c.state <- SClosed;
+    c.err <- reason;
+    Hashtbl.remove c.stack.convs (conv_key c);
+    Block.Q.force_put c.rq (Block.hangup ());
+    Block.Q.close c.rq;
+    Sim.Rendez.wakeup_all c.wwait;
+    Sim.Rendez.wakeup_all c.estwait
+  end
+
+(* ---- rtt ---- *)
+
+let rtt_sample c sample =
+  if c.srtt = 0. then begin
+    c.srtt <- sample;
+    c.mdev <- sample /. 2.
+  end
+  else begin
+    let err = sample -. c.srtt in
+    (* adapt quickly upward: on a window-limited sender the measured
+       round trip includes queueing behind the whole window, and a slow
+       climb means a storm of spurious queries *)
+    let gain = if err > 0. then 2. else 8. in
+    c.srtt <- c.srtt +. (err /. gain);
+    c.mdev <- c.mdev +. ((Float.abs err -. c.mdev) /. 4.)
+  end
+
+(* ---- ack processing ---- *)
+
+let process_ack c ack =
+  let before = List.length c.unacked in
+  c.unacked <- List.filter (fun (id, _) -> id > ack) c.unacked;
+  let acked = before - List.length c.unacked in
+  if acked > 0 then begin
+    if c.rtt_id <> 0 && ack >= c.rtt_id then begin
+      rtt_sample c (Sim.Engine.now c.stack.eng -. c.rtt_sent_at);
+      c.rtt_id <- 0
+    end;
+    c.backoff <- 0;
+    arm_death c;
+    if c.unacked = [] then c.timeout_at <- 0. else arm_timer c;
+    Sim.Rendez.wakeup_all c.wwait
+  end
+
+(* ---- receive path ---- *)
+
+let deliver c data =
+  c.stack.stats.msgs_rcvd <- c.stack.stats.msgs_rcvd + 1;
+  c.stack.stats.bytes_rcvd <- c.stack.stats.bytes_rcvd + String.length data;
+  Block.Q.force_put c.rq (Block.make ~delim:true data)
+
+let schedule_ack c =
+  if c.ack_due = 0. then
+    c.ack_due <- Sim.Engine.now c.stack.eng +. c.stack.cfg.ack_delay
+
+let send_ack_now c =
+  xmit c Ack ~id:(c.next - 1) ();
+  c.ack_due <- 0.
+
+let rec drain_oow c =
+  match c.oow with
+  | (id, data) :: rest when id = c.recvd + 1 ->
+    c.oow <- rest;
+    c.recvd <- id;
+    deliver c data;
+    drain_oow c
+  | (id, _) :: rest when id <= c.recvd ->
+    c.oow <- rest;
+    drain_oow c
+  | _ :: _ | [] -> ()
+
+let handle_data c (p : packet) =
+  if p.p_id = c.recvd + 1 then begin
+    c.recvd <- p.p_id;
+    deliver c p.p_data;
+    drain_oow c;
+    schedule_ack c
+  end
+  else if p.p_id <= c.recvd then begin
+    c.stack.stats.dups_dropped <- c.stack.stats.dups_dropped + 1;
+    (* a duplicate usually means our ack was lost: re-ack at once *)
+    send_ack_now c
+  end
+  else if p.p_id - c.recvd <= c.stack.cfg.window then begin
+    if not (List.mem_assoc p.p_id c.oow) then
+      c.oow <-
+        List.sort (fun (a, _) (b, _) -> compare a b) ((p.p_id, p.p_data) :: c.oow);
+    (* a gap means a message was lost: volunteer our sequence state so
+       the sender can resend the missing one without waiting for its
+       query timer (the timer remains the backstop) *)
+    let buffered = List.length c.oow in
+    if c.stack.cfg.fast_recovery && (buffered = 1 || buffered mod 8 = 0)
+    then xmit c State ~id:(c.next - 1) ()
+    else schedule_ack c
+  end
+  else c.stack.stats.out_of_window <- c.stack.stats.out_of_window + 1
+
+let retransmit_missing c peer_ack =
+  (* resend only the oldest message the peer lacks (as the real IL
+     did): later ones are usually still in flight, and the receiver's
+     window buffers successors, so one resend unlocks a cumulative
+     ack.  This is what keeps IL polite in congestion. *)
+  match List.find_opt (fun (id, _) -> id > peer_ack) c.unacked with
+  | Some (id, data) ->
+    c.stack.stats.retransmits <- c.stack.stats.retransmits + 1;
+    c.stack.stats.retransmitted_bytes <-
+      c.stack.stats.retransmitted_bytes + String.length data;
+    (* Karn: a message that was retransmitted must not contribute a
+       round-trip sample — it would fold the whole recovery delay into
+       srtt *)
+    c.rtt_id <- 0;
+    xmit c Data ~id ~data ();
+    c.backoff <- c.backoff + 1;
+    arm_timer c
+  | None -> ()
+
+let handle_packet c (p : packet) =
+  match c.state with
+  | SClosed -> ()
+  | SSyncer -> (
+    match p.p_ty with
+    | Sync when p.p_ack = c.start ->
+      c.rstart <- p.p_id;
+      c.recvd <- p.p_id;
+      c.state <- SEstablished;
+      c.timeout_at <- 0.;
+      c.backoff <- 0;
+      arm_death c;
+      send_ack_now c;
+      Sim.Rendez.wakeup_all c.estwait
+    | Reset -> destroy c (Some "connection refused")
+    | Sync | Data | Dataquery | Ack | Query | State | Close -> ())
+  | SSyncee -> (
+    match p.p_ty with
+    | (Ack | Data | Dataquery) when p.p_ack >= c.start ->
+      c.state <- SEstablished;
+      c.timeout_at <- 0.;
+      c.backoff <- 0;
+      arm_death c;
+      (match Hashtbl.find_opt c.stack.listeners c.lport with
+      | Some lis when lis.lis_open -> Sim.Mbox.send lis.accepts c
+      | Some _ | None -> ());
+      (match p.p_ty with
+      | Data | Dataquery -> handle_data c p
+      | Ack | Sync | Query | State | Close | Reset -> ())
+    | Sync when p.p_id = c.rstart ->
+      (* retransmitted sync from the peer: re-answer *)
+      xmit c Sync ~id:c.start ()
+    | Reset -> destroy c (Some "reset")
+    | Sync | Ack | Data | Dataquery | Query | State | Close -> ())
+  | SEstablished | SClosing -> (
+    match p.p_ty with
+    | Data ->
+      process_ack c p.p_ack;
+      handle_data c p
+    | Dataquery ->
+      process_ack c p.p_ack;
+      handle_data c p;
+      xmit c State ~id:(c.next - 1) ()
+    | Ack -> process_ack c p.p_ack
+    | Query ->
+      (* the query carries the peer's sequence state; answer with ours *)
+      process_ack c p.p_ack;
+      xmit c State ~id:(c.next - 1) ()
+    | State ->
+      process_ack c p.p_ack;
+      (* only now do we learn what the peer is missing: resend exactly
+         that — never blind retransmission *)
+      retransmit_missing c p.p_ack
+    | Sync ->
+      (* our establishing ack was lost *)
+      if p.p_id = c.rstart then send_ack_now c
+    | Close ->
+      process_ack c p.p_ack;
+      if p.p_id > c.recvd then c.recvd <- p.p_id;
+      if not c.close_sent then begin
+        c.close_sent <- true;
+        let id = c.next in
+        c.next <- c.next + 1;
+        xmit c Close ~id ()
+      end;
+      destroy c None
+    | Reset ->
+      c.stack.stats.resets <- c.stack.stats.resets + 1;
+      destroy c (Some "reset"))
+
+let send_reset st ~dst ~sport ~dport ~id =
+  raw_output st ~dst (encode ~ty:Reset ~sport ~dport ~id ~ack:id "")
+
+let new_isn st =
+  1 + Random.State.int (Sim.Engine.random st.eng) 0xffffff
+
+let make_conv st ~lport ~rport ~raddr ~state ~start ~rstart =
+  let c =
+    {
+      cid = st.next_cid;
+      stack = st;
+      lport;
+      rport;
+      raddr;
+      state;
+      start;
+      next = start + 1;
+      rstart;
+      recvd = rstart;
+      unacked = [];
+      oow = [];
+      rq = Block.Q.create st.eng;
+      wwait = Sim.Rendez.create st.eng;
+      estwait = Sim.Rendez.create st.eng;
+      srtt = 0.;
+      mdev = 0.;
+      backoff = 0;
+      timeout_at = 0.;
+      death_at = Sim.Engine.now st.eng +. st.cfg.death_time;
+      ack_due = 0.;
+      rtt_id = 0;
+      rtt_sent_at = 0.;
+      err = None;
+      close_sent = false;
+    }
+  in
+  st.next_cid <- st.next_cid + 1;
+  Hashtbl.replace st.convs (conv_key c) c;
+  c
+
+let input st ~src:sa ~dst:_ pkt =
+  match decode pkt with
+  | None -> ()
+  | Some p -> (
+    match
+      Hashtbl.find_opt st.convs (p.p_dport, p.p_sport, Ipaddr.to_int32 sa)
+    with
+    | Some c -> handle_packet c p
+    | None -> (
+      match (p.p_ty, Hashtbl.find_opt st.listeners p.p_dport) with
+      | Sync, Some lis when lis.lis_open ->
+        let c =
+          make_conv st ~lport:p.p_dport ~rport:p.p_sport ~raddr:sa
+            ~state:SSyncee ~start:(new_isn st) ~rstart:p.p_id
+        in
+        arm_timer c;
+        xmit c Sync ~id:c.start ()
+      | Reset, _ -> ()
+      | (Sync | Data | Dataquery | Ack | Query | State | Close), _ ->
+        send_reset st ~dst:sa ~sport:p.p_dport ~dport:p.p_sport ~id:p.p_id))
+
+(* ---- the protocol clock ---- *)
+
+let tick_conv c =
+  let now = Sim.Engine.now c.stack.eng in
+  match c.state with
+  | SClosed -> ()
+  | SSyncer | SSyncee ->
+    if now >= c.death_at then destroy c (Some "connect timed out")
+    else if c.timeout_at > 0. && now >= c.timeout_at then begin
+      c.backoff <- c.backoff + 1;
+      xmit c Sync ~id:c.start ();
+      arm_timer c
+    end
+  | SEstablished | SClosing ->
+    if c.ack_due > 0. && now >= c.ack_due then send_ack_now c;
+    if c.unacked <> [] || c.state = SClosing then begin
+      if now >= c.death_at then destroy c (Some "connection timed out")
+      else if c.timeout_at > 0. && now >= c.timeout_at then begin
+        if c.state = SClosing && c.close_sent then begin
+          c.backoff <- c.backoff + 1;
+          xmit c Close ~id:(c.next - 1) ();
+          arm_timer c
+        end
+        else begin
+          (* a timeout sends a small query, not the data *)
+          c.stack.stats.queries_sent <- c.stack.stats.queries_sent + 1;
+          c.backoff <- c.backoff + 1;
+          xmit c Query ~id:(c.next - 1) ();
+          arm_timer c
+        end
+      end
+    end
+
+let tick st = Hashtbl.iter (fun _ c -> tick_conv c) st.convs
+
+let attach ?(config = default_config) ip =
+  let eng = Ip.engine ip in
+  let rec st =
+    lazy
+      {
+        eng;
+        ip;
+        cfg = config;
+        convs = Hashtbl.create 31;
+        listeners = Hashtbl.create 7;
+        next_port = 5000;
+        next_cid = 0;
+        stats =
+          {
+            msgs_sent = 0;
+            msgs_rcvd = 0;
+            bytes_sent = 0;
+            bytes_rcvd = 0;
+            retransmits = 0;
+            retransmitted_bytes = 0;
+            queries_sent = 0;
+            dups_dropped = 0;
+            out_of_window = 0;
+            resets = 0;
+          };
+        ticker = Sim.Time.every eng 0.01 (fun () -> tick (Lazy.force st));
+      }
+  in
+  let st = Lazy.force st in
+  Ip.register_proto ip ~proto:Ip.proto_il (fun ~src ~dst pkt ->
+      match config.cpu with
+      | None -> input st ~src ~dst pkt
+      | Some cpu ->
+        let cost =
+          config.cost_per_msg
+          +. (config.cost_per_byte *. float_of_int (String.length pkt))
+        in
+        Sim.Cpu.run_after cpu cost (fun () -> input st ~src ~dst pkt));
+  st
+
+let alloc_port st =
+  let rec try_port n =
+    let p = 5000 + (n mod 60000) in
+    let used =
+      Hashtbl.fold (fun (lp, _, _) _ acc -> acc || lp = p) st.convs false
+      || Hashtbl.mem st.listeners p
+    in
+    if used then try_port (n + 1) else p
+  in
+  let p = try_port (st.next_port - 5000) in
+  st.next_port <- p + 1;
+  p
+
+let connect ?lport st ~raddr ~rport =
+  let lport = match lport with Some p -> p | None -> alloc_port st in
+  let c =
+    make_conv st ~lport ~rport ~raddr ~state:SSyncer ~start:(new_isn st)
+      ~rstart:0
+  in
+  c.recvd <- 0;
+  arm_timer c;
+  xmit c Sync ~id:c.start ();
+  while c.state = SSyncer do
+    Sim.Rendez.sleep c.estwait
+  done;
+  (match (c.state, c.err) with
+  | SEstablished, _ -> ()
+  | _, Some "connect timed out" -> raise (Timeout "il connect")
+  | _, Some reason -> raise (Refused reason)
+  | _, None -> raise (Refused "closed"));
+  c
+
+let announce st ~port =
+  if Hashtbl.mem st.listeners port then
+    invalid_arg (Printf.sprintf "Il.announce: port %d in use" port);
+  let lis =
+    { lstack = st; lis_port = port; accepts = Sim.Mbox.create st.eng;
+      lis_open = true }
+  in
+  Hashtbl.replace st.listeners port lis;
+  lis
+
+let listen lis = Sim.Mbox.recv lis.accepts
+
+let close_listener lis =
+  lis.lis_open <- false;
+  Hashtbl.remove lis.lstack.listeners lis.lis_port
+
+let write c data =
+  (match c.state with
+  | SEstablished -> ()
+  | SClosed | SClosing | SSyncer | SSyncee -> raise Hungup);
+  while
+    c.state = SEstablished
+    && List.length c.unacked >= c.stack.cfg.window
+  do
+    Sim.Rendez.sleep c.wwait
+  done;
+  if c.state <> SEstablished then raise Hungup;
+  let id = c.next in
+  c.next <- id + 1;
+  c.unacked <- c.unacked @ [ (id, data) ];
+  c.stack.stats.msgs_sent <- c.stack.stats.msgs_sent + 1;
+  c.stack.stats.bytes_sent <- c.stack.stats.bytes_sent + String.length data;
+  if c.rtt_id = 0 then begin
+    c.rtt_id <- id;
+    c.rtt_sent_at <- Sim.Engine.now c.stack.eng
+  end;
+  if c.timeout_at = 0. then begin
+    arm_timer c;
+    arm_death c
+  end;
+  xmit c Data ~id ~data ()
+
+let read c n = Block.Q.read c.rq n
+
+let read_msg c =
+  match Block.Q.get c.rq with
+  | Some b -> Some (Block.to_string b)
+  | None -> None
+
+let close c =
+  match c.state with
+  | SClosed -> ()
+  | SSyncer | SSyncee -> destroy c None
+  | SClosing -> ()
+  | SEstablished ->
+    c.state <- SClosing;
+    c.close_sent <- true;
+    let id = c.next in
+    c.next <- id + 1;
+    xmit c Close ~id ();
+    arm_timer c;
+    arm_death c;
+    (* the peer's Close (handled above) destroys the conversation;
+       don't block the closer — Plan 9's close doesn't linger *)
+    ()
+
+let _ = ignore Log.debug
+let _ = fun (st : stack) -> st.ticker

@@ -1,0 +1,123 @@
+(** IL, the Internet Link protocol (paper section 3).
+
+    "IL is a lightweight protocol designed to be encapsulated by IP.
+    It is a connection-based protocol providing reliable transmission
+    of sequenced messages between machines."  Properties implemented
+    here, all from the paper:
+
+    - reliable datagram service with sequenced delivery (each write is
+      one delimited message; reads never cross a message boundary);
+    - runs over IP (protocol number 40), using IP fragmentation for
+      messages larger than the MTU;
+    - no flow control, but "a small outstanding message window prevents
+      too many incoming messages from being buffered; messages outside
+      the window are discarded and must be retransmitted";
+    - two-way handshake generating initial sequence numbers at each end;
+    - {e no blind retransmission}: on timeout the sender transmits a
+      small [query] carrying its sequence state; the peer answers with
+      a [state] message and only the messages the peer is actually
+      missing are resent — "this allows the protocol to behave well in
+      congested networks, where blind retransmission would cause
+      further congestion";
+    - adaptive timeouts from a round-trip timer, "to perform well on
+      both the Internet and on local Ethernets".
+
+    The wire format is the historical one: an 18-byte header
+    [sum len type spec srcport dstport id ack] in front of the data. *)
+
+type stack
+(** The per-host IL protocol instance. *)
+
+type conv
+(** One conversation. *)
+
+type listener
+
+type config = {
+  window : int;  (** outstanding-message window (default 20) *)
+  min_timeout : float;  (** floor for the query timeout (default 0.05 s) *)
+  max_timeout : float;  (** ceiling (default 4 s) *)
+  death_time : float;  (** give up after this long unacked (default 30 s) *)
+  ack_delay : float;  (** delayed-ack holdoff (default 0.02 s) *)
+  fast_recovery : bool;
+      (** receiver volunteers a [state] message on detecting a sequence
+          gap (default true); disable to measure the pure
+          query-timeout protocol (the ablation bench does) *)
+  cpu : Sim.Cpu.t option;  (** host CPU for cost modelling *)
+  cost_per_msg : float;  (** CPU seconds per packet handled *)
+  cost_per_byte : float;  (** CPU seconds per payload byte *)
+}
+
+val default_config : config
+
+type counters = {
+  mutable msgs_sent : int;
+  mutable msgs_rcvd : int;
+  mutable bytes_sent : int;
+  mutable bytes_rcvd : int;
+  mutable retransmits : int;
+  mutable retransmitted_bytes : int;
+  mutable queries_sent : int;
+  mutable dups_dropped : int;
+  mutable out_of_window : int;
+  mutable resets : int;
+}
+
+val attach : ?config:config -> Ip.stack -> stack
+(** Register IL with the IP stack.  One per host. *)
+
+val engine : stack -> Sim.Engine.t
+val counters : stack -> counters
+val local_addr : stack -> Ipaddr.t
+
+exception Refused of string
+(** Connection reset or rejected by the peer. *)
+
+exception Timeout of string
+(** Handshake or data death-timer expiry. *)
+
+exception Hungup
+(** Write on a closed/hung-up conversation. *)
+
+val connect : ?lport:int -> stack -> raddr:Ipaddr.t -> rport:int -> conv
+(** Active open; blocks the calling process until established.
+    @raise Refused or @raise Timeout on failure. *)
+
+val announce : stack -> port:int -> listener
+(** Passive open.  @raise Invalid_argument if the port is taken. *)
+
+val listen : listener -> conv
+(** Block until an incoming call is established. *)
+
+val close_listener : listener -> unit
+
+val write : conv -> string -> unit
+(** Send one message (delimited; sequenced; reliable).  Blocks while
+    the outstanding-message window is full.
+    @raise Hungup once the conversation is down. *)
+
+val read : conv -> int -> string
+(** Read up to [n] bytes; never crosses a message boundary; [""] at end
+    of conversation. *)
+
+val read_msg : conv -> string option
+(** Read one whole message; [None] at end of conversation. *)
+
+val close : conv -> unit
+(** Orderly close (close handshake with the peer). *)
+
+val conv_id : conv -> int
+val local_port : conv -> int
+val remote_port : conv -> int
+val remote_addr : conv -> Ipaddr.t
+
+val status : conv -> string
+(** State name plus window/timer detail, like reading the [status]
+    file. *)
+
+val state_name : conv -> string
+(** [Closed], [Syncer], [Syncee], [Established], [Listening],
+    [Closing]. *)
+
+val rtt_estimate : conv -> float
+(** Current smoothed round-trip estimate in seconds. *)

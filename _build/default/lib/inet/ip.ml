@@ -1,0 +1,418 @@
+let src = Logs.Src.create "ip" ~doc:"simulated IP layer"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let proto_il = 40
+let proto_tcp = 6
+let proto_udp = 17
+let etype_ip = 0x0800
+let etype_arp = 0x0806
+let header_len = 20
+let arp_ttl = 600.
+let arp_retries = 3
+let arp_retry_interval = 1.0
+let reasm_timeout = 30.
+
+type counters = {
+  mutable ip_in : int;
+  mutable ip_out : int;
+  mutable ip_bad_checksum : int;
+  mutable ip_no_proto : int;
+  mutable ip_reasm_drops : int;
+  mutable arp_misses : int;
+  mutable arp_unresolved_drops : int;
+  mutable ip_forwarded : int;
+  mutable ip_ttl_exceeded : int;
+}
+
+type arp_state =
+  | Resolved of Netsim.Eaddr.t * float  (* address, expiry *)
+  | Pending of string list ref * int ref  (* queued raw IP packets, tries *)
+
+type reasm = {
+  mutable frags : (int * bool * string) list;  (* offset, more, data *)
+  mutable born : float;
+}
+
+type stack = {
+  eng : Sim.Engine.t;
+  port : Etherport.t;
+  ipconn : Etherport.conn;
+  arpconn : Etherport.conn;
+  my_addr : Ipaddr.t;
+  my_mask : Ipaddr.t;
+  gw : Ipaddr.t option;
+  mtu_ : int;
+  protos : (int, src:Ipaddr.t -> dst:Ipaddr.t -> string -> unit) Hashtbl.t;
+  arp : (int32, arp_state) Hashtbl.t;
+  reasm_tbl : (int32 * int, reasm) Hashtbl.t;  (* src, ipid *)
+  mutable next_ipid : int;
+  stats : counters;
+  (* a router hands non-local packets here; None on hosts *)
+  mutable forward : (string -> unit) option;
+}
+
+let engine t = t.eng
+let addr t = t.my_addr
+let mask t = t.my_mask
+let gateway t = t.gw
+let mtu t = t.mtu_
+let counters t = t.stats
+
+exception No_route of Ipaddr.t
+
+(* -------- byte-level encode/decode helpers -------- *)
+
+let put16 b off v =
+  Bytes.set b off (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 1) (Char.chr (v land 0xff))
+
+let put32 b off v =
+  put16 b off (Int32.to_int (Int32.shift_right_logical v 16));
+  put16 b (off + 2) (Int32.to_int (Int32.logand v 0xffffl))
+
+let get16 s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+
+let get32 s off =
+  Int32.logor
+    (Int32.shift_left (Int32.of_int (get16 s off)) 16)
+    (Int32.of_int (get16 s (off + 2)))
+
+(* Ethernet addresses travel on the wire as 6 raw bytes. *)
+let eaddr_to_raw e =
+  let s = Netsim.Eaddr.to_string e in
+  String.init 6 (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+let eaddr_of_raw s off =
+  Netsim.Eaddr.of_string
+    (String.concat ""
+       (List.init 6 (fun i -> Printf.sprintf "%02x" (Char.code s.[off + i]))))
+
+(* -------- IP header -------- *)
+
+let encode_header ~len ~ipid ~frag_off ~more ~proto ~src:sa ~dst:da =
+  let b = Bytes.make header_len '\000' in
+  Bytes.set b 0 '\x45';
+  put16 b 2 len;
+  put16 b 4 ipid;
+  put16 b 6 (((if more then 1 else 0) lsl 13) lor (frag_off / 8));
+  Bytes.set b 8 '\x40' (* ttl 64 *);
+  Bytes.set b 9 (Char.chr proto);
+  put32 b 12 (Ipaddr.to_int32 sa);
+  put32 b 16 (Ipaddr.to_int32 da);
+  let sum = Chksum.finish (Chksum.ones_sum (Bytes.to_string b) 0 header_len) in
+  put16 b 10 sum;
+  Bytes.to_string b
+
+type header = {
+  h_len : int;
+  h_ipid : int;
+  h_frag_off : int;
+  h_more : bool;
+  h_proto : int;
+  h_src : Ipaddr.t;
+  h_dst : Ipaddr.t;
+}
+
+let decode_header pkt =
+  if String.length pkt < header_len then None
+  else if Char.code pkt.[0] <> 0x45 then None
+  else if
+    let v = ref (Chksum.ones_sum pkt 0 header_len) in
+    (while !v lsr 16 <> 0 do
+       v := (!v land 0xffff) + (!v lsr 16)
+     done;
+     !v)
+    <> 0xffff
+  then None
+  else
+    let fragword = get16 pkt 6 in
+    Some
+      {
+        h_len = get16 pkt 2;
+        h_ipid = get16 pkt 4;
+        h_frag_off = (fragword land 0x1fff) * 8;
+        h_more = fragword land 0x2000 <> 0;
+        h_proto = Char.code pkt.[9];
+        h_src = Ipaddr.of_int32 (get32 pkt 12);
+        h_dst = Ipaddr.of_int32 (get32 pkt 16);
+      }
+
+(* -------- ARP -------- *)
+
+let encode_arp ~op ~sha ~spa ~tha ~tpa =
+  let b = Bytes.make 28 '\000' in
+  put16 b 0 1;
+  put16 b 2 etype_ip;
+  Bytes.set b 4 '\006';
+  Bytes.set b 5 '\004';
+  put16 b 6 op;
+  Bytes.blit_string (eaddr_to_raw sha) 0 b 8 6;
+  put32 b 14 (Ipaddr.to_int32 spa);
+  Bytes.blit_string (eaddr_to_raw tha) 0 b 18 6;
+  put32 b 24 (Ipaddr.to_int32 tpa);
+  Bytes.to_string b
+
+let transmit_raw t ~dst_ether raw =
+  Etherport.send t.ipconn ~dst:dst_ether raw
+
+let arp_request t target =
+  Etherport.send t.arpconn ~dst:Netsim.Eaddr.broadcast
+    (encode_arp ~op:1 ~sha:(Etherport.addr t.port) ~spa:t.my_addr
+       ~tha:Netsim.Eaddr.broadcast ~tpa:target)
+
+let rec arp_retry t target =
+  match Hashtbl.find_opt t.arp (Ipaddr.to_int32 target) with
+  | Some (Pending (queued, tries)) ->
+    if !tries >= arp_retries then begin
+      t.stats.arp_unresolved_drops <-
+        t.stats.arp_unresolved_drops + List.length !queued;
+      Hashtbl.remove t.arp (Ipaddr.to_int32 target);
+      Log.debug (fun m -> m "arp: giving up on %a" Ipaddr.pp target)
+    end
+    else begin
+      incr tries;
+      arp_request t target;
+      Sim.Engine.after t.eng arp_retry_interval (fun () -> arp_retry t target)
+    end
+  | Some (Resolved _) | None -> ()
+
+let resolve_and_send t nexthop raw =
+  let key = Ipaddr.to_int32 nexthop in
+  match Hashtbl.find_opt t.arp key with
+  | Some (Resolved (ea, expiry)) when Sim.Engine.now t.eng < expiry ->
+    transmit_raw t ~dst_ether:ea raw
+  | Some (Pending (queued, _)) -> queued := raw :: !queued
+  | Some (Resolved _) | None ->
+    t.stats.arp_misses <- t.stats.arp_misses + 1;
+    Hashtbl.replace t.arp key (Pending (ref [ raw ], ref 1));
+    arp_request t nexthop;
+    Sim.Engine.after t.eng arp_retry_interval (fun () -> arp_retry t nexthop)
+
+let arp_input t (frame : Netsim.Ether.frame) =
+  let p = frame.Netsim.Ether.payload in
+  if String.length p >= 28 && get16 p 0 = 1 && get16 p 2 = etype_ip then begin
+    let op = get16 p 6 in
+    let sha = eaddr_of_raw p 8 in
+    let spa = Ipaddr.of_int32 (get32 p 14) in
+    let tpa = Ipaddr.of_int32 (get32 p 24) in
+    (* learn the sender either way *)
+    let key = Ipaddr.to_int32 spa in
+    let queued =
+      match Hashtbl.find_opt t.arp key with
+      | Some (Pending (q, _)) -> List.rev !q
+      | Some (Resolved _) | None -> []
+    in
+    Hashtbl.replace t.arp key
+      (Resolved (sha, Sim.Engine.now t.eng +. arp_ttl));
+    List.iter (fun raw -> transmit_raw t ~dst_ether:sha raw) queued;
+    if op = 1 && Ipaddr.equal tpa t.my_addr then
+      Etherport.send t.arpconn ~dst:frame.Netsim.Ether.src
+        (encode_arp ~op:2 ~sha:(Etherport.addr t.port) ~spa:t.my_addr
+           ~tha:sha ~tpa:spa)
+  end
+
+(* -------- receive path -------- *)
+
+let dispatch t ~src:sa ~dst:da ~proto payload =
+  match Hashtbl.find_opt t.protos proto with
+  | Some handler -> handler ~src:sa ~dst:da payload
+  | None -> t.stats.ip_no_proto <- t.stats.ip_no_proto + 1
+
+let reassemble t h payload =
+  let key = (Ipaddr.to_int32 h.h_src, h.h_ipid) in
+  let r =
+    match Hashtbl.find_opt t.reasm_tbl key with
+    | Some r -> r
+    | None ->
+      let r = { frags = []; born = Sim.Engine.now t.eng } in
+      Hashtbl.replace t.reasm_tbl key r;
+      Sim.Engine.after t.eng reasm_timeout (fun () ->
+          if Hashtbl.mem t.reasm_tbl key then begin
+            Hashtbl.remove t.reasm_tbl key;
+            t.stats.ip_reasm_drops <- t.stats.ip_reasm_drops + 1
+          end);
+      r
+  in
+  r.frags <- (h.h_frag_off, h.h_more, payload) :: r.frags;
+  (* complete iff we have a no-more fragment and contiguous coverage *)
+  let sorted =
+    List.sort (fun (a, _, _) (b, _, _) -> compare a b) r.frags
+  in
+  let rec check expected = function
+    | [] -> None
+    | (off, more, data) :: rest ->
+      if off <> expected then None
+      else if more then check (expected + String.length data) rest
+      else if rest = [] then Some (expected + String.length data)
+      else None
+  in
+  match check 0 sorted with
+  | None -> None
+  | Some _total ->
+    Hashtbl.remove t.reasm_tbl key;
+    Some (String.concat "" (List.map (fun (_, _, d) -> d) sorted))
+
+let ip_input t (frame : Netsim.Ether.frame) =
+  match decode_header frame.Netsim.Ether.payload with
+  | None -> t.stats.ip_bad_checksum <- t.stats.ip_bad_checksum + 1
+  | Some h ->
+    let p = frame.Netsim.Ether.payload in
+    if String.length p < h.h_len then
+      t.stats.ip_bad_checksum <- t.stats.ip_bad_checksum + 1
+    else begin
+      t.stats.ip_in <- t.stats.ip_in + 1;
+      let payload = String.sub p header_len (h.h_len - header_len) in
+      if
+        Ipaddr.equal h.h_dst t.my_addr
+        || Ipaddr.equal h.h_dst Ipaddr.broadcast
+      then begin
+        if h.h_frag_off = 0 && not h.h_more then
+          dispatch t ~src:h.h_src ~dst:h.h_dst ~proto:h.h_proto payload
+        else
+          match reassemble t h payload with
+          | Some whole ->
+            dispatch t ~src:h.h_src ~dst:h.h_dst ~proto:h.h_proto whole
+          | None -> ()
+      end
+      else
+        match t.forward with
+        | Some fwd -> fwd (String.sub p 0 h.h_len)
+        | None -> () (* hosts silently drop transit packets *)
+    end
+
+(* -------- send path -------- *)
+
+let send t ~proto ~dst payload =
+  if Ipaddr.equal dst t.my_addr then
+    (* loopback: deliver on the next tick, no wire *)
+    Sim.Engine.after t.eng 0. (fun () ->
+        dispatch t ~src:t.my_addr ~dst ~proto payload)
+  else begin
+    let nexthop =
+      if Ipaddr.in_subnet dst ~net:t.my_addr ~mask:t.my_mask then dst
+      else
+        match t.gw with Some gw -> gw | None -> raise (No_route dst)
+    in
+    let ipid = t.next_ipid in
+    t.next_ipid <- (t.next_ipid + 1) land 0xffff;
+    let max_data = t.mtu_ - header_len in
+    (* fragment offsets must be multiples of 8 *)
+    let max_data = max_data - (max_data mod 8) in
+    let total = String.length payload in
+    let rec emit off =
+      let remaining = total - off in
+      let take = min max_data remaining in
+      let more = off + take < total in
+      let hdr =
+        encode_header ~len:(header_len + take) ~ipid ~frag_off:off ~more
+          ~proto ~src:t.my_addr ~dst
+      in
+      t.stats.ip_out <- t.stats.ip_out + 1;
+      resolve_and_send t nexthop (hdr ^ String.sub payload off take);
+      if more then emit (off + take)
+    in
+    emit 0
+  end
+
+let register_proto t ~proto handler =
+  if Hashtbl.mem t.protos proto then
+    invalid_arg (Printf.sprintf "Ip.register_proto: %d taken" proto);
+  Hashtbl.replace t.protos proto handler
+
+let create ?(mtu = 1500) ?gateway ~addr:my_addr ~mask:my_mask port =
+  let eng = Etherport.engine port in
+  let t =
+    {
+      eng;
+      port;
+      ipconn = Etherport.connect port etype_ip;
+      arpconn = Etherport.connect port etype_arp;
+      my_addr;
+      my_mask;
+      gw = gateway;
+      mtu_ = mtu;
+      protos = Hashtbl.create 7;
+      arp = Hashtbl.create 17;
+      reasm_tbl = Hashtbl.create 7;
+      next_ipid = 1;
+      stats =
+        {
+          ip_in = 0;
+          ip_out = 0;
+          ip_bad_checksum = 0;
+          ip_no_proto = 0;
+          ip_reasm_drops = 0;
+          arp_misses = 0;
+          arp_unresolved_drops = 0;
+          ip_forwarded = 0;
+          ip_ttl_exceeded = 0;
+        };
+      forward = None;
+    }
+  in
+  Etherport.set_rx t.ipconn (fun frame -> ip_input t frame);
+  Etherport.set_rx t.arpconn (fun frame -> arp_input t frame);
+  t
+
+(* re-emit a (possibly fragmented) raw IP packet toward its
+   destination on this interface's segment, TTL already decremented *)
+let emit_raw t raw dst =
+  let nexthop =
+    if Ipaddr.in_subnet dst ~net:t.my_addr ~mask:t.my_mask then dst
+    else match t.gw with Some gw -> gw | None -> raise (No_route dst)
+  in
+  t.stats.ip_out <- t.stats.ip_out + 1;
+  resolve_and_send t nexthop raw
+
+let make_router stacks =
+  let forward_from ingress raw =
+    if String.length raw >= header_len then begin
+      let ttl = Char.code raw.[8] in
+      if ttl <= 1 then
+        ingress.stats.ip_ttl_exceeded <- ingress.stats.ip_ttl_exceeded + 1
+      else begin
+        let b = Bytes.of_string raw in
+        Bytes.set b 8 (Char.chr (ttl - 1));
+        (* patch the header checksum for the new TTL *)
+        put16 b 10 0;
+        let sum =
+          Chksum.finish (Chksum.ones_sum (Bytes.to_string b) 0 header_len)
+        in
+        put16 b 10 sum;
+        let raw = Bytes.to_string b in
+        let dst = Ipaddr.of_int32 (get32 raw 16) in
+        let egress =
+          List.find_opt
+            (fun st ->
+              st != ingress
+              && Ipaddr.in_subnet dst ~net:st.my_addr ~mask:st.my_mask)
+            stacks
+        in
+        match egress with
+        | Some st -> (
+          ingress.stats.ip_forwarded <- ingress.stats.ip_forwarded + 1;
+          try emit_raw st raw dst with No_route _ -> ())
+        | None -> (
+          (* try any interface with a further gateway *)
+          match
+            List.find_opt (fun st -> st != ingress && st.gw <> None) stacks
+          with
+          | Some st -> (
+            ingress.stats.ip_forwarded <- ingress.stats.ip_forwarded + 1;
+            try emit_raw st raw dst with No_route _ -> ())
+          | None -> ())
+      end
+    end
+  in
+  List.iter (fun st -> st.forward <- Some (forward_from st)) stacks
+
+let arp_cache_dump t =
+  Hashtbl.fold
+    (fun k v acc ->
+      match v with
+      | Resolved (ea, _) -> (Ipaddr.of_int32 k, ea) :: acc
+      | Pending _ -> acc)
+    t.arp []
+  |> List.sort (fun (a, _) (b, _) -> Ipaddr.compare a b)

@@ -1,0 +1,84 @@
+(** A host's IP layer over a simulated Ethernet (paper section 2.3's
+    "Internet (IP) protocol suite" substrate).
+
+    Handles ARP resolution on the local segment, classless subnet
+    routing through one default gateway, IP header checksums, and
+    fragmentation/reassembly (IL and UDP rely on IP fragmentation for
+    messages larger than the medium's MTU).
+
+    Transport handlers ({!register_proto}) run in the Ethernet driver's
+    kernel process; they may block only on their own conversation
+    queues, never indefinitely, or they would stall the interface. *)
+
+type stack
+
+val proto_il : int
+(** 40 — IL's IP protocol number. *)
+
+val proto_tcp : int
+(** 6 *)
+
+val proto_udp : int
+(** 17 *)
+
+val create :
+  ?mtu:int ->
+  ?gateway:Ipaddr.t ->
+  addr:Ipaddr.t ->
+  mask:Ipaddr.t ->
+  Etherport.t ->
+  stack
+(** Attach an IP stack to an Ethernet driver: opens one connection for
+    packet type 2048 (IP) and one for 2054 (ARP).  [mtu] defaults to
+    1500 bytes of IP packet. *)
+
+val engine : stack -> Sim.Engine.t
+val addr : stack -> Ipaddr.t
+val mask : stack -> Ipaddr.t
+val gateway : stack -> Ipaddr.t option
+val mtu : stack -> int
+
+exception No_route of Ipaddr.t
+(** Destination off-subnet and no gateway configured. *)
+
+val send : stack -> proto:int -> dst:Ipaddr.t -> string -> unit
+(** Transmit one IP packet (fragmenting if needed).  Packets to the
+    stack's own address loop back locally.  ARP misses queue the packet
+    and resolve asynchronously; unresolvable destinations are dropped
+    after the retry budget (a counter records it). *)
+
+val register_proto :
+  stack -> proto:int -> (src:Ipaddr.t -> dst:Ipaddr.t -> string -> unit) -> unit
+(** Install the handler for an IP protocol number.
+    @raise Invalid_argument if already registered. *)
+
+type counters = {
+  mutable ip_in : int;
+  mutable ip_out : int;
+  mutable ip_bad_checksum : int;
+  mutable ip_no_proto : int;
+  mutable ip_reasm_drops : int;
+  mutable arp_misses : int;
+  mutable arp_unresolved_drops : int;
+  mutable ip_forwarded : int;
+  mutable ip_ttl_exceeded : int;
+}
+
+val counters : stack -> counters
+
+val arp_cache_dump : stack -> (Ipaddr.t * Netsim.Eaddr.t) list
+(** For the diagnostic interfaces (paper: "user-level protocols like
+    ARP" are visible through the driver's files). *)
+
+(** {1 Forwarding}
+
+    A gateway machine (the paper's subnet entries name one with
+    [ipgw=]) has an interface on each network; {!make_router} stitches
+    the stacks together: packets arriving at any interface for a
+    non-local destination are re-emitted on the interface whose subnet
+    contains it, with the TTL decremented.  Fragments are forwarded as
+    fragments. *)
+
+val make_router : stack list -> unit
+(** Enable mutual forwarding between the given interfaces (they should
+    be on different segments). *)

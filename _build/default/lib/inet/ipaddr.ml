@@ -1,0 +1,45 @@
+type t = int32
+
+let of_int32 i = i
+let to_int32 i = i
+let compare = Int32.compare
+let equal = Int32.equal
+
+let of_string_opt s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+    let byte x =
+      match int_of_string_opt x with
+      | Some v when v >= 0 && v <= 255 -> Some v
+      | Some _ | None -> None
+    in
+    match (byte a, byte b, byte c, byte d) with
+    | Some a, Some b, Some c, Some d ->
+      Some
+        (Int32.logor
+           (Int32.shift_left (Int32.of_int a) 24)
+           (Int32.of_int ((b lsl 16) lor (c lsl 8) lor d)))
+    | _, _, _, _ -> None)
+  | _ -> None
+
+let of_string s =
+  match of_string_opt s with
+  | Some t -> t
+  | None -> invalid_arg ("Ipaddr.of_string: " ^ s)
+
+let to_string t =
+  let b n = Int32.to_int (Int32.logand (Int32.shift_right_logical t n) 0xffl) in
+  Printf.sprintf "%d.%d.%d.%d" (b 24) (b 16) (b 8) (b 0)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let any = 0l
+let broadcast = 0xffffffffl
+let logand = Int32.logand
+
+let in_subnet t ~net ~mask = Int32.equal (logand t mask) (logand net mask)
+
+let class_mask t =
+  let top = Int32.to_int (Int32.shift_right_logical t 24) in
+  if top < 128 then 0xff000000l
+  else if top < 192 then 0xffff0000l
+  else 0xffffff00l

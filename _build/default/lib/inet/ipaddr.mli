@@ -1,0 +1,30 @@
+(** IPv4 addresses and masks. *)
+
+type t
+(** An IPv4 address (immutable). *)
+
+val of_string : string -> t
+(** Dotted decimal.  @raise Invalid_argument on malformed input. *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+val of_int32 : int32 -> t
+val to_int32 : t -> int32
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val any : t
+(** 0.0.0.0 — the "*" of announce strings. *)
+
+val broadcast : t
+(** 255.255.255.255 *)
+
+val logand : t -> t -> t
+(** Bitwise AND (address & mask). *)
+
+val in_subnet : t -> net:t -> mask:t -> bool
+
+val class_mask : t -> t
+(** The classful (A/B/C) natural mask of an address — what ndb uses
+    when an [ipnet] entry gives no [ipmask]. *)

@@ -1,0 +1,671 @@
+let src = Logs.Src.create "tcp" ~doc:"baseline TCP"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let header_len = 20
+let flag_fin = 1
+let flag_syn = 2
+let flag_rst = 4
+let flag_ack = 16
+
+type config = {
+  mss : int;
+  send_window : int;
+  recv_window : int;
+  min_rto : float;
+  max_rto : float;
+  death_time : float;
+  cpu : Sim.Cpu.t option;
+  cost_per_seg : float;
+  cost_per_byte : float;
+}
+
+let default_config =
+  {
+    mss = 1460;
+    send_window = 8 * 1460;
+    recv_window = 64 * 1024;
+    min_rto = 0.1;
+    max_rto = 8.0;
+    death_time = 60.0;
+    cpu = None;
+    cost_per_seg = 0.;
+    cost_per_byte = 0.;
+  }
+
+type counters = {
+  mutable segs_sent : int;
+  mutable segs_rcvd : int;
+  mutable bytes_sent : int;
+  mutable bytes_rcvd : int;
+  mutable retransmits : int;
+  mutable retransmitted_bytes : int;
+  mutable out_of_order_dropped : int;
+  mutable resets : int;
+}
+
+type tstate =
+  | TClosed
+  | TSynSent
+  | TSynRcvd
+  | TEstablished
+  | TFinWait1
+  | TFinWait2
+  | TCloseWait
+  | TLastAck
+  | TTimeWait
+
+exception Refused of string
+exception Timeout of string
+exception Hungup
+
+type conv = {
+  cid : int;
+  stack : stack;
+  lport : int;
+  rport : int;
+  raddr : Ipaddr.t;
+  mutable state : tstate;
+  mutable iss : int;  (* initial send sequence *)
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable snd_wnd : int;  (* peer-advertised window *)
+  mutable irs : int;
+  mutable rcv_nxt : int;
+  (* bytes from snd_una onward: retransmittable + unsent *)
+  txbuf : Buffer.t;
+  mutable tx_base : int;  (* sequence number of txbuf byte 0 *)
+  mutable fin_queued : bool;
+  rq : Block.Q.t;
+  wwait : Sim.Rendez.t;
+  estwait : Sim.Rendez.t;
+  mutable srtt : float;
+  mutable mdev : float;
+  mutable backoff : int;
+  mutable rto_at : float;  (* 0. = timer off *)
+  mutable death_at : float;
+  mutable rtt_seq : int;  (* sequence being timed; 0 = none *)
+  mutable rtt_sent_at : float;
+  mutable retransmitting : bool;  (* Karn: don't time retransmitted data *)
+  mutable err : string option;
+}
+
+and listener = {
+  lstack : stack;
+  lis_port : int;
+  accepts : conv Sim.Mbox.t;
+  mutable lis_open : bool;
+}
+
+and stack = {
+  eng : Sim.Engine.t;
+  ip : Ip.stack;
+  cfg : config;
+  convs : (int * int * int32, conv) Hashtbl.t;
+  listeners : (int, listener) Hashtbl.t;
+  mutable next_port : int;
+  mutable next_cid : int;
+  stats : counters;
+  ticker : Sim.Time.ticker;
+}
+
+let engine st = st.eng
+let counters st = st.stats
+let local_addr st = Ip.addr st.ip
+let conv_id c = c.cid
+let local_port c = c.lport
+let remote_port c = c.rport
+let remote_addr c = c.raddr
+
+let state_name c =
+  match c.state with
+  | TClosed -> "Closed"
+  | TSynSent -> "Syn_sent"
+  | TSynRcvd -> "Syn_received"
+  | TEstablished -> "Established"
+  | TFinWait1 -> "Finwait1"
+  | TFinWait2 -> "Finwait2"
+  | TCloseWait -> "Close_wait"
+  | TLastAck -> "Last_ack"
+  | TTimeWait -> "Time_wait"
+
+let status c =
+  Printf.sprintf "tcp/%d %d %s una %d nxt %d rcv %d rtt %.0fms" c.cid c.lport
+    (state_name c) c.snd_una c.snd_nxt c.rcv_nxt (c.srtt *. 1000.)
+
+(* ---- wire format ---- *)
+
+let put16 b off v =
+  Bytes.set b off (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 1) (Char.chr (v land 0xff))
+
+let put32 b off v =
+  put16 b off ((v lsr 16) land 0xffff);
+  put16 b (off + 2) (v land 0xffff)
+
+let get16 s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+let get32 s off = (get16 s off lsl 16) lor get16 s (off + 2)
+
+let encode ~sport ~dport ~seq ~ack ~flags ~window payload =
+  let len = header_len + String.length payload in
+  let b = Bytes.create len in
+  put16 b 0 sport;
+  put16 b 2 dport;
+  put32 b 4 seq;
+  put32 b 8 ack;
+  put16 b 12 ((5 lsl 12) lor flags);
+  put16 b 14 window;
+  put16 b 16 0;
+  put16 b 18 0;
+  Bytes.blit_string payload 0 b header_len (String.length payload);
+  let sum = Chksum.checksum (Bytes.to_string b) in
+  put16 b 16 sum;
+  Bytes.to_string b
+
+type segment = {
+  s_sport : int;
+  s_dport : int;
+  s_seq : int;
+  s_ack : int;
+  s_flags : int;
+  s_window : int;
+  s_data : string;
+}
+
+let decode pkt =
+  if String.length pkt < header_len then None
+  else if not (Chksum.valid pkt) then None
+  else
+    let off_flags = get16 pkt 12 in
+    let data_off = (off_flags lsr 12) * 4 in
+    if data_off < header_len || data_off > String.length pkt then None
+    else
+      Some
+        {
+          s_sport = get16 pkt 0;
+          s_dport = get16 pkt 2;
+          s_seq = get32 pkt 4;
+          s_ack = get32 pkt 8;
+          s_flags = off_flags land 0x3f;
+          s_window = get16 pkt 14;
+          s_data = String.sub pkt data_off (String.length pkt - data_off);
+        }
+
+(* ---- output ---- *)
+
+let raw_output st ~dst pkt =
+  match st.cfg.cpu with
+  | None -> Ip.send st.ip ~proto:Ip.proto_tcp ~dst pkt
+  | Some cpu ->
+    let cost =
+      st.cfg.cost_per_seg
+      +. (st.cfg.cost_per_byte *. float_of_int (String.length pkt))
+    in
+    Sim.Cpu.run_after cpu cost (fun () ->
+        Ip.send st.ip ~proto:Ip.proto_tcp ~dst pkt)
+
+let recv_window c =
+  max 0 (c.stack.cfg.recv_window - Block.Q.bytes c.rq)
+
+let xmit c ~seq ~flags data =
+  c.stack.stats.segs_sent <- c.stack.stats.segs_sent + 1;
+  raw_output c.stack ~dst:c.raddr
+    (encode ~sport:c.lport ~dport:c.rport ~seq ~ack:c.rcv_nxt
+       ~flags:(flags lor flag_ack) ~window:(recv_window c) data)
+
+(* the very first SYN carries no ACK — there is nothing to acknowledge *)
+let xmit_initial_syn c =
+  c.stack.stats.segs_sent <- c.stack.stats.segs_sent + 1;
+  raw_output c.stack ~dst:c.raddr
+    (encode ~sport:c.lport ~dport:c.rport ~seq:c.iss ~ack:0 ~flags:flag_syn
+       ~window:(recv_window c) "")
+
+let rto c =
+  let t = if c.srtt = 0. then 0.5 else c.srtt +. (4. *. c.mdev) in
+  let t = t *. float_of_int (1 lsl min c.backoff 6) in
+  min c.stack.cfg.max_rto (max c.stack.cfg.min_rto t)
+
+let arm_rto c = c.rto_at <- Sim.Engine.now c.stack.eng +. rto c
+let arm_death c = c.death_at <- Sim.Engine.now c.stack.eng +. c.stack.cfg.death_time
+
+let conv_key c = (c.lport, c.rport, Ipaddr.to_int32 c.raddr)
+
+let destroy c reason =
+  if c.state <> TClosed then begin
+    c.state <- TClosed;
+    c.err <- reason;
+    Hashtbl.remove c.stack.convs (conv_key c);
+    Block.Q.force_put c.rq (Block.hangup ());
+    Block.Q.close c.rq;
+    Sim.Rendez.wakeup_all c.wwait;
+    Sim.Rendez.wakeup_all c.estwait
+  end
+
+(* ---- sending machinery ---- *)
+
+(* Bytes [snd_una, tx_base + len txbuf) are retransmittable; bytes
+   [snd_nxt, ...) are yet unsent.  The txbuf is compacted as acks
+   arrive. *)
+
+let tx_limit c =
+  min c.stack.cfg.send_window (max c.snd_wnd c.stack.cfg.mss)
+
+let fin_seq c = c.tx_base + Buffer.length c.txbuf
+
+let push_segments c =
+  (* send any unsent bytes that fit in the window *)
+  let continue_ = ref true in
+  while !continue_ do
+    let unsent = c.tx_base + Buffer.length c.txbuf - c.snd_nxt in
+    let inflight = c.snd_nxt - c.snd_una in
+    let room = tx_limit c - inflight in
+    let take = min (min unsent room) c.stack.cfg.mss in
+    if take > 0 then begin
+      let off = c.snd_nxt - c.tx_base in
+      let data = Buffer.sub c.txbuf off take in
+      if c.rtt_seq = 0 && not c.retransmitting then begin
+        c.rtt_seq <- c.snd_nxt + take;
+        c.rtt_sent_at <- Sim.Engine.now c.stack.eng
+      end;
+      c.stack.stats.bytes_sent <- c.stack.stats.bytes_sent + take;
+      xmit c ~seq:c.snd_nxt ~flags:0 data;
+      c.snd_nxt <- c.snd_nxt + take;
+      if c.rto_at = 0. then begin
+        arm_rto c;
+        arm_death c
+      end
+    end
+    else begin
+      continue_ := false;
+      (* a queued FIN goes out once all data is sent *)
+      if
+        c.fin_queued && unsent = 0
+        && c.snd_nxt = fin_seq c
+        && (c.state = TFinWait1 || c.state = TLastAck)
+      then begin
+        xmit c ~seq:c.snd_nxt ~flags:flag_fin "";
+        c.snd_nxt <- c.snd_nxt + 1;
+        if c.rto_at = 0. then arm_rto c
+      end
+    end
+  done
+
+let retransmit_all c =
+  (* go-back-N: blind retransmission of everything outstanding *)
+  c.retransmitting <- true;
+  c.rtt_seq <- 0;
+  let outstanding = c.snd_nxt - c.snd_una in
+  let data_end = min c.snd_nxt (fin_seq c) in
+  let seq = ref c.snd_una in
+  while !seq < data_end do
+    let take = min (data_end - !seq) c.stack.cfg.mss in
+    let data = Buffer.sub c.txbuf (!seq - c.tx_base) take in
+    c.stack.stats.retransmits <- c.stack.stats.retransmits + 1;
+    c.stack.stats.retransmitted_bytes <-
+      c.stack.stats.retransmitted_bytes + take;
+    xmit c ~seq:!seq ~flags:0 data;
+    seq := !seq + take
+  done;
+  if c.fin_queued && c.snd_nxt > fin_seq c then begin
+    c.stack.stats.retransmits <- c.stack.stats.retransmits + 1;
+    xmit c ~seq:(fin_seq c) ~flags:flag_fin ""
+  end;
+  if outstanding > 0 || c.fin_queued then begin
+    c.backoff <- c.backoff + 1;
+    arm_rto c
+  end
+
+let process_ack c (s : segment) =
+  if s.s_flags land flag_ack <> 0 then begin
+    c.snd_wnd <- s.s_window;
+    let ack = s.s_ack in
+    if ack > c.snd_una && ack <= c.snd_nxt then begin
+      (* new data acknowledged *)
+      if c.rtt_seq <> 0 && ack >= c.rtt_seq then begin
+        let sample = Sim.Engine.now c.stack.eng -. c.rtt_sent_at in
+        if c.srtt = 0. then begin
+          c.srtt <- sample;
+          c.mdev <- sample /. 2.
+        end
+        else begin
+          let err = sample -. c.srtt in
+          c.srtt <- c.srtt +. (err /. 8.);
+          c.mdev <- c.mdev +. ((Float.abs err -. c.mdev) /. 4.)
+        end;
+        c.rtt_seq <- 0
+      end;
+      c.retransmitting <- false;
+      c.backoff <- 0;
+      arm_death c;
+      (* drop acked bytes from the front of txbuf *)
+      let data_acked = min ack (fin_seq c) in
+      let drop = data_acked - c.tx_base in
+      if drop > 0 then begin
+        let keep = Buffer.sub c.txbuf drop (Buffer.length c.txbuf - drop) in
+        Buffer.clear c.txbuf;
+        Buffer.add_string c.txbuf keep;
+        c.tx_base <- data_acked
+      end;
+      c.snd_una <- ack;
+      if c.snd_una = c.snd_nxt then c.rto_at <- 0. else arm_rto c;
+      Sim.Rendez.wakeup_all c.wwait
+    end
+  end
+
+(* ---- receive ---- *)
+
+let deliver c data =
+  if String.length data > 0 then begin
+    c.stack.stats.bytes_rcvd <- c.stack.stats.bytes_rcvd + String.length data;
+    (* no delimiters: a plain byte-stream block *)
+    Block.Q.force_put c.rq (Block.make ~delim:false data)
+  end
+
+let send_bare_ack c = xmit c ~seq:c.snd_nxt ~flags:0 ""
+
+let handle_established c (s : segment) =
+  process_ack c s;
+  if String.length s.s_data > 0 || s.s_flags land flag_fin <> 0 then begin
+    if s.s_seq = c.rcv_nxt then begin
+      c.rcv_nxt <- c.rcv_nxt + String.length s.s_data;
+      deliver c s.s_data;
+      if s.s_flags land flag_fin <> 0 then begin
+        c.rcv_nxt <- c.rcv_nxt + 1;
+        Block.Q.force_put c.rq (Block.hangup ());
+        (match c.state with
+        | TEstablished -> c.state <- TCloseWait
+        | TFinWait1 -> c.state <- TTimeWait (* simultaneous close *)
+        | TFinWait2 ->
+          c.state <- TTimeWait;
+          Sim.Engine.after c.stack.eng 1.0 (fun () -> destroy c None)
+        | TClosed | TSynSent | TSynRcvd | TCloseWait | TLastAck | TTimeWait
+          ->
+          ())
+      end;
+      send_bare_ack c
+    end
+    else begin
+      (* out of order or duplicate: drop, re-ack (forces go-back-N) *)
+      if s.s_seq > c.rcv_nxt then
+        c.stack.stats.out_of_order_dropped <-
+          c.stack.stats.out_of_order_dropped + 1;
+      send_bare_ack c
+    end
+  end
+
+let handle_segment c (s : segment) =
+  c.stack.stats.segs_rcvd <- c.stack.stats.segs_rcvd + 1;
+  if s.s_flags land flag_rst <> 0 then begin
+    c.stack.stats.resets <- c.stack.stats.resets + 1;
+    destroy c (Some "connection reset")
+  end
+  else
+    match c.state with
+    | TClosed -> ()
+    | TSynSent ->
+      if s.s_flags land flag_syn <> 0 && s.s_flags land flag_ack <> 0
+         && s.s_ack = c.iss + 1
+      then begin
+        c.irs <- s.s_seq;
+        c.rcv_nxt <- s.s_seq + 1;
+        c.snd_una <- s.s_ack;
+        c.snd_wnd <- s.s_window;
+        c.state <- TEstablished;
+        c.rto_at <- 0.;
+        c.backoff <- 0;
+        arm_death c;
+        send_bare_ack c;
+        Sim.Rendez.wakeup_all c.estwait
+      end
+    | TSynRcvd ->
+      if s.s_flags land flag_ack <> 0 && s.s_ack = c.iss + 1 then begin
+        c.snd_una <- s.s_ack;
+        c.snd_wnd <- s.s_window;
+        c.state <- TEstablished;
+        c.rto_at <- 0.;
+        c.backoff <- 0;
+        arm_death c;
+        (match Hashtbl.find_opt c.stack.listeners c.lport with
+        | Some lis when lis.lis_open -> Sim.Mbox.send lis.accepts c
+        | Some _ | None -> ());
+        if String.length s.s_data > 0 || s.s_flags land flag_fin <> 0 then
+          handle_established c s
+      end
+      else if s.s_flags land flag_syn <> 0 then
+        (* retransmitted SYN: repeat our SYN-ACK *)
+        xmit c ~seq:c.iss ~flags:flag_syn ""
+    | TEstablished | TFinWait1 | TFinWait2 | TCloseWait | TLastAck
+    | TTimeWait -> (
+      handle_established c s;
+      (* state progress on our FIN being acked *)
+      match c.state with
+      | TFinWait1 when c.snd_una = c.snd_nxt && c.fin_queued ->
+        c.state <- TFinWait2
+      | TLastAck when c.snd_una = c.snd_nxt -> destroy c None
+      | TTimeWait ->
+        Sim.Engine.after c.stack.eng 1.0 (fun () -> destroy c None)
+      | TClosed | TSynSent | TSynRcvd | TEstablished | TFinWait1
+      | TFinWait2 | TCloseWait | TLastAck ->
+        ())
+
+let send_rst st ~dst ~sport ~dport ~seq ~ack =
+  raw_output st ~dst
+    (encode ~sport ~dport ~seq ~ack ~flags:(flag_rst lor flag_ack) ~window:0
+       "")
+
+let new_iss st = 1 + Random.State.int (Sim.Engine.random st.eng) 0xffffff
+
+let make_conv st ~lport ~rport ~raddr ~state ~iss =
+  let c =
+    {
+      cid = st.next_cid;
+      stack = st;
+      lport;
+      rport;
+      raddr;
+      state;
+      iss;
+      snd_una = iss;
+      snd_nxt = iss + 1;
+      snd_wnd = st.cfg.mss;
+      irs = 0;
+      rcv_nxt = 0;
+      txbuf = Buffer.create 4096;
+      tx_base = iss + 1;
+      fin_queued = false;
+      rq = Block.Q.create ~limit:st.cfg.recv_window st.eng;
+      wwait = Sim.Rendez.create st.eng;
+      estwait = Sim.Rendez.create st.eng;
+      srtt = 0.;
+      mdev = 0.;
+      backoff = 0;
+      rto_at = 0.;
+      death_at = Sim.Engine.now st.eng +. st.cfg.death_time;
+      rtt_seq = 0;
+      rtt_sent_at = 0.;
+      retransmitting = false;
+      err = None;
+    }
+  in
+  st.next_cid <- st.next_cid + 1;
+  Hashtbl.replace st.convs (conv_key c) c;
+  c
+
+let input st ~src:sa ~dst:_ pkt =
+  match decode pkt with
+  | None -> ()
+  | Some s -> (
+    match
+      Hashtbl.find_opt st.convs (s.s_dport, s.s_sport, Ipaddr.to_int32 sa)
+    with
+    | Some c -> handle_segment c s
+    | None -> (
+      match Hashtbl.find_opt st.listeners s.s_dport with
+      | Some lis
+        when lis.lis_open
+             && s.s_flags land flag_syn <> 0
+             && s.s_flags land flag_ack = 0 ->
+        let c =
+          make_conv st ~lport:s.s_dport ~rport:s.s_sport ~raddr:sa
+            ~state:TSynRcvd ~iss:(new_iss st)
+        in
+        c.irs <- s.s_seq;
+        c.rcv_nxt <- s.s_seq + 1;
+        c.snd_wnd <- s.s_window;
+        arm_rto c;
+        xmit c ~seq:c.iss ~flags:flag_syn ""
+      | Some _ | None ->
+        if s.s_flags land flag_rst = 0 then
+          send_rst st ~dst:sa ~sport:s.s_dport ~dport:s.s_sport ~seq:s.s_ack
+            ~ack:(s.s_seq + String.length s.s_data)))
+
+let tick_conv c =
+  let now = Sim.Engine.now c.stack.eng in
+  match c.state with
+  | TClosed -> ()
+  | TSynSent | TSynRcvd ->
+    if now >= c.death_at then destroy c (Some "connect timed out")
+    else if c.rto_at > 0. && now >= c.rto_at then begin
+      c.backoff <- c.backoff + 1;
+      (match c.state with
+      | TSynSent -> xmit_initial_syn c
+      | TSynRcvd -> xmit c ~seq:c.iss ~flags:flag_syn ""
+      | TClosed | TEstablished | TFinWait1 | TFinWait2 | TCloseWait
+      | TLastAck | TTimeWait ->
+        ());
+      arm_rto c
+    end
+  | TEstablished | TFinWait1 | TFinWait2 | TCloseWait | TLastAck
+  | TTimeWait ->
+    if c.snd_una < c.snd_nxt then begin
+      if now >= c.death_at then destroy c (Some "connection timed out")
+      else if c.rto_at > 0. && now >= c.rto_at then retransmit_all c
+    end;
+    (* window may have opened: try to push *)
+    if Buffer.length c.txbuf + c.tx_base > c.snd_nxt then push_segments c
+
+let tick st = Hashtbl.iter (fun _ c -> tick_conv c) st.convs
+
+let attach ?(config = default_config) ip =
+  let eng = Ip.engine ip in
+  let rec st =
+    lazy
+      {
+        eng;
+        ip;
+        cfg = config;
+        convs = Hashtbl.create 31;
+        listeners = Hashtbl.create 7;
+        next_port = 5000;
+        next_cid = 0;
+        stats =
+          {
+            segs_sent = 0;
+            segs_rcvd = 0;
+            bytes_sent = 0;
+            bytes_rcvd = 0;
+            retransmits = 0;
+            retransmitted_bytes = 0;
+            out_of_order_dropped = 0;
+            resets = 0;
+          };
+        ticker = Sim.Time.every eng 0.01 (fun () -> tick (Lazy.force st));
+      }
+  in
+  let st = Lazy.force st in
+  Ip.register_proto ip ~proto:Ip.proto_tcp (fun ~src ~dst pkt ->
+      match config.cpu with
+      | None -> input st ~src ~dst pkt
+      | Some cpu ->
+        let cost =
+          config.cost_per_seg
+          +. (config.cost_per_byte *. float_of_int (String.length pkt))
+        in
+        Sim.Cpu.run_after cpu cost (fun () -> input st ~src ~dst pkt));
+  st
+
+let alloc_port st =
+  let rec try_port n =
+    let p = 5000 + (n mod 60000) in
+    let used =
+      Hashtbl.fold (fun (lp, _, _) _ acc -> acc || lp = p) st.convs false
+      || Hashtbl.mem st.listeners p
+    in
+    if used then try_port (n + 1) else p
+  in
+  let p = try_port (st.next_port - 5000) in
+  st.next_port <- p + 1;
+  p
+
+let connect ?lport st ~raddr ~rport =
+  let lport = match lport with Some p -> p | None -> alloc_port st in
+  let c = make_conv st ~lport ~rport ~raddr ~state:TSynSent ~iss:(new_iss st) in
+  arm_rto c;
+  xmit_initial_syn c;
+  while c.state = TSynSent do
+    Sim.Rendez.sleep c.estwait
+  done;
+  (match (c.state, c.err) with
+  | TEstablished, _ -> ()
+  | _, Some "connect timed out" -> raise (Timeout "tcp connect")
+  | _, Some reason -> raise (Refused reason)
+  | _, None -> raise (Refused "closed"));
+  c
+
+let announce st ~port =
+  if Hashtbl.mem st.listeners port then
+    invalid_arg (Printf.sprintf "Tcp.announce: port %d in use" port);
+  let lis =
+    { lstack = st; lis_port = port; accepts = Sim.Mbox.create st.eng;
+      lis_open = true }
+  in
+  Hashtbl.replace st.listeners port lis;
+  lis
+
+let listen lis = Sim.Mbox.recv lis.accepts
+
+let close_listener lis =
+  lis.lis_open <- false;
+  Hashtbl.remove lis.lstack.listeners lis.lis_port
+
+let write c data =
+  (match c.state with
+  | TEstablished | TCloseWait -> ()
+  | TClosed | TSynSent | TSynRcvd | TFinWait1 | TFinWait2 | TLastAck
+  | TTimeWait ->
+    raise Hungup);
+  if c.fin_queued then raise Hungup;
+  (* block while the send buffer is full *)
+  while
+    (c.state = TEstablished || c.state = TCloseWait)
+    && Buffer.length c.txbuf >= c.stack.cfg.recv_window
+  do
+    Sim.Rendez.sleep c.wwait
+  done;
+  (match c.state with
+  | TEstablished | TCloseWait -> ()
+  | TClosed | TSynSent | TSynRcvd | TFinWait1 | TFinWait2 | TLastAck
+  | TTimeWait ->
+    raise Hungup);
+  Buffer.add_string c.txbuf data;
+  push_segments c
+
+let read c n = Block.Q.read c.rq n
+
+let close c =
+  match c.state with
+  | TClosed | TFinWait1 | TFinWait2 | TLastAck | TTimeWait -> ()
+  | TSynSent | TSynRcvd -> destroy c None
+  | TEstablished ->
+    c.fin_queued <- true;
+    c.state <- TFinWait1;
+    push_segments c;
+    arm_death c
+  | TCloseWait ->
+    c.fin_queued <- true;
+    c.state <- TLastAck;
+    push_segments c;
+    arm_death c
+
+let _ = ignore Log.debug
+let _ = fun (st : stack) -> st.ticker

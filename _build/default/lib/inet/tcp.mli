@@ -1,0 +1,75 @@
+(** TCP — the baseline the paper compares IL against (section 3).
+
+    "TCP has a high overhead and does not preserve delimiters."  This is
+    a classic early-90s TCP: three-way handshake, sequenced *byte
+    stream* (no message boundaries — reads may return any byte split),
+    cumulative acknowledgements, receiver-advertised flow-control
+    window, adaptive retransmission timeout (Jacobson/Karn), and
+    go-back-N {e blind retransmission}: on timeout every unacked byte is
+    resent, and out-of-order segments are dropped — the behaviour whose
+    congestion cost motivates IL's query scheme.
+
+    Counters expose retransmitted byte counts so the [congestion] bench
+    can compare the two protocols under loss. *)
+
+type stack
+type conv
+type listener
+
+type config = {
+  mss : int;  (** max segment payload (default 1460) *)
+  send_window : int;  (** congestion/send window in bytes (default 8 * mss) *)
+  recv_window : int;  (** advertised receive buffer (default 64 KiB) *)
+  min_rto : float;  (** default 0.1 s *)
+  max_rto : float;  (** default 8 s *)
+  death_time : float;  (** default 60 s *)
+  cpu : Sim.Cpu.t option;
+  cost_per_seg : float;
+  cost_per_byte : float;
+}
+
+val default_config : config
+
+type counters = {
+  mutable segs_sent : int;
+  mutable segs_rcvd : int;
+  mutable bytes_sent : int;
+  mutable bytes_rcvd : int;
+  mutable retransmits : int;
+  mutable retransmitted_bytes : int;
+  mutable out_of_order_dropped : int;
+  mutable resets : int;
+}
+
+val attach : ?config:config -> Ip.stack -> stack
+val engine : stack -> Sim.Engine.t
+val counters : stack -> counters
+val local_addr : stack -> Ipaddr.t
+
+exception Refused of string
+exception Timeout of string
+exception Hungup
+
+val connect : ?lport:int -> stack -> raddr:Ipaddr.t -> rport:int -> conv
+(** Active open; blocks until established. *)
+
+val announce : stack -> port:int -> listener
+val listen : listener -> conv
+val close_listener : listener -> unit
+
+val write : conv -> string -> unit
+(** Queue bytes on the stream; blocks while the send buffer is full.
+    Boundaries are {e not} preserved. *)
+
+val read : conv -> int -> string
+(** Up to [n] bytes; [""] at end of stream. *)
+
+val close : conv -> unit
+(** Send FIN; the reader side keeps draining until the peer closes. *)
+
+val conv_id : conv -> int
+val local_port : conv -> int
+val remote_port : conv -> int
+val remote_addr : conv -> Ipaddr.t
+val status : conv -> string
+val state_name : conv -> string

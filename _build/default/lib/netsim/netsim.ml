@@ -1,0 +1,243 @@
+let src = Logs.Src.create "netsim" ~doc:"simulated physical media"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+module Eaddr = struct
+  type t = string
+
+  let is_hex c =
+    (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+  let of_string s =
+    if String.length s <> 12 || not (String.for_all is_hex s) then
+      invalid_arg ("Eaddr.of_string: " ^ s);
+    String.lowercase_ascii s
+
+  let to_string t = t
+  let broadcast = "ffffffffffff"
+  let pp fmt t = Format.pp_print_string fmt t
+end
+
+module Ether = struct
+  type frame = {
+    src : Eaddr.t;
+    dst : Eaddr.t;
+    etype : int;
+    payload : string;
+  }
+
+  type stats = {
+    mutable in_packets : int;
+    mutable out_packets : int;
+    mutable in_bytes : int;
+    mutable out_bytes : int;
+    mutable crc_errors : int;
+    mutable overflows : int;
+  }
+
+  type nic = {
+    addr : Eaddr.t;
+    seg : t;
+    mutable rx : frame -> unit;
+    mutable promiscuous : bool;
+    stats : stats;
+  }
+
+  and t = {
+    ename : string;
+    eng : Sim.Engine.t;
+    bandwidth : float;
+    latency : float;
+    frame_overhead : float;
+    mutable loss : float;
+    mutable stations : nic list;
+    mutable busy_until : float;
+  }
+
+  let min_frame = 60
+  let header_bytes = 18
+
+  let create ?(bandwidth_bps = 10e6) ?(latency = 50e-6) ?(loss = 0.)
+      ?(frame_overhead = 0.) ~name eng =
+    {
+      ename = name;
+      eng;
+      bandwidth = bandwidth_bps;
+      latency;
+      frame_overhead;
+      loss;
+      stations = [];
+      busy_until = 0.;
+    }
+
+  let set_loss t p = t.loss <- p
+  let name t = t.ename
+  let engine t = t.eng
+
+  let attach t addr =
+    if List.exists (fun n -> n.addr = addr) t.stations then
+      invalid_arg
+        (Printf.sprintf "Ether.attach: %s already on %s"
+           (Eaddr.to_string addr) t.ename);
+    let nic =
+      {
+        addr;
+        seg = t;
+        rx = ignore;
+        promiscuous = false;
+        stats =
+          {
+            in_packets = 0;
+            out_packets = 0;
+            in_bytes = 0;
+            out_bytes = 0;
+            crc_errors = 0;
+            overflows = 0;
+          };
+      }
+    in
+    t.stations <- nic :: t.stations;
+    nic
+
+  let nic_addr n = n.addr
+  let nic_stats n = n.stats
+  let set_rx n fn = n.rx <- fn
+  let set_promiscuous n b = n.promiscuous <- b
+
+  let wire_time t frame =
+    let bytes = max min_frame (String.length frame.payload) + header_bytes in
+    (float_of_int (bytes * 8) /. t.bandwidth) +. t.frame_overhead
+
+  let transmit n frame =
+    let t = n.seg in
+    let now = Sim.Engine.now t.eng in
+    n.stats.out_packets <- n.stats.out_packets + 1;
+    n.stats.out_bytes <- n.stats.out_bytes + String.length frame.payload;
+    (* the shared medium serializes frames *)
+    let start = if t.busy_until > now then t.busy_until else now in
+    let finish = start +. wire_time t frame in
+    t.busy_until <- finish;
+    let lost =
+      t.loss > 0. && Random.State.float (Sim.Engine.random t.eng) 1.0 < t.loss
+    in
+    let deliver_at = finish +. t.latency in
+    Sim.Engine.at t.eng deliver_at (fun () ->
+        List.iter
+          (fun station ->
+            if station.addr <> n.addr then begin
+              let wants =
+                station.promiscuous
+                || station.addr = frame.dst
+                || frame.dst = Eaddr.broadcast
+              in
+              if wants then
+                if lost then
+                  station.stats.crc_errors <- station.stats.crc_errors + 1
+                else begin
+                  station.stats.in_packets <- station.stats.in_packets + 1;
+                  station.stats.in_bytes <-
+                    station.stats.in_bytes + String.length frame.payload;
+                  station.rx frame
+                end
+            end)
+          t.stations);
+    if lost then
+      Log.debug (fun m ->
+          m "%s: frame %s->%s type %d lost" t.ename
+            (Eaddr.to_string frame.src)
+            (Eaddr.to_string frame.dst)
+            frame.etype)
+end
+
+module Fiber = struct
+  type endpoint = {
+    fname : string;
+    eng : Sim.Engine.t;
+    bandwidth : float;
+    latency : float;
+    mutable peer : endpoint option;
+    mutable rx : string -> unit;
+    mutable busy_until : float;
+  }
+
+  let create_pair ?(bandwidth_bps = 125e6) ?(latency = 10e-6) ~name eng =
+    let mk suffix =
+      {
+        fname = name ^ suffix;
+        eng;
+        bandwidth = bandwidth_bps;
+        latency;
+        peer = None;
+        rx = ignore;
+        busy_until = 0.;
+      }
+    in
+    let a = mk ".0" and b = mk ".1" in
+    a.peer <- Some b;
+    b.peer <- Some a;
+    (a, b)
+
+  let name e = e.fname
+  let engine e = e.eng
+  let set_rx e fn = e.rx <- fn
+
+  let send e msg =
+    match e.peer with
+    | None -> ()
+    | Some peer ->
+      let now = Sim.Engine.now e.eng in
+      let start = if e.busy_until > now then e.busy_until else now in
+      let finish =
+        start +. (float_of_int (String.length msg * 8) /. e.bandwidth)
+      in
+      e.busy_until <- finish;
+      Sim.Engine.at e.eng (finish +. e.latency) (fun () -> peer.rx msg)
+end
+
+module Serial = struct
+  type endpoint = {
+    sname : string;
+    eng : Sim.Engine.t;
+    mutable baud_ : int;
+    mutable peer : endpoint option;
+    mutable rx : string -> unit;
+    mutable busy_until : float;
+  }
+
+  let create_pair ?(baud = 9600) ~name eng =
+    let mk suffix =
+      {
+        sname = name ^ suffix;
+        eng;
+        baud_ = baud;
+        peer = None;
+        rx = ignore;
+        busy_until = 0.;
+      }
+    in
+    let a = mk ".0" and b = mk ".1" in
+    a.peer <- Some b;
+    b.peer <- Some a;
+    (a, b)
+
+  let set_baud e n =
+    e.baud_ <- n;
+    match e.peer with None -> () | Some p -> p.baud_ <- n
+
+  let baud e = e.baud_
+  let set_rx e fn = e.rx <- fn
+  let engine e = e.eng
+
+  let send e msg =
+    match e.peer with
+    | None -> ()
+    | Some peer ->
+      let now = Sim.Engine.now e.eng in
+      let start = if e.busy_until > now then e.busy_until else now in
+      (* 10 bit times per byte: start bit, 8 data, stop bit *)
+      let finish =
+        start +. (float_of_int (String.length msg * 10) /. float_of_int e.baud_)
+      in
+      e.busy_until <- finish;
+      Sim.Engine.at e.eng finish (fun () -> peer.rx msg)
+end

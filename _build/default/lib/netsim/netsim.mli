@@ -1,0 +1,143 @@
+(** Simulated physical network media.
+
+    Stands in for the paper's hardware: the LANCE Ethernet (section
+    2.2), the Cyclone VME fiber boards (section 7), and the RS232/ISDN
+    serial lines (section 1).  Each medium models wire bandwidth,
+    propagation latency, and (for Ethernet) random frame loss drawn from
+    the engine's seeded RNG, so behaviour is reproducible.
+
+    Media deliver to receive callbacks outside any process context —
+    the moral equivalent of an interrupt.  Drivers built on top must
+    obey the paper's rule that "the interrupt routine may not allocate
+    blocks or call a put routine": in practice they hand the frame to a
+    queue or mailbox that wakes a kernel process. *)
+
+module Eaddr : sig
+  type t = private string
+  (** A 48-bit Ethernet address as 12 lowercase hex digits, e.g.
+      ["0800690222f0"]. *)
+
+  val of_string : string -> t
+  (** @raise Invalid_argument unless 12 hex digits. *)
+
+  val to_string : t -> string
+  val broadcast : t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Ether : sig
+  (** A broadcast segment shared by every attached station. *)
+
+  type t
+
+  type frame = {
+    src : Eaddr.t;
+    dst : Eaddr.t;
+    etype : int;  (** packet type, e.g. 2048 = IP, 2054 = ARP *)
+    payload : string;
+  }
+
+  type nic
+  (** One station's interface on a segment. *)
+
+  type stats = {
+    mutable in_packets : int;
+    mutable out_packets : int;
+    mutable in_bytes : int;
+    mutable out_bytes : int;
+    mutable crc_errors : int;  (** frames lost on the wire *)
+    mutable overflows : int;  (** frames dropped because rx was full *)
+  }
+
+  val create :
+    ?bandwidth_bps:float ->
+    ?latency:float ->
+    ?loss:float ->
+    ?frame_overhead:float ->
+    name:string ->
+    Sim.Engine.t ->
+    t
+  (** [bandwidth_bps] defaults to 10e6 (the paper's era), [latency] to
+      50e-6 s, [loss] to 0.  [frame_overhead] (default 0) adds a fixed
+      per-frame occupancy to the medium — preamble, interframe gap, and
+      controller setup, which dominated small-frame cost on 1993
+      hardware. *)
+
+  val set_loss : t -> float -> unit
+  (** Change the frame-loss probability (used by the congestion
+      sweep). *)
+
+  val name : t -> string
+  val engine : t -> Sim.Engine.t
+
+  val attach : t -> Eaddr.t -> nic
+  (** @raise Invalid_argument if the address is already on the
+      segment. *)
+
+  val nic_addr : nic -> Eaddr.t
+  val nic_stats : nic -> stats
+
+  val set_rx : nic -> (frame -> unit) -> unit
+  (** Delivery callback: called once per frame addressed to this
+      station (unicast match, broadcast, or any frame if promiscuous).
+      Interrupt context: must not block. *)
+
+  val set_promiscuous : nic -> bool -> unit
+
+  val transmit : nic -> frame -> unit
+  (** Queue a frame for the wire.  The segment serializes transmissions
+      (one frame on the wire at a time) and delivers after transmission
+      plus propagation time; lost frames count as [crc_errors] at every
+      would-be receiver. *)
+
+  val min_frame : int
+  (** 60 bytes: shorter payloads are padded on the wire for timing
+      purposes. *)
+
+  val header_bytes : int
+  (** 14-byte Ethernet header + 4-byte CRC counted in wire time. *)
+end
+
+module Fiber : sig
+  (** A Cyclone-style point-to-point fiber link: reliable, in-order
+      message delivery with very low per-message overhead ("copying
+      messages from system memory to fiber without intermediate
+      buffering"). *)
+
+  type endpoint
+
+  val create_pair :
+    ?bandwidth_bps:float ->
+    ?latency:float ->
+    name:string ->
+    Sim.Engine.t ->
+    endpoint * endpoint
+  (** [bandwidth_bps] defaults to 125e6, [latency] to 10e-6 s. *)
+
+  val send : endpoint -> string -> unit
+  (** Transmit one delimited message to the peer. *)
+
+  val set_rx : endpoint -> (string -> unit) -> unit
+  val name : endpoint -> string
+  val engine : endpoint -> Sim.Engine.t
+end
+
+module Serial : sig
+  (** An RS232/ISDN-style full-duplex byte pipe clocked at a baud
+      rate. *)
+
+  type endpoint
+
+  val create_pair :
+    ?baud:int -> name:string -> Sim.Engine.t -> endpoint * endpoint
+  (** [baud] defaults to 9600; 10 bit times per byte (start/stop). *)
+
+  val set_baud : endpoint -> int -> unit
+  (** Reclock both directions — what writing [b1200] to [/dev/eia1ctl]
+      does. *)
+
+  val baud : endpoint -> int
+  val send : endpoint -> string -> unit
+  val set_rx : endpoint -> (string -> unit) -> unit
+  val engine : endpoint -> Sim.Engine.t
+end

@@ -1,0 +1,1 @@
+lib/ninep/client.ml: Buffer Fcall Hashtbl Int64 List Printf Sim String Transport

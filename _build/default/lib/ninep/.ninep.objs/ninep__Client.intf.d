@@ -1,0 +1,1 @@
+lib/ninep/client.mli: Fcall Sim Transport

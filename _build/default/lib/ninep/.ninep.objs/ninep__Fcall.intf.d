@@ -1,0 +1,1 @@
+lib/ninep/fcall.mli: Format

@@ -1,0 +1,1 @@
+lib/ninep/ramfs.ml: Buffer Char Fcall Int32 Int64 List Result Server String

@@ -1,0 +1,1 @@
+lib/ninep/ramfs.mli: Server

@@ -1,0 +1,1 @@
+lib/ninep/server.ml: Fcall Hashtbl Int64 List Logs Printf Random Sim String Transport

@@ -1,0 +1,1 @@
+lib/ninep/server.mli: Fcall Sim Transport

@@ -1,0 +1,1 @@
+lib/ninep/transport.ml: Sim

@@ -1,0 +1,1 @@
+lib/ninep/transport.mli: Sim

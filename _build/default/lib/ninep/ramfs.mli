@@ -1,0 +1,25 @@
+(** An in-memory hierarchical file server — the stand-in for the
+    paper's disk file servers.  Full 9P semantics: directories, create,
+    remove, stat/wstat (rename), permission bits, qid versions bumped
+    on modification. *)
+
+type t
+type node
+
+val make : ?owner:string -> name:string -> unit -> t
+(** An empty tree owned by [owner] (default ["bootes"]). *)
+
+val fs : t -> node Server.fs
+(** The server-framework view; pass to {!Server.serve}. *)
+
+(** Direct (local) manipulation, for seeding trees in tests and
+    examples. *)
+
+val mkdir : t -> string -> unit
+(** [mkdir t "/a/b"] — creates intermediate directories too. *)
+
+val add_file : t -> string -> string -> unit
+(** [add_file t "/a/b/f" contents]. *)
+
+val read_file : t -> string -> string option
+val exists : t -> string -> bool

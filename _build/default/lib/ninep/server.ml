@@ -1,0 +1,189 @@
+let src = Logs.Src.create "9psrv" ~doc:"9P server framework"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type 'n fs = {
+  fs_name : string;
+  fs_attach : uname:string -> aname:string -> ('n, string) result;
+  fs_qid : 'n -> Fcall.qid;
+  fs_walk : 'n -> string -> ('n, string) result;
+  fs_open : 'n -> Fcall.mode -> trunc:bool -> (unit, string) result;
+  fs_read : 'n -> offset:int64 -> count:int -> (string, string) result;
+  fs_write : 'n -> offset:int64 -> data:string -> (int, string) result;
+  fs_create :
+    'n -> name:string -> perm:int32 -> Fcall.mode -> ('n, string) result;
+  fs_remove : 'n -> (unit, string) result;
+  fs_stat : 'n -> (Fcall.dir, string) result;
+  fs_wstat : 'n -> Fcall.dir -> (unit, string) result;
+  fs_clunk : 'n -> unit;
+  fs_clone : 'n -> 'n;
+}
+
+let read_only_err = "permission denied"
+
+let slice s ~offset ~count =
+  let len = String.length s in
+  let off = Int64.to_int offset in
+  if off >= len || off < 0 then ""
+  else String.sub s off (min count (len - off))
+
+let dir_data entries ~offset ~count =
+  let data = String.concat "" (List.map Fcall.encode_dir entries) in
+  (* round down to whole entries *)
+  let count = count - (count mod Fcall.dirlen) in
+  let off = Int64.to_int offset in
+  if off mod Fcall.dirlen <> 0 then ""
+  else slice data ~offset:(Int64.of_int off) ~count
+
+type auth_hook = uname:string -> challenge:string -> ticket:string -> bool
+
+let serve ?(threaded = false) ?auth eng fs tr =
+  Sim.Proc.spawn eng ~name:("9psrv:" ^ fs.fs_name) (fun () ->
+      let fids : (int, 'n) Hashtbl.t = Hashtbl.create 17 in
+      let challenge = ref "" in
+      let authenticated : (string, unit) Hashtbl.t = Hashtbl.create 7 in
+      let new_challenge () =
+        challenge :=
+          Printf.sprintf "%08x%08x"
+            (Random.State.int (Sim.Engine.random eng) 0x3fffffff)
+            (Random.State.int (Sim.Engine.random eng) 0x3fffffff);
+        Hashtbl.reset authenticated
+      in
+      let clear_fids () =
+        Hashtbl.iter (fun _ n -> fs.fs_clunk n) fids;
+        Hashtbl.reset fids
+      in
+      let reply tag r = tr.Transport.t_send (Fcall.encode (Fcall.R (tag, r))) in
+      let handle tag (t : Fcall.tmsg) =
+        let err e = reply tag (Fcall.Rerror e) in
+        let with_fid fid k =
+          match Hashtbl.find_opt fids fid with
+          | Some node -> k node
+          | None -> err "unknown fid"
+        in
+        match t with
+        | Fcall.Tnop -> reply tag Fcall.Rnop
+        | Fcall.Tflush _ ->
+          (* requests are served in order: nothing can be pending *)
+          reply tag Fcall.Rflush
+        | Fcall.Tsession _ ->
+          clear_fids ();
+          (match auth with
+          | Some _ -> new_challenge ()
+          | None -> ());
+          reply tag (Fcall.Rsession { chal = !challenge })
+        | Fcall.Tauth { afid; uname; ticket } -> (
+          match auth with
+          | None ->
+            (* no policy: authentication trivially succeeds *)
+            reply tag (Fcall.Rauth { afid; ticket = "ok" })
+          | Some hook ->
+            if hook ~uname ~challenge:!challenge ~ticket then begin
+              Hashtbl.replace authenticated uname ();
+              reply tag (Fcall.Rauth { afid; ticket = "ok" })
+            end
+            else err "authentication failed")
+        | Fcall.Tattach { fid; uname; aname } -> (
+          if Hashtbl.mem fids fid then err "fid in use"
+          else if
+            (match auth with
+            | Some _ -> not (Hashtbl.mem authenticated uname)
+            | None -> false)
+          then err "authentication required"
+          else
+            match fs.fs_attach ~uname ~aname with
+            | Ok node ->
+              Hashtbl.replace fids fid node;
+              reply tag (Fcall.Rattach { fid; qid = fs.fs_qid node })
+            | Error e -> err e)
+        | Fcall.Tclone { fid; newfid } ->
+          with_fid fid (fun node ->
+              if Hashtbl.mem fids newfid then err "fid in use"
+              else begin
+                Hashtbl.replace fids newfid (fs.fs_clone node);
+                reply tag (Fcall.Rclone { fid })
+              end)
+        | Fcall.Twalk { fid; name } ->
+          with_fid fid (fun node ->
+              match fs.fs_walk node name with
+              | Ok node' ->
+                Hashtbl.replace fids fid node';
+                reply tag (Fcall.Rwalk { fid; qid = fs.fs_qid node' })
+              | Error e -> err e)
+        | Fcall.Tclwalk { fid; newfid; name } ->
+          with_fid fid (fun node ->
+              if Hashtbl.mem fids newfid && newfid <> fid then
+                err "fid in use"
+              else
+                match fs.fs_walk (fs.fs_clone node) name with
+                | Ok node' ->
+                  Hashtbl.replace fids newfid node';
+                  reply tag (Fcall.Rclwalk { newfid; qid = fs.fs_qid node' })
+                | Error e -> err e)
+        | Fcall.Topen { fid; mode; trunc } ->
+          with_fid fid (fun node ->
+              match fs.fs_open node mode ~trunc with
+              | Ok () -> reply tag (Fcall.Ropen { fid; qid = fs.fs_qid node })
+              | Error e -> err e)
+        | Fcall.Tcreate { fid; name; perm; mode } ->
+          with_fid fid (fun node ->
+              match fs.fs_create node ~name ~perm mode with
+              | Ok node' ->
+                Hashtbl.replace fids fid node';
+                reply tag (Fcall.Rcreate { fid; qid = fs.fs_qid node' })
+              | Error e -> err e)
+        | Fcall.Tread { fid; offset; count } ->
+          with_fid fid (fun node ->
+              let count = min count Fcall.maxfdata in
+              match fs.fs_read node ~offset ~count with
+              | Ok data -> reply tag (Fcall.Rread { data })
+              | Error e -> err e)
+        | Fcall.Twrite { fid; offset; data } ->
+          with_fid fid (fun node ->
+              if String.length data > Fcall.maxfdata then err "write too big"
+              else
+                match fs.fs_write node ~offset ~data with
+                | Ok count -> reply tag (Fcall.Rwrite { count })
+                | Error e -> err e)
+        | Fcall.Tclunk { fid } ->
+          with_fid fid (fun node ->
+              fs.fs_clunk node;
+              Hashtbl.remove fids fid;
+              reply tag (Fcall.Rclunk { fid }))
+        | Fcall.Tremove { fid } ->
+          with_fid fid (fun node ->
+              (* remove always clunks, success or not *)
+              let res = fs.fs_remove node in
+              Hashtbl.remove fids fid;
+              match res with
+              | Ok () -> reply tag (Fcall.Rremove { fid })
+              | Error e -> err e)
+        | Fcall.Tstat { fid } ->
+          with_fid fid (fun node ->
+              match fs.fs_stat node with
+              | Ok stat -> reply tag (Fcall.Rstat { stat })
+              | Error e -> err e)
+        | Fcall.Twstat { fid; stat } ->
+          with_fid fid (fun node ->
+              match fs.fs_wstat node stat with
+              | Ok () -> reply tag (Fcall.Rwstat { fid })
+              | Error e -> err e)
+      in
+      let rec loop () =
+        match tr.Transport.t_recv () with
+        | None -> clear_fids ()
+        | Some raw ->
+          (match Fcall.decode raw with
+          | Fcall.T (tag, t) ->
+            if threaded then
+              ignore
+                (Sim.Proc.spawn eng
+                   ~name:(Printf.sprintf "9psrv:%s:t%d" fs.fs_name tag)
+                   (fun () -> handle tag t))
+            else handle tag t
+          | Fcall.R (_, _) -> () (* servers ignore replies *)
+          | exception Fcall.Bad_message m ->
+            Log.debug (fun f -> f "%s: bad message: %s" fs.fs_name m));
+          loop ()
+      in
+      loop ())

@@ -1,0 +1,61 @@
+(** The 9P server framework.
+
+    A file server supplies a record of operations over its own node
+    type; {!serve} runs the protocol loop on a transport: it decodes
+    T-messages, manages the fid table (including the [clone] semantics
+    that make per-connection state work), and sends replies.  Every
+    user-level file server in this system — ramfs, exportfs, the
+    connection server, DNS — is built on this. *)
+
+type 'n fs = {
+  fs_name : string;
+  fs_attach : uname:string -> aname:string -> ('n, string) result;
+  fs_qid : 'n -> Fcall.qid;
+  fs_walk : 'n -> string -> ('n, string) result;
+  fs_open : 'n -> Fcall.mode -> trunc:bool -> (unit, string) result;
+  fs_read : 'n -> offset:int64 -> count:int -> (string, string) result;
+  fs_write : 'n -> offset:int64 -> data:string -> (int, string) result;
+  fs_create :
+    'n -> name:string -> perm:int32 -> Fcall.mode -> ('n, string) result;
+  fs_remove : 'n -> (unit, string) result;
+  fs_stat : 'n -> (Fcall.dir, string) result;
+  fs_wstat : 'n -> Fcall.dir -> (unit, string) result;
+  fs_clunk : 'n -> unit;
+  fs_clone : 'n -> 'n;
+      (** duplicate per-fid state; identity for stateless nodes *)
+}
+
+val read_only_err : string
+(** ["permission denied"] — convenience for read-only files. *)
+
+val dir_data : Fcall.dir list -> offset:int64 -> count:int -> string
+(** Marshal a directory listing for Tread: serves whole 116-byte stat
+    entries starting at [offset], never splitting an entry. *)
+
+val slice : string -> offset:int64 -> count:int -> string
+(** Serve a byte range of an in-memory string (the usual read
+    implementation for synthesized files). *)
+
+type auth_hook = uname:string -> challenge:string -> ticket:string -> bool
+(** Decides whether a Tauth ticket proves [uname] for the session's
+    current challenge. *)
+
+val serve :
+  ?threaded:bool ->
+  ?auth:auth_hook ->
+  Sim.Engine.t ->
+  'n fs ->
+  Transport.t ->
+  Sim.Proc.t
+(** Spawn the protocol loop; it exits when the transport hangs up.
+    All fids are clunked (via [fs_clunk]) on exit.
+
+    With [threaded] (default false), each T-message is handled in its
+    own process so a blocking operation (a read on an empty stream)
+    doesn't stall other clients — the property the paper demands of
+    exportfs: "Exportfs must be multithreaded since the system calls
+    open, read and write may block."
+
+    With [auth], Rsession carries a random challenge and Tattach is
+    refused until a Tauth presents a ticket the hook accepts — "the
+    session and attach messages authenticate a connection". *)

@@ -1,0 +1,31 @@
+type t = {
+  t_send : string -> unit;
+  t_recv : unit -> string option;
+  t_close : unit -> unit;
+}
+
+let pipe eng =
+  let a2b = Sim.Mbox.create eng and b2a = Sim.Mbox.create eng in
+  let closed = ref false in
+  let mk tx rx =
+    {
+      t_send =
+        (fun m -> if not !closed then Sim.Mbox.send tx (Some m));
+      t_recv =
+        (fun () ->
+          match Sim.Mbox.recv rx with
+          | Some m -> Some m
+          | None ->
+            (* put the sentinel back for any other reader *)
+            Sim.Mbox.send rx None;
+            None);
+      t_close =
+        (fun () ->
+          if not !closed then begin
+            closed := true;
+            Sim.Mbox.send a2b None;
+            Sim.Mbox.send b2a None
+          end);
+    }
+  in
+  (mk a2b b2a, mk b2a a2b)

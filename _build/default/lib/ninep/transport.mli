@@ -1,0 +1,17 @@
+(** A message-preserving bidirectional channel carrying 9P.
+
+    9P assumes the transport delivers whole messages reliably and in
+    order (paper section 2.1) — IL and URP provide exactly that.  A
+    byte-stream transport (TCP) must be wrapped with {!Fcall.Frame} by
+    the adapter that builds the [t]. *)
+
+type t = {
+  t_send : string -> unit;  (** transmit one 9P message *)
+  t_recv : unit -> string option;
+      (** block for the next message; [None] when the peer hung up *)
+  t_close : unit -> unit;
+}
+
+val pipe : Sim.Engine.t -> t * t
+(** An in-memory connected pair (client end, server end) — the
+    "pipe to a user process" case of the mount system call. *)

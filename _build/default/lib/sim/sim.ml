@@ -1,0 +1,417 @@
+let src = Logs.Src.create "sim" ~doc:"discrete-event simulation kernel"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Event queue: a binary min-heap ordered by (time, serial).  The serial
+   number makes same-time events FIFO, which is what determinism
+   requires. *)
+module Heap = struct
+  type entry = {
+    time : float;
+    serial : int;
+    mutable live : bool;  (* cancelled entries are skipped on pop *)
+    fn : unit -> unit;
+  }
+
+  type t = { mutable a : entry array; mutable n : int }
+
+  let dummy = { time = 0.; serial = 0; live = false; fn = ignore }
+
+  let create () = { a = Array.make 64 dummy; n = 0 }
+
+  let before x y = x.time < y.time || (x.time = y.time && x.serial < y.serial)
+
+  let push h e =
+    if h.n = Array.length h.a then begin
+      let a = Array.make (2 * h.n) dummy in
+      Array.blit h.a 0 a 0 h.n;
+      h.a <- a
+    end;
+    let rec up i =
+      if i > 0 then begin
+        let p = (i - 1) / 2 in
+        if before h.a.(i) h.a.(p) then begin
+          let t = h.a.(i) in
+          h.a.(i) <- h.a.(p);
+          h.a.(p) <- t;
+          up p
+        end
+      end
+    in
+    h.a.(h.n) <- e;
+    h.n <- h.n + 1;
+    up (h.n - 1)
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.n <- h.n - 1;
+      h.a.(0) <- h.a.(h.n);
+      h.a.(h.n) <- dummy;
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let m = if l < h.n && before h.a.(l) h.a.(i) then l else i in
+        let m = if r < h.n && before h.a.(r) h.a.(m) then r else m in
+        if m <> i then begin
+          let t = h.a.(i) in
+          h.a.(i) <- h.a.(m);
+          h.a.(m) <- t;
+          down m
+        end
+      in
+      down 0;
+      Some top
+    end
+end
+
+type proc_state =
+  | Ready
+  | Running
+  | Suspended of (exn -> unit)  (* abort callback *)
+  | Dead
+
+type engine = {
+  mutable now : float;
+  heap : Heap.t;
+  mutable serial : int;
+  rng : Random.State.t;
+  mutable procs : proc list;  (* live processes, newest first *)
+  mutable crashes : (string * exn) list;
+  mutable next_pid : int;
+}
+
+and proc = {
+  pid : int;
+  pname : string;
+  eng : engine;
+  mutable state : proc_state;
+  mutable exit_waiters : (unit -> unit) list;
+}
+
+let schedule_entry eng time fn =
+  let time = if time < eng.now then eng.now else time in
+  eng.serial <- eng.serial + 1;
+  let e = { Heap.time; serial = eng.serial; live = true; fn } in
+  Heap.push eng.heap e;
+  e
+
+let schedule_at eng time fn = ignore (schedule_entry eng time fn)
+
+(* The process currently executing, if any.  Engines never run
+   concurrently, so a single global is safe and avoids threading a
+   context parameter through every blocking call. *)
+let current : proc option ref = ref None
+
+type _ Effect.t +=
+  | Suspend :
+      (resume:('a -> unit) -> abort:(exn -> unit) -> unit -> unit)
+      -> 'a Effect.t
+
+module Engine = struct
+  type t = engine
+
+  let create ?(seed = 9) () =
+    {
+      now = 0.;
+      heap = Heap.create ();
+      serial = 0;
+      rng = Random.State.make [| seed; 0x9b4e |];
+      procs = [];
+      crashes = [];
+      next_pid = 1;
+    }
+
+  let now t = t.now
+  let random t = t.rng
+  let at = schedule_at
+  let after t dt fn = schedule_at t (t.now +. dt) fn
+  let pending t = t.heap.Heap.n
+
+  let rec step t =
+    match Heap.pop t.heap with
+    | None -> false
+    | Some e ->
+      if e.Heap.live then begin
+        t.now <- e.Heap.time;
+        e.Heap.fn ();
+        true
+      end
+      else step t (* cancelled: skip without advancing time *)
+
+  let run ?until t =
+    let continue_ () =
+      (* drop dead entries off the top so the peek is accurate *)
+      let rec prune () =
+        if t.heap.Heap.n > 0 && not t.heap.Heap.a.(0).Heap.live then begin
+          ignore (Heap.pop t.heap);
+          prune ()
+        end
+      in
+      prune ();
+      t.heap.Heap.n > 0
+      &&
+      match until with
+      | None -> true
+      | Some limit -> t.heap.Heap.a.(0).Heap.time <= limit
+    in
+    let rec loop () = if continue_ () then if step t then loop () in
+    loop ();
+    (match until with Some limit when limit > t.now -> t.now <- limit | _ -> ());
+    match List.rev t.crashes with
+    | [] -> ()
+    | (name, e) :: _ ->
+      t.crashes <- [];
+      Log.err (fun m -> m "proc %s crashed: %s" name (Printexc.to_string e));
+      raise e
+
+  let stalled t =
+    let blocked p =
+      match p.state with Suspended _ | Ready -> true | Running | Dead -> false
+    in
+    List.rev_map (fun p -> p.pname) (List.filter blocked t.procs)
+end
+
+module Proc = struct
+  type t = proc
+
+  exception Killed
+
+  let name p = p.pname
+  let engine p = p.eng
+  let alive p = p.state <> Dead
+
+  let self () =
+    match !current with
+    | Some p -> p
+    | None -> failwith "Sim.Proc.self: not inside a simulated process"
+
+  let finish p =
+    p.state <- Dead;
+    p.eng.procs <- List.filter (fun q -> q.pid <> p.pid) p.eng.procs;
+    let ws = p.exit_waiters in
+    p.exit_waiters <- [];
+    List.iter (fun w -> w ()) ws
+
+  let spawn eng ?name body =
+    let pid = eng.next_pid in
+    eng.next_pid <- pid + 1;
+    let pname =
+      match name with Some n -> n | None -> Printf.sprintf "proc%d" pid
+    in
+    let p = { pid; pname; eng; state = Ready; exit_waiters = [] } in
+    eng.procs <- p :: eng.procs;
+    let handler : (unit, unit) Effect.Deep.handler =
+      {
+        retc = (fun () -> finish p);
+        exnc =
+          (fun e ->
+            (match e with
+            | Killed -> ()
+            | e -> eng.crashes <- (pname, e) :: eng.crashes);
+            finish p);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend register ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  let fired = ref false in
+                  let cleanup = ref None in
+                  let cleaned = ref false in
+                  let settle () =
+                    match !cleanup with
+                    | Some f when not !cleaned ->
+                      cleaned := true;
+                      f ()
+                    | Some _ | None -> ()
+                  in
+                  let resume v =
+                    if not !fired then begin
+                      fired := true;
+                      settle ();
+                      p.state <- Ready;
+                      schedule_at eng eng.now (fun () ->
+                          p.state <- Running;
+                          let saved = !current in
+                          current := Some p;
+                          Fun.protect
+                            ~finally:(fun () -> current := saved)
+                            (fun () -> Effect.Deep.continue k v))
+                    end
+                  in
+                  let abort e =
+                    if not !fired then begin
+                      fired := true;
+                      settle ();
+                      p.state <- Ready;
+                      schedule_at eng eng.now (fun () ->
+                          p.state <- Running;
+                          let saved = !current in
+                          current := Some p;
+                          Fun.protect
+                            ~finally:(fun () -> current := saved)
+                            (fun () -> Effect.Deep.discontinue k e))
+                    end
+                  in
+                  p.state <- Suspended abort;
+                  let cl = register ~resume ~abort in
+                  cleanup := Some cl;
+                  if !fired then settle ())
+            | _ -> None);
+      }
+    in
+    schedule_at eng eng.now (fun () ->
+        p.state <- Running;
+        let saved = !current in
+        current := Some p;
+        Fun.protect
+          ~finally:(fun () -> current := saved)
+          (fun () -> Effect.Deep.match_with body () handler));
+    p
+
+  let suspend ~register = Effect.perform (Suspend register)
+
+  let kill p =
+    match p.state with
+    | Dead -> ()
+    | Suspended abort -> abort Killed
+    | Ready | Running ->
+      (* The kill lands when the victim next suspends: we poll cheaply
+         by scheduling a check; a Ready proc will be Suspended or Dead
+         once its current event completes. *)
+      let rec retry () =
+        match p.state with
+        | Dead -> ()
+        | Suspended abort -> abort Killed
+        | Ready | Running -> schedule_at p.eng p.eng.now retry
+      in
+      schedule_at p.eng p.eng.now retry
+
+  let join p =
+    if alive p then
+      suspend ~register:(fun ~resume ~abort:_ ->
+          p.exit_waiters <- (fun () -> resume ()) :: p.exit_waiters;
+          ignore)
+end
+
+module Time = struct
+  let sleep eng dt =
+    (* the timer entry is cancelled when the sleep settles, so a killed
+       process leaves no phantom event behind *)
+    Proc.suspend ~register:(fun ~resume ~abort:_ ->
+        let e = schedule_entry eng (eng.now +. dt) (fun () -> resume ()) in
+        fun () -> e.Heap.live <- false)
+
+  let yield eng = sleep eng 0.
+
+  type ticker = { mutable live : bool }
+
+  let every eng dt fn =
+    let tk = { live = true } in
+    let rec tick () =
+      if tk.live then begin
+        fn ();
+        schedule_at eng (eng.now +. dt) tick
+      end
+    in
+    schedule_at eng (eng.now +. dt) tick;
+    tk
+
+  let cancel tk = tk.live <- false
+end
+
+module Cpu = struct
+  type t = { ceng : engine; mutable busy_until : float }
+
+  let create eng = { ceng = eng; busy_until = 0. }
+
+  let occupy t dt =
+    let now = t.ceng.now in
+    let start = if t.busy_until > now then t.busy_until else now in
+    let finish = start +. dt in
+    t.busy_until <- finish;
+    finish
+
+  let run_after t dt fn = schedule_at t.ceng (occupy t dt) fn
+
+  let busy_wait t dt =
+    let finish = occupy t dt in
+    Proc.suspend ~register:(fun ~resume ~abort:_ ->
+        let e = schedule_entry t.ceng finish (fun () -> resume ()) in
+        fun () -> e.Heap.live <- false)
+end
+
+module Rendez = struct
+  type waiter = { mutable valid : bool; fire : unit -> unit }
+
+  type t = { reng : engine; mutable queue : waiter list (* oldest last *) }
+
+  let create eng = { reng = eng; queue = [] }
+
+  let sleep r =
+    Proc.suspend ~register:(fun ~resume ~abort:_ ->
+        let w = { valid = true; fire = (fun () -> resume ()) } in
+        r.queue <- w :: r.queue;
+        (* on settle, drop the waiter so an aborted sleeper doesn't
+           swallow a later wakeup *)
+        fun () ->
+          if w.valid then begin
+            w.valid <- false;
+            r.queue <- List.filter (fun x -> x != w) r.queue
+          end)
+
+  let rec pop_oldest = function
+    | [] -> (None, [])
+    | [ w ] -> (Some w, [])
+    | w :: rest ->
+      let found, rest' = pop_oldest rest in
+      (found, w :: rest')
+
+  let wakeup r =
+    let rec go () =
+      match pop_oldest r.queue with
+      | None, _ -> ()
+      | Some w, rest ->
+        r.queue <- rest;
+        if w.valid then begin
+          w.valid <- false;
+          w.fire ()
+        end
+        else go ()
+    in
+    go ()
+
+  let wakeup_all r =
+    let ws = List.rev r.queue in
+    r.queue <- [];
+    List.iter
+      (fun w ->
+        if w.valid then begin
+          w.valid <- false;
+          w.fire ()
+        end)
+      ws
+
+  let waiters r = List.length r.queue
+end
+
+module Mbox = struct
+  type 'a t = { q : 'a Queue.t; r : Rendez.t }
+
+  let create eng = { q = Queue.create (); r = Rendez.create eng }
+
+  let send mb v =
+    Queue.push v mb.q;
+    Rendez.wakeup mb.r
+
+  let rec recv mb =
+    match Queue.take_opt mb.q with
+    | Some v -> v
+    | None ->
+      Rendez.sleep mb.r;
+      recv mb
+
+  let try_recv mb = Queue.take_opt mb.q
+  let length mb = Queue.length mb.q
+end

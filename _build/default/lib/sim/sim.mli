@@ -1,0 +1,163 @@
+(** Deterministic discrete-event simulation kernel.
+
+    This is the substrate standing in for the Plan 9 kernel's notion of
+    time and of "helper kernel processes" (Presotto & Winterbottom,
+    section 2.4).  An {!Engine.t} owns a virtual clock and an event
+    queue; {!Proc.spawn} creates a cooperative process implemented with
+    OCaml 5 effect handlers.  Processes run until they block on a
+    {!Rendez.t}, an {!Mbox.t}, a {!Time.sleep}, or exit.  Execution is
+    fully deterministic: events at equal timestamps fire in FIFO order
+    and all randomness flows from the engine's seeded {!Engine.random}
+    state, so every test and benchmark is reproducible. *)
+
+module Engine : sig
+  type t
+  (** A simulation world: virtual clock, event queue, process table. *)
+
+  val create : ?seed:int -> unit -> t
+  (** [create ?seed ()] makes an empty world.  [seed] (default 9) seeds
+      {!random}. *)
+
+  val now : t -> float
+  (** Current virtual time in seconds. *)
+
+  val random : t -> Random.State.t
+  (** The engine's random state; all simulated nondeterminism (packet
+      loss, jitter) must come from here. *)
+
+  val run : ?until:float -> t -> unit
+  (** Execute events in time order until the queue is empty or virtual
+      time would exceed [until].  If any process crashed with an
+      uncaught exception, the first such exception is re-raised after
+      the queue drains (so tests fail loudly). *)
+
+  val step : t -> bool
+  (** Execute a single event; [false] if the queue was empty. *)
+
+  val at : t -> float -> (unit -> unit) -> unit
+  (** [at eng time fn] schedules [fn] at absolute virtual [time]
+      (clamped to [now]).  [fn] runs outside any process context. *)
+
+  val after : t -> float -> (unit -> unit) -> unit
+  (** [after eng dt fn] = [at eng (now eng +. dt) fn]. *)
+
+  val stalled : t -> string list
+  (** Names of processes that are neither dead nor scheduled — i.e.
+      blocked forever if the event queue is empty.  Useful to diagnose
+      deadlock in tests. *)
+
+  val pending : t -> int
+  (** Number of queued events. *)
+end
+
+module Proc : sig
+  type t
+  (** A cooperative simulated process. *)
+
+  exception Killed
+  (** Raised inside a process aborted by {!kill}. *)
+
+  val spawn : Engine.t -> ?name:string -> (unit -> unit) -> t
+  (** Create a process; its body starts at the current virtual time,
+      after already-queued events. *)
+
+  val name : t -> string
+
+  val engine : t -> Engine.t
+
+  val self : unit -> t
+  (** The currently running process.  @raise Failure outside one. *)
+
+  val kill : t -> unit
+  (** Abort [t]: if it is blocked, it resumes by raising {!Killed}; if
+      it is runnable the kill lands at its next blocking point.  Killing
+      a dead process is a no-op. *)
+
+  val alive : t -> bool
+
+  val join : t -> unit
+  (** Block until [t] exits (normally, crashed, or killed). *)
+
+  val suspend :
+    register:(resume:('a -> unit) -> abort:(exn -> unit) -> unit -> unit) ->
+    'a
+  (** The primitive every blocking operation is built from.  [register]
+      is called immediately with two one-shot callbacks: [resume v]
+      schedules the process to continue returning [v]; [abort e]
+      schedules it to continue by raising [e].  Whichever is called
+      first wins.  [register] returns a cleanup thunk that runs exactly
+      once when the suspension settles (either way) — blocking
+      operations use it to cancel timers or dequeue waiters. *)
+end
+
+module Time : sig
+  val sleep : Engine.t -> float -> unit
+  (** Block the calling process for [dt] virtual seconds. *)
+
+  val yield : Engine.t -> unit
+  (** Reschedule the calling process after already-queued same-time
+      events. *)
+
+  type ticker
+
+  val every : Engine.t -> float -> (unit -> unit) -> ticker
+  (** Run a callback every [dt] seconds (not in process context) until
+      {!cancel}. *)
+
+  val cancel : ticker -> unit
+end
+
+module Cpu : sig
+  type t
+  (** A serialized host-CPU resource for cost modelling: operations
+      occupy it one at a time, so protocol processing adds both latency
+      and a throughput ceiling, the way a 1993 MIPS did. *)
+
+  val create : Engine.t -> t
+
+  val occupy : t -> float -> float
+  (** [occupy cpu dt] reserves the next [dt] seconds of CPU time and
+      returns the absolute completion time (>= now). *)
+
+  val run_after : t -> float -> (unit -> unit) -> unit
+  (** Schedule [fn] at the completion time of a [dt]-second occupancy.
+      Not process context. *)
+
+  val busy_wait : t -> float -> unit
+  (** Occupy the CPU for [dt] and block the calling process until the
+      work completes. *)
+end
+
+module Rendez : sig
+  type t
+  (** A rendezvous point, after the Plan 9 kernel's [sleep]/[wakeup]:
+      a queue of blocked processes.  There is no spurious wakeup, but
+      callers should still re-check their predicate in a loop when
+      several sleepers compete for the same condition. *)
+
+  val create : Engine.t -> t
+
+  val sleep : t -> unit
+  (** Block the calling process until a wakeup. *)
+
+  val wakeup : t -> unit
+  (** Wake the longest-sleeping process, if any. *)
+
+  val wakeup_all : t -> unit
+
+  val waiters : t -> int
+end
+
+module Mbox : sig
+  type 'a t
+  (** Unbounded mailbox with blocking receive; the standard way a
+      driver's interrupt side hands work to its kernel process. *)
+
+  val create : Engine.t -> 'a t
+  val send : 'a t -> 'a -> unit
+  val recv : 'a t -> 'a
+  (** Blocks while empty. *)
+
+  val try_recv : 'a t -> 'a option
+  val length : 'a t -> int
+end

@@ -1,0 +1,1 @@
+lib/vfs/chan.mli: Ninep

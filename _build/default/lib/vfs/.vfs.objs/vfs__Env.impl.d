@@ -1,0 +1,1 @@
+lib/vfs/env.ml: Buffer Chan Hashtbl Int64 List Mnt Ninep Ns Printf String

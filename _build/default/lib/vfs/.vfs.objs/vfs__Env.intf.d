@@ -1,0 +1,1 @@
+lib/vfs/env.mli: Chan Ninep Ns

@@ -1,0 +1,1 @@
+lib/vfs/mnt.mli: Ninep

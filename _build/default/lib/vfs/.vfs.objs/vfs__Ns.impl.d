@@ -1,0 +1,1 @@
+lib/vfs/ns.ml: Chan Hashtbl Int64 List Ninep Printf String

@@ -1,0 +1,1 @@
+lib/vfs/ns.mli: Chan Ninep

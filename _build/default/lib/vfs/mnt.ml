@@ -1,0 +1,50 @@
+type node = {
+  c : Ninep.Client.t;
+  mutable fid : Ninep.Client.fid;
+  mutable nqid : Ninep.Fcall.qid;
+}
+
+let wrap f = try Ok (f ()) with Ninep.Client.Err e -> Error e
+
+let fs client ?(aname = "") ~name () =
+  {
+    Ninep.Server.fs_name = name;
+    fs_attach =
+      (fun ~uname ~aname:aname' ->
+        let aname = if aname' <> "" then aname' else aname in
+        wrap (fun () ->
+            let fid, nqid = Ninep.Client.attach_q client ~uname ~aname in
+            { c = client; fid; nqid }));
+    fs_qid = (fun n -> n.nqid);
+    fs_walk =
+      (fun n name ->
+        wrap (fun () ->
+            let q = Ninep.Client.walk n.c n.fid name in
+            n.nqid <- q;
+            n));
+    fs_open =
+      (fun n mode ~trunc ->
+        wrap (fun () -> ignore (Ninep.Client.open_ n.c n.fid ~trunc mode)));
+    fs_read =
+      (fun n ~offset ~count ->
+        wrap (fun () -> Ninep.Client.read n.c n.fid ~offset ~count));
+    fs_write =
+      (fun n ~offset ~data ->
+        wrap (fun () -> Ninep.Client.write n.c n.fid ~offset data));
+    fs_create =
+      (fun n ~name ~perm mode ->
+        wrap (fun () ->
+            let q = Ninep.Client.create n.c n.fid ~name ~perm mode in
+            n.nqid <- q;
+            n));
+    fs_remove = (fun n -> wrap (fun () -> Ninep.Client.remove n.c n.fid));
+    fs_stat = (fun n -> wrap (fun () -> Ninep.Client.stat n.c n.fid));
+    fs_wstat = (fun n d -> wrap (fun () -> Ninep.Client.wstat n.c n.fid d));
+    fs_clunk =
+      (fun n -> try Ninep.Client.clunk n.c n.fid with Ninep.Client.Err _ -> ());
+    fs_clone =
+      (fun n ->
+        match wrap (fun () -> Ninep.Client.clone n.c n.fid) with
+        | Ok fid -> { c = n.c; fid; nqid = n.nqid }
+        | Error e -> raise (Chan.Error e));
+  }

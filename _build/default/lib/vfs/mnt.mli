@@ -1,0 +1,14 @@
+(** The mount driver (paper section 2.1): "A kernel resident file
+    server called the mount driver converts the procedural version of
+    9P into RPCs."
+
+    Given a 9P client connection, [fs] produces an ordinary
+    {!Ninep.Server.fs} whose every operation is a remote procedure
+    call; channels onto it are indistinguishable from channels onto a
+    kernel-resident server, which is what makes [mount] transparent. *)
+
+type node
+
+val fs : Ninep.Client.t -> ?aname:string -> name:string -> unit -> node Ninep.Server.fs
+(** Each [fs_attach] performs a Tattach for the calling user on the
+    wire.  Errors come back as the server's Rerror strings. *)

@@ -1,0 +1,152 @@
+type flag = Repl | Before | After
+
+type entry = { onto_key : int * int32; mutable unions : Chan.t list }
+
+type t = {
+  mutable table : entry list;
+  root_chan : Chan.t;
+  ns_uname : string;
+  mutable next_devid : int;
+}
+
+let make ~root ~uname =
+  {
+    table = [];
+    root_chan = Chan.attach ~devid:0 root ~uname ~aname:"";
+    ns_uname = uname;
+    next_devid = 1;
+  }
+
+(* Mount-table entries are shared structurally but the list itself is
+   copied, so binds after the fork are invisible to the parent...
+   except entry.unions is mutable.  Deep-copy the entries. *)
+let fork t =
+  {
+    t with
+    table =
+      List.map (fun e -> { onto_key = e.onto_key; unions = e.unions }) t.table;
+  }
+
+let uname t = t.ns_uname
+let root t = Chan.clone t.root_chan
+
+let fresh_devid t =
+  let id = t.next_devid in
+  t.next_devid <- id + 1;
+  id
+
+let lookup t key = List.find_opt (fun e -> e.onto_key = key) t.table
+
+let union_of t c =
+  match lookup t (Chan.key c) with
+  | Some e -> e.unions
+  | None -> [ c ]
+
+(* Walk one component from [c], consulting the union at [c]'s key.  The
+   result is the {e underlying} channel — it is never "entered" even if
+   it is itself a mount point, so the union information at its key
+   remains available for the next step. *)
+let walk1 t c name =
+  let rec try_members last_err = function
+    | [] ->
+      Error (match last_err with Some e -> e | None -> "file does not exist")
+    | m :: rest -> (
+      match Chan.walk1 m name with
+      | Ok c' -> Ok c'
+      | Error e -> try_members (Some e) rest)
+  in
+  try_members None (union_of t c)
+
+(* Cross into the mounted tree at [c], if any: the head of its union. *)
+let enter t c =
+  match lookup t (Chan.key c) with
+  | Some { unions = m0 :: _; _ } -> Chan.clone m0
+  | Some { unions = []; _ } | None -> c
+
+let normalize ~dot path =
+  let full =
+    if String.length path > 0 && path.[0] = '/' then path else dot ^ "/" ^ path
+  in
+  let parts = String.split_on_char '/' full in
+  let rec clean acc = function
+    | [] -> List.rev acc
+    | ("" | ".") :: rest -> clean acc rest
+    | ".." :: rest -> (
+      match acc with
+      | [] -> clean [] rest  (* /.. = / *)
+      | _ :: up -> clean up rest)
+    | name :: rest -> clean (name :: acc) rest
+  in
+  clean [] parts
+
+let resolve_gen ~enter_last t path =
+  let components = normalize ~dot:"/" path in
+  let rec go c = function
+    | [] -> if enter_last then enter t c else c
+    | name :: rest -> (
+      match walk1 t c name with
+      | Ok c' -> go c' rest
+      | Error e -> raise (Chan.Error (Printf.sprintf "%s: %s" path e)))
+  in
+  go (Chan.clone t.root_chan) components
+
+let resolve t path = resolve_gen ~enter_last:true t path
+let resolve_for_mount t path = resolve_gen ~enter_last:false t path
+
+let bind t ~src ~onto flag =
+  let key = Chan.key onto in
+  match lookup t key with
+  | Some e ->
+    e.unions <-
+      (match flag with
+      | Repl -> [ src ]
+      | Before -> src :: e.unions
+      | After -> e.unions @ [ src ])
+  | None ->
+    let unions =
+      match flag with
+      | Repl -> [ src ]
+      | Before -> [ src; onto ]
+      | After -> [ onto; src ]
+    in
+    t.table <- { onto_key = key; unions } :: t.table
+
+let unmount t ~onto =
+  let key = Chan.key onto in
+  t.table <- List.filter (fun e -> e.onto_key <> key) t.table
+
+let read_dir t c =
+  let seen = Hashtbl.create 17 in
+  let member_entries m =
+    if not (Chan.is_dir m) then []
+    else begin
+      let m = Chan.clone m in
+      Chan.open_ m Ninep.Fcall.Oread;
+      let out = ref [] in
+      let rec go off =
+        let data = Chan.read m ~offset:(Int64.of_int off) ~count:Ninep.Fcall.maxfdata in
+        if data <> "" then begin
+          let n = String.length data / Ninep.Fcall.dirlen in
+          for i = 0 to n - 1 do
+            out := Ninep.Fcall.decode_dir data (i * Ninep.Fcall.dirlen) :: !out
+          done;
+          go (off + String.length data)
+        end
+      in
+      go 0;
+      Chan.clunk m;
+      List.rev !out
+    end
+  in
+  List.concat_map
+    (fun m ->
+      List.filter
+        (fun d ->
+          let name = d.Ninep.Fcall.d_name in
+          if Hashtbl.mem seen name then false
+          else begin
+            Hashtbl.replace seen name ();
+            true
+          end)
+        (member_entries m))
+    (union_of t c)

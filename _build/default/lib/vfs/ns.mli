@@ -1,0 +1,71 @@
+(** Per-process name spaces (paper sections 2.1 and 6).
+
+    "Each process assembles a view of the system by building a name
+    space connecting its resources."  A name space is a root channel
+    plus a mount table mapping mounted-upon channels to ordered union
+    lists.  [import -a] style unions work exactly as the paper's
+    example: "local entries supersede remote ones of the same name so
+    networks on the local machine are chosen in preference to those
+    supplied remotely."
+
+    Path resolution is lexical for [.] and [..] (paths are normalized
+    before walking) — a documented simplification over the 1993
+    kernel's walk-through-dot-dot; modern shells do the same cleanup. *)
+
+type t
+
+type flag =
+  | Repl  (** replace the mount point's contents (MREPL) *)
+  | Before  (** union, new entries first (MBEFORE; [import -b]) *)
+  | After  (** union, new entries last (MAFTER; [import -a]) *)
+
+val make : root:'n Ninep.Server.fs -> uname:string -> t
+(** A fresh name space rooted at [root] (attached with [uname]). *)
+
+val fork : t -> t
+(** Copy the mount table — the new name space evolves independently
+    (rfork RFNAMEG). *)
+
+val uname : t -> string
+val root : t -> Chan.t
+
+val fresh_devid : t -> int
+(** Allocate an identity for a newly mounted server instance (the
+    mount driver's channels must not collide with anyone else's). *)
+
+val resolve : t -> string -> Chan.t
+(** Walk an absolute, normalized path to a channel, applying mount
+    table unions at every step.  @raise Chan.Error. *)
+
+val resolve_for_mount : t -> string -> Chan.t
+(** Like {!resolve}, but the final component does not enter an
+    existing mount — so repeated binds onto one mount point stack in a
+    single union, as the mount system call requires. *)
+
+val walk1 : t -> Chan.t -> string -> (Chan.t, string) result
+(** One-component, union-aware walk.  The result is the {e underlying}
+    channel — call {!enter} before opening a file, so a channel that is
+    itself a mount point keeps its union for further walks. *)
+
+val enter : t -> Chan.t -> Chan.t
+(** Cross into the tree mounted at a channel (the head of its union);
+    identity when nothing is mounted there. *)
+
+val bind : t -> src:Chan.t -> onto:Chan.t -> flag -> unit
+(** Install [src] over [onto] in the mount table.  With [Before]/
+    [After] the original contents stay visible in union order. *)
+
+val unmount : t -> onto:Chan.t -> unit
+(** Drop every mount on [onto]. *)
+
+val union_of : t -> Chan.t -> Chan.t list
+(** The ordered union list at a channel ([[c]] if nothing is
+    mounted). *)
+
+val read_dir : t -> Chan.t -> Ninep.Fcall.dir list
+(** Union directory listing: entries of every member, duplicates
+    suppressed, first member wins. *)
+
+val normalize : dot:string -> string -> string list
+(** Resolve a possibly-relative path against [dot], apply [.]/[..]
+    lexically, return components. *)

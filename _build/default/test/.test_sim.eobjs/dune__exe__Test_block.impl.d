@@ -1,0 +1,1 @@
+test/test_block.ml: Alcotest Block Buffer Gen List Option QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Dk Format Inet List Ninep Option P9net Sim String Vfs

@@ -1,0 +1,1 @@
+test/test_dk.ml: Alcotest Dk List Option Printf Sim String

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Dk List Netsim Ninep P9net Sim Vfs

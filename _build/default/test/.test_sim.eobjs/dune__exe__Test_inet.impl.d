@@ -1,0 +1,1 @@
+test/test_inet.ml: Alcotest Buffer Bytes Char Gen Inet List Netsim Printf QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Filename Int32 List Ninep P9net Printf QCheck QCheck_alcotest Sim String Sys Vfs

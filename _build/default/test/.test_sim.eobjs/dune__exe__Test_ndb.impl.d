@@ -1,0 +1,1 @@
+test/test_ndb.ml: Alcotest Array Filename Fun Gen List Ndb Printf QCheck QCheck_alcotest String Sys Unix

@@ -1,0 +1,1 @@
+test/test_ninep.ml: Alcotest Char Format Fun Gen Int32 Int64 List Ninep Printf QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_services.ml: Alcotest Format Inet List Netsim Ninep Option P9net Printf Sim String Vfs

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Fun List Printf Random Sim

@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest List Ninep Printf QCheck QCheck_alcotest Sim String Vfs

@@ -1,0 +1,298 @@
+(* Tests for the Datakit switch and URP. *)
+
+let make_switch ?loss ?(seed = 9) () =
+  let eng = Sim.Engine.create ~seed () in
+  let sw = Dk.Switch.create ?loss ~name:"dk" eng in
+  let helix = Dk.Switch.attach sw ~name:"nj/astro/helix" in
+  let gnot = Dk.Switch.attach sw ~name:"nj/astro/philw-gnot" in
+  (eng, sw, helix, gnot)
+
+let spawn = Sim.Proc.spawn
+
+let test_dial_accept () =
+  let eng, _sw, helix, gnot = make_switch () in
+  let caller_seen = ref "" and service_seen = ref "" in
+  let _server =
+    spawn eng (fun () ->
+        let calls = Dk.Circuit.announce helix ~service:"9fs" in
+        let inc = Sim.Mbox.recv calls in
+        caller_seen := Dk.Circuit.caller inc;
+        service_seen := Dk.Circuit.service inc;
+        ignore (Dk.Circuit.accept inc))
+  in
+  let connected = ref false in
+  let _client =
+    spawn eng (fun () ->
+        let circ =
+          Dk.Circuit.dial gnot ~dest:"nj/astro/helix" ~service:"9fs"
+        in
+        connected := true;
+        Alcotest.(check string) "peer" "nj/astro/helix"
+          (Dk.Circuit.peer_name circ))
+  in
+  Sim.Engine.run ~until:10.0 eng;
+  Alcotest.(check bool) "connected" true !connected;
+  Alcotest.(check string) "caller name" "nj/astro/philw-gnot" !caller_seen;
+  Alcotest.(check string) "service name" "9fs" !service_seen
+
+let test_dial_reject_with_reason () =
+  let eng, _sw, helix, gnot = make_switch () in
+  let _server =
+    spawn eng (fun () ->
+        let calls = Dk.Circuit.announce helix ~service:"9fs" in
+        let inc = Sim.Mbox.recv calls in
+        Dk.Circuit.reject inc ~reason:"permission denied")
+  in
+  let reason = ref "" in
+  let _client =
+    spawn eng (fun () ->
+        try
+          ignore (Dk.Circuit.dial gnot ~dest:"nj/astro/helix" ~service:"9fs")
+        with Dk.Circuit.Rejected r -> reason := r)
+  in
+  Sim.Engine.run ~until:10.0 eng;
+  Alcotest.(check string) "reason delivered" "permission denied" !reason
+
+let test_dial_no_such_line () =
+  let eng, _sw, _helix, gnot = make_switch () in
+  let ok = ref false in
+  let _client =
+    spawn eng (fun () ->
+        try ignore (Dk.Circuit.dial gnot ~dest:"nj/astro/nowhere" ~service:"x")
+        with Dk.Circuit.No_such_line _ -> ok := true)
+  in
+  Sim.Engine.run ~until:5.0 eng;
+  Alcotest.(check bool) "no such line" true !ok
+
+let test_dial_unknown_service () =
+  let eng, _sw, _helix, gnot = make_switch () in
+  let ok = ref false in
+  let _client =
+    spawn eng (fun () ->
+        try
+          ignore (Dk.Circuit.dial gnot ~dest:"nj/astro/helix" ~service:"zap")
+        with Dk.Circuit.Rejected _ -> ok := true)
+  in
+  Sim.Engine.run ~until:5.0 eng;
+  Alcotest.(check bool) "rejected" true !ok
+
+let test_wildcard_service () =
+  (* announcing "*" receives services not explicitly announced — how
+     the Plan 9 listener replaces inetd *)
+  let eng, _sw, helix, gnot = make_switch () in
+  let got_service = ref "" in
+  let _server =
+    spawn eng (fun () ->
+        let calls = Dk.Circuit.announce helix ~service:"*" in
+        let inc = Sim.Mbox.recv calls in
+        got_service := Dk.Circuit.service inc;
+        ignore (Dk.Circuit.accept inc))
+  in
+  let _client =
+    spawn eng (fun () ->
+        ignore (Dk.Circuit.dial gnot ~dest:"nj/astro/helix" ~service:"exportfs"))
+  in
+  Sim.Engine.run ~until:10.0 eng;
+  Alcotest.(check string) "wildcard caught it" "exportfs" !got_service
+
+let test_cells_ordered () =
+  let eng, _sw, helix, gnot = make_switch () in
+  let got = ref [] in
+  let _server =
+    spawn eng (fun () ->
+        let calls = Dk.Circuit.announce helix ~service:"x" in
+        let inc = Sim.Mbox.recv calls in
+        let circ = Dk.Circuit.accept inc in
+        let rec go () =
+          match Dk.Circuit.recv circ with
+          | Some (Dk.Circuit.Data { payload; _ }) ->
+            got := payload :: !got;
+            go ()
+          | Some (Dk.Circuit.Ctl _) -> go ()
+          | Some Dk.Circuit.Hangup | None -> ()
+        in
+        go ())
+  in
+  let _client =
+    spawn eng (fun () ->
+        let circ = Dk.Circuit.dial gnot ~dest:"nj/astro/helix" ~service:"x" in
+        List.iter
+          (fun p -> Dk.Circuit.send circ (Dk.Circuit.Data { payload = p; last = true }))
+          [ "a"; "b"; "c" ];
+        Sim.Time.sleep eng 1.0;
+        Dk.Circuit.hangup circ)
+  in
+  Sim.Engine.run ~until:10.0 eng;
+  Alcotest.(check (list string)) "in order" [ "a"; "b"; "c" ] (List.rev !got)
+
+let urp_pair ?loss ?config () =
+  let eng, sw, helix, gnot = make_switch ?loss () in
+  let server_conv = ref None in
+  let _server =
+    spawn eng (fun () ->
+        let calls = Dk.Circuit.announce helix ~service:"urp" in
+        let inc = Sim.Mbox.recv calls in
+        let circ = Dk.Circuit.accept inc in
+        server_conv := Some (Dk.Urp.over ?config circ))
+  in
+  let client_conv = ref None in
+  let _client =
+    spawn eng (fun () ->
+        let circ = Dk.Circuit.dial gnot ~dest:"nj/astro/helix" ~service:"urp" in
+        client_conv := Some (Dk.Urp.over ?config circ))
+  in
+  (eng, sw, server_conv, client_conv)
+
+let test_urp_roundtrip () =
+  let eng, _sw, server_conv, client_conv = urp_pair () in
+  let got = ref "" in
+  let _s =
+    spawn eng (fun () ->
+        while !server_conv = None do
+          Sim.Time.sleep eng 0.01
+        done;
+        let conv = Option.get !server_conv in
+        match Dk.Urp.read_msg conv with
+        | Some m -> Dk.Urp.write conv ("re:" ^ m)
+        | None -> ())
+  in
+  let _c =
+    spawn eng (fun () ->
+        while !client_conv = None do
+          Sim.Time.sleep eng 0.01
+        done;
+        let conv = Option.get !client_conv in
+        Dk.Urp.write conv "ping";
+        match Dk.Urp.read_msg conv with
+        | Some m -> got := m
+        | None -> ())
+  in
+  Sim.Engine.run ~until:30.0 eng;
+  Alcotest.(check string) "urp echo" "re:ping" !got
+
+let test_urp_delimiters () =
+  let eng, _sw, server_conv, client_conv = urp_pair () in
+  let msgs = ref [] in
+  let _s =
+    spawn eng (fun () ->
+        while !server_conv = None do
+          Sim.Time.sleep eng 0.01
+        done;
+        let conv = Option.get !server_conv in
+        let rec go n =
+          if n > 0 then
+            match Dk.Urp.read_msg conv with
+            | Some m ->
+              msgs := m :: !msgs;
+              go (n - 1)
+            | None -> ()
+        in
+        go 2)
+  in
+  let _c =
+    spawn eng (fun () ->
+        while !client_conv = None do
+          Sim.Time.sleep eng 0.01
+        done;
+        let conv = Option.get !client_conv in
+        (* a multi-cell message and a small one: boundaries must hold *)
+        Dk.Urp.write conv (String.make 5000 'x');
+        Dk.Urp.write conv "tail")
+  in
+  Sim.Engine.run ~until:30.0 eng;
+  match List.rev !msgs with
+  | [ big; small ] ->
+    Alcotest.(check int) "multi-cell message reassembled" 5000
+      (String.length big);
+    Alcotest.(check string) "boundary kept" "tail" small
+  | _ -> Alcotest.fail "expected two messages"
+
+let test_urp_reliable_under_loss () =
+  let eng, _sw, server_conv, client_conv = urp_pair ~loss:0.05 () in
+  let got = ref [] in
+  let n = 30 in
+  let _s =
+    spawn eng (fun () ->
+        while !server_conv = None do
+          Sim.Time.sleep eng 0.01
+        done;
+        let conv = Option.get !server_conv in
+        let rec go () =
+          match Dk.Urp.read_msg conv with
+          | Some m ->
+            got := m :: !got;
+            go ()
+          | None -> ()
+        in
+        go ())
+  in
+  let _c =
+    spawn eng (fun () ->
+        while !client_conv = None do
+          Sim.Time.sleep eng 0.01
+        done;
+        let conv = Option.get !client_conv in
+        for i = 1 to n do
+          Dk.Urp.write conv (Printf.sprintf "m%02d" i)
+        done)
+  in
+  Sim.Engine.run ~until:120.0 eng;
+  let expect = List.init n (fun i -> Printf.sprintf "m%02d" (i + 1)) in
+  Alcotest.(check (list string)) "complete and ordered" expect
+    (List.rev !got);
+  let c = Dk.Urp.counters (Option.get !client_conv) in
+  Alcotest.(check bool) "enquiries used for recovery" true
+    (c.Dk.Urp.enqs_sent > 0)
+
+let test_urp_close_gives_eof () =
+  let eng, _sw, server_conv, client_conv = urp_pair () in
+  let eof = ref false in
+  let _s =
+    spawn eng (fun () ->
+        while !server_conv = None do
+          Sim.Time.sleep eng 0.01
+        done;
+        let conv = Option.get !server_conv in
+        let rec go () =
+          match Dk.Urp.read_msg conv with
+          | Some _ -> go ()
+          | None -> eof := true
+        in
+        go ())
+  in
+  let _c =
+    spawn eng (fun () ->
+        while !client_conv = None do
+          Sim.Time.sleep eng 0.01
+        done;
+        let conv = Option.get !client_conv in
+        Dk.Urp.write conv "bye";
+        Sim.Time.sleep eng 1.0;
+        Dk.Urp.close conv)
+  in
+  Sim.Engine.run ~until:30.0 eng;
+  Alcotest.(check bool) "server saw eof" true !eof
+
+let () =
+  Alcotest.run "dk"
+    [
+      ( "circuit",
+        [
+          Alcotest.test_case "dial and accept" `Quick test_dial_accept;
+          Alcotest.test_case "reject with reason" `Quick
+            test_dial_reject_with_reason;
+          Alcotest.test_case "no such line" `Quick test_dial_no_such_line;
+          Alcotest.test_case "unknown service" `Quick
+            test_dial_unknown_service;
+          Alcotest.test_case "wildcard service" `Quick test_wildcard_service;
+          Alcotest.test_case "cells ordered" `Quick test_cells_ordered;
+        ] );
+      ( "urp",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_urp_roundtrip;
+          Alcotest.test_case "delimiters" `Quick test_urp_delimiters;
+          Alcotest.test_case "reliable under loss" `Quick
+            test_urp_reliable_under_loss;
+          Alcotest.test_case "close eof" `Quick test_urp_close_gives_eof;
+        ] );
+    ]

@@ -1,0 +1,281 @@
+(* Model-based testing: a random sequence of file operations is applied
+   both to the real system and to a trivial pure model (a map from
+   paths to contents), and the observable results must agree.
+
+   The same operation stream is run against three stacks:
+     - ramfs through the syscall layer (procedural 9P),
+     - ramfs through a 9P connection and the mount driver (RPC 9P),
+     - ramfs imported over IL through exportfs (the full network path).
+   If the three ever disagree with the model — or with each other —
+   something in the chain is broken. *)
+
+module F = Ninep.Fcall
+
+type op =
+  | Write of string * string  (* path, contents *)
+  | Read of string
+  | Remove of string
+  | Mkdir of string
+  | List of string
+
+let dirs = [ "/d0"; "/d1"; "/d0/sub" ]
+let files = [ "f0"; "f1"; "f2" ]
+
+let op_gen =
+  QCheck.Gen.(
+    let path =
+      map2
+        (fun d f -> d ^ "/" ^ f)
+        (oneofl ("" :: dirs))
+        (oneofl files)
+    in
+    frequency
+      [
+        (4, map2 (fun p c -> Write (p, c)) path (string_size (0 -- 30)));
+        (4, map (fun p -> Read p) path);
+        (1, map (fun p -> Remove p) path);
+        (1, map (fun d -> Mkdir d) (oneofl dirs));
+        (2, map (fun d -> List d) (oneofl ("/" :: dirs)));
+      ])
+
+let print_op = function
+  | Write (p, c) -> Printf.sprintf "Write(%s,%d bytes)" p (String.length c)
+  | Read p -> "Read " ^ p
+  | Remove p -> "Remove " ^ p
+  | Mkdir d -> "Mkdir " ^ d
+  | List d -> "List " ^ d
+
+(* ---- the model ---- *)
+
+module Model = struct
+  type t = {
+    mutable files : (string * string) list;
+    mutable dirs : string list;
+  }
+
+  let make () = { files = []; dirs = [ "/" ] }
+
+  let parent p = Filename.dirname p
+
+  let apply m = function
+    | Mkdir d ->
+      (* mkdir -p semantics, mirroring the driver below *)
+      let rec add d =
+        if d <> "/" && not (List.mem d m.dirs) then begin
+          add (parent d);
+          m.dirs <- d :: m.dirs
+        end
+      in
+      add d;
+      "ok"
+    | Write (p, c) ->
+      if List.mem (parent p) m.dirs then begin
+        m.files <- (p, c) :: List.remove_assoc p m.files;
+        "ok"
+      end
+      else "error"
+    | Read p -> (
+      match List.assoc_opt p m.files with Some c -> c | None -> "error")
+    | Remove p ->
+      if List.mem_assoc p m.files then begin
+        m.files <- List.remove_assoc p m.files;
+        "ok"
+      end
+      else "error"
+    | List d ->
+      if not (List.mem d m.dirs) then "error"
+      else begin
+        let prefix = if d = "/" then "/" else d ^ "/" in
+        let children_of path =
+          let rest =
+            String.sub path (String.length prefix)
+              (String.length path - String.length prefix)
+          in
+          if String.contains rest '/' || rest = "" then None else Some rest
+        in
+        let fs =
+          List.filter_map (fun (p, _) ->
+              if String.length p > String.length prefix
+                 && String.sub p 0 (String.length prefix) = prefix
+              then children_of p
+              else None)
+            m.files
+        in
+        let ds =
+          List.filter_map (fun p ->
+              if String.length p > String.length prefix
+                 && String.sub p 0 (String.length prefix) = prefix
+              then children_of p
+              else None)
+            m.dirs
+        in
+        String.concat "," (List.sort compare (fs @ ds))
+      end
+end
+
+(* ---- the drivers ---- *)
+
+let apply_env env op =
+  match op with
+  | Mkdir d ->
+    let rec add d =
+      if d <> "/" && d <> "." && d <> "" then begin
+        add (Filename.dirname d);
+        match Vfs.Env.stat env d with
+        | _ -> ()
+        | exception Vfs.Chan.Error _ ->
+          Vfs.Env.close env
+            (Vfs.Env.create env d
+               ~perm:(Int32.logor F.dmdir 0o775l)
+               F.Oread)
+      end
+    in
+    add d;
+    "ok"
+  | Write (p, c) -> (
+    match Vfs.Env.write_file env p c with
+    | () -> "ok"
+    | exception Vfs.Chan.Error _ -> "error")
+  | Read p -> (
+    match Vfs.Env.read_file env p with
+    | c -> c
+    | exception Vfs.Chan.Error _ -> "error")
+  | Remove p -> (
+    match Vfs.Env.remove env p with
+    | () -> "ok"
+    | exception Vfs.Chan.Error _ -> "error")
+  | List d -> (
+    match Vfs.Env.ls env d with
+    | entries ->
+      String.concat ","
+        (List.sort compare (List.map (fun e -> e.F.d_name) entries))
+    | exception Vfs.Chan.Error _ -> "error")
+
+(* run one op list through a stack builder and compare with the model;
+   [prep] adapts paths for the driver (the model always sees the
+   original absolute ops) *)
+let agrees ?(prep = fun ops -> ops) ~build ops =
+  let results = ref [] in
+  build (fun env ->
+      results := List.rev_map (apply_env env) (prep ops));
+  let m = Model.make () in
+  let expected = List.map (Model.apply m) ops in
+  List.rev !results = expected
+
+let local_stack f =
+  let eng = Sim.Engine.create () in
+  let ram = Ninep.Ramfs.make ~name:"root" () in
+  let _p =
+    Sim.Proc.spawn eng (fun () ->
+        let ns = Vfs.Ns.make ~root:(Ninep.Ramfs.fs ram) ~uname:"u" in
+        f (Vfs.Env.make ~ns ~uname:"u"))
+  in
+  Sim.Engine.run eng
+
+let mounted_stack f =
+  let eng = Sim.Engine.create () in
+  let local = Ninep.Ramfs.make ~name:"root" () in
+  Ninep.Ramfs.mkdir local "/mnt";
+  let remote = Ninep.Ramfs.make ~name:"remote" () in
+  let ct, st = Ninep.Transport.pipe eng in
+  let _srv = Ninep.Server.serve eng (Ninep.Ramfs.fs remote) st in
+  let _p =
+    Sim.Proc.spawn eng (fun () ->
+        let ns = Vfs.Ns.make ~root:(Ninep.Ramfs.fs local) ~uname:"u" in
+        let env = Vfs.Env.make ~ns ~uname:"u" in
+        let client = Ninep.Client.make eng ct in
+        Ninep.Client.session client;
+        Vfs.Env.mount env client ~onto:"/mnt" Vfs.Ns.Repl;
+        Vfs.Env.chdir env "/mnt";
+        f env)
+  in
+  Sim.Engine.run eng
+
+let imported_stack f =
+  let w = P9net.World.bell_labs () in
+  let gnot = P9net.World.host w "philw-gnot" in
+  let helix = P9net.World.host w "helix" in
+  Ninep.Ramfs.mkdir helix.P9net.Host.root "/tmp/model";
+  ignore
+    (P9net.Host.spawn gnot "model" (fun env ->
+         P9net.Exportfs.import w.P9net.World.eng env ~host:"helix"
+           ~remote_root:"/tmp/model" ~onto:"/n" ~flag:Vfs.Ns.Repl ();
+         Vfs.Env.chdir env "/n";
+         f env));
+  P9net.World.run ~until:600.0 w
+
+(* relative paths: ops use absolute "/..." but the mounted stacks chdir
+   first, so strip the leading slash to make them relative *)
+let relativize ops =
+  List.map
+    (function
+      | Write (p, c) -> Write (String.sub p 1 (String.length p - 1), c)
+      | Read p -> Read (String.sub p 1 (String.length p - 1))
+      | Remove p -> Remove (String.sub p 1 (String.length p - 1))
+      | Mkdir d -> Mkdir (String.sub d 1 (String.length d - 1))
+      | List d ->
+        List (if d = "/" then "." else String.sub d 1 (String.length d - 1)))
+    ops
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+    QCheck.Gen.(list_size (1 -- 25) op_gen)
+
+let prop_local =
+  QCheck.Test.make ~name:"ramfs matches the model" ~count:60 ops_arb
+    (fun ops -> agrees ~build:local_stack ops)
+
+let prop_mounted =
+  QCheck.Test.make ~name:"9p-mounted ramfs matches the model" ~count:40
+    ops_arb (fun ops -> agrees ~prep:relativize ~build:mounted_stack ops)
+
+let prop_imported =
+  QCheck.Test.make ~name:"il-imported exportfs matches the model" ~count:8
+    ops_arb (fun ops -> agrees ~prep:relativize ~build:imported_stack ops)
+
+let replay_case () =
+  let ops =
+    [
+      Write ("/f2", String.make 16 'x');
+      Read "/d0/sub/f2";
+      Read "/d0/sub/f2";
+      List "/d0";
+      Remove "/d1/f1";
+      Write ("/d0/sub/f2", String.make 16 'y');
+      Remove "/d0/sub/f0";
+      Write ("/f1", String.make 5 'z');
+      Write ("/d1/f0", String.make 25 'w');
+    ]
+  in
+  let driver_ops =
+    if Array.length Sys.argv > 2 then relativize ops else ops
+  in
+  let real = ref [] in
+  (if Array.length Sys.argv > 2 then mounted_stack else local_stack)
+    (fun env -> real := List.map (apply_env env) driver_ops);
+  let m = Model.make () in
+  List.iteri
+    (fun i op ->
+      let expect = Model.apply m op in
+      let got = List.nth !real i in
+      Printf.printf "%-28s model=%-10S real=%-10S %s
+" (print_op op)
+        expect got
+        (if expect = got then "" else "<== MISMATCH"))
+    ops
+
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "replay" then begin
+    replay_case ();
+    exit 0
+  end;
+  Alcotest.run "model"
+    [
+      ( "namespace",
+        [
+          QCheck_alcotest.to_alcotest prop_local;
+          QCheck_alcotest.to_alcotest prop_mounted;
+          QCheck_alcotest.to_alcotest prop_imported;
+        ] );
+    ]

@@ -1,0 +1,293 @@
+(* Tests for the network database. *)
+
+(* The paper's own example entries (section 4.1). *)
+let paper_db =
+  {|sys = helix
+	dom=helix.research.bell-labs.com
+	bootf=/mips/9power
+	ip=135.104.9.31 ether=0800690222f0
+	dk=nj/astro/helix
+	proto=il flavor=9cpu
+
+ipnet=mh-astro-net ip=135.104.0.0 ipmask=255.255.255.0
+	fs=bootes.research.bell-labs.com
+	auth=1127auth
+ipnet=unix-room ip=135.104.117.0
+	ipgw=135.104.117.1
+ipnet=third-floor ip=135.104.51.0
+	ipgw=135.104.51.1
+ipnet=fourth-floor ip=135.104.52.0
+	ipgw=135.104.52.1
+
+tcp=echo	port=7
+tcp=discard	port=9
+tcp=systat	port=11
+tcp=daytime	port=13
+il=9fs	port=17008
+il=rexauth	port=17021
+|}
+
+let db () = Ndb.of_string paper_db
+
+let test_parse_multiline () =
+  let es = Ndb.entries (db ()) in
+  Alcotest.(check int) "entry count" 11 (List.length es);
+  let helix = List.hd es in
+  Alcotest.(check (option string)) "header pair" (Some "helix")
+    (Ndb.get helix "sys");
+  Alcotest.(check (option string)) "continuation pair"
+    (Some "helix.research.bell-labs.com")
+    (Ndb.get helix "dom");
+  Alcotest.(check (option string)) "two pairs on one line"
+    (Some "0800690222f0") (Ndb.get helix "ether")
+
+let test_parse_comments_and_blanks () =
+  let es =
+    Ndb.entries
+      (Ndb.of_string "# comment\n\nsys=a\n\tip=1.2.3.4\n# more\nsys=b\n")
+  in
+  Alcotest.(check int) "two entries" 2 (List.length es)
+
+let test_parse_quoted_value () =
+  let es = Ndb.entries (Ndb.of_string "sys=x descr=\"a b c\"\n") in
+  Alcotest.(check (option string)) "quoted" (Some "a b c")
+    (Ndb.get (List.hd es) "descr")
+
+let test_search () =
+  let t = db () in
+  let es = Ndb.search t ~attr:"sys" ~value:"helix" in
+  Alcotest.(check int) "one match" 1 (List.length es);
+  Alcotest.(check int) "no match" 0
+    (List.length (Ndb.search t ~attr:"sys" ~value:"nonesuch"))
+
+let test_find () =
+  let t = db () in
+  Alcotest.(check (list string)) "dom of helix"
+    [ "helix.research.bell-labs.com" ]
+    (Ndb.find t ~attr:"sys" ~value:"helix" ~rattr:"dom");
+  Alcotest.(check (list string)) "ip of helix" [ "135.104.9.31" ]
+    (Ndb.find t ~attr:"sys" ~value:"helix" ~rattr:"ip")
+
+let test_get_all_repeated () =
+  let es = Ndb.entries (Ndb.of_string "sys=multi ip=1.1.1.1 ip=2.2.2.2\n") in
+  Alcotest.(check (list string)) "both ips" [ "1.1.1.1"; "2.2.2.2" ]
+    (Ndb.get_all (List.hd es) "ip")
+
+let test_service_port () =
+  let t = db () in
+  Alcotest.(check (option int)) "tcp echo" (Some 7)
+    (Ndb.service_port t ~proto:"tcp" ~service:"echo");
+  Alcotest.(check (option int)) "il 9fs" (Some 17008)
+    (Ndb.service_port t ~proto:"il" ~service:"9fs");
+  Alcotest.(check (option int)) "numeric passes through" (Some 564)
+    (Ndb.service_port t ~proto:"tcp" ~service:"564");
+  Alcotest.(check (option int)) "unknown" None
+    (Ndb.service_port t ~proto:"tcp" ~service:"nonesuch")
+
+let test_service_name () =
+  let t = db () in
+  Alcotest.(check (option string)) "port 7" (Some "echo")
+    (Ndb.service_name t ~proto:"tcp" ~port:7)
+
+let test_sys_entry_by_dom_and_ip () =
+  let t = db () in
+  Alcotest.(check bool) "by dom" true
+    (Ndb.sys_entry t "helix.research.bell-labs.com" <> None);
+  Alcotest.(check bool) "by ip" true (Ndb.sys_entry t "135.104.9.31" <> None);
+  Alcotest.(check bool) "missing" true (Ndb.sys_entry t "zork" = None)
+
+let test_ipattr_host_then_net () =
+  let t = db () in
+  (* bootf comes from the host's own entry *)
+  Alcotest.(check (option string)) "host attr" (Some "/mips/9power")
+    (Ndb.ipattr t ~ip:"135.104.9.31" ~attr:"bootf");
+  (* auth comes from the class-B network entry *)
+  Alcotest.(check (option string)) "net attr inherited" (Some "1127auth")
+    (Ndb.ipattr t ~ip:"135.104.9.31" ~attr:"auth")
+
+let test_ipattr_most_specific_first () =
+  let t = db () in
+  (* 135.104.117.5 is in both unix-room (/24 via classful B? explicit)
+     and mh-astro-net; the gateway must come from the subnet *)
+  Alcotest.(check (option string)) "subnet gateway wins"
+    (Some "135.104.117.1")
+    (Ndb.ipattr t ~ip:"135.104.117.5" ~attr:"ipgw");
+  (* and fs= only exists at the network level *)
+  Alcotest.(check (option string)) "network attr reachable"
+    (Some "bootes.research.bell-labs.com")
+    (Ndb.ipattr t ~ip:"135.104.117.5" ~attr:"fs")
+
+let test_sysattr () =
+  let t = db () in
+  Alcotest.(check (option string)) "direct" (Some "nj/astro/helix")
+    (Ndb.sysattr t ~sys:"helix" ~attr:"dk");
+  Alcotest.(check (option string)) "inherited through ip" (Some "1127auth")
+    (Ndb.sysattr t ~sys:"helix" ~attr:"auth")
+
+let test_dkattr () =
+  let t =
+    Ndb.of_string
+      "dknet=nj/astro\n\tauth=astroauth\ndknet=nj/astro/lab\n\tauth=labauth\n\
+       sys=term\n\tdk=nj/astro/lab/term\n"
+  in
+  (* longest matching prefix wins *)
+  Alcotest.(check (option string)) "specific net" (Some "labauth")
+    (Ndb.dkattr t ~dk:"nj/astro/lab/term" ~attr:"auth");
+  Alcotest.(check (option string)) "outer net" (Some "astroauth")
+    (Ndb.dkattr t ~dk:"nj/astro/helix" ~attr:"auth");
+  Alcotest.(check (option string)) "no net" None
+    (Ndb.dkattr t ~dk:"mh/other/sys" ~attr:"auth");
+  (* a prefix must end at a path boundary *)
+  Alcotest.(check (option string)) "no partial-component match" None
+    (Ndb.dkattr t ~dk:"nj/astrophysics/x" ~attr:"auth");
+  Alcotest.(check (option string)) "sysattr falls back to dknet"
+    (Some "labauth")
+    (Ndb.sysattr t ~sys:"term" ~attr:"auth")
+
+(* ---- file-backed databases and hash indexes ---- *)
+
+let with_temp_db text f =
+  let dir = Filename.temp_file "ndbtest" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "local" in
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f path)
+
+let test_file_backed () =
+  with_temp_db paper_db (fun path ->
+      let t = Ndb.open_files [ path ] in
+      Alcotest.(check int) "entries loaded" 11 (List.length (Ndb.entries t)))
+
+let test_hash_index_used () =
+  with_temp_db paper_db (fun path ->
+      let t = Ndb.open_files [ path ] in
+      Ndb.write_hash t ~attr:"sys";
+      let _ = Ndb.search t ~attr:"sys" ~value:"helix" in
+      let st = Ndb.stats t in
+      Alcotest.(check int) "answered from hash" 1 st.Ndb.hash_lookups;
+      Alcotest.(check int) "no linear scan" 0 st.Ndb.linear_scans)
+
+let test_hash_file_on_disk_survives_reopen () =
+  with_temp_db paper_db (fun path ->
+      let t = Ndb.open_files [ path ] in
+      Ndb.write_hash t ~attr:"sys";
+      (* a second, fresh open must pick the index up from disk *)
+      let t2 = Ndb.open_files [ path ] in
+      let es = Ndb.search t2 ~attr:"sys" ~value:"helix" in
+      Alcotest.(check int) "found" 1 (List.length es);
+      Alcotest.(check int) "from the on-disk hash" 1
+        (Ndb.stats t2).Ndb.hash_lookups)
+
+let test_stale_hash_falls_back () =
+  with_temp_db paper_db (fun path ->
+      let t = Ndb.open_files [ path ] in
+      Ndb.write_hash t ~attr:"sys";
+      (* modify the master file afterwards, pushing its mtime forward *)
+      Unix.sleepf 0.02;
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "sys=brandnew\n\tip=10.0.0.1\n";
+      close_out oc;
+      let future = Unix.time () +. 10. in
+      Unix.utimes path future future;
+      let t2 = Ndb.open_files [ path ] in
+      let es = Ndb.search t2 ~attr:"sys" ~value:"brandnew" in
+      Alcotest.(check int) "still found (slowly)" 1 (List.length es);
+      let st = Ndb.stats t2 in
+      Alcotest.(check int) "stale index rejected" 1 st.Ndb.stale_rejected;
+      Alcotest.(check int) "linear scan used" 1 st.Ndb.linear_scans)
+
+let test_reload_picks_up_changes () =
+  with_temp_db paper_db (fun path ->
+      let t = Ndb.open_files [ path ] in
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "sys=added\n";
+      close_out oc;
+      let future = Unix.time () +. 10. in
+      Unix.utimes path future future;
+      Ndb.reload t;
+      Alcotest.(check int) "new entry visible" 1
+        (List.length (Ndb.search t ~attr:"sys" ~value:"added")))
+
+let test_multiple_files_search_order () =
+  with_temp_db "sys=shared\n\tval=local\n" (fun local_path ->
+      let global_path = local_path ^ ".global" in
+      let oc = open_out global_path in
+      output_string oc "sys=shared\n\tval=global\nsys=onlyglobal\n";
+      close_out oc;
+      let t = Ndb.open_files [ local_path; global_path ] in
+      (* local entries come first *)
+      Alcotest.(check (list string)) "local first" [ "local"; "global" ]
+        (Ndb.find t ~attr:"sys" ~value:"shared" ~rattr:"val");
+      Alcotest.(check int) "global-only entries found" 1
+        (List.length (Ndb.search t ~attr:"sys" ~value:"onlyglobal")))
+
+(* property: parsing is insensitive to trailing whitespace and extra
+   blank lines *)
+let prop_parse_robust =
+  QCheck.Test.make ~name:"parser ignores junk whitespace" ~count:100
+    QCheck.(small_list (pair (string_of_size Gen.(1 -- 8)) (string_of_size Gen.(0 -- 8))))
+    (fun pairs ->
+      let clean (a, v) =
+        let ok s =
+          String.for_all
+            (fun c ->
+              (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-')
+            s
+        in
+        if a <> "" && ok a && ok v then Some (a, v) else None
+      in
+      let pairs = List.filter_map clean pairs in
+      let text =
+        String.concat "\n\n"
+          (List.map (fun (a, v) -> Printf.sprintf "%s=%s  \n" a v) pairs)
+      in
+      let es = Ndb.parse_string text in
+      List.length es = List.length pairs
+      && List.for_all2 (fun e (a, v) -> Ndb.get e a = Some v) es pairs)
+
+let () =
+  Alcotest.run "ndb"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "multiline entries" `Quick test_parse_multiline;
+          Alcotest.test_case "comments and blanks" `Quick
+            test_parse_comments_and_blanks;
+          Alcotest.test_case "quoted values" `Quick test_parse_quoted_value;
+          QCheck_alcotest.to_alcotest prop_parse_robust;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "search" `Quick test_search;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "repeated attrs" `Quick test_get_all_repeated;
+          Alcotest.test_case "service port" `Quick test_service_port;
+          Alcotest.test_case "service name" `Quick test_service_name;
+          Alcotest.test_case "sys entry" `Quick test_sys_entry_by_dom_and_ip;
+          Alcotest.test_case "ipattr host/net" `Quick
+            test_ipattr_host_then_net;
+          Alcotest.test_case "ipattr specificity" `Quick
+            test_ipattr_most_specific_first;
+          Alcotest.test_case "sysattr" `Quick test_sysattr;
+          Alcotest.test_case "dkattr" `Quick test_dkattr;
+        ] );
+      ( "hash",
+        [
+          Alcotest.test_case "file backed" `Quick test_file_backed;
+          Alcotest.test_case "hash index used" `Quick test_hash_index_used;
+          Alcotest.test_case "hash survives reopen" `Quick
+            test_hash_file_on_disk_survives_reopen;
+          Alcotest.test_case "stale hash falls back" `Quick
+            test_stale_hash_falls_back;
+          Alcotest.test_case "reload" `Quick test_reload_picks_up_changes;
+          Alcotest.test_case "multi-file order" `Quick
+            test_multiple_files_search_order;
+        ] );
+    ]

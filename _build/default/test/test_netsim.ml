@@ -1,0 +1,247 @@
+(* Tests for the simulated physical media. *)
+
+let ea = Netsim.Eaddr.of_string
+
+let test_eaddr () =
+  Alcotest.(check string) "normalizes case" "0800690222f0"
+    (Netsim.Eaddr.to_string (ea "0800690222F0"));
+  Alcotest.check_raises "length" (Invalid_argument "Eaddr.of_string: 0800")
+    (fun () -> ignore (ea "0800"));
+  Alcotest.(check string) "broadcast" "ffffffffffff"
+    (Netsim.Eaddr.to_string Netsim.Eaddr.broadcast)
+
+let mk_seg ?loss ?bandwidth_bps ?latency () =
+  let eng = Sim.Engine.create () in
+  let seg =
+    Netsim.Ether.create ?loss ?bandwidth_bps ?latency ~name:"ether0" eng
+  in
+  (eng, seg)
+
+let test_unicast_delivery () =
+  let eng, seg = mk_seg () in
+  let a = Netsim.Ether.attach seg (ea "0800690222f0") in
+  let b = Netsim.Ether.attach seg (ea "0800690222f1") in
+  let c = Netsim.Ether.attach seg (ea "0800690222f2") in
+  let got_b = ref [] and got_c = ref [] in
+  Netsim.Ether.set_rx b (fun f -> got_b := f.Netsim.Ether.payload :: !got_b);
+  Netsim.Ether.set_rx c (fun f -> got_c := f.Netsim.Ether.payload :: !got_c);
+  Netsim.Ether.transmit a
+    {
+      Netsim.Ether.src = Netsim.Ether.nic_addr a;
+      dst = Netsim.Ether.nic_addr b;
+      etype = 2048;
+      payload = "hello";
+    };
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "b got it" [ "hello" ] !got_b;
+  Alcotest.(check (list string)) "c did not" [] !got_c
+
+let test_broadcast_delivery () =
+  let eng, seg = mk_seg () in
+  let a = Netsim.Ether.attach seg (ea "0800690222f0") in
+  let b = Netsim.Ether.attach seg (ea "0800690222f1") in
+  let c = Netsim.Ether.attach seg (ea "0800690222f2") in
+  let hits = ref 0 in
+  Netsim.Ether.set_rx b (fun _ -> incr hits);
+  Netsim.Ether.set_rx c (fun _ -> incr hits);
+  Netsim.Ether.transmit a
+    {
+      Netsim.Ether.src = Netsim.Ether.nic_addr a;
+      dst = Netsim.Eaddr.broadcast;
+      etype = 2054;
+      payload = "who-has";
+    };
+  Sim.Engine.run eng;
+  Alcotest.(check int) "both got broadcast" 2 !hits
+
+let test_promiscuous () =
+  let eng, seg = mk_seg () in
+  let a = Netsim.Ether.attach seg (ea "0800690222f0") in
+  let b = Netsim.Ether.attach seg (ea "0800690222f1") in
+  let snoop = Netsim.Ether.attach seg (ea "0800690222f2") in
+  Netsim.Ether.set_promiscuous snoop true;
+  let seen = ref 0 in
+  Netsim.Ether.set_rx snoop (fun _ -> incr seen);
+  Netsim.Ether.set_rx b (fun _ -> ());
+  Netsim.Ether.transmit a
+    {
+      Netsim.Ether.src = Netsim.Ether.nic_addr a;
+      dst = Netsim.Ether.nic_addr b;
+      etype = 2048;
+      payload = "secret";
+    };
+  Sim.Engine.run eng;
+  Alcotest.(check int) "snooper saw unicast" 1 !seen
+
+let test_no_self_delivery () =
+  let eng, seg = mk_seg () in
+  let a = Netsim.Ether.attach seg (ea "0800690222f0") in
+  let self_hits = ref 0 in
+  Netsim.Ether.set_rx a (fun _ -> incr self_hits);
+  Netsim.Ether.transmit a
+    {
+      Netsim.Ether.src = Netsim.Ether.nic_addr a;
+      dst = Netsim.Eaddr.broadcast;
+      etype = 2048;
+      payload = "echo?";
+    };
+  Sim.Engine.run eng;
+  Alcotest.(check int) "no loopback from the wire" 0 !self_hits
+
+let test_duplicate_attach_rejected () =
+  let _eng, seg = mk_seg () in
+  let _a = Netsim.Ether.attach seg (ea "0800690222f0") in
+  Alcotest.(check bool) "dup attach raises" true
+    (try
+       ignore (Netsim.Ether.attach seg (ea "0800690222f0"));
+       false
+     with Invalid_argument _ -> true)
+
+let test_wire_timing () =
+  (* 10 Mb/s: a 1000-byte payload (+18 header) takes 814.4 us + 50 us
+     propagation *)
+  let eng, seg = mk_seg ~bandwidth_bps:10e6 ~latency:50e-6 () in
+  let a = Netsim.Ether.attach seg (ea "0800690222f0") in
+  let b = Netsim.Ether.attach seg (ea "0800690222f1") in
+  let arrival = ref 0. in
+  Netsim.Ether.set_rx b (fun _ -> arrival := Sim.Engine.now eng);
+  Netsim.Ether.transmit a
+    {
+      Netsim.Ether.src = Netsim.Ether.nic_addr a;
+      dst = Netsim.Ether.nic_addr b;
+      etype = 2048;
+      payload = String.make 1000 'x';
+    };
+  Sim.Engine.run eng;
+  Alcotest.(check (float 1e-9)) "arrival time"
+    ((1018. *. 8. /. 10e6) +. 50e-6)
+    !arrival
+
+let test_medium_serializes () =
+  (* two back-to-back frames share the wire; the second arrives one
+     transmission time after the first *)
+  let eng, seg = mk_seg ~bandwidth_bps:10e6 ~latency:0. () in
+  let a = Netsim.Ether.attach seg (ea "0800690222f0") in
+  let b = Netsim.Ether.attach seg (ea "0800690222f1") in
+  let times = ref [] in
+  Netsim.Ether.set_rx b (fun _ -> times := Sim.Engine.now eng :: !times);
+  let frame =
+    {
+      Netsim.Ether.src = Netsim.Ether.nic_addr a;
+      dst = Netsim.Ether.nic_addr b;
+      etype = 2048;
+      payload = String.make 982 'x';  (* 1000 bytes on the wire *)
+    }
+  in
+  Netsim.Ether.transmit a frame;
+  Netsim.Ether.transmit a frame;
+  Sim.Engine.run eng;
+  match List.rev !times with
+  | [ t1; t2 ] ->
+    Alcotest.(check (float 1e-9)) "second delayed by one tx time"
+      (t1 +. (8000. /. 10e6))
+      t2
+  | _ -> Alcotest.fail "expected two deliveries"
+
+let test_loss_is_counted () =
+  let eng, seg = mk_seg ~loss:1.0 () in
+  let a = Netsim.Ether.attach seg (ea "0800690222f0") in
+  let b = Netsim.Ether.attach seg (ea "0800690222f1") in
+  let got = ref 0 in
+  Netsim.Ether.set_rx b (fun _ -> incr got);
+  for _ = 1 to 5 do
+    Netsim.Ether.transmit a
+      {
+        Netsim.Ether.src = Netsim.Ether.nic_addr a;
+        dst = Netsim.Ether.nic_addr b;
+        etype = 2048;
+        payload = "doomed";
+      }
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check int) "all lost" 0 !got;
+  Alcotest.(check int) "crc errors counted" 5
+    (Netsim.Ether.nic_stats b).Netsim.Ether.crc_errors
+
+let test_stats_counting () =
+  let eng, seg = mk_seg () in
+  let a = Netsim.Ether.attach seg (ea "0800690222f0") in
+  let b = Netsim.Ether.attach seg (ea "0800690222f1") in
+  Netsim.Ether.set_rx b (fun _ -> ());
+  Netsim.Ether.transmit a
+    {
+      Netsim.Ether.src = Netsim.Ether.nic_addr a;
+      dst = Netsim.Ether.nic_addr b;
+      etype = 2048;
+      payload = "12345";
+    };
+  Sim.Engine.run eng;
+  let sa = Netsim.Ether.nic_stats a and sb = Netsim.Ether.nic_stats b in
+  Alcotest.(check int) "a out" 1 sa.Netsim.Ether.out_packets;
+  Alcotest.(check int) "a out bytes" 5 sa.Netsim.Ether.out_bytes;
+  Alcotest.(check int) "b in" 1 sb.Netsim.Ether.in_packets;
+  Alcotest.(check int) "b in bytes" 5 sb.Netsim.Ether.in_bytes
+
+let test_fiber_roundtrip () =
+  let eng = Sim.Engine.create () in
+  let a, b = Netsim.Fiber.create_pair ~name:"cyclone" eng in
+  let got = ref [] in
+  Netsim.Fiber.set_rx b (fun m -> got := m :: !got);
+  Netsim.Fiber.set_rx a (fun m -> Netsim.Fiber.send a ("echo:" ^ m));
+  Netsim.Fiber.send a "one";
+  Netsim.Fiber.send a "two";
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "in order" [ "one"; "two" ] (List.rev !got)
+
+let test_fiber_timing () =
+  let eng = Sim.Engine.create () in
+  let a, b =
+    Netsim.Fiber.create_pair ~bandwidth_bps:125e6 ~latency:10e-6
+      ~name:"cyclone" eng
+  in
+  let at = ref 0. in
+  Netsim.Fiber.set_rx b (fun _ -> at := Sim.Engine.now eng);
+  Netsim.Fiber.send a (String.make 16384 'x');
+  Sim.Engine.run eng;
+  Alcotest.(check (float 1e-9)) "16k at 125Mb/s + latency"
+    ((16384. *. 8. /. 125e6) +. 10e-6)
+    !at
+
+let test_serial_baud () =
+  let eng = Sim.Engine.create () in
+  let a, b = Netsim.Serial.create_pair ~baud:9600 ~name:"eia1" eng in
+  let at = ref 0. in
+  Netsim.Serial.set_rx b (fun _ -> at := Sim.Engine.now eng);
+  Netsim.Serial.send a (String.make 96 'x');
+  Sim.Engine.run eng;
+  (* 96 bytes * 10 bits / 9600 baud = 0.1 s *)
+  Alcotest.(check (float 1e-9)) "9600 baud" 0.1 !at;
+  (* reclock to 1200 baud, like echo b1200 > /dev/eia1ctl *)
+  Netsim.Serial.set_baud a 1200;
+  Alcotest.(check int) "peer reclocked too" 1200 (Netsim.Serial.baud b)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ("eaddr", [ Alcotest.test_case "parse" `Quick test_eaddr ]);
+      ( "ether",
+        [
+          Alcotest.test_case "unicast" `Quick test_unicast_delivery;
+          Alcotest.test_case "broadcast" `Quick test_broadcast_delivery;
+          Alcotest.test_case "promiscuous" `Quick test_promiscuous;
+          Alcotest.test_case "no self delivery" `Quick test_no_self_delivery;
+          Alcotest.test_case "dup attach" `Quick
+            test_duplicate_attach_rejected;
+          Alcotest.test_case "wire timing" `Quick test_wire_timing;
+          Alcotest.test_case "medium serializes" `Quick
+            test_medium_serializes;
+          Alcotest.test_case "loss counted" `Quick test_loss_is_counted;
+          Alcotest.test_case "stats" `Quick test_stats_counting;
+        ] );
+      ( "fiber",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_fiber_roundtrip;
+          Alcotest.test_case "timing" `Quick test_fiber_timing;
+        ] );
+      ("serial", [ Alcotest.test_case "baud" `Quick test_serial_baud ]);
+    ]

@@ -1,0 +1,487 @@
+(* Tests for 9P: marshalling, framing, and client/server semantics. *)
+
+module F = Ninep.Fcall
+
+(* ---- marshalling roundtrips ---- *)
+
+let qid_gen =
+  QCheck.Gen.(
+    map2
+      (fun p v ->
+        { F.qpath = Int32.of_int p; qvers = Int32.of_int v })
+      (int_bound 0xfffffff) (int_bound 0xffff))
+
+let name_gen =
+  QCheck.Gen.(
+    map
+      (fun s -> String.concat "" (List.filteri (fun i _ -> i < 27) [ s ]))
+      (string_size ~gen:(char_range 'a' 'z') (0 -- 27)))
+
+let dir_gen =
+  QCheck.Gen.(
+    map
+      (fun (name, uid, (qid, mode, len)) ->
+        {
+          F.d_name = name;
+          d_uid = uid;
+          d_gid = uid;
+          d_qid = qid;
+          d_mode = Int32.of_int mode;
+          d_atime = 11l;
+          d_mtime = 22l;
+          d_length = Int64.of_int len;
+          d_type = Char.code 'r';
+          d_dev = 3;
+        })
+      (triple name_gen name_gen (triple qid_gen (int_bound 0o777) small_nat)))
+
+let tmsg_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return F.Tnop;
+        map (fun chal -> F.Tsession { chal }) (string_size (0 -- 32));
+        map2
+          (fun fid (uname, aname) -> F.Tattach { fid; uname; aname })
+          (int_bound 0xffff) (pair name_gen name_gen);
+        map2
+          (fun fid newfid -> F.Tclone { fid; newfid })
+          (int_bound 0xffff) (int_bound 0xffff);
+        map2 (fun fid name -> F.Twalk { fid; name }) (int_bound 0xffff) name_gen;
+        map3
+          (fun fid newfid name -> F.Tclwalk { fid; newfid; name })
+          (int_bound 0xffff) (int_bound 0xffff) name_gen;
+        map2
+          (fun fid trunc -> F.Topen { fid; mode = F.Ordwr; trunc })
+          (int_bound 0xffff) bool;
+        map3
+          (fun fid name perm ->
+            F.Tcreate { fid; name; perm = Int32.of_int perm; mode = F.Oread })
+          (int_bound 0xffff) name_gen (int_bound 0o777);
+        map3
+          (fun fid offset count ->
+            F.Tread { fid; offset = Int64.of_int offset; count })
+          (int_bound 0xffff) (int_bound 1_000_000)
+          (int_bound F.maxfdata);
+        map3
+          (fun fid offset data ->
+            F.Twrite { fid; offset = Int64.of_int offset; data })
+          (int_bound 0xffff) (int_bound 1_000_000)
+          (string_size (0 -- 200));
+        map (fun fid -> F.Tclunk { fid }) (int_bound 0xffff);
+        map (fun fid -> F.Tremove { fid }) (int_bound 0xffff);
+        map (fun fid -> F.Tstat { fid }) (int_bound 0xffff);
+        map2
+          (fun fid stat -> F.Twstat { fid; stat })
+          (int_bound 0xffff) dir_gen;
+        map (fun oldtag -> F.Tflush { oldtag }) (int_bound 0xffff);
+        map2
+          (fun afid uname -> F.Tauth { afid; uname; ticket = "tick" })
+          (int_bound 0xffff) name_gen;
+      ])
+
+let rmsg_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return F.Rnop;
+        map (fun e -> F.Rerror e) (string_size ~gen:(char_range 'a' 'z') (1 -- 60));
+        map (fun chal -> F.Rsession { chal }) (string_size (0 -- 32));
+        map2 (fun fid qid -> F.Rattach { fid; qid }) (int_bound 0xffff) qid_gen;
+        map (fun fid -> F.Rclone { fid }) (int_bound 0xffff);
+        map2 (fun fid qid -> F.Rwalk { fid; qid }) (int_bound 0xffff) qid_gen;
+        map2
+          (fun newfid qid -> F.Rclwalk { newfid; qid })
+          (int_bound 0xffff) qid_gen;
+        map2 (fun fid qid -> F.Ropen { fid; qid }) (int_bound 0xffff) qid_gen;
+        map2 (fun fid qid -> F.Rcreate { fid; qid }) (int_bound 0xffff) qid_gen;
+        map (fun data -> F.Rread { data }) (string_size (0 -- 300));
+        map (fun count -> F.Rwrite { count }) (int_bound F.maxfdata);
+        map (fun fid -> F.Rclunk { fid }) (int_bound 0xffff);
+        map (fun fid -> F.Rremove { fid }) (int_bound 0xffff);
+        map (fun stat -> F.Rstat { stat }) dir_gen;
+        map (fun fid -> F.Rwstat { fid }) (int_bound 0xffff);
+        return F.Rflush;
+        map2
+          (fun afid t -> F.Rauth { afid; ticket = t })
+          (int_bound 0xffff) (string_size (0 -- 16));
+      ])
+
+let msg_gen =
+  QCheck.Gen.(
+    int_bound 0xfffe >>= fun tag ->
+    oneof
+      [
+        map (fun t -> F.T (tag, t)) tmsg_gen;
+        map (fun r -> F.R (tag, r)) rmsg_gen;
+      ])
+
+let msg_arb = QCheck.make ~print:F.message_name msg_gen
+
+let prop_encode_decode =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:500 msg_arb
+    (fun m -> F.decode (F.encode m) = m)
+
+let prop_dir_roundtrip =
+  QCheck.Test.make ~name:"dir encode/decode roundtrip" ~count:200
+    (QCheck.make dir_gen) (fun d ->
+      let s = F.encode_dir d in
+      String.length s = F.dirlen && F.decode_dir s 0 = d)
+
+let prop_frame_split =
+  QCheck.Test.make ~name:"frame splitter reassembles any chunking" ~count:200
+    QCheck.(
+      pair
+        (small_list (string_of_size Gen.(0 -- 80)))
+        small_nat)
+    (fun (msgs, chunk_seed) ->
+      let wire = String.concat "" (List.map F.Frame.wrap msgs) in
+      let sp = F.Frame.splitter () in
+      let out = ref [] in
+      let chunk = 1 + (chunk_seed mod 7) in
+      let i = ref 0 in
+      while !i < String.length wire do
+        let n = min chunk (String.length wire - !i) in
+        out := !out @ F.Frame.feed sp (String.sub wire !i n);
+        i := !i + n
+      done;
+      !out = msgs)
+
+let test_decode_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "garbage %S rejected" s)
+        true
+        (try
+           ignore (F.decode s);
+           false
+         with F.Bad_message _ -> true))
+    [ ""; "\x00"; "\x01\x02\x03"; "\xff\x00\x00"; "\x32" (* truncated Tnop tag *) ]
+
+let test_oversize_name_rejected () =
+  Alcotest.(check bool) "28-byte name rejected" true
+    (try
+       ignore
+         (F.encode (F.T (1, F.Twalk { fid = 1; name = String.make 28 'x' })));
+       false
+     with F.Bad_message _ -> true)
+
+(* ---- client/server over a pipe with ramfs ---- *)
+
+let with_ramfs f =
+  let eng = Sim.Engine.create () in
+  let ram = Ninep.Ramfs.make ~name:"ram" () in
+  let ct, st = Ninep.Transport.pipe eng in
+  let _srv = Ninep.Server.serve eng (Ninep.Ramfs.fs ram) st in
+  let finished = ref false in
+  let _cli =
+    Sim.Proc.spawn eng ~name:"client" (fun () ->
+        let c = Ninep.Client.make eng ct in
+        Ninep.Client.session c;
+        f eng ram c;
+        finished := true)
+  in
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "client body completed" true !finished
+
+let test_attach_walk_read () =
+  with_ramfs (fun _eng ram c ->
+      Ninep.Ramfs.add_file ram "/lib/ndb/local" "sys=helix\n";
+      let root = Ninep.Client.attach c ~uname:"philw" ~aname:"" in
+      let f = Ninep.Client.walk_path c root [ "lib"; "ndb"; "local" ] in
+      ignore (Ninep.Client.open_ c f Ninep.Fcall.Oread);
+      Alcotest.(check string) "contents" "sys=helix\n"
+        (Ninep.Client.read_all c f);
+      Ninep.Client.clunk c f)
+
+let test_create_write_read_back () =
+  with_ramfs (fun _eng ram c ->
+      let root = Ninep.Client.attach c ~uname:"philw" ~aname:"" in
+      let f = Ninep.Client.clone c root in
+      ignore
+        (Ninep.Client.create c f ~name:"greeting" ~perm:0o664l
+           Ninep.Fcall.Owrite);
+      let n = Ninep.Client.write c f ~offset:0L "hello, plan 9" in
+      Alcotest.(check int) "write count" 13 n;
+      Ninep.Client.clunk c f;
+      Alcotest.(check (option string)) "visible in tree"
+        (Some "hello, plan 9")
+        (Ninep.Ramfs.read_file ram "/greeting"))
+
+let test_walk_failure_keeps_fid () =
+  with_ramfs (fun _eng ram c ->
+      Ninep.Ramfs.mkdir ram "/dir";
+      let root = Ninep.Client.attach c ~uname:"u" ~aname:"" in
+      let f = Ninep.Client.clone c root in
+      (try
+         ignore (Ninep.Client.walk c f "nonexistent");
+         Alcotest.fail "walk should fail"
+       with Ninep.Client.Err e ->
+         Alcotest.(check string) "error" "file does not exist" e);
+      (* fid still usable where it was *)
+      ignore (Ninep.Client.walk c f "dir");
+      Ninep.Client.clunk c f)
+
+let test_clone_independence () =
+  with_ramfs (fun _eng ram c ->
+      Ninep.Ramfs.add_file ram "/a/f" "data";
+      let root = Ninep.Client.attach c ~uname:"u" ~aname:"" in
+      let f1 = Ninep.Client.clone c root in
+      let f2 = Ninep.Client.clone c f1 in
+      ignore (Ninep.Client.walk c f1 "a");
+      (* f2 must still point at the root *)
+      let d = Ninep.Client.stat c f2 in
+      Alcotest.(check string) "f2 still at root" "/" d.Ninep.Fcall.d_name;
+      Ninep.Client.clunk c f1;
+      Ninep.Client.clunk c f2)
+
+let test_directory_read () =
+  with_ramfs (fun _eng ram c ->
+      Ninep.Ramfs.add_file ram "/eia1" "";
+      Ninep.Ramfs.add_file ram "/eia1ctl" "";
+      Ninep.Ramfs.add_file ram "/eia2" "";
+      let root = Ninep.Client.attach c ~uname:"u" ~aname:"" in
+      let f = Ninep.Client.clone c root in
+      ignore (Ninep.Client.open_ c f Ninep.Fcall.Oread);
+      let names =
+        List.sort compare
+          (List.map (fun d -> d.Ninep.Fcall.d_name) (Ninep.Client.read_dir c f))
+      in
+      Alcotest.(check (list string)) "ls" [ "eia1"; "eia1ctl"; "eia2" ] names;
+      Ninep.Client.clunk c f)
+
+let test_stat_wstat_rename () =
+  with_ramfs (fun _eng ram c ->
+      Ninep.Ramfs.add_file ram "/old" "x";
+      let root = Ninep.Client.attach c ~uname:"u" ~aname:"" in
+      let f = Ninep.Client.walk_path c root [ "old" ] in
+      let d = Ninep.Client.stat c f in
+      Ninep.Client.wstat c f { d with Ninep.Fcall.d_name = "new" };
+      Alcotest.(check bool) "renamed" true (Ninep.Ramfs.exists ram "/new");
+      Alcotest.(check bool) "old gone" false (Ninep.Ramfs.exists ram "/old");
+      Ninep.Client.clunk c f)
+
+let test_remove () =
+  with_ramfs (fun _eng ram c ->
+      Ninep.Ramfs.add_file ram "/doomed" "x";
+      let root = Ninep.Client.attach c ~uname:"u" ~aname:"" in
+      let f = Ninep.Client.walk_path c root [ "doomed" ] in
+      Ninep.Client.remove c f;
+      Alcotest.(check bool) "gone" false (Ninep.Ramfs.exists ram "/doomed"))
+
+let test_remove_nonempty_dir_fails () =
+  with_ramfs (fun _eng ram c ->
+      Ninep.Ramfs.add_file ram "/d/f" "x";
+      let root = Ninep.Client.attach c ~uname:"u" ~aname:"" in
+      let f = Ninep.Client.walk_path c root [ "d" ] in
+      try
+        Ninep.Client.remove c f;
+        Alcotest.fail "remove should fail"
+      with Ninep.Client.Err e ->
+        Alcotest.(check string) "error" "directory not empty" e)
+
+let test_open_dir_for_write_fails () =
+  with_ramfs (fun _eng ram c ->
+      Ninep.Ramfs.mkdir ram "/d";
+      let root = Ninep.Client.attach c ~uname:"u" ~aname:"" in
+      let f = Ninep.Client.walk_path c root [ "d" ] in
+      try
+        ignore (Ninep.Client.open_ c f Ninep.Fcall.Owrite);
+        Alcotest.fail "open should fail"
+      with Ninep.Client.Err _ -> Ninep.Client.clunk c f)
+
+let test_read_without_open_fails () =
+  with_ramfs (fun _eng ram c ->
+      Ninep.Ramfs.add_file ram "/f" "x";
+      let root = Ninep.Client.attach c ~uname:"u" ~aname:"" in
+      let f = Ninep.Client.walk_path c root [ "f" ] in
+      try
+        ignore (Ninep.Client.read c f ~offset:0L ~count:10);
+        Alcotest.fail "read should fail"
+      with Ninep.Client.Err _ -> Ninep.Client.clunk c f)
+
+let test_qid_dir_bit () =
+  with_ramfs (fun _eng ram c ->
+      Ninep.Ramfs.mkdir ram "/d";
+      Ninep.Ramfs.add_file ram "/f" "";
+      let root = Ninep.Client.attach c ~uname:"u" ~aname:"" in
+      let d = Ninep.Client.walk_path c root [ "d" ] in
+      let f = Ninep.Client.walk_path c root [ "f" ] in
+      Alcotest.(check bool) "dir bit set" true
+        (Ninep.Fcall.qid_is_dir (Ninep.Client.stat c d).Ninep.Fcall.d_qid);
+      Alcotest.(check bool) "file bit clear" false
+        (Ninep.Fcall.qid_is_dir (Ninep.Client.stat c f).Ninep.Fcall.d_qid))
+
+let test_concurrent_rpcs_demux () =
+  (* two processes sharing one connection: tags must demultiplex *)
+  let eng = Sim.Engine.create () in
+  let ram = Ninep.Ramfs.make ~name:"ram" () in
+  Ninep.Ramfs.add_file ram "/a" "contents-a";
+  Ninep.Ramfs.add_file ram "/b" "contents-b";
+  let ct, st = Ninep.Transport.pipe eng in
+  let _srv = Ninep.Server.serve eng (Ninep.Ramfs.fs ram) st in
+  let c = Ninep.Client.make eng ct in
+  let got_a = ref "" and got_b = ref "" in
+  let reader name cell =
+    Sim.Proc.spawn eng (fun () ->
+        let root = Ninep.Client.attach c ~uname:"u" ~aname:"" in
+        let f = Ninep.Client.walk_path c root [ name ] in
+        ignore (Ninep.Client.open_ c f Ninep.Fcall.Oread);
+        cell := Ninep.Client.read_all c f;
+        Ninep.Client.clunk c f)
+  in
+  let _setup =
+    Sim.Proc.spawn eng (fun () ->
+        Ninep.Client.session c;
+        ignore (reader "a" got_a);
+        ignore (reader "b" got_b))
+  in
+  Sim.Engine.run eng;
+  Alcotest.(check string) "a" "contents-a" !got_a;
+  Alcotest.(check string) "b" "contents-b" !got_b
+
+let test_hangup_fails_outstanding () =
+  let eng = Sim.Engine.create () in
+  let ct, _st = Ninep.Transport.pipe eng in
+  (* no server: the rpc would block forever without the hangup *)
+  let c = Ninep.Client.make eng ct in
+  let failed = ref false in
+  let _p =
+    Sim.Proc.spawn eng (fun () ->
+        try Ninep.Client.session c with Ninep.Client.Err _ -> failed := true)
+  in
+  Sim.Engine.after eng 1.0 (fun () -> Ninep.Client.hangup c);
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "outstanding rpc failed" true !failed;
+  Alcotest.(check bool) "client dead" false (Ninep.Client.alive c)
+
+let test_session_resets_fids () =
+  with_ramfs (fun _eng _ram c ->
+      let root = Ninep.Client.attach c ~uname:"u" ~aname:"" in
+      Ninep.Client.session c;
+      (* the old fid is gone after a new session *)
+      try
+        ignore (Ninep.Client.stat c root);
+        Alcotest.fail "stat should fail after session"
+      with Ninep.Client.Err e ->
+        Alcotest.(check string) "unknown fid" "unknown fid" e)
+
+(* a server whose file reads block: with ~threaded, a slow read must
+   not stall other requests — the property exportfs needs *)
+let test_threaded_server_no_stall () =
+  let eng = Sim.Engine.create () in
+  let slow_fs =
+    let quid = { F.qpath = 1l; qvers = 0l } in
+    {
+      Ninep.Server.fs_name = "slowfs";
+      fs_attach = (fun ~uname:_ ~aname:_ -> Ok ());
+      fs_qid = (fun () -> quid);
+      fs_walk = (fun () _ -> Ok ());
+      fs_open = (fun () _ ~trunc:_ -> Ok ());
+      fs_read =
+        (fun () ~offset:_ ~count:_ ->
+          (* the first read sleeps a long time; later ones are quick *)
+          Sim.Time.sleep eng 10.0;
+          Ok "slow");
+      fs_write = (fun () ~offset:_ ~data -> Ok (String.length data));
+      fs_create = (fun () ~name:_ ~perm:_ _ -> Error "no");
+      fs_remove = (fun () -> Error "no");
+      fs_stat = (fun () -> Error "no");
+      fs_wstat = (fun () _ -> Error "no");
+      fs_clunk = ignore;
+      fs_clone = Fun.id;
+    }
+  in
+  let ct, st = Ninep.Transport.pipe eng in
+  let _srv = Ninep.Server.serve ~threaded:true eng slow_fs st in
+  let c = Ninep.Client.make eng ct in
+  let fast_done_at = ref 0. in
+  let _setup =
+    Sim.Proc.spawn eng (fun () ->
+        Ninep.Client.session c;
+        let f1 = Ninep.Client.attach c ~uname:"u" ~aname:"" in
+        let f2 = Ninep.Client.attach c ~uname:"u" ~aname:"" in
+        ignore (Ninep.Client.open_ c f1 F.Oread);
+        ignore (Ninep.Client.open_ c f2 F.Oread);
+        (* slow read in one process... *)
+        ignore
+          (Sim.Proc.spawn eng (fun () ->
+               ignore (Ninep.Client.read c f1 ~offset:0L ~count:10)));
+        (* ...a write in another must not wait behind it *)
+        ignore
+          (Sim.Proc.spawn eng (fun () ->
+               Sim.Time.sleep eng 0.1;
+               ignore (Ninep.Client.write c f2 ~offset:0L "quick");
+               fast_done_at := Sim.Engine.now eng)))
+  in
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "write finished while read blocked" true
+    (!fast_done_at > 0. && !fast_done_at < 5.0)
+
+let test_pp_dir_format () =
+  let d =
+    {
+      F.d_name = "eia1";
+      d_uid = "bootes";
+      d_gid = "bootes";
+      d_qid = { F.qpath = 5l; qvers = 0l };
+      d_mode = 0o666l;
+      d_atime = 0l;
+      d_mtime = 0l;
+      d_length = 0L;
+      d_type = Char.code 't';
+      d_dev = 0;
+    }
+  in
+  let s = Format.asprintf "%a" F.pp_dir d in
+  Alcotest.(check string) "ls -l style"
+    "-rw-rw-rw- t 0 bootes   bootes          0 eia1" s
+
+let () =
+  Alcotest.run "ninep"
+    [
+      ( "marshal",
+        [
+          QCheck_alcotest.to_alcotest prop_encode_decode;
+          QCheck_alcotest.to_alcotest prop_dir_roundtrip;
+          QCheck_alcotest.to_alcotest prop_frame_split;
+          Alcotest.test_case "garbage rejected" `Quick test_decode_garbage;
+          Alcotest.test_case "oversize name" `Quick
+            test_oversize_name_rejected;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "attach walk read" `Quick test_attach_walk_read;
+          Alcotest.test_case "create write read" `Quick
+            test_create_write_read_back;
+          Alcotest.test_case "walk failure keeps fid" `Quick
+            test_walk_failure_keeps_fid;
+          Alcotest.test_case "clone independence" `Quick
+            test_clone_independence;
+          Alcotest.test_case "directory read" `Quick test_directory_read;
+          Alcotest.test_case "stat/wstat rename" `Quick
+            test_stat_wstat_rename;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "remove nonempty dir" `Quick
+            test_remove_nonempty_dir_fails;
+          Alcotest.test_case "open dir for write" `Quick
+            test_open_dir_for_write_fails;
+          Alcotest.test_case "read without open" `Quick
+            test_read_without_open_fails;
+          Alcotest.test_case "qid dir bit" `Quick test_qid_dir_bit;
+          Alcotest.test_case "session resets fids" `Quick
+            test_session_resets_fids;
+        ] );
+      ( "mount-driver",
+        [
+          Alcotest.test_case "concurrent rpc demux" `Quick
+            test_concurrent_rpcs_demux;
+          Alcotest.test_case "hangup fails outstanding" `Quick
+            test_hangup_fails_outstanding;
+          Alcotest.test_case "threaded server doesn't stall" `Quick
+            test_threaded_server_no_stall;
+        ] );
+      ( "format",
+        [ Alcotest.test_case "pp_dir" `Quick test_pp_dir_format ] );
+    ]

@@ -1,0 +1,245 @@
+(* Tests for the discrete-event kernel. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_time_ordering () =
+  let eng = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.at eng 2.0 (fun () -> log := "b" :: !log);
+  Sim.Engine.at eng 1.0 (fun () -> log := "a" :: !log);
+  Sim.Engine.at eng 3.0 (fun () -> log := "c" :: !log);
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_float "final time" 3.0 (Sim.Engine.now eng)
+
+let test_fifo_same_time () =
+  let eng = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Sim.Engine.at eng 1.0 (fun () -> log := i :: !log)
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_run_until () =
+  let eng = Sim.Engine.create () in
+  let hits = ref 0 in
+  Sim.Engine.at eng 1.0 (fun () -> incr hits);
+  Sim.Engine.at eng 5.0 (fun () -> incr hits);
+  Sim.Engine.run ~until:2.0 eng;
+  Alcotest.(check int) "only first" 1 !hits;
+  check_float "clock at horizon" 2.0 (Sim.Engine.now eng);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "both" 2 !hits
+
+let test_proc_sleep () =
+  let eng = Sim.Engine.create () in
+  let woke_at = ref 0. in
+  let _p =
+    Sim.Proc.spawn eng (fun () ->
+        Sim.Time.sleep eng 1.5;
+        woke_at := Sim.Engine.now eng)
+  in
+  Sim.Engine.run eng;
+  check_float "slept" 1.5 !woke_at
+
+let test_proc_crash_raises () =
+  let eng = Sim.Engine.create () in
+  let _p = Sim.Proc.spawn eng (fun () -> failwith "boom") in
+  Alcotest.check_raises "crash surfaces" (Failure "boom") (fun () ->
+      Sim.Engine.run eng)
+
+let test_join () =
+  let eng = Sim.Engine.create () in
+  let order = ref [] in
+  let worker =
+    Sim.Proc.spawn eng ~name:"worker" (fun () ->
+        Sim.Time.sleep eng 2.0;
+        order := "worker" :: !order)
+  in
+  let _waiter =
+    Sim.Proc.spawn eng ~name:"waiter" (fun () ->
+        Sim.Proc.join worker;
+        order := "waiter" :: !order)
+  in
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "join order" [ "worker"; "waiter" ]
+    (List.rev !order)
+
+let test_join_dead () =
+  let eng = Sim.Engine.create () in
+  let worker = Sim.Proc.spawn eng (fun () -> ()) in
+  let finished = ref false in
+  let _w =
+    Sim.Proc.spawn eng (fun () ->
+        Sim.Time.sleep eng 1.0;
+        (* worker long dead *)
+        Sim.Proc.join worker;
+        finished := true)
+  in
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "join of dead proc returns" true !finished
+
+let test_kill_sleeping () =
+  let eng = Sim.Engine.create () in
+  let cleaned = ref false in
+  let victim =
+    Sim.Proc.spawn eng ~name:"victim" (fun () ->
+        Fun.protect
+          ~finally:(fun () -> cleaned := true)
+          (fun () -> Sim.Time.sleep eng 100.))
+  in
+  let _killer =
+    Sim.Proc.spawn eng (fun () ->
+        Sim.Time.sleep eng 1.0;
+        Sim.Proc.kill victim)
+  in
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "victim dead" false (Sim.Proc.alive victim);
+  Alcotest.(check bool) "finalizer ran" true !cleaned;
+  check_float "killed promptly, not at 100s" 1.0 (Sim.Engine.now eng)
+
+let test_kill_is_not_crash () =
+  let eng = Sim.Engine.create () in
+  let victim = Sim.Proc.spawn eng (fun () -> Sim.Time.sleep eng 100.) in
+  Sim.Engine.after eng 1.0 (fun () -> Sim.Proc.kill victim);
+  (* must not raise *)
+  Sim.Engine.run eng
+
+let test_rendez () =
+  let eng = Sim.Engine.create () in
+  let r = Sim.Rendez.create eng in
+  let woke = ref [] in
+  let sleeper name =
+    ignore
+      (Sim.Proc.spawn eng ~name (fun () ->
+           Sim.Rendez.sleep r;
+           woke := name :: !woke))
+  in
+  sleeper "a";
+  sleeper "b";
+  Sim.Engine.after eng 1.0 (fun () -> Sim.Rendez.wakeup r);
+  Sim.Engine.after eng 2.0 (fun () -> Sim.Rendez.wakeup r);
+  Sim.Engine.run eng;
+  (* FIFO: a slept first, wakes first *)
+  Alcotest.(check (list string)) "fifo wakeups" [ "a"; "b" ] (List.rev !woke)
+
+let test_rendez_wakeup_empty () =
+  let eng = Sim.Engine.create () in
+  let r = Sim.Rendez.create eng in
+  Sim.Rendez.wakeup r;
+  Sim.Rendez.wakeup_all r;
+  Alcotest.(check int) "no waiters" 0 (Sim.Rendez.waiters r)
+
+let test_mbox () =
+  let eng = Sim.Engine.create () in
+  let mb = Sim.Mbox.create eng in
+  let got = ref [] in
+  let _consumer =
+    Sim.Proc.spawn eng (fun () ->
+        for _ = 1 to 3 do
+          got := Sim.Mbox.recv mb :: !got
+        done)
+  in
+  let _producer =
+    Sim.Proc.spawn eng (fun () ->
+        Sim.Mbox.send mb 1;
+        Sim.Time.sleep eng 1.0;
+        Sim.Mbox.send mb 2;
+        Sim.Mbox.send mb 3)
+  in
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "all received in order" [ 1; 2; 3 ]
+    (List.rev !got)
+
+let test_ticker () =
+  let eng = Sim.Engine.create () in
+  let ticks = ref 0 in
+  let tk = Sim.Time.every eng 1.0 (fun () -> incr ticks) in
+  Sim.Engine.at eng 5.5 (fun () -> Sim.Time.cancel tk);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "5 ticks then cancelled" 5 !ticks
+
+let test_cpu_serializes () =
+  let eng = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create eng in
+  let t1 = Sim.Cpu.occupy cpu 1.0 in
+  let t2 = Sim.Cpu.occupy cpu 1.0 in
+  check_float "first op" 1.0 t1;
+  check_float "second op queued behind first" 2.0 t2
+
+let test_cpu_busy_wait () =
+  let eng = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create eng in
+  let done_at = ref 0. in
+  let _p =
+    Sim.Proc.spawn eng (fun () ->
+        Sim.Cpu.busy_wait cpu 0.5;
+        Sim.Cpu.busy_wait cpu 0.25;
+        done_at := Sim.Engine.now eng)
+  in
+  Sim.Engine.run eng;
+  check_float "serial busy work" 0.75 !done_at
+
+let test_stalled_reports_blocked () =
+  let eng = Sim.Engine.create () in
+  let r = Sim.Rendez.create eng in
+  let _p = Sim.Proc.spawn eng ~name:"stuck" (fun () -> Sim.Rendez.sleep r) in
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "deadlocked proc visible" [ "stuck" ]
+    (Sim.Engine.stalled eng)
+
+let test_determinism () =
+  let trace () =
+    let eng = Sim.Engine.create ~seed:42 () in
+    let log = Buffer.create 64 in
+    for i = 0 to 4 do
+      ignore
+        (Sim.Proc.spawn eng (fun () ->
+             let dt =
+               Random.State.float (Sim.Engine.random eng) 1.0
+             in
+             Sim.Time.sleep eng dt;
+             Buffer.add_string log (Printf.sprintf "%d@%.6f;" i
+                 (Sim.Engine.now eng))))
+    done;
+    Sim.Engine.run eng;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "identical runs" (trace ()) (trace ())
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "time ordering" `Quick test_time_ordering;
+          Alcotest.test_case "fifo at same time" `Quick test_fifo_same_time;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "stalled" `Quick test_stalled_reports_blocked;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "proc",
+        [
+          Alcotest.test_case "sleep" `Quick test_proc_sleep;
+          Alcotest.test_case "crash raises" `Quick test_proc_crash_raises;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "join dead" `Quick test_join_dead;
+          Alcotest.test_case "kill sleeping" `Quick test_kill_sleeping;
+          Alcotest.test_case "kill is not crash" `Quick test_kill_is_not_crash;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "rendez" `Quick test_rendez;
+          Alcotest.test_case "rendez empty wakeup" `Quick
+            test_rendez_wakeup_empty;
+          Alcotest.test_case "mbox" `Quick test_mbox;
+          Alcotest.test_case "ticker" `Quick test_ticker;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "serializes" `Quick test_cpu_serializes;
+          Alcotest.test_case "busy wait" `Quick test_cpu_busy_wait;
+        ] );
+    ]

@@ -1,0 +1,402 @@
+(* Tests for the streams framework (paper section 2.4). *)
+
+let run_sim f =
+  let eng = Sim.Engine.create () in
+  let _p = Sim.Proc.spawn eng (fun () -> f eng) in
+  Sim.Engine.run eng
+
+(* a sink device that records everything written down the stream *)
+let sink_device name =
+  let written = ref [] in
+  let dev =
+    {
+      Streams.dev_name = name;
+      dev_dput = (fun b -> written := b :: !written);
+      dev_close = ignore;
+    }
+  in
+  (dev, written)
+
+let test_write_reaches_device () =
+  run_sim (fun eng ->
+      let dev, written = sink_device "sink" in
+      let s = Streams.create eng dev in
+      Streams.write s "hello";
+      match !written with
+      | [ b ] ->
+        Alcotest.(check string) "payload" "hello" (Block.to_string b);
+        Alcotest.(check bool) "delimited" true b.Block.delim
+      | _ -> Alcotest.fail "expected one block")
+
+let test_large_write_splits () =
+  run_sim (fun eng ->
+      let dev, written = sink_device "sink" in
+      let s = Streams.create eng dev in
+      Streams.write s (String.make (Block.max_atomic_write + 5) 'x');
+      match List.rev !written with
+      | [ b1; b2 ] ->
+        Alcotest.(check int) "first block 32k" Block.max_atomic_write
+          (Block.len b1);
+        Alcotest.(check bool) "first not delimited" false b1.Block.delim;
+        Alcotest.(check int) "tail" 5 (Block.len b2);
+        Alcotest.(check bool) "last delimited" true b2.Block.delim
+      | _ -> Alcotest.fail "expected two blocks")
+
+let test_input_readable () =
+  run_sim (fun eng ->
+      let s = Streams.create eng (Streams.null_device "null") in
+      Streams.input s (Block.make ~delim:true "up");
+      Alcotest.(check string) "read" "up" (Streams.read s 100))
+
+let test_hangup_gives_eof () =
+  run_sim (fun eng ->
+      let s = Streams.create eng (Streams.null_device "null") in
+      Streams.input s (Block.make ~delim:true "last");
+      Streams.hangup s;
+      Alcotest.(check string) "data" "last" (Streams.read s 100);
+      Alcotest.(check string) "eof" "" (Streams.read s 100))
+
+(* A module that upcases data going down, and counts blocks going up. *)
+let upcase_factory () =
+  {
+    Streams.mi_name = "upcase";
+    mi_close = ignore;
+    mi_uput = (fun slot b -> Streams.pass_up slot b);
+    mi_dput =
+      (fun slot b ->
+        let s = String.uppercase_ascii (Block.to_string b) in
+        Streams.pass_down slot
+          (Block.make ~kind:b.Block.kind ~delim:b.Block.delim s));
+  }
+
+let reverse_factory () =
+  {
+    Streams.mi_name = "reverse";
+    mi_close = ignore;
+    mi_uput = (fun slot b -> Streams.pass_up slot b);
+    mi_dput =
+      (fun slot b ->
+        let s = Block.to_string b in
+        let n = String.length s in
+        Streams.pass_down slot
+          (Block.make ~delim:b.Block.delim
+             (String.init n (fun i -> s.[n - 1 - i]))));
+  }
+
+let test_push_transforms () =
+  run_sim (fun eng ->
+      let dev, written = sink_device "sink" in
+      let s = Streams.create eng dev in
+      Streams.push_impl s (upcase_factory ());
+      Streams.write s "hello";
+      match !written with
+      | [ b ] -> Alcotest.(check string) "upcased" "HELLO" (Block.to_string b)
+      | _ -> Alcotest.fail "expected one block")
+
+let test_module_order () =
+  (* push upcase then reverse: reverse is now at the top, so data is
+     reversed first, then upcased *)
+  run_sim (fun eng ->
+      let dev, written = sink_device "sink" in
+      let s = Streams.create eng dev in
+      Streams.push_impl s (upcase_factory ());
+      Streams.push_impl s (reverse_factory ());
+      Alcotest.(check (list string)) "top first" [ "reverse"; "upcase" ]
+        (Streams.modules s);
+      Streams.write s "abc";
+      match !written with
+      | [ b ] -> Alcotest.(check string) "reversed, upcased" "CBA"
+          (Block.to_string b)
+      | _ -> Alcotest.fail "expected one block")
+
+let test_pop_removes_top () =
+  run_sim (fun eng ->
+      let dev, written = sink_device "sink" in
+      let s = Streams.create eng dev in
+      Streams.push_impl s (upcase_factory ());
+      Streams.pop s;
+      Alcotest.(check (list string)) "empty" [] (Streams.modules s);
+      Streams.write s "abc";
+      match !written with
+      | [ b ] -> Alcotest.(check string) "untouched" "abc" (Block.to_string b)
+      | _ -> Alcotest.fail "expected one block")
+
+let test_ctl_push_pop_by_name () =
+  Streams.register_module "upcase" upcase_factory;
+  run_sim (fun eng ->
+      let dev, written = sink_device "sink" in
+      let s = Streams.create eng dev in
+      (* a control block interpreted by the stream system *)
+      Streams.write_ctl s "push upcase";
+      Alcotest.(check (list string)) "pushed" [ "upcase" ]
+        (Streams.modules s);
+      Streams.write s "abc";
+      Streams.write_ctl s "pop";
+      Streams.write s "def";
+      match List.rev !written with
+      | [ b1; b2 ] ->
+        Alcotest.(check string) "while pushed" "ABC" (Block.to_string b1);
+        Alcotest.(check string) "after pop" "def" (Block.to_string b2)
+      | _ -> Alcotest.fail "expected two data blocks")
+
+let test_ctl_hangup () =
+  run_sim (fun eng ->
+      let s = Streams.create eng (Streams.null_device "null") in
+      Streams.write_ctl s "hangup";
+      Alcotest.(check string) "reader sees eof" "" (Streams.read s 10))
+
+let test_unknown_ctl_passes_to_module () =
+  run_sim (fun eng ->
+      let seen = ref [] in
+      let spy =
+        {
+          Streams.mi_name = "spy";
+          mi_close = ignore;
+          mi_uput = (fun slot b -> Streams.pass_up slot b);
+          mi_dput =
+            (fun slot b ->
+              if Block.is_ctl b then seen := Block.to_string b :: !seen
+              else Streams.pass_down slot b);
+        }
+      in
+      let s = Streams.create eng (Streams.null_device "null") in
+      Streams.push_impl s spy;
+      Streams.write_ctl s "connect 2048";
+      Alcotest.(check (list string)) "module saw the command"
+        [ "connect 2048" ] !seen)
+
+let test_push_unregistered_fails () =
+  run_sim (fun eng ->
+      let s = Streams.create eng (Streams.null_device "null") in
+      Alcotest.(check bool) "raises" true
+        (try
+           Streams.push s "no-such-module";
+           false
+         with Failure _ -> true))
+
+let test_close_closes_modules_and_device () =
+  run_sim (fun eng ->
+      let closed_dev = ref false and closed_mod = ref false in
+      let dev =
+        {
+          Streams.dev_name = "dev";
+          dev_dput = ignore;
+          dev_close = (fun () -> closed_dev := true);
+        }
+      in
+      let m =
+        {
+          Streams.mi_name = "m";
+          mi_close = (fun _ -> closed_mod := true);
+          mi_uput = (fun slot b -> Streams.pass_up slot b);
+          mi_dput = (fun slot b -> Streams.pass_down slot b);
+        }
+      in
+      let s = Streams.create eng dev in
+      Streams.push_impl s m;
+      Streams.close s;
+      Alcotest.(check bool) "device closed" true !closed_dev;
+      Alcotest.(check bool) "module closed" true !closed_mod;
+      Alcotest.(check bool) "marked" true (Streams.closed s))
+
+let test_pipe_roundtrip () =
+  let eng = Sim.Engine.create () in
+  let a, b = Streams.Pipe.create eng in
+  let got = ref "" in
+  let _reader = Sim.Proc.spawn eng (fun () -> got := Streams.read b 100) in
+  let _writer = Sim.Proc.spawn eng (fun () -> Streams.write a "through") in
+  Sim.Engine.run eng;
+  Alcotest.(check string) "pipe delivers" "through" !got
+
+let test_pipe_bidirectional () =
+  let eng = Sim.Engine.create () in
+  let a, b = Streams.Pipe.create eng in
+  let reply = ref "" in
+  let _server =
+    Sim.Proc.spawn eng (fun () ->
+        let q = Streams.read b 100 in
+        Streams.write b ("re:" ^ q))
+  in
+  let _client =
+    Sim.Proc.spawn eng (fun () ->
+        Streams.write a "ping";
+        reply := Streams.read a 100)
+  in
+  Sim.Engine.run eng;
+  Alcotest.(check string) "reply" "re:ping" !reply
+
+let test_pipe_close_hangs_up_peer () =
+  let eng = Sim.Engine.create () in
+  let a, b = Streams.Pipe.create eng in
+  let got = ref "sentinel" in
+  let _reader = Sim.Proc.spawn eng (fun () -> got := Streams.read b 100) in
+  let _closer =
+    Sim.Proc.spawn eng (fun () ->
+        Sim.Time.sleep eng 1.0;
+        Streams.close a)
+  in
+  Sim.Engine.run eng;
+  Alcotest.(check string) "peer sees eof" "" !got
+
+let test_delimiters_preserved_through_pipe () =
+  let eng = Sim.Engine.create () in
+  let a, b = Streams.Pipe.create eng in
+  let msgs = ref [] in
+  let _reader =
+    Sim.Proc.spawn eng (fun () ->
+        let rec go () =
+          let m = Streams.read b 4096 in
+          if m <> "" then begin
+            msgs := m :: !msgs;
+            go ()
+          end
+        in
+        go ())
+  in
+  let _writer =
+    Sim.Proc.spawn eng (fun () ->
+        Streams.write a "first message";
+        Streams.write a "second";
+        Streams.close a)
+  in
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "boundaries kept"
+    [ "first message"; "second" ]
+    (List.rev !msgs)
+
+(* ---- the standard registered modules ---- *)
+
+let test_frame_module_roundtrip () =
+  Streams.Stdmods.register ();
+  let eng = Sim.Engine.create () in
+  (* two streams whose devices are joined by a BYTE pipe that merges
+     blocks (destroying boundaries), with [frame] pushed on both *)
+  let wire_ab = Buffer.create 64 and wire_ba = Buffer.create 64 in
+  let s_a = ref None and s_b = ref None in
+  let mk name wire_out wire_in peer =
+    let dev =
+      {
+        Streams.dev_name = name;
+        dev_dput =
+          (fun b ->
+            (* byte-merging medium: delimiters are lost here *)
+            Buffer.add_string wire_out (Block.to_string b);
+            match !peer with
+            | Some s ->
+              let data = Buffer.contents wire_out in
+              Buffer.clear wire_out;
+              (* deliver in awkward 3-byte chunks *)
+              let i = ref 0 in
+              while !i < String.length data do
+                let n = min 3 (String.length data - !i) in
+                Streams.input s (Block.make (String.sub data !i n));
+                i := !i + n
+              done
+            | None -> ());
+        dev_close = ignore;
+      }
+    in
+    ignore wire_in;
+    Streams.create eng dev
+  in
+  let a = mk "a" wire_ab wire_ba s_b in
+  let b = mk "b" wire_ba wire_ab s_a in
+  s_a := Some a;
+  s_b := Some b;
+  Streams.write_ctl a "push frame";
+  Streams.write_ctl b "push frame";
+  let got = ref [] in
+  let _reader =
+    Sim.Proc.spawn eng (fun () ->
+        for _ = 1 to 3 do
+          got := Streams.read b 4096 :: !got
+        done)
+  in
+  let _writer =
+    Sim.Proc.spawn eng (fun () ->
+        Streams.write a "first message";
+        Streams.write a "second";
+        Streams.write a "third one")
+  in
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "boundaries restored by the module"
+    [ "first message"; "second"; "third one" ]
+    (List.rev !got)
+
+let test_count_module () =
+  Streams.Stdmods.register ();
+  let eng = Sim.Engine.create () in
+  let s = Streams.create eng (Streams.null_device "null") in
+  Streams.write_ctl s "push count";
+  let _p =
+    Sim.Proc.spawn eng (fun () ->
+        Streams.write s "12345";
+        Streams.write s "678";
+        Streams.input s (Block.make ~delim:true "up!"))
+  in
+  Sim.Engine.run eng;
+  match
+    Option.bind (Streams.find_slot s "count") Streams.Stdmods.counts
+  with
+  | Some (bd, byd, bu, byu) ->
+    Alcotest.(check int) "blocks down" 2 bd;
+    Alcotest.(check int) "bytes down" 8 byd;
+    Alcotest.(check int) "blocks up" 1 bu;
+    Alcotest.(check int) "bytes up" 3 byu
+  | None -> Alcotest.fail "count module not found"
+
+let test_delim_module () =
+  Streams.Stdmods.register ();
+  let eng = Sim.Engine.create () in
+  let dev, written = sink_device "sink" in
+  let s = Streams.create eng dev in
+  Streams.push s "delim";
+  Streams.write ~delim:false s "chunk";
+  (match !written with
+  | [ b ] -> Alcotest.(check bool) "forced delimiter" true b.Block.delim
+  | _ -> Alcotest.fail "expected one block")
+
+let () =
+  Alcotest.run "streams"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "write reaches device" `Quick
+            test_write_reaches_device;
+          Alcotest.test_case "large write splits" `Quick
+            test_large_write_splits;
+          Alcotest.test_case "input readable" `Quick test_input_readable;
+          Alcotest.test_case "hangup eof" `Quick test_hangup_gives_eof;
+        ] );
+      ( "modules",
+        [
+          Alcotest.test_case "push transforms" `Quick test_push_transforms;
+          Alcotest.test_case "module order" `Quick test_module_order;
+          Alcotest.test_case "pop removes top" `Quick test_pop_removes_top;
+          Alcotest.test_case "ctl push/pop" `Quick test_ctl_push_pop_by_name;
+          Alcotest.test_case "ctl hangup" `Quick test_ctl_hangup;
+          Alcotest.test_case "unknown ctl to module" `Quick
+            test_unknown_ctl_passes_to_module;
+          Alcotest.test_case "push unregistered" `Quick
+            test_push_unregistered_fails;
+          Alcotest.test_case "close cascades" `Quick
+            test_close_closes_modules_and_device;
+        ] );
+      ( "stdmods",
+        [
+          Alcotest.test_case "frame restores boundaries" `Quick
+            test_frame_module_roundtrip;
+          Alcotest.test_case "count taps traffic" `Quick test_count_module;
+          Alcotest.test_case "delim forces boundaries" `Quick
+            test_delim_module;
+        ] );
+      ( "pipes",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pipe_roundtrip;
+          Alcotest.test_case "bidirectional" `Quick test_pipe_bidirectional;
+          Alcotest.test_case "close hangs up peer" `Quick
+            test_pipe_close_hangs_up_peer;
+          Alcotest.test_case "delimiters preserved" `Quick
+            test_delimiters_preserved_through_pipe;
+        ] );
+    ]

@@ -1,0 +1,364 @@
+(* Tests for channels, name spaces, union mounts, and the mount
+   driver. *)
+
+module F = Ninep.Fcall
+
+let names entries = List.map (fun d -> d.F.d_name) entries
+
+(* Build an environment over a fresh ramfs root; run [f env ram] inside
+   a simulated process. *)
+let with_env f =
+  let eng = Sim.Engine.create () in
+  let ram = Ninep.Ramfs.make ~name:"root" () in
+  let finished = ref false in
+  let _p =
+    Sim.Proc.spawn eng ~name:"test" (fun () ->
+        let ns = Vfs.Ns.make ~root:(Ninep.Ramfs.fs ram) ~uname:"philw" in
+        let env = Vfs.Env.make ~ns ~uname:"philw" in
+        f eng env ram;
+        finished := true)
+  in
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "test body completed" true !finished
+
+let test_read_write_roundtrip () =
+  with_env (fun _eng env _ram ->
+      Vfs.Env.write_file env "/motd" "hello";
+      Alcotest.(check string) "read back" "hello"
+        (Vfs.Env.read_file env "/motd"))
+
+let test_create_and_ls () =
+  with_env (fun _eng env ram ->
+      Ninep.Ramfs.mkdir ram "/dev";
+      let fd = Vfs.Env.create env "/dev/eia1" ~perm:0o666l F.Owrite in
+      Vfs.Env.close env fd;
+      Alcotest.(check (list string)) "listed" [ "eia1" ]
+        (names (Vfs.Env.ls env "/dev")))
+
+let test_offsets_advance () =
+  with_env (fun _eng env ram ->
+      Ninep.Ramfs.add_file ram "/f" "abcdefgh";
+      let fd = Vfs.Env.open_ env "/f" F.Oread in
+      Alcotest.(check string) "first" "abc" (Vfs.Env.read env fd 3);
+      Alcotest.(check string) "second" "def" (Vfs.Env.read env fd 3);
+      Alcotest.(check string) "tail" "gh" (Vfs.Env.read env fd 3);
+      Alcotest.(check string) "eof" "" (Vfs.Env.read env fd 3);
+      Vfs.Env.close env fd)
+
+let test_dup_shares_offset () =
+  with_env (fun _eng env ram ->
+      Ninep.Ramfs.add_file ram "/f" "abcdef";
+      let fd = Vfs.Env.open_ env "/f" F.Oread in
+      let fd2 = Vfs.Env.dup env fd in
+      ignore (Vfs.Env.read env fd 3);
+      Alcotest.(check string) "dup sees moved offset" "def"
+        (Vfs.Env.read env fd2 3))
+
+let test_chdir_relative () =
+  with_env (fun _eng env ram ->
+      Ninep.Ramfs.add_file ram "/lib/ndb/local" "data";
+      Vfs.Env.chdir env "/lib";
+      Alcotest.(check string) "relative read" "data"
+        (Vfs.Env.read_file env "ndb/local");
+      Vfs.Env.chdir env "ndb";
+      Alcotest.(check string) "dot" "/lib/ndb" (Vfs.Env.dot env);
+      Alcotest.(check string) "dotdot" "data"
+        (Vfs.Env.read_file env "../ndb/local"))
+
+let test_bad_fd () =
+  with_env (fun _eng env _ram ->
+      Alcotest.(check bool) "bad fd raises" true
+        (try
+           ignore (Vfs.Env.read env 42 1);
+           false
+         with Vfs.Chan.Error _ -> true))
+
+let test_bind_repl () =
+  with_env (fun _eng env ram ->
+      Ninep.Ramfs.add_file ram "/a/x" "ax";
+      Ninep.Ramfs.add_file ram "/b/y" "by";
+      Vfs.Env.bind env ~src:"/a" ~onto:"/b" Vfs.Ns.Repl;
+      Alcotest.(check (list string)) "b replaced by a" [ "x" ]
+        (names (Vfs.Env.ls env "/b"));
+      Alcotest.(check string) "read through bind" "ax"
+        (Vfs.Env.read_file env "/b/x"))
+
+let test_bind_after_union () =
+  with_env (fun _eng env ram ->
+      (* the paper's /net example: local entries supersede remote *)
+      Ninep.Ramfs.add_file ram "/net/cs" "local-cs";
+      Ninep.Ramfs.add_file ram "/net/dk" "local-dk";
+      Ninep.Ramfs.add_file ram "/remote/cs" "remote-cs";
+      Ninep.Ramfs.add_file ram "/remote/tcp" "remote-tcp";
+      Ninep.Ramfs.add_file ram "/remote/il" "remote-il";
+      Vfs.Env.bind env ~src:"/remote" ~onto:"/net" Vfs.Ns.After;
+      Alcotest.(check (list string)) "union contents"
+        [ "cs"; "dk"; "il"; "tcp" ]
+        (names (Vfs.Env.ls env "/net"));
+      Alcotest.(check string) "local supersedes" "local-cs"
+        (Vfs.Env.read_file env "/net/cs");
+      Alcotest.(check string) "unique remote entries visible" "remote-tcp"
+        (Vfs.Env.read_file env "/net/tcp"))
+
+let test_bind_before_union () =
+  with_env (fun _eng env ram ->
+      Ninep.Ramfs.add_file ram "/net/cs" "local-cs";
+      Ninep.Ramfs.add_file ram "/remote/cs" "remote-cs";
+      Vfs.Env.bind env ~src:"/remote" ~onto:"/net" Vfs.Ns.Before;
+      Alcotest.(check string) "remote first" "remote-cs"
+        (Vfs.Env.read_file env "/net/cs"))
+
+let test_bind_stacking () =
+  with_env (fun _eng env ram ->
+      Ninep.Ramfs.add_file ram "/a/f1" "1";
+      Ninep.Ramfs.add_file ram "/b/f2" "2";
+      Ninep.Ramfs.add_file ram "/c/f3" "3";
+      Ninep.Ramfs.mkdir ram "/mnt";
+      Vfs.Env.bind env ~src:"/a" ~onto:"/mnt" Vfs.Ns.After;
+      Vfs.Env.bind env ~src:"/b" ~onto:"/mnt" Vfs.Ns.After;
+      Vfs.Env.bind env ~src:"/c" ~onto:"/mnt" Vfs.Ns.Before;
+      Alcotest.(check (list string)) "all stacked" [ "f1"; "f2"; "f3" ]
+        (names (Vfs.Env.ls env "/mnt")))
+
+let test_unmount () =
+  with_env (fun _eng env ram ->
+      Ninep.Ramfs.add_file ram "/a/x" "ax";
+      Ninep.Ramfs.add_file ram "/b/y" "by";
+      Vfs.Env.bind env ~src:"/a" ~onto:"/b" Vfs.Ns.Repl;
+      Vfs.Env.unmount env ~onto:"/b";
+      Alcotest.(check (list string)) "original restored" [ "y" ]
+        (names (Vfs.Env.ls env "/b")))
+
+let test_create_goes_to_first_member () =
+  with_env (fun _eng env ram ->
+      Ninep.Ramfs.mkdir ram "/a";
+      Ninep.Ramfs.mkdir ram "/b";
+      Vfs.Env.bind env ~src:"/a" ~onto:"/b" Vfs.Ns.Before;
+      let fd = Vfs.Env.create env "/b/new" ~perm:0o664l F.Owrite in
+      ignore (Vfs.Env.write env fd "data");
+      Vfs.Env.close env fd;
+      Alcotest.(check bool) "created in /a (first member)" true
+        (Ninep.Ramfs.exists ram "/a/new");
+      Alcotest.(check bool) "not in /b" false
+        (Ninep.Ramfs.exists ram "/b/new"))
+
+let test_ns_fork_isolation () =
+  with_env (fun _eng env ram ->
+      Ninep.Ramfs.add_file ram "/a/x" "ax";
+      Ninep.Ramfs.mkdir ram "/mnt";
+      let child = Vfs.Env.fork env in
+      Vfs.Env.bind child ~src:"/a" ~onto:"/mnt" Vfs.Ns.Repl;
+      Alcotest.(check (list string)) "child sees bind" [ "x" ]
+        (names (Vfs.Env.ls child "/mnt"));
+      Alcotest.(check (list string)) "parent does not" []
+        (names (Vfs.Env.ls env "/mnt")))
+
+let test_shared_ns_fork () =
+  with_env (fun _eng env ram ->
+      Ninep.Ramfs.add_file ram "/a/x" "ax";
+      Ninep.Ramfs.mkdir ram "/mnt";
+      let child = Vfs.Env.fork ~share_ns:true env in
+      Vfs.Env.bind child ~src:"/a" ~onto:"/mnt" Vfs.Ns.Repl;
+      Alcotest.(check (list string)) "parent sees shared bind" [ "x" ]
+        (names (Vfs.Env.ls env "/mnt")))
+
+(* ---- the mount driver: a remote ramfs over a 9P pipe ---- *)
+
+let with_remote f =
+  let eng = Sim.Engine.create () in
+  let local = Ninep.Ramfs.make ~name:"root" () in
+  let remote = Ninep.Ramfs.make ~owner:"helix" ~name:"helixfs" () in
+  let ct, st = Ninep.Transport.pipe eng in
+  let _srv = Ninep.Server.serve eng (Ninep.Ramfs.fs remote) st in
+  let finished = ref false in
+  let _p =
+    Sim.Proc.spawn eng ~name:"test" (fun () ->
+        let ns = Vfs.Ns.make ~root:(Ninep.Ramfs.fs local) ~uname:"philw" in
+        let env = Vfs.Env.make ~ns ~uname:"philw" in
+        let client = Ninep.Client.make eng ct in
+        Ninep.Client.session client;
+        f env local remote client;
+        finished := true)
+  in
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "test body completed" true !finished
+
+let test_mount_remote () =
+  with_remote (fun env local remote client ->
+      Ninep.Ramfs.mkdir local "/n/helix";
+      Ninep.Ramfs.add_file remote "/usr/philw/profile" "bind /n/helix /n";
+      Vfs.Env.mount env client ~onto:"/n/helix" Vfs.Ns.Repl;
+      Alcotest.(check string) "read through 9P" "bind /n/helix /n"
+        (Vfs.Env.read_file env "/n/helix/usr/philw/profile"))
+
+let test_mount_write_remote () =
+  with_remote (fun env local remote client ->
+      Ninep.Ramfs.mkdir local "/n/helix";
+      Vfs.Env.mount env client ~onto:"/n/helix" Vfs.Ns.Repl;
+      Vfs.Env.write_file env "/n/helix/newfile" "written remotely";
+      Alcotest.(check (option string)) "server saw the write"
+        (Some "written remotely")
+        (Ninep.Ramfs.read_file remote "/newfile"))
+
+let test_mount_union_local_remote () =
+  (* the full import -a example from section 6.1 *)
+  with_remote (fun env local remote client ->
+      Ninep.Ramfs.add_file local "/net/cs" "local cs";
+      Ninep.Ramfs.add_file local "/net/dk" "local dk";
+      Ninep.Ramfs.add_file remote "/cs" "helix cs";
+      Ninep.Ramfs.add_file remote "/dk" "helix dk";
+      Ninep.Ramfs.add_file remote "/dns" "helix dns";
+      Ninep.Ramfs.add_file remote "/ether" "helix ether";
+      Ninep.Ramfs.add_file remote "/il" "helix il";
+      Ninep.Ramfs.add_file remote "/tcp" "helix tcp";
+      Ninep.Ramfs.add_file remote "/udp" "helix udp";
+      Alcotest.(check (list string)) "before import" [ "cs"; "dk" ]
+        (names (Vfs.Env.ls env "/net"));
+      Vfs.Env.mount env client ~onto:"/net" Vfs.Ns.After;
+      Alcotest.(check (list string)) "after import -a helix /net"
+        [ "cs"; "dk"; "dns"; "ether"; "il"; "tcp"; "udp" ]
+        (names (Vfs.Env.ls env "/net"));
+      Alcotest.(check string) "local chosen in preference" "local dk"
+        (Vfs.Env.read_file env "/net/dk");
+      Alcotest.(check string) "remote networks available" "helix tcp"
+        (Vfs.Env.read_file env "/net/tcp"))
+
+let test_mount_remote_errors_propagate () =
+  with_remote (fun env local _remote client ->
+      Ninep.Ramfs.mkdir local "/n/helix";
+      Vfs.Env.mount env client ~onto:"/n/helix" Vfs.Ns.Repl;
+      Alcotest.(check bool) "missing remote file" true
+        (try
+           ignore (Vfs.Env.read_file env "/n/helix/nope");
+           false
+         with Vfs.Chan.Error _ -> true))
+
+let test_walk_into_second_union_member () =
+  (* regression: resolving /mnt/x must consult ALL union members even
+     though walking "into" /mnt lands on the first one *)
+  with_env (fun _eng env ram ->
+      Ninep.Ramfs.mkdir ram "/a";
+      Ninep.Ramfs.add_file ram "/b/only-in-b" "found";
+      Ninep.Ramfs.mkdir ram "/mnt";
+      Vfs.Env.bind env ~src:"/a" ~onto:"/mnt" Vfs.Ns.Repl;
+      Vfs.Env.bind env ~src:"/b" ~onto:"/mnt" Vfs.Ns.After;
+      Alcotest.(check string) "file from second member" "found"
+        (Vfs.Env.read_file env "/mnt/only-in-b"))
+
+let test_bind_file_onto_file () =
+  with_env (fun _eng env ram ->
+      Ninep.Ramfs.add_file ram "/etc/hosts" "original";
+      Ninep.Ramfs.add_file ram "/override/hosts" "replacement";
+      Vfs.Env.bind env ~src:"/override/hosts" ~onto:"/etc/hosts" Vfs.Ns.Repl;
+      Alcotest.(check string) "mounted file read" "replacement"
+        (Vfs.Env.read_file env "/etc/hosts"))
+
+let test_walk_through_mount_point () =
+  with_remote (fun env local remote client ->
+      Ninep.Ramfs.mkdir local "/n/helix";
+      Ninep.Ramfs.add_file remote "/deep/nest/file" "found";
+      Vfs.Env.mount env client ~onto:"/n/helix" Vfs.Ns.Repl;
+      Vfs.Env.chdir env "/n/helix/deep";
+      Alcotest.(check string) "relative through mount" "found"
+        (Vfs.Env.read_file env "nest/file"))
+
+(* ---- lexical path normalization ---- *)
+
+let test_normalize_cases () =
+  List.iter
+    (fun (dot, path, want) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "normalize %s @ %s" path dot)
+        want
+        (Vfs.Ns.normalize ~dot path))
+    [
+      ("/", "/a/b/c", [ "a"; "b"; "c" ]);
+      ("/", "/a//b///c/", [ "a"; "b"; "c" ]);
+      ("/", "/a/./b", [ "a"; "b" ]);
+      ("/", "/a/b/..", [ "a" ]);
+      ("/", "/a/b/../..", []);
+      ("/", "/..", []);
+      ("/", "/../../x", [ "x" ]);
+      ("/lib/ndb", "local", [ "lib"; "ndb"; "local" ]);
+      ("/lib/ndb", "../font", [ "lib"; "font" ]);
+      ("/lib/ndb", ".", [ "lib"; "ndb" ]);
+      ("/lib/ndb", "..", [ "lib" ]);
+      ("/a", "", [ "a" ]);
+    ]
+
+let prop_normalize_idempotent =
+  QCheck.Test.make ~name:"normalize is idempotent" ~count:200
+    QCheck.(small_list (oneofl [ "a"; "b"; ".."; "."; ""; "x1" ]))
+    (fun segs ->
+      let path = "/" ^ String.concat "/" segs in
+      let once = Vfs.Ns.normalize ~dot:"/" path in
+      let again =
+        Vfs.Ns.normalize ~dot:"/" ("/" ^ String.concat "/" once)
+      in
+      once = again
+      && List.for_all (fun c -> c <> "." && c <> ".." && c <> "") once)
+
+let prop_normalize_matches_model =
+  QCheck.Test.make ~name:"normalize matches a stack model" ~count:200
+    QCheck.(small_list (oneofl [ "a"; "b"; ".."; "."; "c" ]))
+    (fun segs ->
+      let path = "/" ^ String.concat "/" segs in
+      let model =
+        List.fold_left
+          (fun acc seg ->
+            match seg with
+            | "." | "" -> acc
+            | ".." -> ( match acc with [] -> [] | _ :: t -> t)
+            | s -> s :: acc)
+          [] segs
+        |> List.rev
+      in
+      Vfs.Ns.normalize ~dot:"/" path = model)
+
+let () =
+  Alcotest.run "vfs"
+    [
+      ( "env",
+        [
+          Alcotest.test_case "read/write" `Quick test_read_write_roundtrip;
+          Alcotest.test_case "create and ls" `Quick test_create_and_ls;
+          Alcotest.test_case "offsets advance" `Quick test_offsets_advance;
+          Alcotest.test_case "dup shares offset" `Quick test_dup_shares_offset;
+          Alcotest.test_case "chdir relative" `Quick test_chdir_relative;
+          Alcotest.test_case "bad fd" `Quick test_bad_fd;
+        ] );
+      ( "union",
+        [
+          Alcotest.test_case "bind repl" `Quick test_bind_repl;
+          Alcotest.test_case "bind after union" `Quick test_bind_after_union;
+          Alcotest.test_case "bind before union" `Quick
+            test_bind_before_union;
+          Alcotest.test_case "bind stacking" `Quick test_bind_stacking;
+          Alcotest.test_case "unmount" `Quick test_unmount;
+          Alcotest.test_case "create in first member" `Quick
+            test_create_goes_to_first_member;
+          Alcotest.test_case "walk into second member" `Quick
+            test_walk_into_second_union_member;
+          Alcotest.test_case "bind file onto file" `Quick
+            test_bind_file_onto_file;
+          Alcotest.test_case "fork isolation" `Quick test_ns_fork_isolation;
+          Alcotest.test_case "shared ns fork" `Quick test_shared_ns_fork;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "normalize cases" `Quick test_normalize_cases;
+          QCheck_alcotest.to_alcotest prop_normalize_idempotent;
+          QCheck_alcotest.to_alcotest prop_normalize_matches_model;
+        ] );
+      ( "mount-driver",
+        [
+          Alcotest.test_case "mount remote" `Quick test_mount_remote;
+          Alcotest.test_case "write remote" `Quick test_mount_write_remote;
+          Alcotest.test_case "import -a union" `Quick
+            test_mount_union_local_remote;
+          Alcotest.test_case "remote errors" `Quick
+            test_mount_remote_errors_propagate;
+          Alcotest.test_case "walk through mount" `Quick
+            test_walk_through_mount_point;
+        ] );
+    ]
