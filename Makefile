@@ -1,0 +1,25 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all check smoke bench clean
+
+all:
+	dune build
+
+# Tier-1: full build + every test suite.
+check:
+	dune build @runtest
+
+# Observability smoke: run the Table 1 bench with tracing attached and
+# emit BENCH_table1.json.  The bench exits non-zero if any path records
+# zero events or all-zero counters, so a silent instrumentation
+# regression fails CI here.
+smoke:
+	dune exec bench/main.exe -- json
+	@test -s BENCH_table1.json
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean
+	rm -f BENCH_table1.json

@@ -36,6 +36,60 @@ let run_table1 () =
      and the reverse ordering for latency."
 
 (* ------------------------------------------------------------------ *)
+(* table1 again, machine-readable, with the kernel trace attached:     *)
+(* throughput, latency, and every observability counter per path.      *)
+(* Smoke check for CI — fails if a path records no events at all.      *)
+(* ------------------------------------------------------------------ *)
+
+let run_table1_json () =
+  let rows =
+    List.map
+      (fun p ->
+        let tr = Obs.Trace.create () in
+        let instrument eng = Sim.Engine.attach_obs eng tr in
+        let mbs = Table1.throughput_mbs ~instrument p in
+        let ms = Table1.latency_ms ~instrument p in
+        (p, mbs, ms, tr))
+      Table1.all
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"table1\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (p, mbs, ms, tr) ->
+      Printf.bprintf buf
+        "    {\"path\": %S, \"paper_mbs\": %g, \"measured_mbs\": %.4f, \
+         \"paper_ms\": %g, \"measured_ms\": %.4f, \"events\": %d, \
+         \"counters\": %s}%s\n"
+        p.Table1.p_name p.Table1.p_paper_mbs mbs p.Table1.p_paper_ms ms
+        (Obs.Trace.seq tr)
+        (Obs.Trace.counters_json tr)
+        (if i < n - 1 then "," else ""))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_table1.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_table1.json (%d paths)\n%!" n;
+  let dead =
+    List.filter
+      (fun (_, _, _, tr) ->
+        Obs.Trace.seq tr = 0
+        || List.for_all
+             (fun (_, v) -> v = 0)
+             (Obs.Metrics.counters (Obs.Trace.metrics tr)))
+      rows
+  in
+  if dead <> [] then begin
+    List.iter
+      (fun (p, _, _, _) ->
+        Printf.eprintf "error: no observability counters recorded for %s\n"
+          p.Table1.p_name)
+      dead;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Figure 1: the Ethernet device file tree                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -535,6 +589,7 @@ let run_bechamel () =
 let sections =
   [
     ("table1", run_table1);
+    ("json", run_table1_json);
     ("fig1", run_fig1);
     ("codesize", run_codesize);
     ("congestion", run_congestion);
@@ -548,7 +603,10 @@ let sections =
 
 let () =
   let wanted =
-    match Array.to_list Sys.argv with
+    match
+      Array.to_list Sys.argv
+      |> List.map (function "--json" -> "json" | a -> a)
+    with
     | _ :: (_ :: _ as names) -> names
     | _ -> List.map fst sections
   in

@@ -227,8 +227,9 @@ let all = [ pipes; il_ether; urp_datakit; cyclone ]
 
 let write_size = 16 * 1024
 
-let throughput_mbs ?(bytes = 2 * 1024 * 1024) path =
+let throughput_mbs ?(bytes = 2 * 1024 * 1024) ?instrument path =
   let eng, a, b = path.p_build () in
+  (match instrument with Some f -> f eng | None -> ());
   let writes = bytes / write_size in
   let total = writes * write_size in
   let start = ref 0. and finish = ref 0. in
@@ -251,8 +252,9 @@ let throughput_mbs ?(bytes = 2 * 1024 * 1024) path =
   if !finish <= !start then 0.
   else float_of_int total /. (!finish -. !start) /. 1e6
 
-let latency_ms ?(rounds = 50) path =
+let latency_ms ?(rounds = 50) ?instrument path =
   let eng, a, b = path.p_build () in
+  (match instrument with Some f -> f eng | None -> ());
   let start = ref 0. and finish = ref 0. in
   ignore
     (Sim.Proc.spawn eng ~name:"ponger" (fun () ->

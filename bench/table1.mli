@@ -29,8 +29,12 @@ val urp_datakit : path
 val cyclone : path
 val all : path list
 
-val throughput_mbs : ?bytes:int -> path -> float
-(** Simulated MB/s moving [bytes] (default 2 MiB) with 16 KiB writes. *)
+val throughput_mbs :
+  ?bytes:int -> ?instrument:(Sim.Engine.t -> unit) -> path -> float
+(** Simulated MB/s moving [bytes] (default 2 MiB) with 16 KiB writes.
+    [instrument] is called on the freshly built engine before the
+    transfer starts — attach an {!Obs.Trace} here to watch the run. *)
 
-val latency_ms : ?rounds:int -> path -> float
+val latency_ms :
+  ?rounds:int -> ?instrument:(Sim.Engine.t -> unit) -> path -> float
 (** Simulated milliseconds for a 1-byte round trip (averaged). *)

@@ -70,13 +70,14 @@ module Q = struct
     readers : Sim.Rendez.t;
     writers : Sim.Rendez.t;
     mutable kick : (unit -> unit) option;
+    mutable qname : string;  (* label for flow-control trace events *)
   }
 
   type t = q
 
   exception Closed
 
-  let create ?(limit = 64 * 1024) eng =
+  let create ?(limit = 64 * 1024) ?(name = "q") eng =
     {
       eng;
       limit;
@@ -87,6 +88,7 @@ module Q = struct
       readers = Sim.Rendez.create eng;
       writers = Sim.Rendez.create eng;
       kick = None;
+      qname = name;
     }
 
   let bytes q = q.nbytes
@@ -94,10 +96,17 @@ module Q = struct
   let is_closed q = q.closed
   let full q = q.nbytes >= q.limit
   let set_kick q fn = q.kick <- fn
+  let set_name q n = q.qname <- n
+  let name q = q.qname
 
   let enqueue q b =
     Queue.push b q.items;
     q.nbytes <- q.nbytes + len b;
+    (match Sim.Engine.obs q.eng with
+    | None -> ()
+    | Some tr ->
+      Obs.Trace.emit tr (Obs.Event.Blk { op = `Alloc; bytes = len b });
+      Obs.Trace.bump tr "blk.alloc" 1);
     Sim.Rendez.wakeup q.readers;
     match q.kick with None -> () | Some fn -> fn ()
 
@@ -121,15 +130,33 @@ module Q = struct
     (match b.kind with
     | Ctl | Hangup -> ()
     | Data ->
-      while full q && not q.closed do
-        Sim.Rendez.sleep q.writers
-      done;
+      if full q then begin
+        (match Sim.Engine.obs q.eng with
+        | None -> ()
+        | Some tr ->
+          Obs.Trace.emit tr
+            (Obs.Event.Flow { dev = q.qname; stalled = true; qbytes = q.nbytes });
+          Obs.Trace.bump tr "flow.stalls" 1);
+        while full q && not q.closed do
+          Sim.Rendez.sleep q.writers
+        done;
+        match Sim.Engine.obs q.eng with
+        | None -> ()
+        | Some tr ->
+          Obs.Trace.emit tr
+            (Obs.Event.Flow { dev = q.qname; stalled = false; qbytes = q.nbytes })
+      end;
       if q.closed then raise Closed);
     enqueue q b
 
   let dequeue q =
     let b = Queue.pop q.items in
     q.nbytes <- q.nbytes - len b;
+    (match Sim.Engine.obs q.eng with
+    | None -> ()
+    | Some tr ->
+      Obs.Trace.emit tr (Obs.Event.Blk { op = `Free; bytes = len b });
+      Obs.Trace.bump tr "blk.free" 1);
     Sim.Rendez.wakeup q.writers;
     b
 

@@ -74,8 +74,15 @@ module Q : sig
   exception Closed
   (** Raised by {!put}/{!write} on a closed queue. *)
 
-  val create : ?limit:int -> Sim.Engine.t -> t
-  (** [limit] defaults to 64 KiB of buffered payload. *)
+  val create : ?limit:int -> ?name:string -> Sim.Engine.t -> t
+  (** [limit] defaults to 64 KiB of buffered payload.  [name] (default
+      ["q"]) labels this queue in flow-control trace events. *)
+
+  val set_name : t -> string -> unit
+  (** Relabel after creation — streams name their queues once the
+      owning device is known. *)
+
+  val name : t -> string
 
   val put : t -> block -> unit
   (** Append a block, blocking while the queue is over its limit.

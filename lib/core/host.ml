@@ -117,6 +117,9 @@ let create ?uname ?ether ?dk ?il_config ?tcp_config ?(dns_server = false)
   in
   let cs = Cs.make ~sysname:name ~db ~networks ?dns:dns_fn () in
   Cs.mount env cs;
+
+  (* --- the kernel event log --- *)
+  Netinfo.mount_log env eng;
   {
     name;
     eng;

@@ -4,6 +4,7 @@ type conv_ops = {
   cv_local : unit -> string;
   cv_remote : unit -> string;
   cv_status : unit -> string;
+  cv_stats : unit -> string;
   cv_close : unit -> unit;
 }
 
@@ -48,12 +49,14 @@ type file =
   | Local of conn
   | Remote of conn
   | Status of conn
+  | Stats of conn
 
 type node = { mutable f : file; mutable opened : bool }
 
 (* ---- qids ---- *)
 
-let conn_files = [ "ctl"; "data"; "listen"; "local"; "remote"; "status" ]
+let conn_files =
+  [ "ctl"; "data"; "listen"; "local"; "remote"; "status"; "stats" ]
 
 let file_slot = function
   | Ctl _ -> 1
@@ -62,6 +65,7 @@ let file_slot = function
   | Local _ -> 4
   | Remote _ -> 5
   | Status _ -> 6
+  | Stats _ -> 7
   | Root | Clone | ConnDir _ -> 0
 
 let qid_of = function
@@ -73,7 +77,8 @@ let qid_of = function
         Int32.logor Ninep.Fcall.qdir_bit (Int32.of_int (0x100 * (c.id + 1)));
       qvers = 0l;
     }
-  | (Ctl c | Data c | Listen c | Local c | Remote c | Status c) as f ->
+  | (Ctl c | Data c | Listen c | Local c | Remote c | Status c | Stats c) as f
+    ->
     {
       Ninep.Fcall.qpath = Int32.of_int ((0x100 * (c.id + 1)) + file_slot f);
       qvers = 0l;
@@ -89,6 +94,7 @@ let file_name = function
   | Local _ -> "local"
   | Remote _ -> "remote"
   | Status _ -> "status"
+  | Stats _ -> "stats"
 
 let stat_of dev f =
   let dir = match f with Root | ConnDir _ -> true | _ -> false in
@@ -182,6 +188,7 @@ let fs eng proto =
           | "local" -> Local c
           | "remote" -> Remote c
           | "status" -> Status c
+          | "stats" -> Stats c
           | _ -> assert false
         in
         stat_of dev f)
@@ -208,6 +215,11 @@ let fs eng proto =
     in
     s ^ "\n"
   in
+  let stats_text c =
+    match c.state with
+    | Connected (cv, _) -> cv.cv_stats ()
+    | Announced _ | Idle | Hungup -> ""
+  in
   {
     Ninep.Server.fs_name = "netdev:" ^ proto.pr_name;
     fs_attach = (fun ~uname:_ ~aname:_ -> Ok { f = Root; opened = false });
@@ -230,8 +242,9 @@ let fs eng proto =
         | ConnDir _, ".." ->
           n.f <- Root;
           Ok n
-        | ConnDir c, ("ctl" | "data" | "listen" | "local" | "remote" | "status")
-          ->
+        | ( ConnDir c,
+            ("ctl" | "data" | "listen" | "local" | "remote" | "status"
+            | "stats") ) ->
           n.f <-
             (match name with
             | "ctl" -> Ctl c
@@ -239,10 +252,11 @@ let fs eng proto =
             | "listen" -> Listen c
             | "local" -> Local c
             | "remote" -> Remote c
+            | "stats" -> Stats c
             | _ -> Status c);
           Ok n
         | (Clone | ConnDir _ | Ctl _ | Data _ | Listen _ | Local _ | Remote _
-          | Status _), _ ->
+          | Status _ | Stats _), _ ->
           Error "file does not exist")
     ;
     fs_open =
@@ -273,7 +287,7 @@ let fs eng proto =
               Ok ()
             | Error e -> Error e)
           | Idle | Connected _ | Hungup -> Error "not announced")
-        | Ctl c | Data c | Local c | Remote c | Status c ->
+        | Ctl c | Data c | Local c | Remote c | Status c | Stats c ->
           c.users <- c.users + 1;
           n.opened <- true;
           Ok ())
@@ -296,7 +310,8 @@ let fs eng proto =
           | Listen _ -> Error "not open"
           | Local c -> Ok (Ninep.Server.slice (local_text c) ~offset ~count)
           | Remote c -> Ok (Ninep.Server.slice (remote_text c) ~offset ~count)
-          | Status c -> Ok (Ninep.Server.slice (status_text c) ~offset ~count))
+          | Status c -> Ok (Ninep.Server.slice (status_text c) ~offset ~count)
+          | Stats c -> Ok (Ninep.Server.slice (stats_text c) ~offset ~count))
     ;
     fs_write =
       (fun n ~offset:_ ~data ->
@@ -312,7 +327,7 @@ let fs eng proto =
             | Connected (cv, _) -> cv.cv_write data
             | Idle | Announced _ | Hungup -> Error "not connected")
           | Root | Clone | ConnDir _ | Listen _ | Local _ | Remote _
-          | Status _ ->
+          | Status _ | Stats _ ->
             Error "permission denied")
     ;
     fs_create = (fun _ ~name:_ ~perm:_ _ -> Error "permission denied");
@@ -324,7 +339,8 @@ let fs eng proto =
         if n.opened then begin
           n.opened <- false;
           match n.f with
-          | Ctl c | Data c | Local c | Remote c | Status c | Listen c ->
+          | Ctl c | Data c | Local c | Remote c | Status c | Stats c
+          | Listen c ->
             release c
           | Root | Clone | ConnDir _ -> ()
         end)
@@ -379,6 +395,7 @@ let il_conv st conv =
           (Inet.Ipaddr.to_string (Inet.Il.remote_addr conv))
           (Inet.Il.remote_port conv));
     cv_status = (fun () -> Inet.Il.status conv);
+    cv_stats = (fun () -> Inet.Il.conv_stats conv);
     cv_close = (fun () -> Inet.Il.close conv);
   }
 
@@ -444,6 +461,7 @@ let tcp_conv st conv =
           (Inet.Ipaddr.to_string (Inet.Tcp.remote_addr conv))
           (Inet.Tcp.remote_port conv));
     cv_status = (fun () -> Inet.Tcp.status conv);
+    cv_stats = (fun () -> Inet.Tcp.conv_stats conv);
     cv_close = (fun () -> Inet.Tcp.close conv);
   }
 
@@ -521,6 +539,12 @@ let udp_conv st conv ~raddr ~rport =
         Printf.sprintf "%s!%d" (Inet.Ipaddr.to_string raddr) rport);
     cv_status =
       (fun () -> Printf.sprintf "udp/%d Open" (Inet.Udp.port conv));
+    cv_stats =
+      (fun () ->
+        let c = Inet.Udp.counters st in
+        Printf.sprintf
+          "dgrams_sent %d\ndgrams_rcvd %d\nno_port %d\n"
+          c.Inet.Udp.dg_sent c.Inet.Udp.dg_rcvd c.Inet.Udp.dg_dropped_noport);
     cv_close =
       (fun () ->
         closed := true;
@@ -603,6 +627,13 @@ let udp_proto st =
                               (Inet.Ipaddr.to_string src) sport);
                         cv_status =
                           (fun () -> Printf.sprintf "udp/%d Open" port);
+                        cv_stats =
+                          (fun () ->
+                            let cs = Inet.Udp.counters st in
+                            Printf.sprintf
+                              "dgrams_sent %d\ndgrams_rcvd %d\nno_port %d\n"
+                              cs.Inet.Udp.dg_sent cs.Inet.Udp.dg_rcvd
+                              cs.Inet.Udp.dg_dropped_noport);
                         cv_close = (fun () -> Hashtbl.remove peers key);
                       }
                     in
@@ -630,7 +661,19 @@ let urp_conv line conv ~remote =
         with Dk.Urp.Hungup -> Error "hungup");
     cv_local = (fun () -> Dk.Switch.line_name line);
     cv_remote = (fun () -> remote);
-    cv_status = (fun () -> "urp Established");
+    cv_status =
+      (fun () ->
+        let c = Dk.Urp.counters conv in
+        Printf.sprintf "urp Established rexmit %d" c.Dk.Urp.retransmits);
+    cv_stats =
+      (fun () ->
+        let c = Dk.Urp.counters conv in
+        Printf.sprintf
+          "cells_sent %d\ncells_rcvd %d\nbytes_sent %d\nbytes_rcvd %d\n\
+           retransmits %d\nenqs_sent %d\ndups_dropped %d\n"
+          c.Dk.Urp.cells_sent c.Dk.Urp.cells_rcvd c.Dk.Urp.bytes_sent
+          c.Dk.Urp.bytes_rcvd c.Dk.Urp.retransmits c.Dk.Urp.enqs_sent
+          c.Dk.Urp.dups_dropped);
     cv_close = (fun () -> Dk.Urp.close conv);
   }
 

@@ -8,7 +8,7 @@
 
     {v
     /clone
-    /0/ctl  /0/data  /0/listen  /0/local  /0/remote  /0/status
+    /0/ctl  /0/data  /0/listen  /0/local  /0/remote  /0/status  /0/stats
     /1/...
     v}
 
@@ -31,6 +31,9 @@ type conv_ops = {
   cv_local : unit -> string;
   cv_remote : unit -> string;
   cv_status : unit -> string;
+  cv_stats : unit -> string;
+      (** per-connection statistics, one ["name value\n"] line per
+          counter — the [stats] file *)
   cv_close : unit -> unit;
 }
 

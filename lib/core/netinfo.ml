@@ -32,6 +32,38 @@ let ipifc_text ip =
     c.Inet.Ip.ip_bad_checksum c.Inet.Ip.ip_no_proto c.Inet.Ip.ip_reasm_drops
     c.Inet.Ip.ip_forwarded c.Inet.Ip.ip_ttl_exceeded
 
+(* /net/log: the kernel event trace as text, newest events last.
+   Writing "clear" empties the ring; "limit N" tailors the read. *)
+let log_text ?limit eng =
+  match Sim.Engine.obs eng with
+  | None -> "tracing disabled\n"
+  | Some tr ->
+    let body = Obs.Trace.render ?limit tr in
+    let dropped = Obs.Trace.dropped tr in
+    if dropped > 0 then
+      Printf.sprintf "... %d earlier events overwritten\n%s" dropped body
+    else body
+
+let mount_log env eng =
+  Vfs.Env.mount_fs env
+    (Onefile.fs ~name:"netlog" ~filename:"log"
+       ~read_default:(fun () -> log_text eng)
+       ~handle:(fun ~uname:_ req ->
+         match String.split_on_char ' ' (String.trim req) with
+         | [ "" ] -> Ok (log_text eng)
+         | [ "clear" ] ->
+           (match Sim.Engine.obs eng with
+           | Some tr -> Obs.Trace.clear tr
+           | None -> ());
+           Ok ""
+         | [ "limit"; n ] -> (
+           match int_of_string_opt n with
+           | Some limit when limit > 0 -> Ok (log_text ~limit eng)
+           | _ -> Error ("log: bad limit: " ^ n))
+         | _ -> Error ("log: bad request: " ^ String.trim req))
+       ())
+    ~onto:"/net" Vfs.Ns.After
+
 let mount_ipifc env ip =
   Vfs.Env.mount_fs env
     (Onefile.fs ~name:"ipifc" ~filename:"ipifc"

@@ -6,7 +6,15 @@
       [flush] is accepted and ignored (our cache expires by TTL).
     - [/net/ipifc]: the interface's address, mask, gateway, MTU and
       packet counters as ASCII — the uniform-representation point of
-      section 2.2. *)
+      section 2.2.
+    - [/net/log]: the newest events from the kernel trace
+      ({!Obs.Trace}), one line each; reads report ring overflow,
+      writing [clear] empties the ring, [limit N] tailors the next
+      read. *)
 
 val mount_arp : Vfs.Env.t -> Inet.Ip.stack -> unit
 val mount_ipifc : Vfs.Env.t -> Inet.Ip.stack -> unit
+
+val mount_log : Vfs.Env.t -> Sim.Engine.t -> unit
+(** Serve the engine's attached trace at [/net/log] ("tracing
+    disabled" when no trace is attached). *)

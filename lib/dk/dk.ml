@@ -111,6 +111,21 @@ module Switch = struct
         (match cell with Hangup_ -> false | Data_ _ | Ctl_ _ -> sw.loss > 0.)
         && Random.State.float (Sim.Engine.random sw.eng) 1.0 < sw.loss
       in
+      (match Sim.Engine.obs sw.eng with
+      | None -> ()
+      | Some tr ->
+        let op = if lost then Obs.Event.Drop "loss" else Obs.Event.Tx in
+        Obs.Trace.emit tr
+          (Obs.Event.Packet
+             {
+               medium = sw.sw_name;
+               op;
+               src = line.l_name;
+               dst = peer.ce_line.l_name;
+               proto = "dk";
+               bytes = cell_bytes cell;
+             });
+        Obs.Trace.bump tr (if lost then "dk.cell.drop" else "dk.cell.tx") 1);
       if not lost then
         Sim.Engine.at sw.eng (finish +. sw.latency) (fun () ->
             if peer.ce_up then
@@ -323,6 +338,18 @@ module Urp = struct
     List.iter
       (fun (seq, payload, last) ->
         c.stats.retransmits <- c.stats.retransmits + 1;
+        (match Sim.Engine.obs c.eng with
+        | None -> ()
+        | Some tr ->
+          Obs.Trace.emit tr
+            (Obs.Event.Retransmit
+               {
+                 proto = "urp";
+                 conv = c.circ.Switch.ce_chan;
+                 id = seq;
+                 bytes = String.length payload;
+               });
+          Obs.Trace.bump tr "urp.retransmits" 1);
         send_raw c ~seq ~last payload)
       missing
 

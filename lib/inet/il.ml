@@ -77,6 +77,7 @@ type conv = {
   lport : int;
   rport : int;
   raddr : Ipaddr.t;
+  cstats : counters;  (* per-conversation mirror of the stack counters *)
   mutable state : conv_state;
   mutable start : int;  (* our initial sequence number *)
   mutable next : int;  (* next id we will send *)
@@ -127,18 +128,58 @@ let remote_port c = c.rport
 let remote_addr c = c.raddr
 let rtt_estimate c = c.srtt
 
-let state_name c =
-  match c.state with
+let state_str = function
   | SClosed -> "Closed"
   | SSyncer -> "Syncer"
   | SSyncee -> "Syncee"
   | SEstablished -> "Established"
   | SClosing -> "Closing"
 
+let state_name c = state_str c.state
+
 let status c =
-  Printf.sprintf "il/%d %d %s sent %d rcvd %d unacked %d window %d rtt %.0fms"
+  Printf.sprintf
+    "il/%d %d %s sent %d rcvd %d unacked %d window %d rexmit %d rtt %.0fms"
     c.cid c.lport (state_name c) (c.next - c.start - 1) (c.recvd - c.rstart)
-    (List.length c.unacked) c.stack.cfg.window (c.srtt *. 1000.)
+    (List.length c.unacked) c.stack.cfg.window c.cstats.retransmits
+    (c.srtt *. 1000.)
+
+let conv_counters c = c.cstats
+
+let conv_stats c =
+  let s = c.cstats in
+  String.concat "\n"
+    [
+      Printf.sprintf "msgs_sent %d" s.msgs_sent;
+      Printf.sprintf "msgs_rcvd %d" s.msgs_rcvd;
+      Printf.sprintf "bytes_sent %d" s.bytes_sent;
+      Printf.sprintf "bytes_rcvd %d" s.bytes_rcvd;
+      Printf.sprintf "retransmits %d" s.retransmits;
+      Printf.sprintf "retransmitted_bytes %d" s.retransmitted_bytes;
+      Printf.sprintf "queries_sent %d" s.queries_sent;
+      Printf.sprintf "dups_dropped %d" s.dups_dropped;
+      Printf.sprintf "out_of_window %d" s.out_of_window;
+      Printf.sprintf "resets %d" s.resets;
+      Printf.sprintf "rtt_ms %.3f" (c.srtt *. 1000.);
+    ]
+  ^ "\n"
+
+(* state transitions are traced; every change funnels through here *)
+let set_state c s =
+  if c.state <> s then begin
+    (match Sim.Engine.obs c.stack.eng with
+    | None -> ()
+    | Some tr ->
+      Obs.Trace.emit tr
+        (Obs.Event.Proto_state
+           {
+             proto = "il";
+             conv = c.cid;
+             from_ = state_str c.state;
+             to_ = state_str s;
+           }));
+    c.state <- s
+  end
 
 (* ---- wire format ---- *)
 
@@ -232,7 +273,7 @@ let conv_key c = (c.lport, c.rport, Ipaddr.to_int32 c.raddr)
 
 let destroy c reason =
   if c.state <> SClosed then begin
-    c.state <- SClosed;
+    set_state c SClosed;
     c.err <- reason;
     Hashtbl.remove c.stack.convs (conv_key c);
     Block.Q.force_put c.rq (Block.hangup ());
@@ -280,6 +321,8 @@ let process_ack c ack =
 let deliver c data =
   c.stack.stats.msgs_rcvd <- c.stack.stats.msgs_rcvd + 1;
   c.stack.stats.bytes_rcvd <- c.stack.stats.bytes_rcvd + String.length data;
+  c.cstats.msgs_rcvd <- c.cstats.msgs_rcvd + 1;
+  c.cstats.bytes_rcvd <- c.cstats.bytes_rcvd + String.length data;
   Block.Q.force_put c.rq (Block.make ~delim:true data)
 
 let schedule_ack c =
@@ -311,6 +354,7 @@ let handle_data c (p : packet) =
   end
   else if p.p_id <= c.recvd then begin
     c.stack.stats.dups_dropped <- c.stack.stats.dups_dropped + 1;
+    c.cstats.dups_dropped <- c.cstats.dups_dropped + 1;
     (* a duplicate usually means our ack was lost: re-ack at once *)
     send_ack_now c
   end
@@ -326,7 +370,10 @@ let handle_data c (p : packet) =
     then xmit c State ~id:(c.next - 1) ()
     else schedule_ack c
   end
-  else c.stack.stats.out_of_window <- c.stack.stats.out_of_window + 1
+  else begin
+    c.stack.stats.out_of_window <- c.stack.stats.out_of_window + 1;
+    c.cstats.out_of_window <- c.cstats.out_of_window + 1
+  end
 
 let retransmit_missing c peer_ack =
   (* resend only the oldest message the peer lacks (as the real IL
@@ -338,6 +385,16 @@ let retransmit_missing c peer_ack =
     c.stack.stats.retransmits <- c.stack.stats.retransmits + 1;
     c.stack.stats.retransmitted_bytes <-
       c.stack.stats.retransmitted_bytes + String.length data;
+    c.cstats.retransmits <- c.cstats.retransmits + 1;
+    c.cstats.retransmitted_bytes <-
+      c.cstats.retransmitted_bytes + String.length data;
+    (match Sim.Engine.obs c.stack.eng with
+    | None -> ()
+    | Some tr ->
+      Obs.Trace.emit tr
+        (Obs.Event.Retransmit
+           { proto = "il"; conv = c.cid; id; bytes = String.length data });
+      Obs.Trace.bump tr "il.retransmits" 1);
     (* Karn: a message that was retransmitted must not contribute a
        round-trip sample — it would fold the whole recovery delay into
        srtt *)
@@ -355,7 +412,7 @@ let handle_packet c (p : packet) =
     | Sync when p.p_ack = c.start ->
       c.rstart <- p.p_id;
       c.recvd <- p.p_id;
-      c.state <- SEstablished;
+      set_state c SEstablished;
       c.timeout_at <- 0.;
       c.backoff <- 0;
       arm_death c;
@@ -366,7 +423,7 @@ let handle_packet c (p : packet) =
   | SSyncee -> (
     match p.p_ty with
     | (Ack | Data | Dataquery) when p.p_ack >= c.start ->
-      c.state <- SEstablished;
+      set_state c SEstablished;
       c.timeout_at <- 0.;
       c.backoff <- 0;
       arm_death c;
@@ -415,6 +472,7 @@ let handle_packet c (p : packet) =
       destroy c None
     | Reset ->
       c.stack.stats.resets <- c.stack.stats.resets + 1;
+      c.cstats.resets <- c.cstats.resets + 1;
       destroy c (Some "reset"))
 
 let send_reset st ~dst ~sport ~dport ~id =
@@ -431,6 +489,19 @@ let make_conv st ~lport ~rport ~raddr ~state ~start ~rstart =
       lport;
       rport;
       raddr;
+      cstats =
+        {
+          msgs_sent = 0;
+          msgs_rcvd = 0;
+          bytes_sent = 0;
+          bytes_rcvd = 0;
+          retransmits = 0;
+          retransmitted_bytes = 0;
+          queries_sent = 0;
+          dups_dropped = 0;
+          out_of_window = 0;
+          resets = 0;
+        };
       state;
       start;
       next = start + 1;
@@ -455,11 +526,24 @@ let make_conv st ~lport ~rport ~raddr ~state ~start ~rstart =
   in
   st.next_cid <- st.next_cid + 1;
   Hashtbl.replace st.convs (conv_key c) c;
+  (match Sim.Engine.obs st.eng with
+  | None -> ()
+  | Some tr ->
+    Obs.Trace.emit tr
+      (Obs.Event.Proto_state
+         { proto = "il"; conv = c.cid; from_ = "Closed"; to_ = state_str state }));
   c
 
 let input st ~src:sa ~dst:_ pkt =
   match decode pkt with
-  | None -> ()
+  | None -> (
+    match Sim.Engine.obs st.eng with
+    | None -> ()
+    | Some tr ->
+      if String.length pkt >= header_len && not (Chksum.valid pkt) then begin
+        Obs.Trace.emit tr (Obs.Event.Checksum_err { proto = "il" });
+        Obs.Trace.bump tr "il.badsum" 1
+      end)
   | Some p -> (
     match
       Hashtbl.find_opt st.convs (p.p_dport, p.p_sport, Ipaddr.to_int32 sa)
@@ -504,6 +588,7 @@ let tick_conv c =
         else begin
           (* a timeout sends a small query, not the data *)
           c.stack.stats.queries_sent <- c.stack.stats.queries_sent + 1;
+          c.cstats.queries_sent <- c.cstats.queries_sent + 1;
           c.backoff <- c.backoff + 1;
           xmit c Query ~id:(c.next - 1) ();
           arm_timer c
@@ -617,6 +702,8 @@ let write c data =
   c.unacked <- c.unacked @ [ (id, data) ];
   c.stack.stats.msgs_sent <- c.stack.stats.msgs_sent + 1;
   c.stack.stats.bytes_sent <- c.stack.stats.bytes_sent + String.length data;
+  c.cstats.msgs_sent <- c.cstats.msgs_sent + 1;
+  c.cstats.bytes_sent <- c.cstats.bytes_sent + String.length data;
   if c.rtt_id = 0 then begin
     c.rtt_id <- id;
     c.rtt_sent_at <- Sim.Engine.now c.stack.eng
@@ -640,7 +727,7 @@ let close c =
   | SSyncer | SSyncee -> destroy c None
   | SClosing -> ()
   | SEstablished ->
-    c.state <- SClosing;
+    set_state c SClosing;
     c.close_sent <- true;
     let id = c.next in
     c.next <- id + 1;

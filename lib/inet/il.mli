@@ -112,8 +112,16 @@ val remote_port : conv -> int
 val remote_addr : conv -> Ipaddr.t
 
 val status : conv -> string
-(** State name plus window/timer detail, like reading the [status]
-    file. *)
+(** State name plus window/retransmit/timer detail, like reading the
+    [status] file. *)
+
+val conv_counters : conv -> counters
+(** Per-conversation counters (the stack's {!counters} aggregate all
+    conversations; these belong to just this one). *)
+
+val conv_stats : conv -> string
+(** The per-conversation counters as [name value] lines — the contents
+    of the conversation's [stats] file. *)
 
 val state_name : conv -> string
 (** [Closed], [Syncer], [Syncee], [Established], [Listening],

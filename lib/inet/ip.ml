@@ -254,13 +254,20 @@ let reassemble t h payload =
     Hashtbl.remove t.reasm_tbl key;
     Some (String.concat "" (List.map (fun (_, _, d) -> d) sorted))
 
+let emit_badsum t =
+  t.stats.ip_bad_checksum <- t.stats.ip_bad_checksum + 1;
+  match Sim.Engine.obs t.eng with
+  | None -> ()
+  | Some tr ->
+    Obs.Trace.emit tr (Obs.Event.Checksum_err { proto = "ip" });
+    Obs.Trace.bump tr "ip.badsum" 1
+
 let ip_input t (frame : Netsim.Ether.frame) =
   match decode_header frame.Netsim.Ether.payload with
-  | None -> t.stats.ip_bad_checksum <- t.stats.ip_bad_checksum + 1
+  | None -> emit_badsum t
   | Some h ->
     let p = frame.Netsim.Ether.payload in
-    if String.length p < h.h_len then
-      t.stats.ip_bad_checksum <- t.stats.ip_bad_checksum + 1
+    if String.length p < h.h_len then emit_badsum t
     else begin
       t.stats.ip_in <- t.stats.ip_in + 1;
       let payload = String.sub p header_len (h.h_len - header_len) in

@@ -65,6 +65,7 @@ type conv = {
   lport : int;
   rport : int;
   raddr : Ipaddr.t;
+  cstats : counters;  (* per-conversation mirror of the stack counters *)
   mutable state : tstate;
   mutable iss : int;  (* initial send sequence *)
   mutable snd_una : int;
@@ -117,8 +118,7 @@ let local_port c = c.lport
 let remote_port c = c.rport
 let remote_addr c = c.raddr
 
-let state_name c =
-  match c.state with
+let state_str = function
   | TClosed -> "Closed"
   | TSynSent -> "Syn_sent"
   | TSynRcvd -> "Syn_received"
@@ -129,9 +129,47 @@ let state_name c =
   | TLastAck -> "Last_ack"
   | TTimeWait -> "Time_wait"
 
+let state_name c = state_str c.state
+
 let status c =
-  Printf.sprintf "tcp/%d %d %s una %d nxt %d rcv %d rtt %.0fms" c.cid c.lport
-    (state_name c) c.snd_una c.snd_nxt c.rcv_nxt (c.srtt *. 1000.)
+  Printf.sprintf "tcp/%d %d %s una %d nxt %d rcv %d rexmit %d rtt %.0fms"
+    c.cid c.lport (state_name c) c.snd_una c.snd_nxt c.rcv_nxt
+    c.cstats.retransmits (c.srtt *. 1000.)
+
+let conv_counters c = c.cstats
+
+let conv_stats c =
+  let s = c.cstats in
+  String.concat "\n"
+    [
+      Printf.sprintf "segs_sent %d" s.segs_sent;
+      Printf.sprintf "segs_rcvd %d" s.segs_rcvd;
+      Printf.sprintf "bytes_sent %d" s.bytes_sent;
+      Printf.sprintf "bytes_rcvd %d" s.bytes_rcvd;
+      Printf.sprintf "retransmits %d" s.retransmits;
+      Printf.sprintf "retransmitted_bytes %d" s.retransmitted_bytes;
+      Printf.sprintf "out_of_order_dropped %d" s.out_of_order_dropped;
+      Printf.sprintf "resets %d" s.resets;
+      Printf.sprintf "rtt_ms %.3f" (c.srtt *. 1000.);
+    ]
+  ^ "\n"
+
+(* state transitions are traced; every change funnels through here *)
+let set_state c s =
+  if c.state <> s then begin
+    (match Sim.Engine.obs c.stack.eng with
+    | None -> ()
+    | Some tr ->
+      Obs.Trace.emit tr
+        (Obs.Event.Proto_state
+           {
+             proto = "tcp";
+             conv = c.cid;
+             from_ = state_str c.state;
+             to_ = state_str s;
+           }));
+    c.state <- s
+  end
 
 (* ---- wire format ---- *)
 
@@ -209,6 +247,7 @@ let recv_window c =
 
 let xmit c ~seq ~flags data =
   c.stack.stats.segs_sent <- c.stack.stats.segs_sent + 1;
+  c.cstats.segs_sent <- c.cstats.segs_sent + 1;
   raw_output c.stack ~dst:c.raddr
     (encode ~sport:c.lport ~dport:c.rport ~seq ~ack:c.rcv_nxt
        ~flags:(flags lor flag_ack) ~window:(recv_window c) data)
@@ -216,6 +255,7 @@ let xmit c ~seq ~flags data =
 (* the very first SYN carries no ACK — there is nothing to acknowledge *)
 let xmit_initial_syn c =
   c.stack.stats.segs_sent <- c.stack.stats.segs_sent + 1;
+  c.cstats.segs_sent <- c.cstats.segs_sent + 1;
   raw_output c.stack ~dst:c.raddr
     (encode ~sport:c.lport ~dport:c.rport ~seq:c.iss ~ack:0 ~flags:flag_syn
        ~window:(recv_window c) "")
@@ -232,7 +272,7 @@ let conv_key c = (c.lport, c.rport, Ipaddr.to_int32 c.raddr)
 
 let destroy c reason =
   if c.state <> TClosed then begin
-    c.state <- TClosed;
+    set_state c TClosed;
     c.err <- reason;
     Hashtbl.remove c.stack.convs (conv_key c);
     Block.Q.force_put c.rq (Block.hangup ());
@@ -268,6 +308,7 @@ let push_segments c =
         c.rtt_sent_at <- Sim.Engine.now c.stack.eng
       end;
       c.stack.stats.bytes_sent <- c.stack.stats.bytes_sent + take;
+      c.cstats.bytes_sent <- c.cstats.bytes_sent + take;
       xmit c ~seq:c.snd_nxt ~flags:0 data;
       c.snd_nxt <- c.snd_nxt + take;
       if c.rto_at = 0. then begin
@@ -290,6 +331,14 @@ let push_segments c =
     end
   done
 
+let emit_retransmit c ~seq ~bytes =
+  match Sim.Engine.obs c.stack.eng with
+  | None -> ()
+  | Some tr ->
+    Obs.Trace.emit tr
+      (Obs.Event.Retransmit { proto = "tcp"; conv = c.cid; id = seq; bytes });
+    Obs.Trace.bump tr "tcp.retransmits" 1
+
 let retransmit_all c =
   (* go-back-N: blind retransmission of everything outstanding *)
   c.retransmitting <- true;
@@ -303,11 +352,16 @@ let retransmit_all c =
     c.stack.stats.retransmits <- c.stack.stats.retransmits + 1;
     c.stack.stats.retransmitted_bytes <-
       c.stack.stats.retransmitted_bytes + take;
+    c.cstats.retransmits <- c.cstats.retransmits + 1;
+    c.cstats.retransmitted_bytes <- c.cstats.retransmitted_bytes + take;
+    emit_retransmit c ~seq:!seq ~bytes:take;
     xmit c ~seq:!seq ~flags:0 data;
     seq := !seq + take
   done;
   if c.fin_queued && c.snd_nxt > fin_seq c then begin
     c.stack.stats.retransmits <- c.stack.stats.retransmits + 1;
+    c.cstats.retransmits <- c.cstats.retransmits + 1;
+    emit_retransmit c ~seq:(fin_seq c) ~bytes:0;
     xmit c ~seq:(fin_seq c) ~flags:flag_fin ""
   end;
   if outstanding > 0 || c.fin_queued then begin
@@ -357,6 +411,7 @@ let process_ack c (s : segment) =
 let deliver c data =
   if String.length data > 0 then begin
     c.stack.stats.bytes_rcvd <- c.stack.stats.bytes_rcvd + String.length data;
+    c.cstats.bytes_rcvd <- c.cstats.bytes_rcvd + String.length data;
     (* no delimiters: a plain byte-stream block *)
     Block.Q.force_put c.rq (Block.make ~delim:false data)
   end
@@ -373,10 +428,10 @@ let handle_established c (s : segment) =
         c.rcv_nxt <- c.rcv_nxt + 1;
         Block.Q.force_put c.rq (Block.hangup ());
         (match c.state with
-        | TEstablished -> c.state <- TCloseWait
-        | TFinWait1 -> c.state <- TTimeWait (* simultaneous close *)
+        | TEstablished -> set_state c TCloseWait
+        | TFinWait1 -> set_state c TTimeWait (* simultaneous close *)
         | TFinWait2 ->
-          c.state <- TTimeWait;
+          set_state c TTimeWait;
           Sim.Engine.after c.stack.eng 1.0 (fun () -> destroy c None)
         | TClosed | TSynSent | TSynRcvd | TCloseWait | TLastAck | TTimeWait
           ->
@@ -386,17 +441,21 @@ let handle_established c (s : segment) =
     end
     else begin
       (* out of order or duplicate: drop, re-ack (forces go-back-N) *)
-      if s.s_seq > c.rcv_nxt then
+      if s.s_seq > c.rcv_nxt then begin
         c.stack.stats.out_of_order_dropped <-
           c.stack.stats.out_of_order_dropped + 1;
+        c.cstats.out_of_order_dropped <- c.cstats.out_of_order_dropped + 1
+      end;
       send_bare_ack c
     end
   end
 
 let handle_segment c (s : segment) =
   c.stack.stats.segs_rcvd <- c.stack.stats.segs_rcvd + 1;
+  c.cstats.segs_rcvd <- c.cstats.segs_rcvd + 1;
   if s.s_flags land flag_rst <> 0 then begin
     c.stack.stats.resets <- c.stack.stats.resets + 1;
+    c.cstats.resets <- c.cstats.resets + 1;
     destroy c (Some "connection reset")
   end
   else
@@ -410,7 +469,7 @@ let handle_segment c (s : segment) =
         c.rcv_nxt <- s.s_seq + 1;
         c.snd_una <- s.s_ack;
         c.snd_wnd <- s.s_window;
-        c.state <- TEstablished;
+        set_state c TEstablished;
         c.rto_at <- 0.;
         c.backoff <- 0;
         arm_death c;
@@ -421,7 +480,7 @@ let handle_segment c (s : segment) =
       if s.s_flags land flag_ack <> 0 && s.s_ack = c.iss + 1 then begin
         c.snd_una <- s.s_ack;
         c.snd_wnd <- s.s_window;
-        c.state <- TEstablished;
+        set_state c TEstablished;
         c.rto_at <- 0.;
         c.backoff <- 0;
         arm_death c;
@@ -440,7 +499,7 @@ let handle_segment c (s : segment) =
       (* state progress on our FIN being acked *)
       match c.state with
       | TFinWait1 when c.snd_una = c.snd_nxt && c.fin_queued ->
-        c.state <- TFinWait2
+        set_state c TFinWait2
       | TLastAck when c.snd_una = c.snd_nxt -> destroy c None
       | TTimeWait ->
         Sim.Engine.after c.stack.eng 1.0 (fun () -> destroy c None)
@@ -463,6 +522,17 @@ let make_conv st ~lport ~rport ~raddr ~state ~iss =
       lport;
       rport;
       raddr;
+      cstats =
+        {
+          segs_sent = 0;
+          segs_rcvd = 0;
+          bytes_sent = 0;
+          bytes_rcvd = 0;
+          retransmits = 0;
+          retransmitted_bytes = 0;
+          out_of_order_dropped = 0;
+          resets = 0;
+        };
       state;
       iss;
       snd_una = iss;
@@ -489,11 +559,24 @@ let make_conv st ~lport ~rport ~raddr ~state ~iss =
   in
   st.next_cid <- st.next_cid + 1;
   Hashtbl.replace st.convs (conv_key c) c;
+  (match Sim.Engine.obs st.eng with
+  | None -> ()
+  | Some tr ->
+    Obs.Trace.emit tr
+      (Obs.Event.Proto_state
+         { proto = "tcp"; conv = c.cid; from_ = "Closed"; to_ = state_str state }));
   c
 
 let input st ~src:sa ~dst:_ pkt =
   match decode pkt with
-  | None -> ()
+  | None -> (
+    match Sim.Engine.obs st.eng with
+    | None -> ()
+    | Some tr ->
+      if String.length pkt >= header_len && not (Chksum.valid pkt) then begin
+        Obs.Trace.emit tr (Obs.Event.Checksum_err { proto = "tcp" });
+        Obs.Trace.bump tr "tcp.badsum" 1
+      end)
   | Some s -> (
     match
       Hashtbl.find_opt st.convs (s.s_dport, s.s_sport, Ipaddr.to_int32 sa)
@@ -658,12 +741,12 @@ let close c =
   | TSynSent | TSynRcvd -> destroy c None
   | TEstablished ->
     c.fin_queued <- true;
-    c.state <- TFinWait1;
+    set_state c TFinWait1;
     push_segments c;
     arm_death c
   | TCloseWait ->
     c.fin_queued <- true;
-    c.state <- TLastAck;
+    set_state c TLastAck;
     push_segments c;
     arm_death c
 

@@ -73,3 +73,11 @@ val remote_port : conv -> int
 val remote_addr : conv -> Ipaddr.t
 val status : conv -> string
 val state_name : conv -> string
+
+val conv_counters : conv -> counters
+(** Per-conversation counters (the stack's {!counters} aggregate all
+    conversations). *)
+
+val conv_stats : conv -> string
+(** Per-conversation counters as [name value] lines — the contents of
+    the conversation's [stats] file. *)

@@ -108,11 +108,34 @@ module Ether = struct
     let bytes = max min_frame (String.length frame.payload) + header_bytes in
     (float_of_int (bytes * 8) /. t.bandwidth) +. t.frame_overhead
 
+  let emit_pkt t op frame =
+    match Sim.Engine.obs t.eng with
+    | None -> ()
+    | Some tr ->
+      let proto = Obs.Snoopy.frame_proto ~etype:frame.etype frame.payload in
+      Obs.Trace.emit tr
+        (Obs.Event.Packet
+           {
+             medium = t.ename;
+             op;
+             src = Eaddr.to_string frame.src;
+             dst = Eaddr.to_string frame.dst;
+             proto;
+             bytes = String.length frame.payload;
+           });
+      Obs.Trace.bump tr
+        (match op with
+        | Obs.Event.Tx -> "pkt.tx"
+        | Obs.Event.Rx -> "pkt.rx"
+        | Obs.Event.Drop _ -> "pkt.drop")
+        1
+
   let transmit n frame =
     let t = n.seg in
     let now = Sim.Engine.now t.eng in
     n.stats.out_packets <- n.stats.out_packets + 1;
     n.stats.out_bytes <- n.stats.out_bytes + String.length frame.payload;
+    emit_pkt t Obs.Event.Tx frame;
     (* the shared medium serializes frames *)
     let start = if t.busy_until > now then t.busy_until else now in
     let finish = start +. wire_time t frame in
@@ -131,12 +154,15 @@ module Ether = struct
                 || frame.dst = Eaddr.broadcast
               in
               if wants then
-                if lost then
-                  station.stats.crc_errors <- station.stats.crc_errors + 1
+                if lost then begin
+                  station.stats.crc_errors <- station.stats.crc_errors + 1;
+                  emit_pkt t (Obs.Event.Drop "crc") frame
+                end
                 else begin
                   station.stats.in_packets <- station.stats.in_packets + 1;
                   station.stats.in_bytes <-
                     station.stats.in_bytes + String.length frame.payload;
+                  emit_pkt t Obs.Event.Rx frame;
                   station.rx frame
                 end
             end)

@@ -54,12 +54,27 @@ let alloc_tag t =
 let rpc t tmsg =
   if t.dead then raise (Err "connection hung up");
   let tag = alloc_tag t in
+  (match Sim.Engine.obs t.eng with
+  | None -> ()
+  | Some tr ->
+    Obs.Trace.emit tr
+      (Obs.Event.Fcall
+         { role = `T; tag; msg = Fcall.tmsg_name tmsg; latency = 0. }));
+  let t0 = Sim.Engine.now t.eng in
   t.tr.Transport.t_send (Fcall.encode (Fcall.T (tag, tmsg)));
   let r =
     Sim.Proc.suspend ~register:(fun ~resume ~abort:_ ->
         Hashtbl.replace t.waiting tag resume;
         fun () -> Hashtbl.remove t.waiting tag)
   in
+  (match Sim.Engine.obs t.eng with
+  | None -> ()
+  | Some tr ->
+    let name = Fcall.tmsg_name tmsg in
+    let dt = Sim.Engine.now t.eng -. t0 in
+    Obs.Trace.emit tr
+      (Obs.Event.Fcall { role = `R; tag; msg = name; latency = dt });
+    Obs.Trace.observe tr ("9p.rpc." ^ name) dt);
   match r with Fcall.Rerror e -> raise (Err e) | r -> r
 
 let bad _t what = raise (Err (Printf.sprintf "9p: unexpected reply to %s" what))

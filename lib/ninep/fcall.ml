@@ -93,6 +93,24 @@ type rmsg =
   | Rwstat of { fid : int }
   | Rflush
 
+let tmsg_name = function
+  | Tnop -> "Tnop"
+  | Tauth _ -> "Tauth"
+  | Tsession _ -> "Tsession"
+  | Tattach _ -> "Tattach"
+  | Tclone _ -> "Tclone"
+  | Twalk _ -> "Twalk"
+  | Tclwalk _ -> "Tclwalk"
+  | Topen _ -> "Topen"
+  | Tcreate _ -> "Tcreate"
+  | Tread _ -> "Tread"
+  | Twrite _ -> "Twrite"
+  | Tclunk _ -> "Tclunk"
+  | Tremove _ -> "Tremove"
+  | Tstat _ -> "Tstat"
+  | Twstat _ -> "Twstat"
+  | Tflush _ -> "Tflush"
+
 type t = T of int * tmsg | R of int * rmsg
 
 exception Bad_message of string

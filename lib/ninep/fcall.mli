@@ -120,6 +120,9 @@ val decode_dir : string -> int -> dir
 val message_name : t -> string
 (** e.g. ["Tattach"] — for traces. *)
 
+val tmsg_name : tmsg -> string
+(** e.g. ["Tattach"], without needing a tag. *)
+
 module Frame : sig
   (** Delimiter reconstruction for byte-stream transports (TCP): each
       message is prefixed with a 2-byte big-endian length, and a

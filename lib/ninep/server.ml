@@ -169,6 +169,18 @@ let serve ?(threaded = false) ?auth eng fs tr =
               | Ok () -> reply tag (Fcall.Rwstat { fid })
               | Error e -> err e)
       in
+      (* server-side service time: receipt of T to completion of its
+         reply, observed per message kind *)
+      let timed_handle tag t =
+        match Sim.Engine.obs eng with
+        | None -> handle tag t
+        | Some obs_tr ->
+          let t0 = Sim.Engine.now eng in
+          handle tag t;
+          Obs.Trace.observe obs_tr
+            ("9p.serve." ^ Fcall.tmsg_name t)
+            (Sim.Engine.now eng -. t0)
+      in
       let rec loop () =
         match tr.Transport.t_recv () with
         | None -> clear_fids ()
@@ -179,8 +191,8 @@ let serve ?(threaded = false) ?auth eng fs tr =
               ignore
                 (Sim.Proc.spawn eng
                    ~name:(Printf.sprintf "9psrv:%s:t%d" fs.fs_name tag)
-                   (fun () -> handle tag t))
-            else handle tag t
+                   (fun () -> timed_handle tag t))
+            else timed_handle tag t
           | Fcall.R (_, _) -> () (* servers ignore replies *)
           | exception Fcall.Bad_message m ->
             Log.debug (fun f -> f "%s: bad message: %s" fs.fs_name m));

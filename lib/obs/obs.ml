@@ -1,0 +1,401 @@
+(* Zero-dependency observability core.  See obs.mli for the contract:
+   deterministic (clock is injected), bounded (ring buffer), and free
+   when no sink is installed (callers guard emission themselves). *)
+
+module Event = struct
+  type dir = Up | Down
+  type proc_phase = Spawn | Block | Wake | Exit | Crash
+  type packet_op = Tx | Rx | Drop of string
+
+  type t =
+    | Proc of { name : string; phase : proc_phase }
+    | Cpu of { queued : float; busy : float }
+    | Blk of { op : [ `Alloc | `Free ]; bytes : int }
+    | Stream of { dev : string; dir : dir; bytes : int; delim : bool }
+    | Flow of { dev : string; stalled : bool; qbytes : int }
+    | Packet of {
+        medium : string;
+        op : packet_op;
+        src : string;
+        dst : string;
+        proto : string;
+        bytes : int;
+      }
+    | Proto_state of { proto : string; conv : int; from_ : string; to_ : string }
+    | Retransmit of { proto : string; conv : int; id : int; bytes : int }
+    | Checksum_err of { proto : string }
+    | Fcall of { role : [ `T | `R ]; tag : int; msg : string; latency : float }
+    | Note of { sub : string; msg : string }
+
+  let phase_name = function
+    | Spawn -> "spawn"
+    | Block -> "block"
+    | Wake -> "wake"
+    | Exit -> "exit"
+    | Crash -> "crash"
+
+  let label = function
+    | Proc { phase; _ } -> "proc." ^ phase_name phase
+    | Cpu _ -> "cpu.occupy"
+    | Blk { op = `Alloc; _ } -> "blk.alloc"
+    | Blk { op = `Free; _ } -> "blk.free"
+    | Stream { dir = Up; _ } -> "stream.up"
+    | Stream { dir = Down; _ } -> "stream.down"
+    | Flow { stalled = true; _ } -> "flow.stall"
+    | Flow { stalled = false; _ } -> "flow.resume"
+    | Packet { op = Tx; _ } -> "pkt.tx"
+    | Packet { op = Rx; _ } -> "pkt.rx"
+    | Packet { op = Drop _; _ } -> "pkt.drop"
+    | Proto_state _ -> "proto.state"
+    | Retransmit _ -> "proto.retransmit"
+    | Checksum_err _ -> "proto.badsum"
+    | Fcall { role = `T; _ } -> "9p.t"
+    | Fcall { role = `R; _ } -> "9p.r"
+    | Note _ -> "note"
+
+  let args = function
+    | Proc { name; _ } -> [ ("proc", name) ]
+    | Cpu { queued; busy } ->
+      [ ("queued_us", Printf.sprintf "%.1f" (queued *. 1e6));
+        ("busy_us", Printf.sprintf "%.1f" (busy *. 1e6)) ]
+    | Blk { bytes; _ } -> [ ("bytes", string_of_int bytes) ]
+    | Stream { dev; bytes; delim; _ } ->
+      [ ("dev", dev); ("bytes", string_of_int bytes);
+        ("delim", string_of_bool delim) ]
+    | Flow { dev; qbytes; _ } ->
+      [ ("dev", dev); ("qbytes", string_of_int qbytes) ]
+    | Packet { medium; op; src; dst; proto; bytes } ->
+      [ ("medium", medium); ("src", src); ("dst", dst); ("proto", proto);
+        ("bytes", string_of_int bytes) ]
+      @ (match op with Drop why -> [ ("why", why) ] | Tx | Rx -> [])
+    | Proto_state { proto; conv; from_; to_ } ->
+      [ ("proto", proto); ("conv", string_of_int conv); ("from", from_);
+        ("to", to_) ]
+    | Retransmit { proto; conv; id; bytes } ->
+      [ ("proto", proto); ("conv", string_of_int conv);
+        ("id", string_of_int id); ("bytes", string_of_int bytes) ]
+    | Checksum_err { proto } -> [ ("proto", proto) ]
+    | Fcall { tag; msg; latency; _ } ->
+      [ ("tag", string_of_int tag); ("msg", msg);
+        ("latency_us", Printf.sprintf "%.1f" (latency *. 1e6)) ]
+    | Note { sub; msg } -> [ ("sub", sub); ("msg", msg) ]
+
+  let render ev =
+    match ev with
+    | Note { sub; msg } -> Printf.sprintf "%s: %s" sub msg
+    | Proto_state { proto; conv; from_; to_ } ->
+      Printf.sprintf "%s/%d %s -> %s" proto conv from_ to_
+    | Retransmit { proto; conv; id; bytes } ->
+      Printf.sprintf "%s/%d retransmit id %d (%d bytes)" proto conv id bytes
+    | Packet { medium; op; src; dst; proto; bytes } ->
+      Printf.sprintf "%s %s %s>%s %s %d"
+        medium
+        (match op with Tx -> "tx" | Rx -> "rx" | Drop why -> "drop[" ^ why ^ "]")
+        src dst proto bytes
+    | ev ->
+      String.concat " "
+        (label ev
+        :: List.map (fun (k, v) -> k ^ "=" ^ v) (args ev))
+end
+
+module Metrics = struct
+  type hist = { mutable count : int; mutable sum : float; mutable max_ : float }
+
+  type t = {
+    counters : (string, int ref) Hashtbl.t;
+    hists : (string, hist) Hashtbl.t;
+  }
+
+  let create () = { counters = Hashtbl.create 31; hists = Hashtbl.create 7 }
+
+  let bump t name n =
+    match Hashtbl.find_opt t.counters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace t.counters name (ref n)
+
+  let observe t name v =
+    let h =
+      match Hashtbl.find_opt t.hists name with
+      | Some h -> h
+      | None ->
+        let h = { count = 0; sum = 0.; max_ = 0. } in
+        Hashtbl.replace t.hists name h;
+        h
+    in
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v > h.max_ then h.max_ <- v
+
+  let counter t name =
+    match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+  let counters t =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+    |> List.sort compare
+
+  let histograms t =
+    Hashtbl.fold (fun k h acc -> (k, (h.count, h.sum, h.max_)) :: acc) t.hists []
+    |> List.sort compare
+
+  let clear t =
+    Hashtbl.reset t.counters;
+    Hashtbl.reset t.hists
+end
+
+module Trace = struct
+  type entry = { e_t : float; e_seq : int; e_ev : Event.t }
+
+  type t = {
+    capacity : int;
+    mutable ring : entry option array;
+    mutable next : int;  (* ring slot for the next event *)
+    mutable nseq : int;  (* events ever emitted *)
+    mutable clock : unit -> float;
+    metrics : Metrics.t;
+    mutable taps : (float -> Event.t -> unit) list;
+  }
+
+  let create ?(capacity = 65536) () =
+    {
+      capacity = max 16 capacity;
+      ring = Array.make (max 16 capacity) None;
+      next = 0;
+      nseq = 0;
+      clock = (fun () -> 0.);
+      metrics = Metrics.create ();
+      taps = [];
+    }
+
+  let set_clock t fn = t.clock <- fn
+  let now t = t.clock ()
+  let metrics t = t.metrics
+  let bump t name n = Metrics.bump t.metrics name n
+  let observe t name v = Metrics.observe t.metrics name v
+  let add_tap t fn = t.taps <- t.taps @ [ fn ]
+  let seq t = t.nseq
+  let dropped t = max 0 (t.nseq - t.capacity)
+
+  let emit t ev =
+    let time = t.clock () in
+    t.ring.(t.next) <- Some { e_t = time; e_seq = t.nseq; e_ev = ev };
+    t.next <- (t.next + 1) mod t.capacity;
+    t.nseq <- t.nseq + 1;
+    List.iter (fun tap -> tap time ev) t.taps
+
+  let note t ~sub msg = emit t (Event.Note { sub; msg })
+
+  let clear t =
+    Array.fill t.ring 0 t.capacity None;
+    t.next <- 0;
+    t.nseq <- 0;
+    Metrics.clear t.metrics
+
+  let events t =
+    (* oldest live entry first: walk the ring from [next] *)
+    let acc = ref [] in
+    for i = t.capacity - 1 downto 0 do
+      match t.ring.((t.next + i) mod t.capacity) with
+      | Some e -> acc := (e.e_t, e.e_seq, e.e_ev) :: !acc
+      | None -> ()
+    done;
+    List.sort (fun (_, a, _) (_, b, _) -> compare a b) !acc
+
+  let render ?(limit = 100) t =
+    let evs = events t in
+    let n = List.length evs in
+    let evs =
+      if n <= limit then evs
+      else
+        (* keep the newest [limit] *)
+        List.filteri (fun i _ -> i >= n - limit) evs
+    in
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun (time, _, ev) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%.6f %s\n" time (Event.render ev)))
+      evs;
+    Buffer.contents buf
+
+  (* ---- exporters ---- *)
+
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let to_chrome_json t =
+    (* Chrome trace_event format: instant events on one pid/tid, virtual
+       microseconds.  Deterministic by construction. *)
+    let buf = Buffer.create 16384 in
+    Buffer.add_string buf "{\"traceEvents\":[";
+    let first = ref true in
+    List.iter
+      (fun (time, sq, ev) ->
+        if !first then first := false else Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\n{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"g\",\"ts\":%.3f,\"pid\":1,\"tid\":1,\"args\":{"
+             (json_escape (Event.label ev))
+             (time *. 1e6));
+        Buffer.add_string buf
+          (String.concat ","
+             (Printf.sprintf "\"seq\":%d" sq
+             :: List.map
+                  (fun (k, v) ->
+                    Printf.sprintf "\"%s\":\"%s\"" (json_escape k)
+                      (json_escape v))
+                  (Event.args ev)));
+        Buffer.add_string buf "}}")
+      (events t);
+    Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+    Buffer.contents buf
+
+  let counters_json t =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{";
+    let first = ref true in
+    let sep () = if !first then first := false else Buffer.add_string buf ", " in
+    List.iter
+      (fun (k, v) ->
+        sep ();
+        Buffer.add_string buf (Printf.sprintf "\"%s\": %d" (json_escape k) v))
+      (Metrics.counters t.metrics);
+    List.iter
+      (fun (k, (count, sum, mx)) ->
+        sep ();
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\"%s\": {\"count\": %d, \"sum_ms\": %.6f, \"max_ms\": %.6f}"
+             (json_escape k) count (sum *. 1e3) (mx *. 1e3)))
+      (Metrics.histograms t.metrics);
+    Buffer.add_string buf "}";
+    Buffer.contents buf
+end
+
+module Snoopy = struct
+  (* Pure wire-byte parsing: keep this independent of the protocol
+     stacks so a tap can decode frames even from code it has never
+     linked against. *)
+
+  let get16 s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+  let get32 s off = (get16 s off lsl 16) lor get16 s (off + 2)
+
+  let ipstr s off =
+    Printf.sprintf "%d.%d.%d.%d" (Char.code s.[off])
+      (Char.code s.[off + 1])
+      (Char.code s.[off + 2])
+      (Char.code s.[off + 3])
+
+  let eastr s off =
+    String.concat ""
+      (List.init 6 (fun i -> Printf.sprintf "%02x" (Char.code s.[off + i])))
+
+  let il_type = function
+    | 0 -> "sync"
+    | 1 -> "data"
+    | 2 -> "dataquery"
+    | 3 -> "ack"
+    | 4 -> "query"
+    | 5 -> "state"
+    | 6 -> "close"
+    | 7 -> "reset"
+    | n -> Printf.sprintf "type%d" n
+
+  let tcp_flags f =
+    let names =
+      [ (1, "fin"); (2, "syn"); (4, "rst"); (8, "psh"); (16, "ack") ]
+    in
+    match List.filter_map (fun (b, n) -> if f land b <> 0 then Some n else None) names with
+    | [] -> "none"
+    | fs -> String.concat "+" fs
+
+  let render_arp p =
+    if String.length p < 28 then "arp runt"
+    else
+      let op = get16 p 6 in
+      let spa = ipstr p 14 and tpa = ipstr p 24 in
+      match op with
+      | 1 -> Printf.sprintf "arp who-has %s tell %s" tpa spa
+      | 2 -> Printf.sprintf "arp %s is-at %s" spa (eastr p 8)
+      | n -> Printf.sprintf "arp op%d %s > %s" n spa tpa
+
+  let render_il p =
+    if String.length p < 18 then "il runt"
+    else
+      Printf.sprintf "il %s %d>%d id %d ack %d len %d"
+        (il_type (Char.code p.[4]))
+        (get16 p 6) (get16 p 8) (get32 p 10) (get32 p 14)
+        (String.length p - 18)
+
+  let render_udp p =
+    if String.length p < 8 then "udp runt"
+    else
+      Printf.sprintf "udp %d>%d len %d" (get16 p 0) (get16 p 2)
+        (String.length p - 8)
+
+  let render_tcp p =
+    if String.length p < 20 then "tcp runt"
+    else
+      let off = ((get16 p 12) lsr 12) * 4 in
+      Printf.sprintf "tcp %s %d>%d seq %d ack %d len %d"
+        (tcp_flags (get16 p 12 land 0x3f))
+        (get16 p 0) (get16 p 2) (get32 p 4) (get32 p 8)
+        (max 0 (String.length p - off))
+
+  let ip_payload p =
+    (* (frag_off, inner rendering) for a well-formed 20-byte header *)
+    let proto = Char.code p.[9] in
+    let frag_off = (get16 p 6 land 0x1fff) * 8 in
+    let body = String.sub p 20 (String.length p - 20) in
+    let inner =
+      if frag_off > 0 then
+        Printf.sprintf "frag off %d proto %d len %d" frag_off proto
+          (String.length body)
+      else
+        match proto with
+        | 40 -> render_il body
+        | 17 -> render_udp body
+        | 6 -> render_tcp body
+        | n -> Printf.sprintf "proto %d len %d" n (String.length body)
+    in
+    inner
+
+  let render_ip p =
+    if String.length p < 20 || Char.code p.[0] <> 0x45 then "ip runt"
+    else
+      Printf.sprintf "ip(%s > %s) %s" (ipstr p 12) (ipstr p 16) (ip_payload p)
+
+  let render_frame ~time ~src ~dst ~etype payload =
+    let body =
+      match etype with
+      | 0x0806 -> render_arp payload
+      | 0x0800 -> render_ip payload
+      | n -> Printf.sprintf "type %d len %d" n (String.length payload)
+    in
+    Printf.sprintf "%.6f ether(%s > %s) %s" time src dst body
+
+  let frame_proto ~etype payload =
+    match etype with
+    | 0x0806 -> "arp"
+    | 0x0800 ->
+      if String.length payload < 20 || Char.code payload.[0] <> 0x45 then "ip"
+      else if (get16 payload 6 land 0x1fff) <> 0 then "ip"
+      else (
+        match Char.code payload.[9] with
+        | 40 -> "il"
+        | 17 -> "udp"
+        | 6 -> "tcp"
+        | _ -> "ip")
+    | _ -> "ether"
+end

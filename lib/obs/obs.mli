@@ -1,0 +1,170 @@
+(** Kernel-wide observability: structured tracing, metrics, exporters.
+
+    The paper's authors debugged and measured their networks through
+    the file system — [cat /net/tcp/2/status] — because protocol state
+    was always on display.  This module is the substrate that makes the
+    same possible here: a zero-dependency trace core that every layer
+    (scheduler, blocks, streams, media, protocols, 9P) emits typed
+    events into, plus named counters and latency histograms.
+
+    Design rules:
+
+    - {e Deterministic}: a trace never reads the wall clock.  Timestamps
+      come from a [clock] callback installed by the simulation engine
+      ({!Sim.Engine.attach_obs}), so two runs with the same seed produce
+      byte-identical trace files.
+    - {e Zero-cost when disabled}: instrumented code guards every
+      emission with a single [match engine-sink with None -> ()] — no
+      event is allocated unless a sink is installed.
+    - {e Bounded}: events land in a ring buffer; old events are
+      overwritten, never grown without bound.  [dropped] counts the
+      overwritten ones. *)
+
+module Event : sig
+  type dir = Up | Down
+  (** Direction through a stream: [Up] toward the process, [Down]
+      toward the device. *)
+
+  type proc_phase = Spawn | Block | Wake | Exit | Crash
+
+  type packet_op =
+    | Tx
+    | Rx
+    | Drop of string  (** reason, e.g. ["crc"], ["overflow"] *)
+
+  type t =
+    | Proc of { name : string; phase : proc_phase }
+        (** scheduler: process lifecycle and blocking *)
+    | Cpu of { queued : float; busy : float }
+        (** a host CPU occupancy: time spent waiting behind earlier
+            work, then time occupied *)
+    | Blk of { op : [ `Alloc | `Free ]; bytes : int }
+        (** a block entering / leaving a stream queue *)
+    | Stream of { dev : string; dir : dir; bytes : int; delim : bool }
+        (** a block through a stream's put chain *)
+    | Flow of { dev : string; stalled : bool; qbytes : int }
+        (** flow control: a writer blocking on ([stalled]) or being
+            released from ([not stalled]) a full queue *)
+    | Packet of {
+        medium : string;
+        op : packet_op;
+        src : string;
+        dst : string;
+        proto : string;  (** "ip", "arp", "urp", ... *)
+        bytes : int;
+      }  (** wire events on a simulated medium *)
+    | Proto_state of { proto : string; conv : int; from_ : string; to_ : string }
+        (** a protocol conversation changing state *)
+    | Retransmit of { proto : string; conv : int; id : int; bytes : int }
+    | Checksum_err of { proto : string }
+    | Fcall of { role : [ `T | `R ]; tag : int; msg : string; latency : float }
+        (** a 9P message; [latency] is request-to-reply seconds, [0.]
+            on the request side *)
+    | Note of { sub : string; msg : string }
+        (** free-form, shows up in /net/log *)
+
+  val label : t -> string
+  (** Short dotted name, e.g. ["pkt.tx"], ["proto.state"]. *)
+
+  val render : t -> string
+  (** One human-readable line (no timestamp). *)
+
+  val args : t -> (string * string) list
+  (** Key/value detail for structured exporters. *)
+end
+
+module Metrics : sig
+  type t
+  (** Named monotonic counters plus log-bucketed latency histograms. *)
+
+  val create : unit -> t
+  val bump : t -> string -> int -> unit
+
+  val observe : t -> string -> float -> unit
+  (** Record one sample (seconds) into the named histogram. *)
+
+  val counter : t -> string -> int
+  (** 0 when never bumped. *)
+
+  val counters : t -> (string * int) list
+  (** Sorted by name. *)
+
+  val histograms : t -> (string * (int * float * float)) list
+  (** name -> (count, sum, max), sorted by name. *)
+
+  val clear : t -> unit
+end
+
+module Trace : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] (default 65536) bounds the event ring. *)
+
+  val set_clock : t -> (unit -> float) -> unit
+  (** Install the virtual-time source.  {!Sim.Engine.attach_obs} does
+      this; traces must never read the wall clock. *)
+
+  val now : t -> float
+
+  val emit : t -> Event.t -> unit
+  (** Stamp with the clock, append to the ring, feed the taps. *)
+
+  val note : t -> sub:string -> string -> unit
+  (** [emit] of an {!Event.Note}. *)
+
+  val bump : t -> string -> int -> unit
+  (** Convenience for [Metrics.bump (metrics t)]. *)
+
+  val observe : t -> string -> float -> unit
+  val metrics : t -> Metrics.t
+
+  val add_tap : t -> (float -> Event.t -> unit) -> unit
+  (** Live subscriber, called synchronously on every emit — how the
+      snoopy tap and /net/log follow a running world. *)
+
+  val events : t -> (float * int * Event.t) list
+  (** (time, sequence, event), oldest first; at most [capacity]. *)
+
+  val seq : t -> int
+  (** Events emitted over the trace's lifetime. *)
+
+  val dropped : t -> int
+  (** Events overwritten by ring wrap-around. *)
+
+  val clear : t -> unit
+  (** Empty the ring and the metrics (taps and clock stay). *)
+
+  val render : ?limit:int -> t -> string
+  (** Newest [limit] (default 100) events as text lines, oldest first —
+      the contents of [/net/log]. *)
+
+  val to_chrome_json : t -> string
+  (** The full ring as a Chrome [trace_event] JSON document (load in
+      chrome://tracing or Perfetto).  Deterministic: depends only on
+      the recorded events. *)
+
+  val counters_json : t -> string
+  (** Flat JSON object of all counters and histogram summaries. *)
+end
+
+module Snoopy : sig
+  (** Promiscuous-tap frame rendering, after Plan 9's [snoopy]: parses
+      raw Ethernet payloads (ARP, IP carrying IL / UDP / TCP) straight
+      from the wire bytes and prints one line per frame.  Pure string
+      parsing — usable on any captured frame without the protocol
+      stacks. *)
+
+  val render_frame :
+    time:float -> src:string -> dst:string -> etype:int -> string -> string
+  (** [render_frame ~time ~src ~dst ~etype payload] where [src]/[dst]
+      are 12-hex-digit Ethernet addresses.  E.g.
+      {v
+      0.000125 ether(080069020001 > ffffffffffff) arp who-has 10.0.0.2 tell 10.0.0.1
+      0.004210 ether(080069020001 > 080069020002) ip(10.0.0.1 > 10.0.0.2) il data 5012>9999 id 7 ack 3 len 1000
+      v} *)
+
+  val frame_proto : etype:int -> string -> string
+  (** The innermost protocol name the renderer identified: ["arp"],
+      ["il"], ["udp"], ["tcp"], ["ip"], or ["ether"]. *)
+end

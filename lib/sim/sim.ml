@@ -79,6 +79,9 @@ type engine = {
   mutable procs : proc list;  (* live processes, newest first *)
   mutable crashes : (string * exn) list;
   mutable next_pid : int;
+  mutable obs : Obs.Trace.t option;
+      (* observability sink; every instrumented layer guards emission on
+         this being [Some], so a world without a sink pays nothing *)
 }
 
 and proc = {
@@ -120,10 +123,17 @@ module Engine = struct
       procs = [];
       crashes = [];
       next_pid = 1;
+      obs = None;
     }
 
   let now t = t.now
   let random t = t.rng
+
+  let attach_obs t tr =
+    Obs.Trace.set_clock tr (fun () -> t.now);
+    t.obs <- Some tr
+
+  let obs t = t.obs
   let at = schedule_at
   let after t dt fn = schedule_at t (t.now +. dt) fn
   let pending t = t.heap.Heap.n
@@ -186,6 +196,11 @@ module Proc = struct
     | Some p -> p
     | None -> failwith "Sim.Proc.self: not inside a simulated process"
 
+  let emit_phase p phase =
+    match p.eng.obs with
+    | None -> ()
+    | Some tr -> Obs.Trace.emit tr (Obs.Event.Proc { name = p.pname; phase })
+
   let finish p =
     p.state <- Dead;
     p.eng.procs <- List.filter (fun q -> q.pid <> p.pid) p.eng.procs;
@@ -201,14 +216,20 @@ module Proc = struct
     in
     let p = { pid; pname; eng; state = Ready; exit_waiters = [] } in
     eng.procs <- p :: eng.procs;
+    emit_phase p Obs.Event.Spawn;
     let handler : (unit, unit) Effect.Deep.handler =
       {
-        retc = (fun () -> finish p);
+        retc =
+          (fun () ->
+            emit_phase p Obs.Event.Exit;
+            finish p);
         exnc =
           (fun e ->
             (match e with
-            | Killed -> ()
-            | e -> eng.crashes <- (pname, e) :: eng.crashes);
+            | Killed -> emit_phase p Obs.Event.Exit
+            | e ->
+              emit_phase p Obs.Event.Crash;
+              eng.crashes <- (pname, e) :: eng.crashes);
             finish p);
         effc =
           (fun (type a) (eff : a Effect.t) ->
@@ -230,6 +251,7 @@ module Proc = struct
                     if not !fired then begin
                       fired := true;
                       settle ();
+                      emit_phase p Obs.Event.Wake;
                       p.state <- Ready;
                       schedule_at eng eng.now (fun () ->
                           p.state <- Running;
@@ -244,6 +266,7 @@ module Proc = struct
                     if not !fired then begin
                       fired := true;
                       settle ();
+                      emit_phase p Obs.Event.Wake;
                       p.state <- Ready;
                       schedule_at eng eng.now (fun () ->
                           p.state <- Running;
@@ -255,6 +278,7 @@ module Proc = struct
                     end
                   in
                   p.state <- Suspended abort;
+                  emit_phase p Obs.Event.Block;
                   let cl = register ~resume ~abort in
                   cleanup := Some cl;
                   if !fired then settle ())
@@ -331,6 +355,11 @@ module Cpu = struct
     let start = if t.busy_until > now then t.busy_until else now in
     let finish = start +. dt in
     t.busy_until <- finish;
+    (match t.ceng.obs with
+    | None -> ()
+    | Some tr ->
+      Obs.Trace.emit tr (Obs.Event.Cpu { queued = start -. now; busy = dt });
+      Obs.Trace.observe tr "cpu.queued" (start -. now));
     finish
 
   let run_after t dt fn = schedule_at t.ceng (occupy t dt) fn

@@ -41,6 +41,16 @@ module Engine : sig
   val after : t -> float -> (unit -> unit) -> unit
   (** [after eng dt fn] = [at eng (now eng +. dt) fn]. *)
 
+  val attach_obs : t -> Obs.Trace.t -> unit
+  (** Install an observability sink: the trace's clock becomes this
+      engine's virtual clock and every instrumented layer holding the
+      engine starts emitting events into it.  Without a sink attached,
+      instrumentation is free (no allocation on hot paths). *)
+
+  val obs : t -> Obs.Trace.t option
+  (** The attached sink, if any.  Instrumented code matches on this
+      around each emission. *)
+
   val stalled : t -> string list
   (** Names of processes that are neither dead nor scheduled — i.e.
       blocked forever if the event queue is empty.  Useful to diagnose

@@ -42,7 +42,7 @@ let module_registered name = Hashtbl.mem registry name
 let create ?(qlimit = 64 * 1024) eng device =
   {
     eng;
-    upq = Block.Q.create ~limit:qlimit eng;
+    upq = Block.Q.create ~limit:qlimit ~name:(device.dev_name ^ ".up") eng;
     device;
     top = None;
     bottom = None;
@@ -71,10 +71,24 @@ let send_down s b =
   | None -> s.device.dev_dput b
 
 let input s b =
-  if not s.is_closed then
+  if not s.is_closed then begin
+    (match Sim.Engine.obs s.eng with
+    | None -> ()
+    | Some tr ->
+      Obs.Trace.emit tr
+        (Obs.Event.Stream
+           {
+             dev = s.device.dev_name;
+             dir = Obs.Event.Up;
+             bytes = Block.len b;
+             delim = b.Block.delim;
+           });
+      Obs.Trace.bump tr "stream.up.blocks" 1;
+      Obs.Trace.bump tr "stream.up.bytes" (Block.len b));
     match s.bottom with
     | Some bottom -> bottom.impl.mi_uput bottom b
     | None -> Block.Q.put s.upq b
+  end
 
 let hangup s = input s (Block.hangup ())
 
@@ -131,6 +145,19 @@ let close s =
 
 let write_block s b =
   if s.is_closed then raise Block.Q.Closed;
+  (match Sim.Engine.obs s.eng with
+  | None -> ()
+  | Some tr ->
+    Obs.Trace.emit tr
+      (Obs.Event.Stream
+         {
+           dev = s.device.dev_name;
+           dir = Obs.Event.Down;
+           bytes = Block.len b;
+           delim = b.Block.delim;
+         });
+    Obs.Trace.bump tr "stream.down.blocks" 1;
+    Obs.Trace.bump tr "stream.down.bytes" (Block.len b));
   if Block.is_ctl b then begin
     match Block.ctl_words b with
     | "push" :: name :: _ -> push s name

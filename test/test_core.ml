@@ -143,7 +143,7 @@ let test_conn_dir_files () =
       let fd = Vfs.Env.open_ env "/net/tcp/clone" F.Ordwr in
       let n = String.trim (Vfs.Env.read env fd 32) in
       Alcotest.(check (list string)) "paper's tcp conn dir"
-        [ "ctl"; "data"; "listen"; "local"; "remote"; "status" ]
+        [ "ctl"; "data"; "listen"; "local"; "remote"; "stats"; "status" ]
         (names (Vfs.Env.ls env ("/net/tcp/" ^ n)));
       Vfs.Env.close env fd)
 
@@ -371,8 +371,10 @@ let test_import_unions_net () =
       let gnot = P9net.World.host w "philw-gnot" in
       let env = Vfs.Env.fork gnot.P9net.Host.env in
       let before = names (Vfs.Env.ls env "/net") in
-      (* the paper: philw-gnot% ls /net -> /net/cs /net/dk *)
-      Alcotest.(check (list string)) "before import" [ "cs"; "dk" ] before;
+      (* the paper: philw-gnot% ls /net -> /net/cs /net/dk
+         (plus our kernel event log) *)
+      Alcotest.(check (list string)) "before import" [ "cs"; "dk"; "log" ]
+        before;
       P9net.Exportfs.import w.P9net.World.eng env ~host:"helix"
         ~remote_root:"/net" ~onto:"/net" ~flag:Vfs.Ns.After ();
       let after = names (Vfs.Env.ls env "/net") in
@@ -635,7 +637,7 @@ let test_ls_l_conn_dir () =
         |> List.map (fun d -> Format.asprintf "%a" F.pp_dir d)
       in
       (* shaped like: --rw-rw-rw- I 0 network network 0 ctl *)
-      Alcotest.(check int) "six files" 6 (List.length listing);
+      Alcotest.(check int) "seven files" 7 (List.length listing);
       List.iter
         (fun line ->
           Alcotest.(check bool) ("mode shape: " ^ line) true

@@ -1,0 +1,340 @@
+(* Observability: the trace core, the status/stats files, /net/log,
+   the snoopy tap, and the exporters — including the determinism
+   guarantee (same seed, same traffic => byte-identical traces). *)
+
+module F = Ninep.Fcall
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* run a body on musca (an ether host, unlike philw-gnot) inside a
+   booted bell-labs world *)
+let in_world ?seed ?(horizon = 120.0) f =
+  let w = P9net.World.bell_labs ?seed () in
+  let finished = ref false in
+  let musca = P9net.World.host w "musca" in
+  ignore
+    (P9net.Host.spawn musca "test" (fun env ->
+         f w env;
+         finished := true));
+  P9net.World.run ~until:horizon w;
+  Alcotest.(check bool) "test body completed" true !finished
+
+(* ---- trace core ---- *)
+
+let test_disabled_by_default () =
+  let eng = Sim.Engine.create () in
+  Alcotest.(check bool) "no sink unless attached" true
+    (Sim.Engine.obs eng = None);
+  (* instrumented code runs happily with no sink *)
+  ignore
+    (Sim.Proc.spawn eng ~name:"p" (fun () -> Sim.Time.sleep eng 1.0));
+  Sim.Engine.run eng
+
+let test_trace_records_virtual_time () =
+  let eng = Sim.Engine.create () in
+  let tr = Obs.Trace.create () in
+  Sim.Engine.attach_obs eng tr;
+  ignore
+    (Sim.Proc.spawn eng ~name:"sleeper" (fun () -> Sim.Time.sleep eng 2.5));
+  Sim.Engine.run eng;
+  (* spawn, block, wake, exit — all stamped with virtual time *)
+  let events = Obs.Trace.events tr in
+  Alcotest.(check bool) "events recorded" true (List.length events >= 4);
+  let times = List.map (fun (t, _, _) -> t) events in
+  Alcotest.(check (float 1e-9)) "last event at wake time" 2.5
+    (List.fold_left max 0. times)
+
+let test_ring_bounded () =
+  (* 16 is the smallest ring the trace will make *)
+  let tr = Obs.Trace.create ~capacity:16 () in
+  for i = 1 to 20 do
+    Obs.Trace.note tr ~sub:"t" (string_of_int i)
+  done;
+  Alcotest.(check int) "ring holds capacity" 16
+    (List.length (Obs.Trace.events tr));
+  Alcotest.(check int) "dropped counted" 4 (Obs.Trace.dropped tr);
+  (* the survivors are the newest, in order *)
+  let labels =
+    List.map
+      (fun (_, _, e) ->
+        match e with Obs.Event.Note { msg; _ } -> msg | _ -> "?")
+      (Obs.Trace.events tr)
+  in
+  Alcotest.(check (list string)) "newest kept"
+    (List.init 16 (fun i -> string_of_int (i + 5)))
+    labels
+
+let test_metrics () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.bump m "x" 2;
+  Obs.Metrics.bump m "x" 3;
+  Obs.Metrics.observe m "lat" 0.5;
+  Obs.Metrics.observe m "lat" 1.5;
+  Alcotest.(check int) "counter sums" 5 (Obs.Metrics.counter m "x");
+  Alcotest.(check int) "unknown is zero" 0 (Obs.Metrics.counter m "y");
+  match Obs.Metrics.histograms m with
+  | [ ("lat", (count, sum, max_)) ] ->
+    Alcotest.(check int) "hist count" 2 count;
+    Alcotest.(check (float 1e-9)) "hist sum" 2.0 sum;
+    Alcotest.(check (float 1e-9)) "hist max" 1.5 max_
+  | _ -> Alcotest.fail "expected one histogram"
+
+(* ---- exporters ---- *)
+
+let test_chrome_json_shape () =
+  let eng = Sim.Engine.create () in
+  let tr = Obs.Trace.create () in
+  Sim.Engine.attach_obs eng tr;
+  ignore (Sim.Proc.spawn eng ~name:"p" (fun () -> Sim.Time.sleep eng 1.0));
+  Sim.Engine.run eng;
+  let json = Obs.Trace.to_chrome_json tr in
+  Alcotest.(check bool) "traceEvents array" true
+    (String.length json > 2
+    && String.sub json 0 15 = "{\"traceEvents\":"
+    && contains json "\"ph\":\"i\""
+    && contains json "\"displayTimeUnit\":\"ms\"");
+  let counters = Obs.Trace.counters_json tr in
+  Alcotest.(check bool) "counters flat object" true
+    (String.length counters >= 2 && counters.[0] = '{')
+
+(* ---- snoopy rendering (pure, no stacks) ---- *)
+
+(* hand-built frames, byte for byte *)
+let arp_request =
+  let b = Bytes.make 28 '\000' in
+  Bytes.set b 7 '\001';
+  (* sha *)
+  Bytes.blit_string "\x08\x00\x69\x02\x00\x01" 0 b 8 6;
+  (* spa 10.0.0.1 *)
+  Bytes.blit_string "\x0a\x00\x00\x01" 0 b 14 4;
+  (* tpa 10.0.0.2 *)
+  Bytes.blit_string "\x0a\x00\x00\x02" 0 b 24 4;
+  Bytes.to_string b
+
+let ip_header ~proto ~len =
+  let b = Bytes.make (20 + len) '\000' in
+  Bytes.set b 0 '\x45';
+  Bytes.set b 9 (Char.chr proto);
+  (* 10.0.0.1 > 10.0.0.2 *)
+  Bytes.blit_string "\x0a\x00\x00\x01" 0 b 12 4;
+  Bytes.blit_string "\x0a\x00\x00\x02" 0 b 16 4;
+  b
+
+let il_frame =
+  let b = ip_header ~proto:40 ~len:18 in
+  Bytes.set b (20 + 4) '\001';
+  (* type 1 = data *)
+  Bytes.set b (20 + 7) '\x05';
+  (* sport 5 *)
+  Bytes.set b (20 + 9) '\x09';
+  (* dport 9 *)
+  Bytes.set b (20 + 13) '\x07';
+  (* id 7 *)
+  Bytes.set b (20 + 17) '\x03';
+  (* ack 3 *)
+  Bytes.to_string b
+
+let udp_frame =
+  let b = ip_header ~proto:17 ~len:8 in
+  Bytes.set b (20 + 1) '\x35';
+  (* sport 53 *)
+  Bytes.set b (20 + 3) '\x35';
+  Bytes.to_string b
+
+let test_snoopy_renders_frames () =
+  let r etype payload =
+    Obs.Snoopy.render_frame ~time:0.5 ~src:"080069020001"
+      ~dst:"ffffffffffff" ~etype payload
+  in
+  let arp = r 0x0806 arp_request in
+  Alcotest.(check bool) "arp line" true
+    (contains arp "arp who-has 10.0.0.2 tell 10.0.0.1");
+  let il = r 0x0800 il_frame in
+  Alcotest.(check bool) "il line" true
+    (contains il "ip(10.0.0.1 > 10.0.0.2)" && contains il "il data 5>9");
+  let udp = r 0x0800 udp_frame in
+  Alcotest.(check bool) "udp line" true (contains udp "udp 53>53");
+  Alcotest.(check string) "proto id: arp" "arp"
+    (Obs.Snoopy.frame_proto ~etype:0x0806 arp_request);
+  Alcotest.(check string) "proto id: il" "il"
+    (Obs.Snoopy.frame_proto ~etype:0x0800 il_frame);
+  Alcotest.(check string) "proto id: udp" "udp"
+    (Obs.Snoopy.frame_proto ~etype:0x0800 udp_frame)
+
+(* ---- the world: status/stats files, /net/log, the live tap ---- *)
+
+(* a one-shot IL service on helix that waits for one message and then
+   hangs up first, so the client can watch its end reach Closed *)
+let oneshot_server w =
+  let helix = P9net.World.host w "helix" in
+  ignore
+    (P9net.Host.spawn helix "oneshot" (fun env ->
+         let ann = P9net.Dial.announce env "il!*!9991" in
+         let conn = P9net.Dial.listen env ann in
+         let dfd = P9net.Dial.accept env conn in
+         ignore (Vfs.Env.read env dfd 4096);
+         (* drop every reference so the connection closes first *)
+         Vfs.Env.close env dfd;
+         P9net.Dial.hangup env conn))
+
+let test_status_lifecycle () =
+  in_world (fun w env ->
+      oneshot_server w;
+      let conn = P9net.Dial.dial env "il!135.104.9.31!9991" in
+      ignore (Vfs.Env.write env conn.P9net.Dial.data_fd "ping");
+      let status = Vfs.Env.read_file env (conn.P9net.Dial.dir ^ "/status") in
+      Alcotest.(check bool) "established mid-flight" true
+        (contains status "Established");
+      Alcotest.(check bool) "retransmit count shown" true
+        (contains status "rexmit");
+      (* the server hangs up; EOF on data, then the close handshake *)
+      let eof = Vfs.Env.read env conn.P9net.Dial.data_fd 4096 in
+      Alcotest.(check string) "eof after remote hangup" "" eof;
+      Sim.Time.sleep w.P9net.World.eng 5.0;
+      let status' = Vfs.Env.read_file env (conn.P9net.Dial.dir ^ "/status") in
+      Alcotest.(check bool) "closed after hangup" true
+        (contains status' "Closed");
+      P9net.Dial.hangup env conn)
+
+let test_stats_file () =
+  in_world (fun w env ->
+      oneshot_server w;
+      let conn = P9net.Dial.dial env "il!135.104.9.31!9991" in
+      ignore (Vfs.Env.write env conn.P9net.Dial.data_fd "ping");
+      Sim.Time.sleep w.P9net.World.eng 1.0;
+      let stats = Vfs.Env.read_file env (conn.P9net.Dial.dir ^ "/stats") in
+      (* one "name value" line per counter *)
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (needle ^ " present") true
+            (contains stats needle))
+        [ "msgs_sent"; "msgs_rcvd"; "bytes_sent"; "retransmits"; "rtt_ms" ];
+      Alcotest.(check bool) "counted our message" true
+        (contains stats "msgs_sent 1");
+      P9net.Dial.hangup env conn)
+
+let test_net_log () =
+  let w = P9net.World.bell_labs () in
+  let tr = Obs.Trace.create () in
+  Sim.Engine.attach_obs w.P9net.World.eng tr;
+  let finished = ref false in
+  let musca = P9net.World.host w "musca" in
+  ignore
+    (P9net.Host.spawn musca "test" (fun env ->
+         let conn = P9net.Dial.dial env "il!helix!echo" in
+         ignore (Vfs.Env.write env conn.P9net.Dial.data_fd "ping");
+         ignore (Vfs.Env.read env conn.P9net.Dial.data_fd 4096);
+         let log = Vfs.Env.read_file env "/net/log" in
+         Alcotest.(check bool) "wire events in the log" true
+           (contains log " tx " && contains log " rx ");
+         Alcotest.(check bool) "scheduler events in the log" true
+           (contains log "proc.");
+         (* writing "clear" empties the ring *)
+         let fd = Vfs.Env.open_ env "/net/log" F.Ordwr in
+         ignore (Vfs.Env.write env fd "clear");
+         Vfs.Env.close env fd;
+         Alcotest.(check int) "cleared" 0
+           (List.length (Obs.Trace.events tr));
+         P9net.Dial.hangup env conn;
+         finished := true));
+  P9net.World.run ~until:120.0 w;
+  Alcotest.(check bool) "test body completed" true !finished
+
+let test_snoop_tap () =
+  let w = P9net.World.bell_labs () in
+  let tap = P9net.Snoop.start w.P9net.World.ether in
+  let helix = P9net.World.host w "helix" in
+  ignore
+    (P9net.Host.spawn helix "udp-sink" (fun env ->
+         let ann = P9net.Dial.announce env "udp!*!3049" in
+         let conn = P9net.Dial.listen env ann in
+         let dfd = P9net.Dial.accept env conn in
+         ignore (Vfs.Env.write env dfd (Vfs.Env.read env dfd 4096))));
+  let finished = ref false in
+  let musca = P9net.World.host w "musca" in
+  ignore
+    (P9net.Host.spawn musca "traffic" (fun env ->
+         let conn = P9net.Dial.dial env "il!helix!echo" in
+         ignore (Vfs.Env.write env conn.P9net.Dial.data_fd "ping");
+         ignore (Vfs.Env.read env conn.P9net.Dial.data_fd 4096);
+         P9net.Dial.hangup env conn;
+         let dg = P9net.Dial.dial env "udp!135.104.9.31!3049" in
+         ignore (Vfs.Env.write env dg.P9net.Dial.data_fd "dgram");
+         ignore (Vfs.Env.read env dg.P9net.Dial.data_fd 4096);
+         P9net.Dial.hangup env dg;
+         finished := true));
+  P9net.World.run ~until:120.0 w;
+  Alcotest.(check bool) "traffic completed" true !finished;
+  let counts = P9net.Snoop.proto_counts tap in
+  let seen p = List.mem_assoc p counts && List.assoc p counts > 0 in
+  (* three distinct frame types on the one wire *)
+  Alcotest.(check bool) "arp captured" true (seen "arp");
+  Alcotest.(check bool) "il captured" true (seen "il");
+  Alcotest.(check bool) "udp captured" true (seen "udp");
+  Alcotest.(check bool) "rendered lines" true
+    (contains (P9net.Snoop.dump tap) "ether(")
+
+(* ---- determinism: same seed, same traffic, same bytes ---- *)
+
+let traced_run () =
+  let w = P9net.World.bell_labs ~seed:3 () in
+  let tr = Obs.Trace.create () in
+  Sim.Engine.attach_obs w.P9net.World.eng tr;
+  let tap = P9net.Snoop.start w.P9net.World.ether in
+  let musca = P9net.World.host w "musca" in
+  ignore
+    (P9net.Host.spawn musca "traffic" (fun env ->
+         let conn = P9net.Dial.dial env "il!helix!echo" in
+         ignore (Vfs.Env.write env conn.P9net.Dial.data_fd "ping");
+         ignore (Vfs.Env.read env conn.P9net.Dial.data_fd 4096);
+         P9net.Dial.hangup env conn));
+  P9net.World.run ~until:60.0 w;
+  ( Obs.Trace.render ~limit:100000 tr,
+    Obs.Trace.to_chrome_json tr,
+    Obs.Trace.counters_json tr,
+    P9net.Snoop.dump tap )
+
+let test_deterministic_traces () =
+  let log1, chrome1, counters1, tap1 = traced_run () in
+  let log2, chrome2, counters2, tap2 = traced_run () in
+  Alcotest.(check bool) "trace non-trivial" true
+    (String.length log1 > 1000);
+  Alcotest.(check string) "event logs identical" log1 log2;
+  Alcotest.(check string) "chrome exports identical" chrome1 chrome2;
+  Alcotest.(check string) "counters identical" counters1 counters2;
+  Alcotest.(check string) "captures identical" tap1 tap2
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "disabled by default" `Quick
+            test_disabled_by_default;
+          Alcotest.test_case "virtual time" `Quick
+            test_trace_records_virtual_time;
+          Alcotest.test_case "ring bounded" `Quick test_ring_bounded;
+          Alcotest.test_case "metrics" `Quick test_metrics;
+          Alcotest.test_case "chrome json" `Quick test_chrome_json_shape;
+        ] );
+      ( "snoopy",
+        [
+          Alcotest.test_case "renders frames" `Quick
+            test_snoopy_renders_frames;
+          Alcotest.test_case "live tap" `Quick test_snoop_tap;
+        ] );
+      ( "files",
+        [
+          Alcotest.test_case "status lifecycle" `Quick test_status_lifecycle;
+          Alcotest.test_case "stats file" `Quick test_stats_file;
+          Alcotest.test_case "/net/log" `Quick test_net_log;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "identical traces" `Quick
+            test_deterministic_traces;
+        ] );
+    ]

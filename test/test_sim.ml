@@ -190,6 +190,28 @@ let test_stalled_reports_blocked () =
   Alcotest.(check (list string)) "deadlocked proc visible" [ "stuck" ]
     (Sim.Engine.stalled eng)
 
+let test_lost_wakeup_diagnosis () =
+  (* the classic lost wakeup: the producer fires its wakeup before any
+     reader has gone to sleep, so the wakeup is lost and the readers
+     hang forever.  The engine must name the hung processes so the
+     deadlock is diagnosable instead of a silent stall. *)
+  let eng = Sim.Engine.create () in
+  let r = Sim.Rendez.create eng in
+  ignore
+    (Sim.Proc.spawn eng ~name:"producer" (fun () -> Sim.Rendez.wakeup r));
+  ignore
+    (Sim.Proc.spawn eng ~name:"reader-a" (fun () ->
+         Sim.Time.sleep eng 1.0;
+         Sim.Rendez.sleep r));
+  ignore
+    (Sim.Proc.spawn eng ~name:"reader-b" (fun () ->
+         Sim.Time.sleep eng 2.0;
+         Sim.Rendez.sleep r));
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "hung readers named"
+    [ "reader-a"; "reader-b" ]
+    (List.sort compare (Sim.Engine.stalled eng))
+
 let test_determinism () =
   let trace () =
     let eng = Sim.Engine.create ~seed:42 () in
@@ -218,6 +240,8 @@ let () =
           Alcotest.test_case "fifo at same time" `Quick test_fifo_same_time;
           Alcotest.test_case "run until" `Quick test_run_until;
           Alcotest.test_case "stalled" `Quick test_stalled_reports_blocked;
+          Alcotest.test_case "lost wakeup diagnosis" `Quick
+            test_lost_wakeup_diagnosis;
           Alcotest.test_case "determinism" `Quick test_determinism;
         ] );
       ( "proc",
