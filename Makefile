@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check smoke bench clean
+.PHONY: all check smoke bench bench-cfs clean
 
 all:
 	dune build
@@ -20,6 +20,14 @@ smoke:
 bench:
 	dune exec bench/main.exe
 
+# The cfs proof: replay a diskless boot over a 9600-baud line raw vs
+# cached.  The bench exits non-zero if the cached run does not use
+# strictly fewer 9P round trips and strictly less virtual time, so a
+# cache regression fails CI here.
+bench-cfs:
+	dune exec bench/main.exe -- cfs
+	@test -s BENCH_cfs.json
+
 clean:
 	dune clean
-	rm -f BENCH_table1.json
+	rm -f BENCH_table1.json BENCH_cfs.json

@@ -502,6 +502,35 @@ let run_gateway () =
     \ makes the three paths the same two lines of client code)"
 
 (* ------------------------------------------------------------------ *)
+(* cfs: the diskless-boot replay over a 9600-baud line                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_cfs () =
+  section "cfs - caching the 9P stream on a 9600-baud boot line";
+  let r = Cfs_bench.run () in
+  let oc = open_out "BENCH_cfs.json" in
+  output_string oc r.Cfs_bench.res_json;
+  close_out oc;
+  print_string r.Cfs_bench.res_json;
+  Printf.printf
+    "wrote BENCH_cfs.json (round trips %d -> %d, virtual %.1fs -> %.1fs)\n%!"
+    r.Cfs_bench.res_uncached_rts r.Cfs_bench.res_cached_rts
+    r.Cfs_bench.res_uncached_elapsed r.Cfs_bench.res_cached_elapsed;
+  if r.Cfs_bench.res_cached_rts >= r.Cfs_bench.res_uncached_rts then begin
+    Printf.eprintf
+      "error: cached replay used %d round trips, uncached %d — the cache \
+       saved nothing\n"
+      r.Cfs_bench.res_cached_rts r.Cfs_bench.res_uncached_rts;
+    exit 1
+  end;
+  if r.Cfs_bench.res_cached_elapsed >= r.Cfs_bench.res_uncached_elapsed then begin
+    Printf.eprintf
+      "error: cached replay took %.3fs virtual, uncached %.3fs — no speedup\n"
+      r.Cfs_bench.res_cached_elapsed r.Cfs_bench.res_uncached_elapsed;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Wall-clock microbenchmarks (bechamel)                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -598,6 +627,7 @@ let sections =
     ("csquery", run_csquery);
     ("import", run_import);
     ("gateway", run_gateway);
+    ("cfs", run_cfs);
     ("micro", run_bechamel);
   ]
 

@@ -1,0 +1,553 @@
+let src = Logs.Src.create "cfs" ~doc:"caching 9P proxy"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = { bsize : int; budget : int; readahead : int }
+
+let default_config = { bsize = 1024; budget = 256 * 1024; readahead = 8 }
+
+(* A cached block, threaded on an intrusive LRU list.  The list is
+   cyclic through a sentinel: sentinel.next is most recently used,
+   sentinel.prev the eviction victim. *)
+type blk = {
+  bk_path : int32;
+  bk_idx : int;
+  mutable bk_data : string;  (* < bsize only for the end-of-file tail *)
+  mutable bk_prev : blk;
+  mutable bk_next : blk;
+}
+
+(* Per-file cache state.  [ce_vers] is the qid version we believe the
+   server holds; a reply qid with a different version means someone
+   else changed the file and every block here is stale. *)
+type centry = {
+  ce_path : int32;
+  mutable ce_vers : int32;
+  ce_blocks : (int, blk) Hashtbl.t;
+  mutable ce_lastend : int64;  (* where the last read stopped: the
+                                  sequential-access detector *)
+}
+
+type t = {
+  eng : Sim.Engine.t;
+  mutable cfg : config;
+  client : Ninep.Client.t;  (* the upstream (real server) connection *)
+  mutable local : Ninep.Transport.t;  (* what the terminal mounts *)
+  files : (int32, centry) Hashtbl.t;
+  lru : blk;  (* sentinel *)
+  metrics : Obs.Metrics.t;
+  mutable used : int;  (* bytes of block data held *)
+  mutable sessioned : bool;
+}
+
+let bump t name v =
+  Obs.Metrics.bump t.metrics name v;
+  match Sim.Engine.obs t.eng with
+  | None -> ()
+  | Some tr -> Obs.Trace.bump tr ("cfs." ^ name) v
+
+(* ---- LRU plumbing ---- *)
+
+let unlink b =
+  b.bk_prev.bk_next <- b.bk_next;
+  b.bk_next.bk_prev <- b.bk_prev;
+  b.bk_prev <- b;
+  b.bk_next <- b
+
+let push_front t b =
+  b.bk_next <- t.lru.bk_next;
+  b.bk_prev <- t.lru;
+  t.lru.bk_next.bk_prev <- b;
+  t.lru.bk_next <- b
+
+let touch t b =
+  unlink b;
+  push_front t b
+
+let forget_block t b =
+  unlink b;
+  t.used <- t.used - String.length b.bk_data;
+  match Hashtbl.find_opt t.files b.bk_path with
+  | Some e -> Hashtbl.remove e.ce_blocks b.bk_idx
+  | None -> ()
+
+let rec evict t =
+  if t.used > t.cfg.budget && t.lru.bk_prev != t.lru then begin
+    forget_block t t.lru.bk_prev;
+    bump t "evictions" 1;
+    evict t
+  end
+
+let insert t e idx data =
+  (match Hashtbl.find_opt e.ce_blocks idx with
+  | Some b ->
+    t.used <- t.used - String.length b.bk_data + String.length data;
+    b.bk_data <- data;
+    touch t b
+  | None ->
+    let rec b =
+      { bk_path = e.ce_path; bk_idx = idx; bk_data = data; bk_prev = b;
+        bk_next = b }
+    in
+    Hashtbl.replace e.ce_blocks idx b;
+    t.used <- t.used + String.length data;
+    push_front t b);
+  evict t
+
+(* ---- file table and validation ---- *)
+
+let entry t (qid : Ninep.Fcall.qid) =
+  match Hashtbl.find_opt t.files qid.Ninep.Fcall.qpath with
+  | Some e -> e
+  | None ->
+    let e =
+      { ce_path = qid.Ninep.Fcall.qpath; ce_vers = qid.Ninep.Fcall.qvers;
+        ce_blocks = Hashtbl.create 7; ce_lastend = 0L }
+    in
+    Hashtbl.replace t.files qid.Ninep.Fcall.qpath e;
+    e
+
+let invalidate t e ~vers =
+  Hashtbl.iter
+    (fun _ b ->
+      unlink b;
+      t.used <- t.used - String.length b.bk_data)
+    e.ce_blocks;
+  Hashtbl.reset e.ce_blocks;
+  e.ce_vers <- vers;
+  e.ce_lastend <- 0L;
+  bump t "invalidations" 1;
+  match Sim.Engine.obs t.eng with
+  | None -> ()
+  | Some tr ->
+    Obs.Trace.note tr ~sub:"cfs"
+      (Printf.sprintf "invalidate qid %ld (foreign change, vers -> %ld)"
+         e.ce_path vers)
+
+(* Every Rwalk/Ropen/Rcreate/Rstat carries the file's qid: compare the
+   version and throw the file's blocks away on a foreign change.  This
+   is the revalidation the 1993 cfs paid a stat round trip for. *)
+let note_qid t (qid : Ninep.Fcall.qid) =
+  if not (Ninep.Fcall.qid_is_dir qid) then begin
+    let e = entry t qid in
+    if e.ce_vers <> qid.Ninep.Fcall.qvers then
+      invalidate t e ~vers:qid.Ninep.Fcall.qvers
+  end
+
+let drop_file t path =
+  match Hashtbl.find_opt t.files path with
+  | None -> ()
+  | Some e ->
+    Hashtbl.iter
+      (fun _ b ->
+        unlink b;
+        t.used <- t.used - String.length b.bk_data)
+      e.ce_blocks;
+    Hashtbl.remove t.files path
+
+let flush t =
+  Hashtbl.reset t.files;
+  t.lru.bk_next <- t.lru;
+  t.lru.bk_prev <- t.lru;
+  t.used <- 0
+
+(* ---- the cached read path ---- *)
+
+let read_cached t qid fid ~offset ~count =
+  if count <= 0 then ""
+  else begin
+    let e = entry t qid in
+    let bsize = t.cfg.bsize in
+    let bs64 = Int64.of_int bsize in
+    (* one decision per Tread: reads that pick up where the last one
+       stopped (including the very first, at 0) are sequential and get
+       the full read-ahead window on a miss *)
+    let sequential = Int64.equal offset e.ce_lastend in
+    let buf = Buffer.create (min count Ninep.Fcall.maxfdata) in
+    let upstream = ref 0 in
+    let eof = ref false in
+    (* On a miss, fetch from the missing block's start: enough blocks to
+       finish the request, widened to the read-ahead window when
+       sequential, in a single upstream round trip. *)
+    let fetch idx boff =
+      let remaining = count - Buffer.length buf in
+      let nb_needed = (boff + remaining + bsize - 1) / bsize in
+      let cap = max 1 (Ninep.Fcall.maxfdata / bsize) in
+      let nb =
+        min cap (if sequential then max nb_needed t.cfg.readahead else nb_needed)
+      in
+      let req = nb * bsize in
+      let start = Int64.mul (Int64.of_int idx) bs64 in
+      let data = Ninep.Client.read t.client fid ~offset:start ~count:req in
+      incr upstream;
+      bump t "misses" 1;
+      bump t "miss_bytes" (String.length data);
+      let len = String.length data in
+      let full = len / bsize in
+      for k = 0 to full - 1 do
+        insert t e (idx + k) (String.sub data (k * bsize) bsize)
+      done;
+      (* a reply shorter than asked means the file ends inside it; an
+         exact-multiple (or empty) short reply is remembered as an
+         empty end-of-file marker block *)
+      if len < req then
+        insert t e (idx + full)
+          (if len mod bsize > 0 then String.sub data (full * bsize) (len mod bsize)
+           else "");
+      let blen = min bsize len in
+      (String.sub data 0 blen, blen = bsize)
+    in
+    let rec serve () =
+      let got = Buffer.length buf in
+      if got < count && not !eof then begin
+        let pos = Int64.add offset (Int64.of_int got) in
+        let idx = Int64.to_int (Int64.div pos bs64) in
+        let boff = Int64.to_int (Int64.rem pos bs64) in
+        let chunk, full_block =
+          match Hashtbl.find_opt e.ce_blocks idx with
+          | Some b ->
+            touch t b;
+            (b.bk_data, String.length b.bk_data = bsize)
+          | None -> fetch idx boff
+        in
+        let avail = String.length chunk - boff in
+        if avail <= 0 then eof := true
+        else begin
+          let n = min avail (count - got) in
+          Buffer.add_substring buf chunk boff n;
+          (* consuming a short block to its end is end-of-file *)
+          if (not full_block) && boff + n = String.length chunk then eof := true;
+          serve ()
+        end
+      end
+    in
+    serve ();
+    let out = Buffer.contents buf in
+    if !upstream = 0 then begin
+      bump t "hits" 1;
+      bump t "hit_bytes" (String.length out)
+    end;
+    e.ce_lastend <- Int64.add offset (Int64.of_int (String.length out));
+    out
+  end
+
+(* ---- the write-through update ---- *)
+
+let write_update t (qid : Ninep.Fcall.qid) ~offset ~data =
+  match Hashtbl.find_opt t.files qid.Ninep.Fcall.qpath with
+  | None -> ()
+  | Some e ->
+    let bsize = t.cfg.bsize in
+    let len = String.length data in
+    let off = Int64.to_int offset in
+    if len > 0 then begin
+      let first = off / bsize and last = (off + len - 1) / bsize in
+      for idx = first to last do
+        match Hashtbl.find_opt e.ce_blocks idx with
+        | None -> ()  (* no write-allocate: a later read fetches fresh *)
+        | Some b ->
+          let bstart = idx * bsize in
+          let s = max off bstart and fin = min (off + len) (bstart + bsize) in
+          let rel_s = s - bstart and rel_e = fin - bstart in
+          let cur = b.bk_data in
+          if rel_s > String.length cur then
+            (* a hole this block cannot represent: drop it *)
+            forget_block t b
+          else begin
+            let head = String.sub cur 0 rel_s in
+            let mid = String.sub data (s - off) (fin - s) in
+            let tail =
+              if String.length cur > rel_e then
+                String.sub cur rel_e (String.length cur - rel_e)
+              else ""
+            in
+            let nd = head ^ mid ^ tail in
+            t.used <- t.used - String.length cur + String.length nd;
+            b.bk_data <- nd;
+            touch t b
+          end
+      done;
+      evict t
+    end;
+    (* the server bumps qid.vers once for our own write; account for it
+       so the next open does not read as a foreign change *)
+    e.ce_vers <- Int32.add e.ce_vers 1l
+
+(* ---- the proxy file server ---- *)
+
+type pnode = {
+  mutable fid : Ninep.Client.fid option;
+      (* [None] only after a failed clone: every later use errors *)
+  mutable nqid : Ninep.Fcall.qid;
+}
+
+let wrap f = try Ok (f ()) with Ninep.Client.Err e -> Error e
+
+let getfid n =
+  match n.fid with
+  | Some f -> f
+  | None -> raise (Ninep.Client.Err "cloned fid unavailable")
+
+let proxy_fs t =
+  {
+    Ninep.Server.fs_name = "cfs";
+    fs_attach =
+      (fun ~uname ~aname ->
+        wrap (fun () ->
+            if not t.sessioned then begin
+              Ninep.Client.session t.client;
+              t.sessioned <- true
+            end;
+            let fid, nqid = Ninep.Client.attach_q t.client ~uname ~aname in
+            { fid = Some fid; nqid }));
+    fs_qid = (fun n -> n.nqid);
+    fs_walk =
+      (fun n name ->
+        wrap (fun () ->
+            let q = Ninep.Client.walk t.client (getfid n) name in
+            note_qid t q;
+            n.nqid <- q;
+            n));
+    fs_open =
+      (fun n mode ~trunc ->
+        wrap (fun () ->
+            let q = Ninep.Client.open_ t.client (getfid n) ~trunc mode in
+            note_qid t q;
+            n.nqid <- q));
+    fs_read =
+      (fun n ~offset ~count ->
+        wrap (fun () ->
+            if Ninep.Fcall.qid_is_dir n.nqid then begin
+              bump t "dir_reads" 1;
+              Ninep.Client.read t.client (getfid n) ~offset ~count
+            end
+            else read_cached t n.nqid (getfid n) ~offset ~count));
+    fs_write =
+      (fun n ~offset ~data ->
+        wrap (fun () ->
+            (* write-through: the server confirms before the cache moves *)
+            let cnt = Ninep.Client.write t.client (getfid n) ~offset data in
+            bump t "write_through" 1;
+            write_update t n.nqid ~offset
+              ~data:(if cnt = String.length data then data
+                     else String.sub data 0 cnt);
+            cnt));
+    fs_create =
+      (fun n ~name ~perm mode ->
+        wrap (fun () ->
+            let q = Ninep.Client.create t.client (getfid n) ~name ~perm mode in
+            note_qid t q;
+            n.nqid <- q;
+            n));
+    fs_remove =
+      (fun n ->
+        wrap (fun () ->
+            Ninep.Client.remove t.client (getfid n);
+            drop_file t n.nqid.Ninep.Fcall.qpath));
+    fs_stat =
+      (fun n ->
+        wrap (fun () ->
+            let d = Ninep.Client.stat t.client (getfid n) in
+            note_qid t d.Ninep.Fcall.d_qid;
+            d));
+    fs_wstat = (fun n d -> wrap (fun () -> Ninep.Client.wstat t.client (getfid n) d));
+    fs_clunk =
+      (fun n ->
+        match n.fid with
+        | None -> ()
+        | Some f -> (
+          try Ninep.Client.clunk t.client f with Ninep.Client.Err _ -> ()));
+    fs_clone =
+      (fun n ->
+        match wrap (fun () -> Ninep.Client.clone t.client (getfid n)) with
+        | Ok fid -> { fid = Some fid; nqid = n.nqid }
+        | Error e ->
+          (* the serve loop has no error path for clone; a node with no
+             fid makes every later use fail cleanly instead *)
+          Log.debug (fun f -> f "clone failed: %s" e);
+          { fid = None; nqid = n.nqid });
+  }
+
+(* ---- construction ---- *)
+
+let make ?(config = default_config) eng ~upstream () =
+  if config.bsize <= 0 || config.bsize > Ninep.Fcall.maxfdata then
+    invalid_arg "Cfs.make: bsize must be in 1..maxfdata";
+  if config.readahead <= 0 then invalid_arg "Cfs.make: readahead must be > 0";
+  let client = Ninep.Client.make eng upstream in
+  let rec sentinel =
+    { bk_path = 0l; bk_idx = -1; bk_data = ""; bk_prev = sentinel;
+      bk_next = sentinel }
+  in
+  let local, remote = Ninep.Transport.pipe eng in
+  let t =
+    { eng; cfg = config; client; local; files = Hashtbl.create 31;
+      lru = sentinel; metrics = Obs.Metrics.create (); used = 0;
+      sessioned = false }
+  in
+  ignore (Ninep.Server.serve eng (proxy_fs t) remote);
+  t
+
+let transport t = t.local
+let config t = t.cfg
+
+let set_readahead t n =
+  if n <= 0 then invalid_arg "Cfs.set_readahead";
+  t.cfg <- { t.cfg with readahead = n }
+
+let set_budget t n =
+  if n < 0 then invalid_arg "Cfs.set_budget";
+  t.cfg <- { t.cfg with budget = n };
+  evict t
+
+(* ---- observability ---- *)
+
+let counter t name = Obs.Metrics.counter t.metrics name
+let counters t = Obs.Metrics.counters t.metrics
+let cached_bytes t = t.used
+
+let cached_files t =
+  Hashtbl.fold
+    (fun _ e acc -> if Hashtbl.length e.ce_blocks > 0 then acc + 1 else acc)
+    t.files 0
+
+let stat_names =
+  [ "hits"; "misses"; "hit_bytes"; "miss_bytes"; "evictions";
+    "invalidations"; "write_through"; "dir_reads" ]
+
+let stats_text t =
+  let b = Buffer.create 128 in
+  List.iter
+    (fun name -> Printf.bprintf b "%s %d\n" name (counter t name))
+    stat_names;
+  Printf.bprintf b "cached_bytes %d\n" (cached_bytes t);
+  Printf.bprintf b "cached_files %d\n" (cached_files t);
+  Buffer.contents b
+
+let status_text t =
+  Printf.sprintf "cfs bsize %d budget %d readahead %d used %d files %d\n"
+    t.cfg.bsize t.cfg.budget t.cfg.readahead t.used (cached_files t)
+
+(* ---- the ctl/stats/status conversation directory ---- *)
+
+type cfile = CRoot | CCtl | CStats | CStatus
+
+type ctlnode = { mutable cf : cfile; mutable copened : bool }
+
+let cqid = function
+  | CRoot ->
+    { Ninep.Fcall.qpath = Int32.logor Ninep.Fcall.qdir_bit 1l; qvers = 0l }
+  | CCtl -> { Ninep.Fcall.qpath = 2l; qvers = 0l }
+  | CStats -> { Ninep.Fcall.qpath = 3l; qvers = 0l }
+  | CStatus -> { Ninep.Fcall.qpath = 4l; qvers = 0l }
+
+let cname = function
+  | CRoot -> "."
+  | CCtl -> "ctl"
+  | CStats -> "stats"
+  | CStatus -> "status"
+
+let cstat f =
+  {
+    Ninep.Fcall.d_name = cname f;
+    d_uid = "cfs";
+    d_gid = "cfs";
+    d_qid = cqid f;
+    d_mode =
+      (match f with
+      | CRoot -> Int32.logor Ninep.Fcall.dmdir 0o555l
+      | CCtl -> 0o222l
+      | CStats | CStatus -> 0o444l);
+    d_atime = 0l;
+    d_mtime = 0l;
+    d_length = 0L;
+    d_type = Char.code 'C';
+    d_dev = 0;
+  }
+
+let ctl_write t text =
+  let words =
+    String.split_on_char ' ' (String.trim text)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [ "flush" ] ->
+    flush t;
+    Ok ()
+  | [ "readahead"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 ->
+      set_readahead t n;
+      Ok ()
+    | Some _ | None -> Error ("bad read-ahead window: " ^ n))
+  | [ "budget"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 0 ->
+      set_budget t n;
+      Ok ()
+    | Some _ | None -> Error ("bad budget: " ^ n))
+  | [ "bsize"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 && n <= Ninep.Fcall.maxfdata ->
+      flush t;
+      t.cfg <- { t.cfg with bsize = n };
+      Ok ()
+    | Some _ | None -> Error ("bad block size: " ^ n))
+  | _ -> Error ("bad control message: " ^ String.trim text)
+
+let ctl_fs t =
+  {
+    Ninep.Server.fs_name = "cfsctl";
+    fs_attach = (fun ~uname:_ ~aname:_ -> Ok { cf = CRoot; copened = false });
+    fs_qid = (fun n -> cqid n.cf);
+    fs_walk =
+      (fun n name ->
+        match (n.cf, name) with
+        | CRoot, ".." -> Ok n
+        | CRoot, "ctl" ->
+          n.cf <- CCtl;
+          Ok n
+        | CRoot, "stats" ->
+          n.cf <- CStats;
+          Ok n
+        | CRoot, "status" ->
+          n.cf <- CStatus;
+          Ok n
+        | (CCtl | CStats | CStatus), ".." ->
+          n.cf <- CRoot;
+          Ok n
+        | (CRoot | CCtl | CStats | CStatus), _ -> Error "file does not exist");
+    fs_open =
+      (fun n _mode ~trunc:_ ->
+        n.copened <- true;
+        Ok ());
+    fs_read =
+      (fun n ~offset ~count ->
+        if not n.copened then Error "not open"
+        else
+          match n.cf with
+          | CRoot ->
+            Ok
+              (Ninep.Server.dir_data
+                 [ cstat CCtl; cstat CStats; cstat CStatus ]
+                 ~offset ~count)
+          | CCtl -> Ok ""
+          | CStats -> Ok (Ninep.Server.slice (stats_text t) ~offset ~count)
+          | CStatus -> Ok (Ninep.Server.slice (status_text t) ~offset ~count));
+    fs_write =
+      (fun n ~offset:_ ~data ->
+        if not n.copened then Error "not open"
+        else
+          match n.cf with
+          | CCtl -> (
+            match ctl_write t data with
+            | Ok () -> Ok (String.length data)
+            | Error e -> Error e)
+          | CRoot | CStats | CStatus -> Error Ninep.Server.read_only_err);
+    fs_create = (fun _ ~name:_ ~perm:_ _ -> Error Ninep.Server.read_only_err);
+    fs_remove = (fun _ -> Error Ninep.Server.read_only_err);
+    fs_stat = (fun n -> Ok (cstat n.cf));
+    fs_wstat = (fun _ _ -> Error Ninep.Server.read_only_err);
+    fs_clunk = (fun _ -> ());
+    fs_clone = (fun n -> { cf = n.cf; copened = false });
+  }

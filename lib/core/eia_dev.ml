@@ -122,6 +122,33 @@ let fs ~index line =
     fs_clone = (fun n -> { dev = n.dev; f = n.f; opened = false });
   }
 
+(* 9P straight over the wire: a serial line preserves bytes, not
+   message boundaries, so each message travels length-prefixed and a
+   stateful splitter reassembles them on receive (exactly the TCP
+   treatment from Fcall.Frame). *)
+let transport line =
+  let eng = Netsim.Serial.engine line in
+  let inbox : string option Sim.Mbox.t = Sim.Mbox.create eng in
+  let sp = Ninep.Fcall.Frame.splitter () in
+  let closed = ref false in
+  Netsim.Serial.set_rx line (fun bytes ->
+      List.iter
+        (fun msg -> Sim.Mbox.send inbox (Some msg))
+        (Ninep.Fcall.Frame.feed sp bytes));
+  {
+    Ninep.Transport.t_send =
+      (fun msg ->
+        if not !closed then
+          Netsim.Serial.send line (Ninep.Fcall.Frame.wrap msg));
+    t_recv = (fun () -> if !closed then None else Sim.Mbox.recv inbox);
+    t_close =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          Sim.Mbox.send inbox None
+        end);
+  }
+
 let mount env ~index line =
   (try ignore (Vfs.Env.stat env "/dev")
    with Vfs.Chan.Error _ ->

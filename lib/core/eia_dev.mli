@@ -13,3 +13,11 @@ val fs : index:int -> Netsim.Serial.endpoint -> node Ninep.Server.fs
 
 val mount : Vfs.Env.t -> index:int -> Netsim.Serial.endpoint -> unit
 (** Union the two files into [/dev]. *)
+
+val transport : Netsim.Serial.endpoint -> Ninep.Transport.t
+(** Run 9P directly over the line: messages travel with
+    {!Ninep.Fcall.Frame} length prefixes (a byte stream keeps no
+    message delimiters).  Takes over the endpoint's receive side, so
+    don't combine with {!fs} on the same endpoint.  This is the
+    diskless-terminal configuration — a file server (or {!Cfs} proxy)
+    on one end of the wire, a mount on the other. *)

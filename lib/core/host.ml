@@ -27,8 +27,14 @@ let create ?uname ?ether ?dk ?il_config ?tcp_config ?(dns_server = false)
   Ninep.Ramfs.mkdir root "/n";
   Ninep.Ramfs.mkdir root "/tmp";
   Ninep.Ramfs.mkdir root "/lib/ndb";
+  Ninep.Ramfs.mkdir root "/dev/mnt";
+  Ninep.Ramfs.mkdir root "/mnt/cfs";
   let ns = Vfs.Ns.make ~root:(Ninep.Ramfs.fs root) ~uname in
   let env = Vfs.Env.make ~ns ~uname in
+  (* per-mount 9P RPC ledgers, one numbered directory per mount *)
+  Vfs.Env.mount_fs env
+    (Vfs.Mnt.stats_fs (fun () -> Vfs.Ns.mounts ns))
+    ~onto:"/dev/mnt" Vfs.Ns.Repl;
 
   (* --- Ethernet + the IP protocol suite --- *)
   let etherport, ip, il, tcp, udp =
@@ -135,6 +141,15 @@ let create ?uname ?ether ?dk ?il_config ?tcp_config ?(dns_server = false)
     resolver;
     cs;
   }
+
+let mount_cached t ?config ?(aname = "") ?env ~upstream ~onto flag =
+  let env = match env with Some e -> e | None -> t.env in
+  let cache = Cfs.make ?config t.eng ~upstream () in
+  let client = Ninep.Client.make t.eng (Cfs.transport cache) in
+  Ninep.Client.session client;
+  Vfs.Env.mount env client ~aname ~onto flag;
+  Vfs.Env.mount_fs env (Cfs.ctl_fs cache) ~onto:"/mnt/cfs" Vfs.Ns.Repl;
+  cache
 
 let spawn t name fn =
   let env = Vfs.Env.fork t.env in

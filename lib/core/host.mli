@@ -42,6 +42,26 @@ val create :
     [dns_server] the host also answers zone queries from [db].
     @raise Failure if the database has no entry for [name]. *)
 
+val mount_cached :
+  t ->
+  ?config:Cfs.config ->
+  ?aname:string ->
+  ?env:Vfs.Env.t ->
+  upstream:Ninep.Transport.t ->
+  onto:string ->
+  Vfs.Ns.flag ->
+  Cfs.t
+(** Mount a 9P connection through a {!Cfs} caching proxy — the
+    diskless-terminal configuration: [upstream] is the raw connection
+    to the file server (e.g. {!Eia_dev.transport} over a 9600-baud
+    line), and what lands at [onto] is the cache's 9P face.  Also
+    mounts the cache's [ctl]/[stats]/[status] directory at [/mnt/cfs]
+    (replacing any previous cache's — one cached mount per host is the
+    expected shape).  [env] selects the name space that gains both
+    mounts; it defaults to the host's boot environment, which a process
+    forked {e earlier} does not see — from inside {!spawn}, pass your
+    own.  Performs RPCs: call from process context. *)
+
 val spawn : t -> string -> (Vfs.Env.t -> unit) -> Sim.Proc.t
 (** Run a user process with a forked environment. *)
 

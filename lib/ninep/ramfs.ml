@@ -196,6 +196,9 @@ let fs t =
               (Int32.logand e.e_mode Fcall.dmdir)
               (Int32.logand d.Fcall.d_mode (Int32.lognot Fcall.dmdir));
         if d.Fcall.d_mtime <> -1l then e.e_mtime <- d.Fcall.d_mtime;
+        (* wstat is a modification like any other: cache validators
+           keyed on qid.vers must see it *)
+        bump e;
         Ok ());
     fs_clunk = (fun _ -> ());
     fs_clone = (fun n -> { n_entry = n.n_entry; n_open = false });

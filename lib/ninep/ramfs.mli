@@ -1,7 +1,12 @@
 (** An in-memory hierarchical file server — the stand-in for the
     paper's disk file servers.  Full 9P semantics: directories, create,
-    remove, stat/wstat (rename), permission bits, qid versions bumped
-    on modification. *)
+    remove, stat/wstat (rename), permission bits.
+
+    [qid.vers] is bumped on {e every} modification — each write, each
+    truncating open, each wstat, and on a directory for each
+    create/remove inside it.  Caches (notably {!Cfs}) rely on this:
+    a changed version on any reply qid is the signal that cached data
+    for the file is stale. *)
 
 type t
 type node

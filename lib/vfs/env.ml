@@ -232,7 +232,9 @@ let mount_fs t fs ~onto flag =
   Ns.bind t.env_ns ~src:csrc ~onto:conto flag
 
 let mount t client ?(aname = "") ~onto flag =
-  let fs = Mnt.fs client ~aname ~name:("mnt:" ^ onto) () in
+  let metrics = Obs.Metrics.create () in
+  Ns.register_mount t.env_ns ~onto:(abspath t onto) metrics;
+  let fs = Mnt.fs client ~aname ~metrics ~name:("mnt:" ^ onto) () in
   mount_fs t fs ~onto flag
 
 let unmount t ~onto =

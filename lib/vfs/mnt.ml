@@ -2,49 +2,193 @@ type node = {
   c : Ninep.Client.t;
   mutable fid : Ninep.Client.fid;
   mutable nqid : Ninep.Fcall.qid;
+  tick : string -> unit;
 }
 
 let wrap f = try Ok (f ()) with Ninep.Client.Err e -> Error e
 
-let fs client ?(aname = "") ~name () =
+let rpc_names =
+  [ "Tattach"; "Tclone"; "Twalk"; "Topen"; "Tcreate"; "Tread"; "Twrite";
+    "Tclunk"; "Tremove"; "Tstat"; "Twstat" ]
+
+let fs client ?(aname = "") ?metrics ~name () =
+  let tick msg =
+    match metrics with None -> () | Some m -> Obs.Metrics.bump m msg 1
+  in
   {
     Ninep.Server.fs_name = name;
     fs_attach =
       (fun ~uname ~aname:aname' ->
         let aname = if aname' <> "" then aname' else aname in
+        tick "Tattach";
         wrap (fun () ->
             let fid, nqid = Ninep.Client.attach_q client ~uname ~aname in
-            { c = client; fid; nqid }));
+            { c = client; fid; nqid; tick }));
     fs_qid = (fun n -> n.nqid);
     fs_walk =
       (fun n name ->
+        n.tick "Twalk";
         wrap (fun () ->
             let q = Ninep.Client.walk n.c n.fid name in
             n.nqid <- q;
             n));
     fs_open =
       (fun n mode ~trunc ->
+        n.tick "Topen";
         wrap (fun () -> ignore (Ninep.Client.open_ n.c n.fid ~trunc mode)));
     fs_read =
       (fun n ~offset ~count ->
+        n.tick "Tread";
         wrap (fun () -> Ninep.Client.read n.c n.fid ~offset ~count));
     fs_write =
       (fun n ~offset ~data ->
+        n.tick "Twrite";
         wrap (fun () -> Ninep.Client.write n.c n.fid ~offset data));
     fs_create =
       (fun n ~name ~perm mode ->
+        n.tick "Tcreate";
         wrap (fun () ->
             let q = Ninep.Client.create n.c n.fid ~name ~perm mode in
             n.nqid <- q;
             n));
-    fs_remove = (fun n -> wrap (fun () -> Ninep.Client.remove n.c n.fid));
-    fs_stat = (fun n -> wrap (fun () -> Ninep.Client.stat n.c n.fid));
-    fs_wstat = (fun n d -> wrap (fun () -> Ninep.Client.wstat n.c n.fid d));
+    fs_remove =
+      (fun n ->
+        n.tick "Tremove";
+        wrap (fun () -> Ninep.Client.remove n.c n.fid));
+    fs_stat =
+      (fun n ->
+        n.tick "Tstat";
+        wrap (fun () -> Ninep.Client.stat n.c n.fid));
+    fs_wstat =
+      (fun n d ->
+        n.tick "Twstat";
+        wrap (fun () -> Ninep.Client.wstat n.c n.fid d));
     fs_clunk =
-      (fun n -> try Ninep.Client.clunk n.c n.fid with Ninep.Client.Err _ -> ());
+      (fun n ->
+        n.tick "Tclunk";
+        try Ninep.Client.clunk n.c n.fid with Ninep.Client.Err _ -> ());
     fs_clone =
       (fun n ->
+        n.tick "Tclone";
         match wrap (fun () -> Ninep.Client.clone n.c n.fid) with
-        | Ok fid -> { c = n.c; fid; nqid = n.nqid }
+        | Ok fid -> { c = n.c; fid; nqid = n.nqid; tick = n.tick }
         | Error e -> raise (Chan.Error e));
+  }
+
+let stats_text m =
+  let b = Buffer.create 128 in
+  let total = ref 0 in
+  List.iter
+    (fun name ->
+      let v = Obs.Metrics.counter m name in
+      total := !total + v;
+      Printf.bprintf b "%s %d\n" name v)
+    rpc_names;
+  Printf.bprintf b "total %d\n" !total;
+  Buffer.contents b
+
+(* ---- the /dev/mnt stats directory ---- *)
+
+type sfile = SMountpoint | SStats
+type spos = SRoot | SDir of int | SFile of int * sfile
+type stats_node = { mutable sp : spos }
+
+let sqid = function
+  | SRoot ->
+    { Ninep.Fcall.qpath = Int32.logor Ninep.Fcall.qdir_bit 1l; qvers = 0l }
+  | SDir i ->
+    {
+      Ninep.Fcall.qpath =
+        Int32.logor Ninep.Fcall.qdir_bit (Int32.of_int (0x100 * (i + 1)));
+      qvers = 0l;
+    }
+  | SFile (i, f) ->
+    {
+      Ninep.Fcall.qpath =
+        Int32.of_int ((0x100 * (i + 1)) + (match f with SMountpoint -> 1 | SStats -> 2));
+      qvers = 0l;
+    }
+
+let sname = function
+  | SRoot -> "mnt"
+  | SDir i -> string_of_int i
+  | SFile (_, SMountpoint) -> "mountpoint"
+  | SFile (_, SStats) -> "stats"
+
+let sstat p =
+  {
+    Ninep.Fcall.d_name = sname p;
+    d_uid = "mnt";
+    d_gid = "mnt";
+    d_qid = sqid p;
+    d_mode =
+      (match p with
+      | SRoot | SDir _ -> Int32.logor Ninep.Fcall.dmdir 0o555l
+      | SFile _ -> 0o444l);
+    d_atime = 0l;
+    d_mtime = 0l;
+    d_length = 0L;
+    d_type = Char.code 'M';
+    d_dev = 0;
+  }
+
+let stats_fs list =
+  let nth i = List.nth_opt (list ()) i in
+  {
+    Ninep.Server.fs_name = "mntstats";
+    fs_attach = (fun ~uname:_ ~aname:_ -> Ok { sp = SRoot });
+    fs_qid = (fun n -> sqid n.sp);
+    fs_walk =
+      (fun n name ->
+        match (n.sp, name) with
+        | SRoot, ".." -> Ok n
+        | SRoot, _ -> (
+          match int_of_string_opt name with
+          | Some i when i >= 0 && nth i <> None ->
+            n.sp <- SDir i;
+            Ok n
+          | Some _ | None -> Error "file does not exist")
+        | SDir _, ".." ->
+          n.sp <- SRoot;
+          Ok n
+        | SDir i, "mountpoint" ->
+          n.sp <- SFile (i, SMountpoint);
+          Ok n
+        | SDir i, "stats" ->
+          n.sp <- SFile (i, SStats);
+          Ok n
+        | SDir _, _ -> Error "file does not exist"
+        | SFile (i, _), ".." ->
+          n.sp <- SDir i;
+          Ok n
+        | SFile _, _ -> Error "not a directory");
+    fs_open = (fun _ _ ~trunc:_ -> Ok ());
+    fs_read =
+      (fun n ~offset ~count ->
+        match n.sp with
+        | SRoot ->
+          let ds = List.mapi (fun i _ -> sstat (SDir i)) (list ()) in
+          Ok (Ninep.Server.dir_data ds ~offset ~count)
+        | SDir i ->
+          Ok
+            (Ninep.Server.dir_data
+               [ sstat (SFile (i, SMountpoint)); sstat (SFile (i, SStats)) ]
+               ~offset ~count)
+        | SFile (i, f) -> (
+          match nth i with
+          | None -> Error "mount is gone"
+          | Some (onto, m) ->
+            let text =
+              match f with
+              | SMountpoint -> onto ^ "\n"
+              | SStats -> stats_text m
+            in
+            Ok (Ninep.Server.slice text ~offset ~count)));
+    fs_write = (fun _ ~offset:_ ~data:_ -> Error Ninep.Server.read_only_err);
+    fs_create = (fun _ ~name:_ ~perm:_ _ -> Error Ninep.Server.read_only_err);
+    fs_remove = (fun _ -> Error Ninep.Server.read_only_err);
+    fs_stat = (fun n -> Ok (sstat n.sp));
+    fs_wstat = (fun _ _ -> Error Ninep.Server.read_only_err);
+    fs_clunk = (fun _ -> ());
+    fs_clone = (fun n -> { sp = n.sp });
   }

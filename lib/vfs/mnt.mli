@@ -5,10 +5,44 @@
     Given a 9P client connection, [fs] produces an ordinary
     {!Ninep.Server.fs} whose every operation is a remote procedure
     call; channels onto it are indistinguishable from channels onto a
-    kernel-resident server, which is what makes [mount] transparent. *)
+    kernel-resident server, which is what makes [mount] transparent.
+
+    Each mount can carry an {!Obs.Metrics.t} counting the T-messages it
+    sends by type — the per-mount RPC ledger that lets a cache like
+    [Cfs] prove, at this layer, that round trips really disappeared.
+    {!Env.mount} creates and registers one per mount; {!stats_fs}
+    serves the whole registry as a directory (mounted at [/dev/mnt] by
+    the core host). *)
 
 type node
 
-val fs : Ninep.Client.t -> ?aname:string -> name:string -> unit -> node Ninep.Server.fs
+val rpc_names : string list
+(** The T-message counter names, in wire-protocol order: [Tattach],
+    [Tclone], [Twalk], [Topen], [Tcreate], [Tread], [Twrite], [Tclunk],
+    [Tremove], [Tstat], [Twstat]. *)
+
+val fs :
+  Ninep.Client.t ->
+  ?aname:string ->
+  ?metrics:Obs.Metrics.t ->
+  name:string ->
+  unit ->
+  node Ninep.Server.fs
 (** Each [fs_attach] performs a Tattach for the calling user on the
-    wire.  Errors come back as the server's Rerror strings. *)
+    wire.  Errors come back as the server's Rerror strings.  With
+    [metrics], every operation bumps the counter named after the
+    T-message it sends (see {!rpc_names}), counted whether or not the
+    server answers with an error. *)
+
+val stats_text : Obs.Metrics.t -> string
+(** One ["name count\n"] line per {!rpc_names} entry (zeros included)
+    plus a final ["total n"] line. *)
+
+type stats_node
+
+val stats_fs :
+  (unit -> (string * Obs.Metrics.t) list) -> stats_node Ninep.Server.fs
+(** A read-only directory over a mount registry (re-read on every
+    operation, so later mounts appear): one numbered subdirectory per
+    registered mount holding [mountpoint] (the path mounted onto) and
+    [stats] ({!stats_text}). *)

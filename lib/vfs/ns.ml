@@ -7,6 +7,9 @@ type t = {
   root_chan : Chan.t;
   ns_uname : string;
   mutable next_devid : int;
+  mounts : (string * Obs.Metrics.t) list ref;
+      (* 9P-mount RPC ledgers, shared across forks (the [ref] itself is
+         copied by [fork], so children see — and add to — one registry) *)
 }
 
 let make ~root ~uname =
@@ -15,6 +18,7 @@ let make ~root ~uname =
     root_chan = Chan.attach ~devid:0 root ~uname ~aname:"";
     ns_uname = uname;
     next_devid = 1;
+    mounts = ref [];
   }
 
 (* Mount-table entries are shared structurally but the list itself is
@@ -34,6 +38,9 @@ let fresh_devid t =
   let id = t.next_devid in
   t.next_devid <- id + 1;
   id
+
+let register_mount t ~onto metrics = t.mounts := !(t.mounts) @ [ (onto, metrics) ]
+let mounts t = !(t.mounts)
 
 let lookup t key = List.find_opt (fun e -> e.onto_key = key) t.table
 

@@ -121,7 +121,7 @@ let names entries = List.map (fun d -> d.F.d_name) entries
 let test_ftpfs_ls () =
   with_ftp (fun _w env _mp ->
       Alcotest.(check (list string)) "remote root listing"
-        [ "lib"; "n"; "net"; "tmp"; "usr" ]
+        [ "dev"; "lib"; "mnt"; "n"; "net"; "tmp"; "usr" ]
         (names (Vfs.Env.ls env "/n/ftp"));
       Alcotest.(check (list string)) "subdir"
         [ "paper.ms"; "readme" ]
