@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check smoke bench bench-cfs clean
+.PHONY: all check smoke bench bench-cfs bench-faults clean
 
 all:
 	dune build
@@ -28,6 +28,15 @@ bench-cfs:
 	dune exec bench/main.exe -- cfs
 	@test -s BENCH_cfs.json
 
+# The fault-injection proof: IL, TCP, and URP each complete a transfer
+# under the canonical 20% burst-loss + duplication + reorder schedule,
+# and two same-seed runs emit byte-identical BENCH_faults.json.  The
+# bench exits non-zero on non-convergence, on a schedule that injects
+# nothing, or on a determinism break.
+bench-faults:
+	dune exec bench/main.exe -- faults
+	@test -s BENCH_faults.json
+
 clean:
 	dune clean
-	rm -f BENCH_table1.json BENCH_cfs.json
+	rm -f BENCH_table1.json BENCH_cfs.json BENCH_faults.json

@@ -531,6 +531,51 @@ let run_cfs () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* fault injection: IL/TCP/URP under the canonical adverse schedule     *)
+(* ------------------------------------------------------------------ *)
+
+let run_faults () =
+  section "fault injection - 20% burst loss + dup + reorder (DESIGN.md)";
+  let r = Faults_bench.run () in
+  let r2 = Faults_bench.run () in
+  print_string r.Faults_bench.res_json;
+  let oc = open_out "BENCH_faults.json" in
+  output_string oc r.Faults_bench.res_json;
+  close_out oc;
+  Printf.printf "wrote BENCH_faults.json\n%!";
+  let check name (x : Faults_bench.xfer) =
+    if not x.Faults_bench.x_converged then begin
+      Printf.eprintf
+        "error: %s did not complete the transfer under the canonical \
+         schedule (virtual %.1fs)\n"
+        name x.Faults_bench.x_elapsed;
+      exit 1
+    end
+  in
+  check "IL" r.Faults_bench.res_il;
+  check "TCP" r.Faults_bench.res_tcp;
+  check "URP" r.Faults_bench.res_urp;
+  if r.Faults_bench.res_il.Faults_bench.x_retransmits = 0 then begin
+    Printf.eprintf
+      "error: the schedule injected no recoverable loss (IL retransmits = \
+       0) — fault injection is not reaching the wire\n";
+    exit 1
+  end;
+  if r.Faults_bench.res_il.Faults_bench.x_dups_suppressed = 0 then begin
+    Printf.eprintf
+      "error: no duplicates suppressed by IL under a 5%% duplication \
+       schedule\n";
+    exit 1
+  end;
+  if r.Faults_bench.res_json <> r2.Faults_bench.res_json then begin
+    Printf.eprintf
+      "error: two same-seed runs produced different BENCH_faults.json — \
+       fault injection broke determinism\n";
+    exit 1
+  end;
+  print_endline "same-seed rerun: byte-identical (determinism holds)"
+
+(* ------------------------------------------------------------------ *)
 (* Wall-clock microbenchmarks (bechamel)                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -628,6 +673,7 @@ let sections =
     ("import", run_import);
     ("gateway", run_gateway);
     ("cfs", run_cfs);
+    ("faults", run_faults);
     ("micro", run_bechamel);
   ]
 

@@ -104,6 +104,22 @@ let dial env ?local addr =
   in
   try_each None translations
 
+let redial env ?(tries = 5) ?(pause = fun () -> ()) ?local addr =
+  (* dial with retries: the pattern every survivable client uses once
+     links can partition — a failed dial is an error, not a hang, so
+     the caller just tries again (after letting some virtual time
+     pass via [pause]) *)
+  if tries < 1 then invalid_arg "Dial.redial: tries < 1";
+  let rec go n =
+    match dial env ?local addr with
+    | conn -> conn
+    | exception Dial_error e -> if n >= tries then raise (Dial_error e) else begin
+        pause ();
+        go (n + 1)
+      end
+  in
+  go 1
+
 let announce env addr =
   let translations = translate env addr in
   let rec try_each last_err = function

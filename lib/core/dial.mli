@@ -23,6 +23,20 @@ val dial : Vfs.Env.t -> ?local:string -> string -> conn
     is accepted for symmetry and ignored, as on most networks (paper:
     "since most networks do not support this, it is usually zero"). *)
 
+val redial :
+  Vfs.Env.t ->
+  ?tries:int ->
+  ?pause:(unit -> unit) ->
+  ?local:string ->
+  string ->
+  conn
+(** {!dial} with up to [tries] (default 5) attempts, calling [pause]
+    between failures — the survivable-client pattern once links can
+    partition: a failed dial raises {!Dial_error} promptly (it never
+    hangs), so recovery is simply dialing again after the link heals.
+    [pause] should let virtual time pass (e.g. sleep on the engine);
+    the default retries immediately. *)
+
 type announcement = {
   ann_dir : string;
   ann_ctl_fd : Vfs.Env.fd;

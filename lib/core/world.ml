@@ -28,6 +28,8 @@ let add_host ?il_config ?tcp_config ?dns_server t name =
 
 let host t name = List.assoc name t.hosts
 let run ?until t = Sim.Engine.run ?until t.eng
+let ether_faults t = Netsim.Ether.faults t.ether
+let dk_faults t = Dk.Switch.faults t.dk
 
 let bell_labs_ndb =
   {|#

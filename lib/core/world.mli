@@ -38,6 +38,13 @@ val host : t -> string -> Host.t
 
 val run : ?until:float -> t -> unit
 
+val ether_faults : t -> Netsim.Fault.t
+(** The Ethernet segment's fault schedule — shorthand for
+    [Netsim.Ether.faults t.ether]. *)
+
+val dk_faults : t -> Netsim.Fault.t
+(** The Datakit switch's fault schedule. *)
+
 val bell_labs_ndb : string
 (** The ndb text for the canonical world (paper-style entries). *)
 

@@ -3,7 +3,17 @@ let src = Logs.Src.create "dk" ~doc:"Datakit switch and URP"
 module Log = (val Logs.src_log src : Logs.LOG)
 
 module Switch = struct
+  module Fault = Netsim.Fault
+
   type cell_ = Data_ of { payload : string; last : bool } | Ctl_ of string | Hangup_
+
+  type stats = {
+    mutable cells_in : int;
+    mutable cells_out : int;
+    mutable drops_injected : int;
+    mutable dups_injected : int;
+    mutable reorders_injected : int;
+  }
 
   type cend = {
     ce_line : line;
@@ -20,6 +30,8 @@ module Switch = struct
     l_chans : (int, cend) Hashtbl.t;
     mutable l_next_chan : int;
     mutable l_busy_until : float;  (* uplink serialization *)
+    l_fault : Fault.t;
+    l_stats : stats;
   }
 
   and incoming = {
@@ -37,23 +49,26 @@ module Switch = struct
     eng : Sim.Engine.t;
     bandwidth : float;
     latency : float;
-    mutable loss : float;
+    sw_fault : Fault.t;
     lines : (string, line) Hashtbl.t;
   }
 
   let create ?(bandwidth_bps = 2e6) ?(latency = 200e-6) ?(loss = 0.) ~name
       eng =
+    let sw_fault = Fault.create () in
+    Fault.set_loss sw_fault loss;
     {
       sw_name = name;
       eng;
       bandwidth = bandwidth_bps;
       latency;
-      loss;
+      sw_fault;
       lines = Hashtbl.create 17;
     }
 
   let engine t = t.eng
-  let set_loss t p = t.loss <- p
+  let faults t = t.sw_fault
+  let set_loss t p = Fault.set_loss t.sw_fault p
 
   let attach t ~name =
     if Hashtbl.mem t.lines name then
@@ -66,12 +81,23 @@ module Switch = struct
         l_chans = Hashtbl.create 17;
         l_next_chan = 1;
         l_busy_until = 0.;
+        l_fault = Fault.create ();
+        l_stats =
+          {
+            cells_in = 0;
+            cells_out = 0;
+            drops_injected = 0;
+            dups_injected = 0;
+            reorders_injected = 0;
+          };
       }
     in
     Hashtbl.replace t.lines name line;
     line
 
   let line_name l = l.l_name
+  let line_faults l = l.l_fault
+  let line_stats l = l.l_stats
 
   let alloc_end line =
     let chan = line.l_next_chan in
@@ -93,6 +119,45 @@ module Switch = struct
     | Ctl_ s -> String.length s + 4
     | Hangup_ -> 4
 
+  let cell_payload = function
+    | Data_ { payload; _ } -> payload
+    | Ctl_ s -> s
+    | Hangup_ -> ""
+
+  (* The single choke point every injected fault funnels through:
+     bumps the would-be receiver's line stats and emits a tagged
+     Obs event so taps can attribute it. *)
+  let inject sw ~src ~(dst : line) ~kind ~reason bytes =
+    (match kind with
+    | `Drop -> dst.l_stats.drops_injected <- dst.l_stats.drops_injected + 1
+    | `Dup -> dst.l_stats.dups_injected <- dst.l_stats.dups_injected + 1
+    | `Reorder ->
+      dst.l_stats.reorders_injected <- dst.l_stats.reorders_injected + 1);
+    match Sim.Engine.obs sw.eng with
+    | None -> ()
+    | Some tr ->
+      let kind_s =
+        match kind with
+        | `Drop -> if reason = "partition" then "partition" else "drop"
+        | `Dup -> "dup"
+        | `Reorder -> "reorder"
+      in
+      Obs.Trace.emit tr
+        (Obs.Event.Fault
+           {
+             medium = sw.sw_name;
+             kind = kind_s;
+             reason;
+             src;
+             dst = dst.l_name;
+             proto = "dk";
+             bytes;
+           });
+      Obs.Trace.bump tr ("fault." ^ kind_s) 1;
+      match kind with
+      | `Drop -> Obs.Trace.bump tr "dk.cell.drop" 1
+      | `Dup | `Reorder -> ()
+
   (* Serialize on the sender's line, cross the switch, deliver to the
      peer end's queue. *)
   let send_cell ce cell =
@@ -102,35 +167,70 @@ module Switch = struct
       let sw = ce.ce_line.l_sw in
       let now = Sim.Engine.now sw.eng in
       let line = ce.ce_line in
+      let bytes = cell_bytes cell in
       let start = if line.l_busy_until > now then line.l_busy_until else now in
-      let finish =
-        start +. (float_of_int (cell_bytes cell * 8) /. sw.bandwidth)
-      in
+      let finish = start +. (float_of_int (bytes * 8) /. sw.bandwidth) in
       line.l_busy_until <- finish;
-      let lost =
-        (match cell with Hangup_ -> false | Data_ _ | Ctl_ _ -> sw.loss > 0.)
-        && Random.State.float (Sim.Engine.random sw.eng) 1.0 < sw.loss
+      line.l_stats.cells_out <- line.l_stats.cells_out + 1;
+      let dst = peer.ce_line in
+      let v =
+        match cell with
+        | Hangup_ ->
+          (* hangups are exempt from every fault: a lost hangup would
+             wedge circuit teardown, and the real switch tore circuits
+             down out of band *)
+          Fault.pass
+        | Data_ _ | Ctl_ _ ->
+          let rng = Sim.Engine.random sw.eng in
+          let payload = cell_payload cell in
+          let v =
+            if Fault.active sw.sw_fault then
+              Fault.decide sw.sw_fault rng ~now payload
+            else Fault.pass
+          in
+          let v =
+            if Fault.active line.l_fault then
+              Fault.combine v (Fault.decide line.l_fault rng ~now payload)
+            else v
+          in
+          if Fault.active dst.l_fault then
+            Fault.combine v (Fault.decide dst.l_fault rng ~now payload)
+          else v
       in
       (match Sim.Engine.obs sw.eng with
       | None -> ()
       | Some tr ->
-        let op = if lost then Obs.Event.Drop "loss" else Obs.Event.Tx in
         Obs.Trace.emit tr
           (Obs.Event.Packet
              {
                medium = sw.sw_name;
-               op;
+               op = Obs.Event.Tx;
                src = line.l_name;
-               dst = peer.ce_line.l_name;
+               dst = dst.l_name;
                proto = "dk";
-               bytes = cell_bytes cell;
+               bytes;
              });
-        Obs.Trace.bump tr (if lost then "dk.cell.drop" else "dk.cell.tx") 1);
-      if not lost then
-        Sim.Engine.at sw.eng (finish +. sw.latency) (fun () ->
-            if peer.ce_up then
-              Sim.Mbox.send peer.ce_inq
-                (match cell with Hangup_ -> None | c -> Some c))
+        Obs.Trace.bump tr "dk.cell.tx" 1);
+      match v.Fault.v_drop with
+      | Some reason -> inject sw ~src:line.l_name ~dst ~kind:`Drop ~reason bytes
+      | None ->
+        let deliver at =
+          Sim.Engine.at sw.eng at (fun () ->
+              if peer.ce_up then begin
+                dst.l_stats.cells_in <- dst.l_stats.cells_in + 1;
+                Sim.Mbox.send peer.ce_inq
+                  (match cell with Hangup_ -> None | c -> Some c)
+              end)
+        in
+        let base = finish +. sw.latency +. v.Fault.v_delay in
+        if v.Fault.v_reorder then
+          inject sw ~src:line.l_name ~dst ~kind:`Reorder ~reason:"reorder"
+            bytes;
+        deliver base;
+        if v.Fault.v_dup then begin
+          inject sw ~src:line.l_name ~dst ~kind:`Dup ~reason:"dup" bytes;
+          deliver (base +. (float_of_int (bytes * 8) /. sw.bandwidth))
+        end
 end
 
 module Circuit = struct

@@ -18,6 +18,14 @@ module Switch : sig
   type t
   type line
 
+  type stats = {
+    mutable cells_in : int;
+    mutable cells_out : int;
+    mutable drops_injected : int;  (** injected drops (loss, burst, partition, filter) bound for this line *)
+    mutable dups_injected : int;
+    mutable reorders_injected : int;
+  }
+
   val create :
     ?bandwidth_bps:float ->
     ?latency:float ->
@@ -31,13 +39,29 @@ module Switch : sig
       fault injection (default 0; real Datakit hardware was reliable). *)
 
   val engine : t -> Sim.Engine.t
+
+  val faults : t -> Netsim.Fault.t
+  (** The switch-wide fault schedule, applied to every data/control
+      cell crossing the switch.  [Hangup] cells are exempt from all
+      faults (losing one would wedge circuit teardown; the real switch
+      tore circuits down out of band).  Same determinism contract as
+      {!Netsim.Fault}. *)
+
   val set_loss : t -> float -> unit
+  (** Alias for [Netsim.Fault.set_loss (faults t)]. *)
 
   val attach : t -> name:string -> line
   (** Attach a host under a hierarchical name like ["nj/astro/helix"].
       @raise Invalid_argument if the name is taken. *)
 
   val line_name : line -> string
+
+  val line_faults : line -> Netsim.Fault.t
+  (** This line's own fault schedule, applied (after the switch's and
+      the sender's) to every cell it would receive or send —
+      partitioning one line models pulling its fiber. *)
+
+  val line_stats : line -> stats
 end
 
 module Circuit : sig

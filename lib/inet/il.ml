@@ -63,6 +63,7 @@ type counters = {
   mutable dups_dropped : int;
   mutable out_of_window : int;
   mutable resets : int;
+  mutable rtt_samples : int;
 }
 
 type conv_state = SClosed | SSyncer | SSyncee | SEstablished | SClosing
@@ -160,6 +161,7 @@ let conv_stats c =
       Printf.sprintf "dups_dropped %d" s.dups_dropped;
       Printf.sprintf "out_of_window %d" s.out_of_window;
       Printf.sprintf "resets %d" s.resets;
+      Printf.sprintf "rtt_samples %d" s.rtt_samples;
       Printf.sprintf "rtt_ms %.3f" (c.srtt *. 1000.);
     ]
   ^ "\n"
@@ -285,6 +287,8 @@ let destroy c reason =
 (* ---- rtt ---- *)
 
 let rtt_sample c sample =
+  c.stack.stats.rtt_samples <- c.stack.stats.rtt_samples + 1;
+  c.cstats.rtt_samples <- c.cstats.rtt_samples + 1;
   if c.srtt = 0. then begin
     c.srtt <- sample;
     c.mdev <- sample /. 2.
@@ -359,7 +363,13 @@ let handle_data c (p : packet) =
     send_ack_now c
   end
   else if p.p_id - c.recvd <= c.stack.cfg.window then begin
-    if not (List.mem_assoc p.p_id c.oow) then
+    if List.mem_assoc p.p_id c.oow then begin
+      (* a duplicate of a message already buffered out of order: it
+         must not be delivered again when the gap fills *)
+      c.stack.stats.dups_dropped <- c.stack.stats.dups_dropped + 1;
+      c.cstats.dups_dropped <- c.cstats.dups_dropped + 1
+    end
+    else
       c.oow <-
         List.sort (fun (a, _) (b, _) -> compare a b) ((p.p_id, p.p_data) :: c.oow);
     (* a gap means a message was lost: volunteer our sequence state so
@@ -501,6 +511,7 @@ let make_conv st ~lport ~rport ~raddr ~state ~start ~rstart =
           dups_dropped = 0;
           out_of_window = 0;
           resets = 0;
+          rtt_samples = 0;
         };
       state;
       start;
@@ -590,6 +601,10 @@ let tick_conv c =
           c.stack.stats.queries_sent <- c.stack.stats.queries_sent + 1;
           c.cstats.queries_sent <- c.cstats.queries_sent + 1;
           c.backoff <- c.backoff + 1;
+          (* Karn: once recovery starts, the timed message's ack may
+             arrive via the Query/State exchange; a sample would fold
+             the whole timeout into srtt *)
+          c.rtt_id <- 0;
           xmit c Query ~id:(c.next - 1) ();
           arm_timer c
         end
@@ -622,6 +637,7 @@ let attach ?(config = default_config) ip =
             dups_dropped = 0;
             out_of_window = 0;
             resets = 0;
+            rtt_samples = 0;
           };
         ticker = Sim.Time.every eng 0.01 (fun () -> tick (Lazy.force st));
       }

@@ -61,6 +61,10 @@ type counters = {
   mutable dups_dropped : int;
   mutable out_of_window : int;
   mutable resets : int;
+  mutable rtt_samples : int;
+      (** acks that actually updated the RTT estimate — Karn's rule
+          excludes any message that was retransmitted or whose timer
+          fired *)
 }
 
 val attach : ?config:config -> Ip.stack -> stack

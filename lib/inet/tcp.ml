@@ -41,6 +41,7 @@ type counters = {
   mutable retransmits : int;
   mutable retransmitted_bytes : int;
   mutable out_of_order_dropped : int;
+  mutable dups_dropped : int;
   mutable resets : int;
 }
 
@@ -149,6 +150,7 @@ let conv_stats c =
       Printf.sprintf "retransmits %d" s.retransmits;
       Printf.sprintf "retransmitted_bytes %d" s.retransmitted_bytes;
       Printf.sprintf "out_of_order_dropped %d" s.out_of_order_dropped;
+      Printf.sprintf "dups_dropped %d" s.dups_dropped;
       Printf.sprintf "resets %d" s.resets;
       Printf.sprintf "rtt_ms %.3f" (c.srtt *. 1000.);
     ]
@@ -445,6 +447,12 @@ let handle_established c (s : segment) =
         c.stack.stats.out_of_order_dropped <-
           c.stack.stats.out_of_order_dropped + 1;
         c.cstats.out_of_order_dropped <- c.cstats.out_of_order_dropped + 1
+      end
+      else begin
+        (* already-delivered data: a duplicate from the wire or a
+           retransmission crossing our ack *)
+        c.stack.stats.dups_dropped <- c.stack.stats.dups_dropped + 1;
+        c.cstats.dups_dropped <- c.cstats.dups_dropped + 1
       end;
       send_bare_ack c
     end
@@ -531,6 +539,7 @@ let make_conv st ~lport ~rport ~raddr ~state ~iss =
           retransmits = 0;
           retransmitted_bytes = 0;
           out_of_order_dropped = 0;
+          dups_dropped = 0;
           resets = 0;
         };
       state;
@@ -650,6 +659,7 @@ let attach ?(config = default_config) ip =
             retransmits = 0;
             retransmitted_bytes = 0;
             out_of_order_dropped = 0;
+            dups_dropped = 0;
             resets = 0;
           };
         ticker = Sim.Time.every eng 0.01 (fun () -> tick (Lazy.force st));

@@ -38,6 +38,7 @@ type counters = {
   mutable retransmits : int;
   mutable retransmitted_bytes : int;
   mutable out_of_order_dropped : int;
+  mutable dups_dropped : int;
   mutable resets : int;
 }
 

@@ -22,6 +22,15 @@ module Event = struct
         bytes : int;
       }
     | Proto_state of { proto : string; conv : int; from_ : string; to_ : string }
+    | Fault of {
+        medium : string;
+        kind : string;
+        reason : string;
+        src : string;
+        dst : string;
+        proto : string;
+        bytes : int;
+      }
     | Retransmit of { proto : string; conv : int; id : int; bytes : int }
     | Checksum_err of { proto : string }
     | Fcall of { role : [ `T | `R ]; tag : int; msg : string; latency : float }
@@ -47,6 +56,7 @@ module Event = struct
     | Packet { op = Rx; _ } -> "pkt.rx"
     | Packet { op = Drop _; _ } -> "pkt.drop"
     | Proto_state _ -> "proto.state"
+    | Fault { kind; _ } -> "fault." ^ kind
     | Retransmit _ -> "proto.retransmit"
     | Checksum_err _ -> "proto.badsum"
     | Fcall { role = `T; _ } -> "9p.t"
@@ -71,6 +81,9 @@ module Event = struct
     | Proto_state { proto; conv; from_; to_ } ->
       [ ("proto", proto); ("conv", string_of_int conv); ("from", from_);
         ("to", to_) ]
+    | Fault { medium; kind; reason; src; dst; proto; bytes } ->
+      [ ("medium", medium); ("kind", kind); ("reason", reason); ("src", src);
+        ("dst", dst); ("proto", proto); ("bytes", string_of_int bytes) ]
     | Retransmit { proto; conv; id; bytes } ->
       [ ("proto", proto); ("conv", string_of_int conv);
         ("id", string_of_int id); ("bytes", string_of_int bytes) ]
@@ -87,6 +100,9 @@ module Event = struct
       Printf.sprintf "%s/%d %s -> %s" proto conv from_ to_
     | Retransmit { proto; conv; id; bytes } ->
       Printf.sprintf "%s/%d retransmit id %d (%d bytes)" proto conv id bytes
+    | Fault { medium; kind; reason; src; dst; proto; bytes } ->
+      Printf.sprintf "%s fault %s[%s] %s>%s %s %d" medium kind reason src dst
+        proto bytes
     | Packet { medium; op; src; dst; proto; bytes } ->
       Printf.sprintf "%s %s %s>%s %s %d"
         medium

@@ -55,6 +55,20 @@ module Event : sig
       }  (** wire events on a simulated medium *)
     | Proto_state of { proto : string; conv : int; from_ : string; to_ : string }
         (** a protocol conversation changing state *)
+    | Fault of {
+        medium : string;
+        kind : string;  (** ["drop"], ["dup"], ["reorder"], ["partition"] *)
+        reason : string;  (** schedule detail, e.g. ["burst"], ["filter"] *)
+        src : string;
+        dst : string;
+        proto : string;
+        bytes : int;
+      }
+        (** an injected fault on a simulated medium — every drop,
+            duplicate, reorder, or partition discard that the
+            fault-injection layer performs funnels through exactly one
+            of these, so taps can attribute adverse events (and counters
+            [fault.drop] etc. total them) *)
     | Retransmit of { proto : string; conv : int; id : int; bytes : int }
     | Checksum_err of { proto : string }
     | Fcall of { role : [ `T | `R ]; tag : int; msg : string; latency : float }

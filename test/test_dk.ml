@@ -244,6 +244,165 @@ let test_urp_reliable_under_loss () =
   Alcotest.(check bool) "enquiries used for recovery" true
     (c.Dk.Urp.enqs_sent > 0)
 
+let test_urp_dup_exactly_once () =
+  (* heavy duplication on the switch: every message must still be
+     delivered exactly once, in order, with the duplicates counted *)
+  let eng, sw, server_conv, client_conv = urp_pair () in
+  Netsim.Fault.set_dup (Dk.Switch.faults sw) 0.5;
+  let got = ref [] in
+  let n = 20 in
+  let _s =
+    spawn eng (fun () ->
+        while !server_conv = None do
+          Sim.Time.sleep eng 0.01
+        done;
+        let conv = Option.get !server_conv in
+        let rec go () =
+          match Dk.Urp.read_msg conv with
+          | Some m ->
+            got := m :: !got;
+            go ()
+          | None -> ()
+        in
+        go ())
+  in
+  let _c =
+    spawn eng (fun () ->
+        while !client_conv = None do
+          Sim.Time.sleep eng 0.01
+        done;
+        let conv = Option.get !client_conv in
+        for i = 1 to n do
+          Dk.Urp.write conv (Printf.sprintf "m%02d" i)
+        done)
+  in
+  Sim.Engine.run ~until:120.0 eng;
+  let expect = List.init n (fun i -> Printf.sprintf "m%02d" (i + 1)) in
+  Alcotest.(check (list string)) "exactly once, in order" expect
+    (List.rev !got);
+  let srv = Dk.Urp.counters (Option.get !server_conv) in
+  Alcotest.(check bool) "duplicates were suppressed" true
+    (srv.Dk.Urp.dups_dropped > 0)
+
+let test_urp_survives_burst_loss () =
+  (* the canonical 20% Gilbert schedule on the switch.  Messages are
+     bulk-sized: the Gilbert chain steps per cell, so multi-cell data
+     keeps bursts short in wall-clock terms.  A trickle of tiny
+     messages can (correctly) die of 10 unanswered enqs inside one
+     opaque burst — that teardown path gets its own test below. *)
+  let eng, sw, server_conv, client_conv = urp_pair () in
+  Netsim.Fault.set_burst (Dk.Switch.faults sw) ~p_enter:0.05 ~p_exit:0.2
+    ~loss:1.0;
+  let got = ref 0 in
+  let n = 40 in
+  let _s =
+    spawn eng (fun () ->
+        while !server_conv = None do
+          Sim.Time.sleep eng 0.01
+        done;
+        let conv = Option.get !server_conv in
+        let rec go () =
+          match Dk.Urp.read_msg conv with
+          | Some _ ->
+            incr got;
+            go ()
+          | None -> ()
+        in
+        go ())
+  in
+  let _c =
+    spawn eng (fun () ->
+        while !client_conv = None do
+          Sim.Time.sleep eng 0.01
+        done;
+        let conv = Option.get !client_conv in
+        for _ = 1 to n do
+          Dk.Urp.write conv (String.make 1000 'b')
+        done)
+  in
+  Sim.Engine.run ~until:600.0 eng;
+  Alcotest.(check int) "all messages recovered" n !got;
+  let c = Dk.Urp.counters (Option.get !client_conv) in
+  Alcotest.(check bool) "recovery actually ran" true
+    (c.Dk.Urp.retransmits > 0)
+
+let test_urp_partition_kills_circuit () =
+  (* a partition longer than URP's patience: the sender must see
+     Hungup (dead circuit), never a hang *)
+  let eng, sw, server_conv, client_conv = urp_pair () in
+  let outcome = ref "none" in
+  let _s =
+    spawn eng (fun () ->
+        while !server_conv = None do
+          Sim.Time.sleep eng 0.01
+        done;
+        let conv = Option.get !server_conv in
+        let rec go () =
+          match Dk.Urp.read_msg conv with Some _ -> go () | None -> ()
+        in
+        go ())
+  in
+  let _c =
+    spawn eng (fun () ->
+        while !client_conv = None do
+          Sim.Time.sleep eng 0.01
+        done;
+        let conv = Option.get !client_conv in
+        Dk.Urp.write conv "before";
+        Sim.Time.sleep eng 1.0;
+        (* now the switch goes dark, for far longer than 10 enqs *)
+        Netsim.Fault.partition (Dk.Switch.faults sw)
+          ~from_:(Sim.Engine.now eng)
+          ~until:(Sim.Engine.now eng +. 10_000.);
+        try
+          for i = 1 to 1000 do
+            Dk.Urp.write conv (Printf.sprintf "m%d" i);
+            Sim.Time.sleep eng 1.0
+          done;
+          outcome := "survived"
+        with Dk.Urp.Hungup -> outcome := "hungup")
+  in
+  Sim.Engine.run ~until:4000.0 eng;
+  Alcotest.(check string) "dead circuit detected" "hungup" !outcome
+
+let test_urp_fault_determinism () =
+  (* same seed, same switch schedule => identical counters *)
+  let run_once () =
+    let eng, sw, server_conv, client_conv = urp_pair () in
+    let f = Dk.Switch.faults sw in
+    Netsim.Fault.set_burst f ~p_enter:0.05 ~p_exit:0.2 ~loss:1.0;
+    Netsim.Fault.set_dup f 0.1;
+    let _s =
+      spawn eng (fun () ->
+          while !server_conv = None do
+            Sim.Time.sleep eng 0.01
+          done;
+          let conv = Option.get !server_conv in
+          let rec go () =
+            match Dk.Urp.read_msg conv with Some _ -> go () | None -> ()
+          in
+          go ())
+    in
+    let _c =
+      spawn eng (fun () ->
+          while !client_conv = None do
+            Sim.Time.sleep eng 0.01
+          done;
+          let conv = Option.get !client_conv in
+          for i = 1 to 25 do
+            Dk.Urp.write conv (Printf.sprintf "m%02d" i)
+          done)
+    in
+    Sim.Engine.run ~until:240.0 eng;
+    let c = Dk.Urp.counters (Option.get !client_conv) in
+    let s = Dk.Urp.counters (Option.get !server_conv) in
+    Printf.sprintf "tx %d/%d re %d enq %d | rx %d dup %d" c.Dk.Urp.cells_sent
+      c.Dk.Urp.bytes_sent c.Dk.Urp.retransmits c.Dk.Urp.enqs_sent
+      s.Dk.Urp.cells_rcvd s.Dk.Urp.dups_dropped
+  in
+  let r1 = run_once () and r2 = run_once () in
+  Alcotest.(check string) "same seed, same counters" r1 r2
+
 let test_urp_close_gives_eof () =
   let eng, _sw, server_conv, client_conv = urp_pair () in
   let eof = ref false in
@@ -293,6 +452,13 @@ let () =
           Alcotest.test_case "delimiters" `Quick test_urp_delimiters;
           Alcotest.test_case "reliable under loss" `Quick
             test_urp_reliable_under_loss;
+          Alcotest.test_case "dup exactly once" `Quick test_urp_dup_exactly_once;
+          Alcotest.test_case "survives burst loss" `Quick
+            test_urp_survives_burst_loss;
+          Alcotest.test_case "partition kills circuit" `Quick
+            test_urp_partition_kills_circuit;
+          Alcotest.test_case "fault determinism" `Quick
+            test_urp_fault_determinism;
           Alcotest.test_case "close eof" `Quick test_urp_close_gives_eof;
         ] );
     ]
