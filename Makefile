@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check smoke bench bench-cfs bench-faults clean
+.PHONY: all check smoke bench bench-cfs bench-faults bench-swarm coverage clean
 
 all:
 	dune build
@@ -37,6 +37,32 @@ bench-faults:
 	dune exec bench/main.exe -- faults
 	@test -s BENCH_faults.json
 
+# The swarm proof: 1000 concurrent conversations (IL, then TCP) dialed
+# through CS on one Ethernet segment, all simultaneously established at
+# a barrier.  The bench exits non-zero if any conversation fails to
+# converge, if peak concurrency falls short, if engine events per
+# conversation regress past the recorded baseline (e.g. someone
+# reintroduces a polling ticker), or on a determinism break.
+bench-swarm:
+	dune exec bench/main.exe -- swarm
+	@test -s BENCH_swarm.json
+
+# Line-coverage report via bisect_ppx, when the switch has it; the dune
+# profile only turns instrumentation on under --instrument-with, so the
+# normal build never pays for it.
+coverage:
+	@if ocamlfind query bisect_ppx >/dev/null 2>&1; then \
+	  find . -name '*.coverage' -delete; \
+	  dune runtest --force --instrument-with bisect_ppx \
+	  && bisect-ppx-report summary \
+	  && bisect-ppx-report html \
+	  && echo "report: _coverage/index.html"; \
+	else \
+	  echo "bisect_ppx is not installed in this switch; skipping."; \
+	  echo "  opam install bisect_ppx   # then re-run: make coverage"; \
+	fi
+
 clean:
 	dune clean
-	rm -f BENCH_table1.json BENCH_cfs.json BENCH_faults.json
+	rm -f BENCH_table1.json BENCH_cfs.json BENCH_faults.json BENCH_swarm.json
+	find . -name '*.coverage' -delete 2>/dev/null || true

@@ -576,6 +576,64 @@ let run_faults () =
   print_endline "same-seed rerun: byte-identical (determinism holds)"
 
 (* ------------------------------------------------------------------ *)
+(* swarm: a thousand concurrent conversations per transport             *)
+(* ------------------------------------------------------------------ *)
+
+(* recorded baselines for engine events per conversation (seed 11,
+   25 hosts x 40 conversations, 512-byte messages); the run fails if
+   the event economy regresses past them — e.g. if someone reintroduces
+   a per-conversation ticker, events per conversation explodes *)
+let swarm_baseline_il = 46.0 (* measured 36.35 *)
+let swarm_baseline_tcp = 60.0 (* measured 47.35 *)
+
+let run_swarm () =
+  section "swarm - 1000 concurrent conversations, IL and TCP";
+  let t0 = Unix.gettimeofday () in
+  let r = Swarm_bench.run () in
+  let t1 = Unix.gettimeofday () in
+  let r2 = Swarm_bench.run () in
+  let t2 = Unix.gettimeofday () in
+  print_string r.Swarm_bench.res_json;
+  let oc = open_out "BENCH_swarm.json" in
+  output_string oc r.Swarm_bench.res_json;
+  close_out oc;
+  (* wall clock is machine-dependent: stdout only, never in the JSON *)
+  Printf.printf "wrote BENCH_swarm.json (wall clock %.2fs + %.2fs rerun)\n%!"
+    (t1 -. t0) (t2 -. t1);
+  let check baseline (s : Swarm_bench.side) =
+    if not s.Swarm_bench.s_converged then begin
+      Printf.eprintf
+        "error: %s swarm converged only %d of %d conversations\n"
+        s.Swarm_bench.s_proto s.Swarm_bench.s_completed Swarm_bench.total;
+      exit 1
+    end;
+    if s.Swarm_bench.s_peak_convs < Swarm_bench.total then begin
+      Printf.eprintf
+        "error: %s peak concurrency %d < %d — the barrier did not hold \
+         every conversation open at once\n"
+        s.Swarm_bench.s_proto s.Swarm_bench.s_peak_convs Swarm_bench.total;
+      exit 1
+    end;
+    let epc = Swarm_bench.events_per_conv s in
+    if epc > baseline then begin
+      Printf.eprintf
+        "error: %s used %.2f engine events per conversation (baseline \
+         %.2f) — the event economy regressed\n"
+        s.Swarm_bench.s_proto epc baseline;
+      exit 1
+    end
+  in
+  check swarm_baseline_il r.Swarm_bench.res_il;
+  check swarm_baseline_tcp r.Swarm_bench.res_tcp;
+  if r.Swarm_bench.res_json <> r2.Swarm_bench.res_json then begin
+    Printf.eprintf
+      "error: two same-seed runs produced different BENCH_swarm.json — the \
+       swarm broke determinism\n";
+    exit 1
+  end;
+  print_endline "same-seed rerun: byte-identical (determinism holds)"
+
+(* ------------------------------------------------------------------ *)
 (* Wall-clock microbenchmarks (bechamel)                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -674,6 +732,7 @@ let sections =
     ("gateway", run_gateway);
     ("cfs", run_cfs);
     ("faults", run_faults);
+    ("swarm", run_swarm);
     ("micro", run_bechamel);
   ]
 

@@ -9,10 +9,24 @@ type t = {
   db : Ndb.t;
   networks : network list;
   dns : string -> string list;
+  (* the database is immutable, so every query has one answer for the
+     life of the server: memoize it.  A thousand dials to the same
+     service cost one ndb walk, not a thousand. *)
+  cache : (string, (string list, string) result) Hashtbl.t;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
 
 let make ~sysname ~db ~networks ?(dns = fun _ -> []) () =
-  { sysname; db; networks; dns }
+  { sysname; db; networks; dns; cache = Hashtbl.create 31;
+    cache_hits = 0; cache_misses = 0 }
+
+let cache_stats t = (t.cache_hits, t.cache_misses)
+
+let flush_cache t =
+  Hashtbl.reset t.cache;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0
 
 let looks_like_ip s =
   match String.split_on_char '.' s with
@@ -82,7 +96,7 @@ let resolve_meta t host =
   end
   else Ok [ host ]
 
-let translate t query =
+let translate_uncached t query =
   match split_bang query with
   | [] | [ _ ] -> Error ("cs: malformed query: " ^ query)
   | netname :: host :: rest -> (
@@ -136,6 +150,17 @@ let translate t query =
         if lines = [] then
           Error (Printf.sprintf "cs: no translation for %s" query)
         else Ok lines)
+
+let translate t query =
+  match Hashtbl.find_opt t.cache query with
+  | Some r ->
+    t.cache_hits <- t.cache_hits + 1;
+    r
+  | None ->
+    t.cache_misses <- t.cache_misses + 1;
+    let r = translate_uncached t query in
+    Hashtbl.replace t.cache query r;
+    r
 
 let fs t =
   Onefile.fs ~name:"cs" ~filename:"cs"

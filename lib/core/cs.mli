@@ -42,7 +42,15 @@ val make :
     database can't. *)
 
 val translate : t -> string -> (string list, string) result
-(** One reply line per reachable destination. *)
+(** One reply line per reachable destination.  Answers are memoized —
+    the database is immutable, so a thousand dials to one service cost
+    one ndb walk. *)
+
+val cache_stats : t -> int * int
+(** [(hits, misses)] of the answer cache. *)
+
+val flush_cache : t -> unit
+(** Drop all memoized answers (and zero the hit/miss counters). *)
 
 val fs : t -> Onefile.node Ninep.Server.fs
 (** The [/net/cs] file. *)

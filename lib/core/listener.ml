@@ -2,9 +2,19 @@ let src = Logs.Src.create "listener" ~doc:"service listener"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-let start eng env ~addr ~handler =
+let start eng ?backlog env ~addr ~handler =
   Sim.Proc.spawn eng ~name:("listen:" ^ addr) (fun () ->
       let ann = Dial.announce env addr in
+      (match backlog with
+      | None -> ()
+      | Some n ->
+        (* best effort: protocols without a bounded accept queue
+           reject the ctl message, which is fine *)
+        (try
+           ignore
+             (Vfs.Env.write env ann.Dial.ann_ctl_fd
+                (Printf.sprintf "backlog %d" n))
+         with Vfs.Chan.Error _ -> ()));
       let rec loop () =
         match Dial.listen env ann with
         | conn ->

@@ -9,6 +9,7 @@
 
 val start :
   Sim.Engine.t ->
+  ?backlog:int ->
   Vfs.Env.t ->
   addr:string ->
   handler:(Vfs.Env.t -> Dial.conn -> data_fd:Vfs.Env.fd -> unit) ->
@@ -16,4 +17,9 @@ val start :
 (** [start eng env ~addr:"il!*!exportfs" ~handler] announces [addr] and
     accepts calls forever; each accepted call runs [handler] in a fresh
     process with a forked environment (its own name space, like running
-    the user's profile).  The handler owns the descriptors. *)
+    the user's profile).  The handler owns the descriptors.
+
+    [backlog] writes [backlog n] to the announcement's ctl file,
+    bounding calls pending accept; beyond it the network refuses
+    callers instead of queueing them (best effort — protocols without a
+    bounded accept queue ignore it). *)

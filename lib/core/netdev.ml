@@ -10,6 +10,12 @@ type conv_ops = {
 
 type listener_ops = {
   ln_accept : unit -> (conv_ops * string, string) result;
+  ln_set_backlog : int -> (unit, string) result;
+      (* the ctl message "backlog n"; protocols without a bounded
+         accept queue answer Error *)
+  ln_status : unit -> string;
+      (* announced-state detail for the status file, e.g.
+         "Announced backlog 16 queued 0 refused 0" *)
   ln_close : unit -> unit;
 }
 
@@ -160,6 +166,12 @@ let ctl_write dev c text =
       c.state <- Announced (ln, addr);
       Ok ()
     | Error e -> Error e)
+  | [ "backlog"; n ], Announced (ln, _) -> (
+    match int_of_string_opt n with
+    | Some b when b > 0 -> ln.ln_set_backlog b
+    | Some _ | None -> Error ("bad backlog: " ^ n))
+  | "backlog" :: _, (Idle | Connected _ | Hungup) ->
+    Error "not announced"
   | "hangup" :: _, _ ->
     (* an optional rejection reason is accepted and, on IP networks,
        ignored — as the paper says *)
@@ -209,7 +221,8 @@ let fs eng proto =
     let s =
       match c.state with
       | Connected (cv, _) -> cv.cv_status ()
-      | Announced _ -> Printf.sprintf "%s/%d 0 Announced" proto.pr_name c.id
+      | Announced (ln, _) ->
+        Printf.sprintf "%s/%d %s" proto.pr_name c.id (ln.ln_status ())
       | Idle -> Printf.sprintf "%s/%d 0 Closed" proto.pr_name c.id
       | Hungup -> Printf.sprintf "%s/%d 0 Hungup" proto.pr_name c.id
     in
@@ -411,7 +424,8 @@ let il_proto st =
         | Some raddr, Some rport -> (
           try Ok (il_conv st (Inet.Il.connect st ~raddr ~rport), addr) with
           | Inet.Il.Refused e -> Error e
-          | Inet.Il.Timeout e -> Error e)
+          | Inet.Il.Timeout e -> Error e
+          | Inet.Il.Port_exhausted -> Error "no free local ports")
         | _, _ -> Error ("bad il address: " ^ addr));
     pr_announce =
       (fun addr ->
@@ -436,6 +450,15 @@ let il_proto st =
                         Printf.sprintf "%s!%d"
                           (Inet.Ipaddr.to_string (Inet.Il.remote_addr conv))
                           (Inet.Il.remote_port conv) ));
+                ln_set_backlog =
+                  (fun n ->
+                    Inet.Il.set_backlog lis n;
+                    Ok ());
+                ln_status =
+                  (fun () ->
+                    Printf.sprintf "%d Announced backlog %d queued %d refused %d"
+                      port (Inet.Il.backlog lis) (Inet.Il.queued lis)
+                      (Inet.Il.refused lis));
                 ln_close = (fun () -> Inet.Il.close_listener lis);
               }
           with Invalid_argument e -> Error e));
@@ -475,7 +498,8 @@ let tcp_proto st =
         | Some raddr, Some rport -> (
           try Ok (tcp_conv st (Inet.Tcp.connect st ~raddr ~rport), addr) with
           | Inet.Tcp.Refused e -> Error e
-          | Inet.Tcp.Timeout e -> Error e)
+          | Inet.Tcp.Timeout e -> Error e
+          | Inet.Tcp.Port_exhausted -> Error "no free local ports")
         | _, _ -> Error ("bad tcp address: " ^ addr));
     pr_announce =
       (fun addr ->
@@ -499,6 +523,15 @@ let tcp_proto st =
                         Printf.sprintf "%s!%d"
                           (Inet.Ipaddr.to_string (Inet.Tcp.remote_addr conv))
                           (Inet.Tcp.remote_port conv) ));
+                ln_set_backlog =
+                  (fun n ->
+                    Inet.Tcp.set_backlog lis n;
+                    Ok ());
+                ln_status =
+                  (fun () ->
+                    Printf.sprintf "%d Announced backlog %d queued %d refused %d"
+                      port (Inet.Tcp.backlog lis) (Inet.Tcp.queued lis)
+                      (Inet.Tcp.refused lis));
                 ln_close = (fun () -> Inet.Tcp.close_listener lis);
               }
           with Invalid_argument e -> Error e));
@@ -642,6 +675,8 @@ let udp_proto st =
                         Printf.sprintf "%s!%d" (Inet.Ipaddr.to_string src)
                           sport ))
                 ;
+                ln_set_backlog = (fun _ -> Error "udp has no backlog");
+                ln_status = (fun () -> "0 Announced");
                 ln_close =
                   (fun () ->
                     Sim.Proc.kill dispatcher;
@@ -710,6 +745,8 @@ let dk_proto line =
                   let caller = Dk.Circuit.caller inc in
                   let circ = Dk.Circuit.accept inc in
                   Ok (urp_conv line (Dk.Urp.over circ) ~remote:caller, caller));
+              ln_set_backlog = (fun _ -> Error "dk has no backlog");
+              ln_status = (fun () -> "0 Announced");
               ln_close = (fun () -> ());
             }
         with Invalid_argument e -> Error e);

@@ -40,6 +40,12 @@ type conv_ops = {
 type listener_ops = {
   ln_accept : unit -> (conv_ops * string, string) result;
       (** blocks; also returns the remote address for the new conn *)
+  ln_set_backlog : int -> (unit, string) result;
+      (** the ctl message [backlog n]; protocols without a bounded
+          accept queue answer [Error] *)
+  ln_status : unit -> string;
+      (** announced-state detail for the [status] file, e.g.
+          ["17008 Announced backlog 16 queued 0 refused 0"] *)
   ln_close : unit -> unit;
 }
 

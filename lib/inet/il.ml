@@ -71,6 +71,7 @@ type conv_state = SClosed | SSyncer | SSyncee | SEstablished | SClosing
 exception Refused of string
 exception Timeout of string
 exception Hungup
+exception Port_exhausted
 
 type conv = {
   cid : int;
@@ -92,13 +93,18 @@ type conv = {
   mutable srtt : float;
   mutable mdev : float;
   mutable backoff : int;
-  mutable timeout_at : float;  (* 0. = no pending retransmit timer *)
+  rexmit_tmr : Sim.Time.timer;  (* disarmed = nothing awaiting (re)send *)
+  death_tmr : Sim.Time.timer;
   mutable death_at : float;
-  mutable ack_due : float;  (* 0. = no delayed ack pending *)
+      (* the death deadline is pushed on every ack; rather than re-arm
+         the heap entry each time, the timer fires at the stale deadline
+         and re-arms itself if the real one has moved (lazy reschedule) *)
+  ack_tmr : Sim.Time.timer;  (* delayed ack, armed = ack owed *)
   mutable rtt_id : int;  (* message being timed, 0 = none *)
   mutable rtt_sent_at : float;
   mutable err : string option;
   mutable close_sent : bool;
+  mutable lis : listener option;  (* half-open syncee's listener slot *)
 }
 
 and listener = {
@@ -106,6 +112,9 @@ and listener = {
   lis_port : int;
   accepts : conv Sim.Mbox.t;
   mutable lis_open : bool;
+  mutable backlog : int;
+  mutable lis_pending : int;  (* half-open syncees counted in backlog *)
+  mutable refused : int;
 }
 
 and stack = {
@@ -116,8 +125,8 @@ and stack = {
   listeners : (int, listener) Hashtbl.t;
   mutable next_port : int;
   mutable next_cid : int;
+  mutable refusals : int;  (* backlog refusals, all listeners *)
   stats : counters;
-  ticker : Sim.Time.ticker;
 }
 
 let engine st = st.eng
@@ -254,7 +263,7 @@ let raw_output st ~dst pkt =
 
 let xmit c ty ~id ?(data = "") () =
   (* every outgoing message acknowledges what we have received *)
-  if ty = Data || ty = Ack then c.ack_due <- 0.;
+  if ty = Data || ty = Ack then Sim.Time.disarm c.ack_tmr;
   raw_output c.stack ~dst:c.raddr
     (encode ~ty ~sport:c.lport ~dport:c.rport ~id ~ack:c.recvd data)
 
@@ -262,12 +271,6 @@ let rto c =
   let t = c.srtt +. (4. *. c.mdev) in
   let t = t *. float_of_int (1 lsl min c.backoff 6) in
   min c.stack.cfg.max_timeout (max c.stack.cfg.min_timeout t)
-
-let arm_timer c =
-  c.timeout_at <- Sim.Engine.now c.stack.eng +. rto c
-
-let arm_death c =
-  c.death_at <- Sim.Engine.now c.stack.eng +. c.stack.cfg.death_time
 
 (* ---- teardown ---- *)
 
@@ -277,12 +280,78 @@ let destroy c reason =
   if c.state <> SClosed then begin
     set_state c SClosed;
     c.err <- reason;
+    Sim.Time.disarm c.rexmit_tmr;
+    Sim.Time.disarm c.death_tmr;
+    Sim.Time.disarm c.ack_tmr;
+    (match c.lis with
+    | Some lis ->
+      lis.lis_pending <- max 0 (lis.lis_pending - 1);
+      c.lis <- None
+    | None -> ());
     Hashtbl.remove c.stack.convs (conv_key c);
     Block.Q.force_put c.rq (Block.hangup ());
     Block.Q.close c.rq;
     Sim.Rendez.wakeup_all c.wwait;
     Sim.Rendez.wakeup_all c.estwait
   end
+
+(* ---- per-conversation timers ----
+
+   There is no protocol ticker: each conversation arms exactly the
+   deadlines it needs on the engine heap and disarms them when the work
+   is acknowledged, so an idle conversation schedules nothing at all. *)
+
+let rec arm_timer c =
+  Sim.Time.arm_at c.rexmit_tmr
+    (Sim.Engine.now c.stack.eng +. rto c)
+    (fun () -> rexmit_fire c)
+
+and rexmit_fire c =
+  match c.state with
+  | SClosed -> ()
+  | SSyncer | SSyncee ->
+    c.backoff <- c.backoff + 1;
+    xmit c Sync ~id:c.start ();
+    arm_timer c
+  | SEstablished | SClosing ->
+    if c.unacked <> [] || c.state = SClosing then begin
+      if c.state = SClosing && c.close_sent then begin
+        c.backoff <- c.backoff + 1;
+        xmit c Close ~id:(c.next - 1) ();
+        arm_timer c
+      end
+      else begin
+        (* a timeout sends a small query, not the data *)
+        c.stack.stats.queries_sent <- c.stack.stats.queries_sent + 1;
+        c.cstats.queries_sent <- c.cstats.queries_sent + 1;
+        c.backoff <- c.backoff + 1;
+        (* Karn: once recovery starts, the timed message's ack may
+           arrive via the Query/State exchange; a sample would fold
+           the whole timeout into srtt *)
+        c.rtt_id <- 0;
+        xmit c Query ~id:(c.next - 1) ();
+        arm_timer c
+      end
+    end
+
+let rec arm_death c =
+  c.death_at <- Sim.Engine.now c.stack.eng +. c.stack.cfg.death_time;
+  if not (Sim.Time.armed c.death_tmr) then
+    Sim.Time.arm_at c.death_tmr c.death_at (fun () -> death_fire c)
+
+and death_fire c =
+  if Sim.Engine.now c.stack.eng < c.death_at then
+    (* the deadline moved while we slept: chase it *)
+    Sim.Time.arm_at c.death_tmr c.death_at (fun () -> death_fire c)
+  else
+    match c.state with
+    | SClosed -> ()
+    | SSyncer | SSyncee -> destroy c (Some "connect timed out")
+    | SEstablished | SClosing ->
+      (* an idle, fully-acked conversation just lets the timer lapse;
+         fresh traffic re-arms it *)
+      if c.unacked <> [] || c.state = SClosing then
+        destroy c (Some "connection timed out")
 
 (* ---- rtt ---- *)
 
@@ -316,7 +385,7 @@ let process_ack c ack =
     end;
     c.backoff <- 0;
     arm_death c;
-    if c.unacked = [] then c.timeout_at <- 0. else arm_timer c;
+    if c.unacked = [] then Sim.Time.disarm c.rexmit_tmr else arm_timer c;
     Sim.Rendez.wakeup_all c.wwait
   end
 
@@ -329,13 +398,11 @@ let deliver c data =
   c.cstats.bytes_rcvd <- c.cstats.bytes_rcvd + String.length data;
   Block.Q.force_put c.rq (Block.make ~delim:true data)
 
-let schedule_ack c =
-  if c.ack_due = 0. then
-    c.ack_due <- Sim.Engine.now c.stack.eng +. c.stack.cfg.ack_delay
+let send_ack_now c = xmit c Ack ~id:(c.next - 1) ()
 
-let send_ack_now c =
-  xmit c Ack ~id:(c.next - 1) ();
-  c.ack_due <- 0.
+let schedule_ack c =
+  if not (Sim.Time.armed c.ack_tmr) then
+    Sim.Time.arm c.ack_tmr c.stack.cfg.ack_delay (fun () -> send_ack_now c)
 
 let rec drain_oow c =
   match c.oow with
@@ -423,7 +490,7 @@ let handle_packet c (p : packet) =
       c.rstart <- p.p_id;
       c.recvd <- p.p_id;
       set_state c SEstablished;
-      c.timeout_at <- 0.;
+      Sim.Time.disarm c.rexmit_tmr;
       c.backoff <- 0;
       arm_death c;
       send_ack_now c;
@@ -434,12 +501,18 @@ let handle_packet c (p : packet) =
     match p.p_ty with
     | (Ack | Data | Dataquery) when p.p_ack >= c.start ->
       set_state c SEstablished;
-      c.timeout_at <- 0.;
+      Sim.Time.disarm c.rexmit_tmr;
       c.backoff <- 0;
       arm_death c;
-      (match Hashtbl.find_opt c.stack.listeners c.lport with
-      | Some lis when lis.lis_open -> Sim.Mbox.send lis.accepts c
-      | Some _ | None -> ());
+      (* the accept queue inherits this conversation's backlog slot:
+         lis_pending drops as the mailbox grows, so occupancy is
+         conserved until [listen] drains it *)
+      (match c.lis with
+      | Some lis ->
+        lis.lis_pending <- max 0 (lis.lis_pending - 1);
+        c.lis <- None;
+        if lis.lis_open then Sim.Mbox.send lis.accepts c
+      | None -> ());
       (match p.p_ty with
       | Data | Dataquery -> handle_data c p
       | Ack | Sync | Query | State | Close | Reset -> ())
@@ -526,17 +599,20 @@ let make_conv st ~lport ~rport ~raddr ~state ~start ~rstart =
       srtt = 0.;
       mdev = 0.;
       backoff = 0;
-      timeout_at = 0.;
+      rexmit_tmr = Sim.Time.timer st.eng;
+      death_tmr = Sim.Time.timer st.eng;
       death_at = Sim.Engine.now st.eng +. st.cfg.death_time;
-      ack_due = 0.;
+      ack_tmr = Sim.Time.timer st.eng;
       rtt_id = 0;
       rtt_sent_at = 0.;
       err = None;
       close_sent = false;
+      lis = None;
     }
   in
   st.next_cid <- st.next_cid + 1;
   Hashtbl.replace st.convs (conv_key c) c;
+  Sim.Time.arm_at c.death_tmr c.death_at (fun () -> death_fire c);
   (match Sim.Engine.obs st.eng with
   | None -> ()
   | Some tr ->
@@ -563,86 +639,59 @@ let input st ~src:sa ~dst:_ pkt =
     | None -> (
       match (p.p_ty, Hashtbl.find_opt st.listeners p.p_dport) with
       | Sync, Some lis when lis.lis_open ->
-        let c =
-          make_conv st ~lport:p.p_dport ~rport:p.p_sport ~raddr:sa
-            ~state:SSyncee ~start:(new_isn st) ~rstart:p.p_id
-        in
-        arm_timer c;
-        xmit c Sync ~id:c.start ()
+        if lis.lis_pending + Sim.Mbox.length lis.accepts >= lis.backlog
+        then begin
+          (* backlog full: refuse rather than wedge — the caller sees a
+             clean "connection refused" and may redial *)
+          lis.refused <- lis.refused + 1;
+          st.refusals <- st.refusals + 1;
+          (match Sim.Engine.obs st.eng with
+          | None -> ()
+          | Some tr -> Obs.Trace.bump tr "il.backlog_refused" 1);
+          send_reset st ~dst:sa ~sport:p.p_dport ~dport:p.p_sport ~id:p.p_id
+        end
+        else begin
+          let c =
+            make_conv st ~lport:p.p_dport ~rport:p.p_sport ~raddr:sa
+              ~state:SSyncee ~start:(new_isn st) ~rstart:p.p_id
+          in
+          c.lis <- Some lis;
+          lis.lis_pending <- lis.lis_pending + 1;
+          arm_timer c;
+          xmit c Sync ~id:c.start ()
+        end
       | Reset, _ -> ()
       | (Sync | Data | Dataquery | Ack | Query | State | Close), _ ->
         send_reset st ~dst:sa ~sport:p.p_dport ~dport:p.p_sport ~id:p.p_id))
 
-(* ---- the protocol clock ---- *)
-
-let tick_conv c =
-  let now = Sim.Engine.now c.stack.eng in
-  match c.state with
-  | SClosed -> ()
-  | SSyncer | SSyncee ->
-    if now >= c.death_at then destroy c (Some "connect timed out")
-    else if c.timeout_at > 0. && now >= c.timeout_at then begin
-      c.backoff <- c.backoff + 1;
-      xmit c Sync ~id:c.start ();
-      arm_timer c
-    end
-  | SEstablished | SClosing ->
-    if c.ack_due > 0. && now >= c.ack_due then send_ack_now c;
-    if c.unacked <> [] || c.state = SClosing then begin
-      if now >= c.death_at then destroy c (Some "connection timed out")
-      else if c.timeout_at > 0. && now >= c.timeout_at then begin
-        if c.state = SClosing && c.close_sent then begin
-          c.backoff <- c.backoff + 1;
-          xmit c Close ~id:(c.next - 1) ();
-          arm_timer c
-        end
-        else begin
-          (* a timeout sends a small query, not the data *)
-          c.stack.stats.queries_sent <- c.stack.stats.queries_sent + 1;
-          c.cstats.queries_sent <- c.cstats.queries_sent + 1;
-          c.backoff <- c.backoff + 1;
-          (* Karn: once recovery starts, the timed message's ack may
-             arrive via the Query/State exchange; a sample would fold
-             the whole timeout into srtt *)
-          c.rtt_id <- 0;
-          xmit c Query ~id:(c.next - 1) ();
-          arm_timer c
-        end
-      end
-    end
-
-let tick st = Hashtbl.iter (fun _ c -> tick_conv c) st.convs
-
 let attach ?(config = default_config) ip =
   let eng = Ip.engine ip in
-  let rec st =
-    lazy
-      {
-        eng;
-        ip;
-        cfg = config;
-        convs = Hashtbl.create 31;
-        listeners = Hashtbl.create 7;
-        next_port = 5000;
-        next_cid = 0;
-        stats =
-          {
-            msgs_sent = 0;
-            msgs_rcvd = 0;
-            bytes_sent = 0;
-            bytes_rcvd = 0;
-            retransmits = 0;
-            retransmitted_bytes = 0;
-            queries_sent = 0;
-            dups_dropped = 0;
-            out_of_window = 0;
-            resets = 0;
-            rtt_samples = 0;
-          };
-        ticker = Sim.Time.every eng 0.01 (fun () -> tick (Lazy.force st));
-      }
+  let st =
+    {
+      eng;
+      ip;
+      cfg = config;
+      convs = Hashtbl.create 31;
+      listeners = Hashtbl.create 7;
+      next_port = 5000;
+      next_cid = 0;
+      refusals = 0;
+      stats =
+        {
+          msgs_sent = 0;
+          msgs_rcvd = 0;
+          bytes_sent = 0;
+          bytes_rcvd = 0;
+          retransmits = 0;
+          retransmitted_bytes = 0;
+          queries_sent = 0;
+          dups_dropped = 0;
+          out_of_window = 0;
+          resets = 0;
+          rtt_samples = 0;
+        };
+    }
   in
-  let st = Lazy.force st in
   Ip.register_proto ip ~proto:Ip.proto_il (fun ~src ~dst pkt ->
       match config.cpu with
       | None -> input st ~src ~dst pkt
@@ -655,15 +704,18 @@ let attach ?(config = default_config) ip =
   st
 
 let alloc_port st =
-  let rec try_port n =
-    let p = 5000 + (n mod 60000) in
-    let used =
-      Hashtbl.fold (fun (lp, _, _) _ acc -> acc || lp = p) st.convs false
-      || Hashtbl.mem st.listeners p
-    in
-    if used then try_port (n + 1) else p
+  let start = st.next_port - 5000 in
+  let rec try_port i =
+    if i >= 60000 then raise Port_exhausted
+    else
+      let p = 5000 + ((start + i) mod 60000) in
+      let used =
+        Hashtbl.fold (fun (lp, _, _) _ acc -> acc || lp = p) st.convs false
+        || Hashtbl.mem st.listeners p
+      in
+      if used then try_port (i + 1) else p
   in
-  let p = try_port (st.next_port - 5000) in
+  let p = try_port 0 in
   st.next_port <- p + 1;
   p
 
@@ -686,17 +738,26 @@ let connect ?lport st ~raddr ~rport =
   | _, None -> raise (Refused "closed"));
   c
 
-let announce st ~port =
+let default_backlog = 16
+
+let announce ?(backlog = default_backlog) st ~port =
   if Hashtbl.mem st.listeners port then
     invalid_arg (Printf.sprintf "Il.announce: port %d in use" port);
   let lis =
     { lstack = st; lis_port = port; accepts = Sim.Mbox.create st.eng;
-      lis_open = true }
+      lis_open = true; backlog = max 1 backlog; lis_pending = 0;
+      refused = 0 }
   in
   Hashtbl.replace st.listeners port lis;
   lis
 
 let listen lis = Sim.Mbox.recv lis.accepts
+let set_backlog lis n = lis.backlog <- max 1 n
+let backlog lis = lis.backlog
+let queued lis = lis.lis_pending + Sim.Mbox.length lis.accepts
+let refused lis = lis.refused
+let refusals st = st.refusals
+let conv_count st = Hashtbl.length st.convs
 
 let close_listener lis =
   lis.lis_open <- false;
@@ -724,7 +785,7 @@ let write c data =
     c.rtt_id <- id;
     c.rtt_sent_at <- Sim.Engine.now c.stack.eng
   end;
-  if c.timeout_at = 0. then begin
+  if not (Sim.Time.armed c.rexmit_tmr) then begin
     arm_timer c;
     arm_death c
   end;
@@ -755,4 +816,3 @@ let close c =
     ()
 
 let _ = ignore Log.debug
-let _ = fun (st : stack) -> st.ticker

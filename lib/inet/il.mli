@@ -83,17 +83,42 @@ exception Timeout of string
 exception Hungup
 (** Write on a closed/hung-up conversation. *)
 
+exception Port_exhausted
+(** Every ephemeral local port is in use. *)
+
 val connect : ?lport:int -> stack -> raddr:Ipaddr.t -> rport:int -> conv
 (** Active open; blocks the calling process until established.
-    @raise Refused or @raise Timeout on failure. *)
+    @raise Refused or @raise Timeout on failure.
+    @raise Port_exhausted if no ephemeral port is free. *)
 
-val announce : stack -> port:int -> listener
-(** Passive open.  @raise Invalid_argument if the port is taken. *)
+val announce : ?backlog:int -> stack -> port:int -> listener
+(** Passive open.  [backlog] (default 16) bounds calls pending accept —
+    half-open handshakes plus established calls waiting in {!listen}'s
+    queue; a Sync arriving beyond it is refused with a reset, counted in
+    {!refused}.  @raise Invalid_argument if the port is taken. *)
 
 val listen : listener -> conv
 (** Block until an incoming call is established. *)
 
 val close_listener : listener -> unit
+
+val set_backlog : listener -> int -> unit
+(** Adjust the accept backlog (clamped to >= 1); the ctl message
+    [backlog n] lands here. *)
+
+val backlog : listener -> int
+val queued : listener -> int
+(** Calls currently occupying backlog slots (half-open + awaiting
+    accept). *)
+
+val refused : listener -> int
+(** Calls refused because the backlog was full. *)
+
+val refusals : stack -> int
+(** Stack-wide backlog refusals, surviving listener teardown. *)
+
+val conv_count : stack -> int
+(** Live conversations on this stack. *)
 
 val write : conv -> string -> unit
 (** Send one message (delimited; sequenced; reliable).  Blocks while

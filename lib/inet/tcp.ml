@@ -59,6 +59,7 @@ type tstate =
 exception Refused of string
 exception Timeout of string
 exception Hungup
+exception Port_exhausted
 
 type conv = {
   cid : int;
@@ -84,12 +85,16 @@ type conv = {
   mutable srtt : float;
   mutable mdev : float;
   mutable backoff : int;
-  mutable rto_at : float;  (* 0. = timer off *)
+  rexmit_tmr : Sim.Time.timer;  (* disarmed = nothing outstanding *)
+  death_tmr : Sim.Time.timer;
   mutable death_at : float;
+      (* pushed on every ack; the timer fires at the stale deadline and
+         re-arms itself if the real one moved (lazy reschedule) *)
   mutable rtt_seq : int;  (* sequence being timed; 0 = none *)
   mutable rtt_sent_at : float;
   mutable retransmitting : bool;  (* Karn: don't time retransmitted data *)
   mutable err : string option;
+  mutable lis : listener option;  (* half-open SynRcvd's listener slot *)
 }
 
 and listener = {
@@ -97,6 +102,9 @@ and listener = {
   lis_port : int;
   accepts : conv Sim.Mbox.t;
   mutable lis_open : bool;
+  mutable backlog : int;
+  mutable lis_pending : int;  (* half-open SynRcvds counted in backlog *)
+  mutable refused : int;
 }
 
 and stack = {
@@ -107,8 +115,8 @@ and stack = {
   listeners : (int, listener) Hashtbl.t;
   mutable next_port : int;
   mutable next_cid : int;
+  mutable refusals : int;  (* backlog refusals, all listeners *)
   stats : counters;
-  ticker : Sim.Time.ticker;
 }
 
 let engine st = st.eng
@@ -267,15 +275,19 @@ let rto c =
   let t = t *. float_of_int (1 lsl min c.backoff 6) in
   min c.stack.cfg.max_rto (max c.stack.cfg.min_rto t)
 
-let arm_rto c = c.rto_at <- Sim.Engine.now c.stack.eng +. rto c
-let arm_death c = c.death_at <- Sim.Engine.now c.stack.eng +. c.stack.cfg.death_time
-
 let conv_key c = (c.lport, c.rport, Ipaddr.to_int32 c.raddr)
 
 let destroy c reason =
   if c.state <> TClosed then begin
     set_state c TClosed;
     c.err <- reason;
+    Sim.Time.disarm c.rexmit_tmr;
+    Sim.Time.disarm c.death_tmr;
+    (match c.lis with
+    | Some lis ->
+      lis.lis_pending <- max 0 (lis.lis_pending - 1);
+      c.lis <- None
+    | None -> ());
     Hashtbl.remove c.stack.convs (conv_key c);
     Block.Q.force_put c.rq (Block.hangup ());
     Block.Q.close c.rq;
@@ -283,9 +295,13 @@ let destroy c reason =
     Sim.Rendez.wakeup_all c.estwait
   end
 
-(* ---- sending machinery ---- *)
+(* ---- sending machinery and per-conversation timers ----
 
-(* Bytes [snd_una, tx_base + len txbuf) are retransmittable; bytes
+   There is no protocol ticker: every conversation arms exactly the
+   deadlines it needs on the engine heap and disarms them when the data
+   is acknowledged, so an idle conversation schedules nothing.
+
+   Bytes [snd_una, tx_base + len txbuf) are retransmittable; bytes
    [snd_nxt, ...) are yet unsent.  The txbuf is compacted as acks
    arrive. *)
 
@@ -294,7 +310,54 @@ let tx_limit c =
 
 let fin_seq c = c.tx_base + Buffer.length c.txbuf
 
-let push_segments c =
+let emit_retransmit c ~seq ~bytes =
+  match Sim.Engine.obs c.stack.eng with
+  | None -> ()
+  | Some tr ->
+    Obs.Trace.emit tr
+      (Obs.Event.Retransmit { proto = "tcp"; conv = c.cid; id = seq; bytes });
+    Obs.Trace.bump tr "tcp.retransmits" 1
+
+let rec arm_rto c =
+  Sim.Time.arm_at c.rexmit_tmr
+    (Sim.Engine.now c.stack.eng +. rto c)
+    (fun () -> rto_fire c)
+
+and rto_fire c =
+  match c.state with
+  | TClosed -> ()
+  | TSynSent ->
+    c.backoff <- c.backoff + 1;
+    xmit_initial_syn c;
+    arm_rto c
+  | TSynRcvd ->
+    c.backoff <- c.backoff + 1;
+    xmit c ~seq:c.iss ~flags:flag_syn "";
+    arm_rto c
+  | TEstablished | TFinWait1 | TFinWait2 | TCloseWait | TLastAck
+  | TTimeWait ->
+    if c.snd_una < c.snd_nxt then retransmit_all c
+
+and arm_death c =
+  c.death_at <- Sim.Engine.now c.stack.eng +. c.stack.cfg.death_time;
+  if not (Sim.Time.armed c.death_tmr) then
+    Sim.Time.arm_at c.death_tmr c.death_at (fun () -> death_fire c)
+
+and death_fire c =
+  if Sim.Engine.now c.stack.eng < c.death_at then
+    (* the deadline moved while we slept: chase it *)
+    Sim.Time.arm_at c.death_tmr c.death_at (fun () -> death_fire c)
+  else
+    match c.state with
+    | TClosed -> ()
+    | TSynSent | TSynRcvd -> destroy c (Some "connect timed out")
+    | TEstablished | TFinWait1 | TFinWait2 | TCloseWait | TLastAck
+    | TTimeWait ->
+      (* idle with everything acked: let the timer lapse; fresh
+         traffic re-arms it *)
+      if c.snd_una < c.snd_nxt then destroy c (Some "connection timed out")
+
+and push_segments c =
   (* send any unsent bytes that fit in the window *)
   let continue_ = ref true in
   while !continue_ do
@@ -313,7 +376,7 @@ let push_segments c =
       c.cstats.bytes_sent <- c.cstats.bytes_sent + take;
       xmit c ~seq:c.snd_nxt ~flags:0 data;
       c.snd_nxt <- c.snd_nxt + take;
-      if c.rto_at = 0. then begin
+      if not (Sim.Time.armed c.rexmit_tmr) then begin
         arm_rto c;
         arm_death c
       end
@@ -328,20 +391,12 @@ let push_segments c =
       then begin
         xmit c ~seq:c.snd_nxt ~flags:flag_fin "";
         c.snd_nxt <- c.snd_nxt + 1;
-        if c.rto_at = 0. then arm_rto c
+        if not (Sim.Time.armed c.rexmit_tmr) then arm_rto c
       end
     end
   done
 
-let emit_retransmit c ~seq ~bytes =
-  match Sim.Engine.obs c.stack.eng with
-  | None -> ()
-  | Some tr ->
-    Obs.Trace.emit tr
-      (Obs.Event.Retransmit { proto = "tcp"; conv = c.cid; id = seq; bytes });
-    Obs.Trace.bump tr "tcp.retransmits" 1
-
-let retransmit_all c =
+and retransmit_all c =
   (* go-back-N: blind retransmission of everything outstanding *)
   c.retransmitting <- true;
   c.rtt_seq <- 0;
@@ -403,8 +458,12 @@ let process_ack c (s : segment) =
         c.tx_base <- data_acked
       end;
       c.snd_una <- ack;
-      if c.snd_una = c.snd_nxt then c.rto_at <- 0. else arm_rto c;
-      Sim.Rendez.wakeup_all c.wwait
+      if c.snd_una = c.snd_nxt then Sim.Time.disarm c.rexmit_tmr
+      else arm_rto c;
+      Sim.Rendez.wakeup_all c.wwait;
+      (* the ack may have opened the send window: the ticker used to
+         retry this on the next tick, now the ack itself drives it *)
+      if Buffer.length c.txbuf + c.tx_base > c.snd_nxt then push_segments c
     end
   end
 
@@ -478,7 +537,7 @@ let handle_segment c (s : segment) =
         c.snd_una <- s.s_ack;
         c.snd_wnd <- s.s_window;
         set_state c TEstablished;
-        c.rto_at <- 0.;
+        Sim.Time.disarm c.rexmit_tmr;
         c.backoff <- 0;
         arm_death c;
         send_bare_ack c;
@@ -489,12 +548,16 @@ let handle_segment c (s : segment) =
         c.snd_una <- s.s_ack;
         c.snd_wnd <- s.s_window;
         set_state c TEstablished;
-        c.rto_at <- 0.;
+        Sim.Time.disarm c.rexmit_tmr;
         c.backoff <- 0;
         arm_death c;
-        (match Hashtbl.find_opt c.stack.listeners c.lport with
-        | Some lis when lis.lis_open -> Sim.Mbox.send lis.accepts c
-        | Some _ | None -> ());
+        (* the accept queue inherits this conversation's backlog slot *)
+        (match c.lis with
+        | Some lis ->
+          lis.lis_pending <- max 0 (lis.lis_pending - 1);
+          c.lis <- None;
+          if lis.lis_open then Sim.Mbox.send lis.accepts c
+        | None -> ());
         if String.length s.s_data > 0 || s.s_flags land flag_fin <> 0 then
           handle_established c s
       end
@@ -558,16 +621,19 @@ let make_conv st ~lport ~rport ~raddr ~state ~iss =
       srtt = 0.;
       mdev = 0.;
       backoff = 0;
-      rto_at = 0.;
+      rexmit_tmr = Sim.Time.timer st.eng;
+      death_tmr = Sim.Time.timer st.eng;
       death_at = Sim.Engine.now st.eng +. st.cfg.death_time;
       rtt_seq = 0;
       rtt_sent_at = 0.;
       retransmitting = false;
       err = None;
+      lis = None;
     }
   in
   st.next_cid <- st.next_cid + 1;
   Hashtbl.replace st.convs (conv_key c) c;
+  Sim.Time.arm_at c.death_tmr c.death_at (fun () -> death_fire c);
   (match Sim.Engine.obs st.eng with
   | None -> ()
   | Some tr ->
@@ -597,75 +663,62 @@ let input st ~src:sa ~dst:_ pkt =
         when lis.lis_open
              && s.s_flags land flag_syn <> 0
              && s.s_flags land flag_ack = 0 ->
-        let c =
-          make_conv st ~lport:s.s_dport ~rport:s.s_sport ~raddr:sa
-            ~state:TSynRcvd ~iss:(new_iss st)
-        in
-        c.irs <- s.s_seq;
-        c.rcv_nxt <- s.s_seq + 1;
-        c.snd_wnd <- s.s_window;
-        arm_rto c;
-        xmit c ~seq:c.iss ~flags:flag_syn ""
+        if lis.lis_pending + Sim.Mbox.length lis.accepts >= lis.backlog
+        then begin
+          (* backlog full: refuse rather than wedge — the caller sees a
+             clean "connection reset" and may redial *)
+          lis.refused <- lis.refused + 1;
+          st.refusals <- st.refusals + 1;
+          (match Sim.Engine.obs st.eng with
+          | None -> ()
+          | Some tr -> Obs.Trace.bump tr "tcp.backlog_refused" 1);
+          send_rst st ~dst:sa ~sport:s.s_dport ~dport:s.s_sport ~seq:s.s_ack
+            ~ack:(s.s_seq + String.length s.s_data)
+        end
+        else begin
+          let c =
+            make_conv st ~lport:s.s_dport ~rport:s.s_sport ~raddr:sa
+              ~state:TSynRcvd ~iss:(new_iss st)
+          in
+          c.lis <- Some lis;
+          lis.lis_pending <- lis.lis_pending + 1;
+          c.irs <- s.s_seq;
+          c.rcv_nxt <- s.s_seq + 1;
+          c.snd_wnd <- s.s_window;
+          arm_rto c;
+          xmit c ~seq:c.iss ~flags:flag_syn ""
+        end
       | Some _ | None ->
         if s.s_flags land flag_rst = 0 then
           send_rst st ~dst:sa ~sport:s.s_dport ~dport:s.s_sport ~seq:s.s_ack
             ~ack:(s.s_seq + String.length s.s_data)))
 
-let tick_conv c =
-  let now = Sim.Engine.now c.stack.eng in
-  match c.state with
-  | TClosed -> ()
-  | TSynSent | TSynRcvd ->
-    if now >= c.death_at then destroy c (Some "connect timed out")
-    else if c.rto_at > 0. && now >= c.rto_at then begin
-      c.backoff <- c.backoff + 1;
-      (match c.state with
-      | TSynSent -> xmit_initial_syn c
-      | TSynRcvd -> xmit c ~seq:c.iss ~flags:flag_syn ""
-      | TClosed | TEstablished | TFinWait1 | TFinWait2 | TCloseWait
-      | TLastAck | TTimeWait ->
-        ());
-      arm_rto c
-    end
-  | TEstablished | TFinWait1 | TFinWait2 | TCloseWait | TLastAck
-  | TTimeWait ->
-    if c.snd_una < c.snd_nxt then begin
-      if now >= c.death_at then destroy c (Some "connection timed out")
-      else if c.rto_at > 0. && now >= c.rto_at then retransmit_all c
-    end;
-    (* window may have opened: try to push *)
-    if Buffer.length c.txbuf + c.tx_base > c.snd_nxt then push_segments c
-
-let tick st = Hashtbl.iter (fun _ c -> tick_conv c) st.convs
-
 let attach ?(config = default_config) ip =
   let eng = Ip.engine ip in
-  let rec st =
-    lazy
-      {
-        eng;
-        ip;
-        cfg = config;
-        convs = Hashtbl.create 31;
-        listeners = Hashtbl.create 7;
-        next_port = 5000;
-        next_cid = 0;
-        stats =
-          {
-            segs_sent = 0;
-            segs_rcvd = 0;
-            bytes_sent = 0;
-            bytes_rcvd = 0;
-            retransmits = 0;
-            retransmitted_bytes = 0;
-            out_of_order_dropped = 0;
-            dups_dropped = 0;
-            resets = 0;
-          };
-        ticker = Sim.Time.every eng 0.01 (fun () -> tick (Lazy.force st));
-      }
+  let st =
+    {
+      eng;
+      ip;
+      cfg = config;
+      convs = Hashtbl.create 31;
+      listeners = Hashtbl.create 7;
+      next_port = 5000;
+      next_cid = 0;
+      refusals = 0;
+      stats =
+        {
+          segs_sent = 0;
+          segs_rcvd = 0;
+          bytes_sent = 0;
+          bytes_rcvd = 0;
+          retransmits = 0;
+          retransmitted_bytes = 0;
+          out_of_order_dropped = 0;
+          dups_dropped = 0;
+          resets = 0;
+        };
+    }
   in
-  let st = Lazy.force st in
   Ip.register_proto ip ~proto:Ip.proto_tcp (fun ~src ~dst pkt ->
       match config.cpu with
       | None -> input st ~src ~dst pkt
@@ -678,15 +731,18 @@ let attach ?(config = default_config) ip =
   st
 
 let alloc_port st =
-  let rec try_port n =
-    let p = 5000 + (n mod 60000) in
-    let used =
-      Hashtbl.fold (fun (lp, _, _) _ acc -> acc || lp = p) st.convs false
-      || Hashtbl.mem st.listeners p
-    in
-    if used then try_port (n + 1) else p
+  let start = st.next_port - 5000 in
+  let rec try_port i =
+    if i >= 60000 then raise Port_exhausted
+    else
+      let p = 5000 + ((start + i) mod 60000) in
+      let used =
+        Hashtbl.fold (fun (lp, _, _) _ acc -> acc || lp = p) st.convs false
+        || Hashtbl.mem st.listeners p
+      in
+      if used then try_port (i + 1) else p
   in
-  let p = try_port (st.next_port - 5000) in
+  let p = try_port 0 in
   st.next_port <- p + 1;
   p
 
@@ -705,17 +761,26 @@ let connect ?lport st ~raddr ~rport =
   | _, None -> raise (Refused "closed"));
   c
 
-let announce st ~port =
+let default_backlog = 16
+
+let announce ?(backlog = default_backlog) st ~port =
   if Hashtbl.mem st.listeners port then
     invalid_arg (Printf.sprintf "Tcp.announce: port %d in use" port);
   let lis =
     { lstack = st; lis_port = port; accepts = Sim.Mbox.create st.eng;
-      lis_open = true }
+      lis_open = true; backlog = max 1 backlog; lis_pending = 0;
+      refused = 0 }
   in
   Hashtbl.replace st.listeners port lis;
   lis
 
 let listen lis = Sim.Mbox.recv lis.accepts
+let set_backlog lis n = lis.backlog <- max 1 n
+let backlog lis = lis.backlog
+let queued lis = lis.lis_pending + Sim.Mbox.length lis.accepts
+let refused lis = lis.refused
+let refusals st = st.refusals
+let conv_count st = Hashtbl.length st.convs
 
 let close_listener lis =
   lis.lis_open <- false;
@@ -761,4 +826,3 @@ let close c =
     arm_death c
 
 let _ = ignore Log.debug
-let _ = fun (st : stack) -> st.ticker

@@ -51,12 +51,39 @@ exception Refused of string
 exception Timeout of string
 exception Hungup
 
-val connect : ?lport:int -> stack -> raddr:Ipaddr.t -> rport:int -> conv
-(** Active open; blocks until established. *)
+exception Port_exhausted
+(** Every ephemeral local port is in use. *)
 
-val announce : stack -> port:int -> listener
+val connect : ?lport:int -> stack -> raddr:Ipaddr.t -> rport:int -> conv
+(** Active open; blocks until established.
+    @raise Port_exhausted if no ephemeral port is free. *)
+
+val announce : ?backlog:int -> stack -> port:int -> listener
+(** Passive open.  [backlog] (default 16) bounds calls pending accept —
+    half-open handshakes plus established calls waiting in {!listen}'s
+    queue; a SYN arriving beyond it is refused with RST, counted in
+    {!refused}. *)
+
 val listen : listener -> conv
 val close_listener : listener -> unit
+
+val set_backlog : listener -> int -> unit
+(** Adjust the accept backlog (clamped to >= 1); the ctl message
+    [backlog n] lands here. *)
+
+val backlog : listener -> int
+val queued : listener -> int
+(** Calls currently occupying backlog slots (half-open + awaiting
+    accept). *)
+
+val refused : listener -> int
+(** Calls refused because the backlog was full. *)
+
+val refusals : stack -> int
+(** Stack-wide backlog refusals, surviving listener teardown. *)
+
+val conv_count : stack -> int
+(** Live conversations on this stack. *)
 
 val write : conv -> string -> unit
 (** Queue bytes on the stream; blocks while the send buffer is full.

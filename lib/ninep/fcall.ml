@@ -528,6 +528,11 @@ let decode s =
   else if code = tflush + 1 then R (tag, Rflush)
   else raise (Bad_message (Printf.sprintf "unknown type %d" code))
 
+let decode_opt s =
+  match decode s with
+  | msg -> Ok msg
+  | exception Bad_message e -> Error e
+
 let message_name = function
   | T (_, t) -> (
     match t with

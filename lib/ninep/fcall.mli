@@ -111,6 +111,11 @@ val encode : t -> string
 val decode : string -> t
 (** @raise Bad_message on malformed input. *)
 
+val decode_opt : string -> (t, string) result
+(** {!decode} that traps {!Bad_message}: malformed input is an [Error],
+    never an exception — the form kernel code reading a network should
+    use. *)
+
 val encode_dir : dir -> string
 (** The 116-byte stat format (also the unit of directory reads). *)
 

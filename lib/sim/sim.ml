@@ -79,6 +79,7 @@ type engine = {
   mutable procs : proc list;  (* live processes, newest first *)
   mutable crashes : (string * exn) list;
   mutable next_pid : int;
+  mutable events : int;  (* live events executed since creation *)
   mutable obs : Obs.Trace.t option;
       (* observability sink; every instrumented layer guards emission on
          this being [Some], so a world without a sink pays nothing *)
@@ -123,6 +124,7 @@ module Engine = struct
       procs = [];
       crashes = [];
       next_pid = 1;
+      events = 0;
       obs = None;
     }
 
@@ -137,6 +139,7 @@ module Engine = struct
   let at = schedule_at
   let after t dt fn = schedule_at t (t.now +. dt) fn
   let pending t = t.heap.Heap.n
+  let events t = t.events
 
   let rec step t =
     match Heap.pop t.heap with
@@ -144,6 +147,7 @@ module Engine = struct
     | Some e ->
       if e.Heap.live then begin
         t.now <- e.Heap.time;
+        t.events <- t.events + 1;
         e.Heap.fn ();
         true
       end
@@ -343,6 +347,45 @@ module Time = struct
     tk
 
   let cancel tk = tk.live <- false
+
+  (* A one-shot re-armable timer slot: at most one pending heap entry at
+     a time.  Arming replaces any pending deadline; disarming cancels it
+     in O(1) by marking the entry dead (the heap skips it on pop).  This
+     is what lets an idle protocol conversation cost zero events: its
+     timers are simply not armed. *)
+  type timer = { teng : engine; mutable tentry : Heap.entry option }
+
+  let timer eng = { teng = eng; tentry = None }
+
+  let timer_bump t name =
+    match t.teng.obs with
+    | None -> ()
+    | Some tr -> Obs.Trace.bump tr name 1
+
+  let disarm t =
+    match t.tentry with
+    | None -> ()
+    | Some e ->
+      e.Heap.live <- false;
+      t.tentry <- None;
+      timer_bump t "timer.disarm"
+
+  let arm_at t time fn =
+    disarm t;
+    timer_bump t "timer.arm";
+    let e =
+      schedule_entry t.teng time (fun () ->
+          t.tentry <- None;
+          timer_bump t "timer.fire";
+          fn ())
+    in
+    t.tentry <- Some e
+
+  let arm t dt fn = arm_at t (t.teng.now +. dt) fn
+  let armed t = t.tentry <> None
+
+  let deadline t =
+    match t.tentry with Some e -> Some e.Heap.time | None -> None
 end
 
 module Cpu = struct

@@ -58,6 +58,11 @@ module Engine : sig
 
   val pending : t -> int
   (** Number of queued events. *)
+
+  val events : t -> int
+  (** Total live events executed since creation.  Cancelled entries are
+      skipped without counting, so this measures real engine work —
+      benches use it to assert event volume per unit of goodput. *)
 end
 
 module Proc : sig
@@ -115,6 +120,36 @@ module Time : sig
       {!cancel}. *)
 
   val cancel : ticker -> unit
+
+  type timer
+  (** A one-shot re-armable timer slot holding at most one pending
+      deadline.  This is the building block for per-conversation
+      protocol timers: arm on state change, disarm when the work is
+      acknowledged, and an idle conversation contributes zero events to
+      the engine.  With an observability sink attached, arms, fires and
+      disarms are counted under [timer.arm] / [timer.fire] /
+      [timer.disarm]. *)
+
+  val timer : Engine.t -> timer
+  (** A fresh, disarmed timer. *)
+
+  val arm_at : timer -> float -> (unit -> unit) -> unit
+  (** [arm_at t time fn] schedules [fn] at absolute virtual [time]
+      (clamped to now), replacing any pending deadline.  [fn] runs
+      outside process context with the timer already disarmed, so it may
+      re-arm. *)
+
+  val arm : timer -> float -> (unit -> unit) -> unit
+  (** [arm t dt fn] = [arm_at t (now +. dt) fn]. *)
+
+  val disarm : timer -> unit
+  (** Cancel the pending deadline, if any; O(1). *)
+
+  val armed : timer -> bool
+  (** Whether a deadline is pending. *)
+
+  val deadline : timer -> float option
+  (** The pending absolute deadline, if armed. *)
 end
 
 module Cpu : sig

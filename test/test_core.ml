@@ -3,18 +3,10 @@
 
 module F = Ninep.Fcall
 
-(* run a body inside a booted bell-labs world; the engine runs until
-   the horizon, and the body must have finished by then *)
+(* run a body inside a booted bell-labs world (shared setup in
+   {!Util}); this suite's bodies ignore the spawning env *)
 let in_world ?seed ?(horizon = 120.0) f =
-  let w = P9net.World.bell_labs ?seed () in
-  let finished = ref false in
-  let gnot = P9net.World.host w "philw-gnot" in
-  ignore
-    (P9net.Host.spawn gnot "test" (fun _env ->
-         f w;
-         finished := true));
-  P9net.World.run ~until:horizon w;
-  Alcotest.(check bool) "test body completed" true !finished
+  Util.in_world ?seed ~horizon ~from:"philw-gnot" (fun w _env -> f w)
 
 let names entries = List.map (fun d -> d.F.d_name) entries
 

@@ -5,15 +5,7 @@
 module F = Ninep.Fcall
 
 let in_world ?seed ?(horizon = 240.0) ~from f =
-  let w = P9net.World.bell_labs ?seed () in
-  let finished = ref false in
-  let h = P9net.World.host w from in
-  ignore
-    (P9net.Host.spawn h "test" (fun env ->
-         f w env;
-         finished := true));
-  P9net.World.run ~until:horizon w;
-  Alcotest.(check bool) "test body completed" true !finished
+  Util.in_world ?seed ~horizon ~from f
 
 let test_dial_unreachable_host_times_out () =
   (* 135.104.9.77 does not exist: ARP can never resolve *)

@@ -1,0 +1,393 @@
+(* Property tests over the codecs: the 9P marshaller, the IP address
+   printer/parser, and the ndb tuple-file parser.  Two kinds of claim:
+
+   - round trip: anything we encode comes back identical through the
+     decoder (checked per message type, so a new constructor with a
+     broken arm cannot hide behind the generator's dice);
+   - never raise: the decoders are fed from the network, so arbitrary,
+     truncated, or bit-flipped bytes must produce a clean error, never
+     an exception. *)
+
+module F = Ninep.Fcall
+
+let gen = QCheck.Gen.generate1
+
+(* ---- generators: one canonical-form value per field kind ---- *)
+
+(* names are NUL-padded 28-byte fields: anything shorter than namelen
+   and NUL-free round-trips *)
+let name_gen =
+  QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (0 -- (F.namelen - 1)))
+
+(* errors are NUL-padded 64-byte fields *)
+let err_gen =
+  QCheck.Gen.(string_size ~gen:(char_range ' ' '~') (0 -- (F.errlen - 1)))
+
+(* counted strings (tickets, challenges, data) carry arbitrary bytes *)
+let bytes_gen n = QCheck.Gen.(string_size ~gen:(char_range '\000' '\255') (0 -- n))
+let w16_gen = QCheck.Gen.int_bound 0xffff
+
+let int32_gen =
+  QCheck.Gen.(
+    map2
+      (fun hi lo ->
+        Int32.logor (Int32.shift_left (Int32.of_int hi) 16) (Int32.of_int lo))
+      (int_bound 0xffff) (int_bound 0xffff))
+
+let int64_gen =
+  QCheck.Gen.(
+    map2
+      (fun hi lo ->
+        Int64.logor
+          (Int64.shift_left (Int64.of_int32 hi) 32)
+          (Int64.logand (Int64.of_int32 lo) 0xffffffffL))
+      int32_gen int32_gen)
+
+let qid_gen =
+  QCheck.Gen.(
+    map2 (fun qpath qvers -> { F.qpath; qvers }) int32_gen int32_gen)
+
+let mode_gen = QCheck.Gen.oneofl [ F.Oread; F.Owrite; F.Ordwr; F.Oexec ]
+
+let dir_gen =
+  QCheck.Gen.(
+    map2
+      (fun (name, uid, gid, qid) (mode, atime, mtime, length, ty, dev) ->
+        {
+          F.d_name = name;
+          d_uid = uid;
+          d_gid = gid;
+          d_qid = qid;
+          d_mode = mode;
+          d_atime = atime;
+          d_mtime = mtime;
+          d_length = length;
+          d_type = ty;
+          d_dev = dev;
+        })
+      (quad name_gen name_gen name_gen qid_gen)
+      (map3
+         (fun (mode, atime) (mtime, length) (ty, dev) ->
+           (mode, atime, mtime, length, ty, dev))
+         (pair int32_gen int32_gen)
+         (pair int32_gen int64_gen)
+         (pair w16_gen w16_gen)))
+
+(* every message type, exercised one by one: [constructors] lists a
+   generator per arm, so adding a constructor without extending this
+   list is caught by the exhaustiveness check in [all_constructors] *)
+let tmsg_constructors : (string * F.tmsg QCheck.Gen.t) list =
+  let open QCheck.Gen in
+  [
+    ("Tnop", return F.Tnop);
+    ( "Tauth",
+      map3
+        (fun afid uname ticket -> F.Tauth { afid; uname; ticket })
+        w16_gen name_gen (bytes_gen 64) );
+    ("Tsession", map (fun chal -> F.Tsession { chal }) (bytes_gen 64));
+    ( "Tattach",
+      map3
+        (fun fid uname aname -> F.Tattach { fid; uname; aname })
+        w16_gen name_gen name_gen );
+    ( "Tclone",
+      map2 (fun fid newfid -> F.Tclone { fid; newfid }) w16_gen w16_gen );
+    ("Twalk", map2 (fun fid name -> F.Twalk { fid; name }) w16_gen name_gen);
+    ( "Tclwalk",
+      map3
+        (fun fid newfid name -> F.Tclwalk { fid; newfid; name })
+        w16_gen w16_gen name_gen );
+    ( "Topen",
+      map3
+        (fun fid mode trunc -> F.Topen { fid; mode; trunc })
+        w16_gen mode_gen bool );
+    ( "Tcreate",
+      map3
+        (fun fid (name, perm) mode -> F.Tcreate { fid; name; perm; mode })
+        w16_gen (pair name_gen int32_gen) mode_gen );
+    ( "Tread",
+      map3
+        (fun fid offset count -> F.Tread { fid; offset; count })
+        w16_gen int64_gen w16_gen );
+    ( "Twrite",
+      map3
+        (fun fid offset data -> F.Twrite { fid; offset; data })
+        w16_gen int64_gen (bytes_gen F.maxfdata) );
+    ("Tclunk", map (fun fid -> F.Tclunk { fid }) w16_gen);
+    ("Tremove", map (fun fid -> F.Tremove { fid }) w16_gen);
+    ("Tstat", map (fun fid -> F.Tstat { fid }) w16_gen);
+    ( "Twstat",
+      map2 (fun fid stat -> F.Twstat { fid; stat }) w16_gen dir_gen );
+    ("Tflush", map (fun oldtag -> F.Tflush { oldtag }) w16_gen);
+  ]
+
+let rmsg_constructors : (string * F.rmsg QCheck.Gen.t) list =
+  let open QCheck.Gen in
+  [
+    ("Rnop", return F.Rnop);
+    ("Rerror", map (fun e -> F.Rerror e) err_gen);
+    ( "Rauth",
+      map2 (fun afid ticket -> F.Rauth { afid; ticket }) w16_gen (bytes_gen 64)
+    );
+    ("Rsession", map (fun chal -> F.Rsession { chal }) (bytes_gen 64));
+    ( "Rattach",
+      map2 (fun fid qid -> F.Rattach { fid; qid }) w16_gen qid_gen );
+    ("Rclone", map (fun fid -> F.Rclone { fid }) w16_gen);
+    ("Rwalk", map2 (fun fid qid -> F.Rwalk { fid; qid }) w16_gen qid_gen);
+    ( "Rclwalk",
+      map2 (fun newfid qid -> F.Rclwalk { newfid; qid }) w16_gen qid_gen );
+    ("Ropen", map2 (fun fid qid -> F.Ropen { fid; qid }) w16_gen qid_gen);
+    ( "Rcreate",
+      map2 (fun fid qid -> F.Rcreate { fid; qid }) w16_gen qid_gen );
+    ("Rread", map (fun data -> F.Rread { data }) (bytes_gen F.maxfdata));
+    ("Rwrite", map (fun count -> F.Rwrite { count }) w16_gen);
+    ("Rclunk", map (fun fid -> F.Rclunk { fid }) w16_gen);
+    ("Rremove", map (fun fid -> F.Rremove { fid }) w16_gen);
+    ("Rstat", map (fun stat -> F.Rstat { stat }) dir_gen);
+    ("Rwstat", map (fun fid -> F.Rwstat { fid }) w16_gen);
+    ("Rflush", return F.Rflush);
+  ]
+
+(* the exhaustiveness check: every constructor of tmsg/rmsg must appear
+   in the lists above, or this match stops compiling when one is added *)
+let tmsg_tag (t : F.tmsg) =
+  match t with
+  | Tnop -> "Tnop" | Tauth _ -> "Tauth" | Tsession _ -> "Tsession"
+  | Tattach _ -> "Tattach" | Tclone _ -> "Tclone" | Twalk _ -> "Twalk"
+  | Tclwalk _ -> "Tclwalk" | Topen _ -> "Topen" | Tcreate _ -> "Tcreate"
+  | Tread _ -> "Tread" | Twrite _ -> "Twrite" | Tclunk _ -> "Tclunk"
+  | Tremove _ -> "Tremove" | Tstat _ -> "Tstat" | Twstat _ -> "Twstat"
+  | Tflush _ -> "Tflush"
+
+let rmsg_tag (r : F.rmsg) =
+  match r with
+  | Rnop -> "Rnop" | Rerror _ -> "Rerror" | Rauth _ -> "Rauth"
+  | Rsession _ -> "Rsession" | Rattach _ -> "Rattach" | Rclone _ -> "Rclone"
+  | Rwalk _ -> "Rwalk" | Rclwalk _ -> "Rclwalk" | Ropen _ -> "Ropen"
+  | Rcreate _ -> "Rcreate" | Rread _ -> "Rread" | Rwrite _ -> "Rwrite"
+  | Rclunk _ -> "Rclunk" | Rremove _ -> "Rremove" | Rstat _ -> "Rstat"
+  | Rwstat _ -> "Rwstat" | Rflush -> "Rflush"
+
+let test_every_type_roundtrips () =
+  (* 50 random instances of each constructor, so no arm hides behind a
+     oneof's dice *)
+  let check_msg name msg =
+    let back = F.decode (F.encode msg) in
+    if back <> msg then
+      Alcotest.failf "%s did not survive encode/decode" name
+  in
+  List.iter
+    (fun (name, g) ->
+      for _ = 1 to 50 do
+        let t = gen g in
+        Alcotest.(check string) "generator arm matches" name (tmsg_tag t);
+        check_msg name (F.T (gen w16_gen, t))
+      done)
+    tmsg_constructors;
+  List.iter
+    (fun (name, g) ->
+      for _ = 1 to 50 do
+        let r = gen g in
+        Alcotest.(check string) "generator arm matches" name (rmsg_tag r);
+        check_msg name (F.R (gen w16_gen, r))
+      done)
+    rmsg_constructors
+
+let msg_gen =
+  QCheck.Gen.(
+    w16_gen >>= fun tag ->
+    oneof
+      [
+        map (fun t -> F.T (tag, t)) (oneof (List.map snd tmsg_constructors));
+        map (fun r -> F.R (tag, r)) (oneof (List.map snd rmsg_constructors));
+      ])
+
+(* [decode_opt] either answers or errors; anything else (an escaped
+   exception, including ones Bad_message doesn't cover) fails the
+   property *)
+let decodes_cleanly bytes =
+  match F.decode_opt bytes with
+  | Ok _ | Error _ -> true
+  | exception e ->
+    QCheck.Test.fail_reportf "decode_opt raised %s on %S"
+      (Printexc.to_string e) bytes
+
+let prop_decode_arbitrary =
+  QCheck.Test.make ~name:"9p decode never raises on arbitrary bytes"
+    ~count:2000
+    (QCheck.make (bytes_gen 300))
+    decodes_cleanly
+
+let prop_decode_truncated =
+  QCheck.Test.make ~name:"9p decode never raises on truncated messages"
+    ~count:2000
+    (QCheck.make QCheck.Gen.(pair msg_gen (int_bound 1000)))
+    (fun (msg, cut) ->
+      let s = F.encode msg in
+      decodes_cleanly (String.sub s 0 (min cut (String.length s))))
+
+let prop_decode_mutated =
+  QCheck.Test.make ~name:"9p decode never raises on bit-flipped messages"
+    ~count:2000
+    (QCheck.make QCheck.Gen.(triple msg_gen (int_bound 10000) (int_bound 255)))
+    (fun (msg, pos, flip) ->
+      let s = F.encode msg in
+      let b = Bytes.of_string s in
+      let pos = pos mod Bytes.length b in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor flip));
+      decodes_cleanly (Bytes.to_string b))
+
+(* ---- Inet.Ipaddr ---- *)
+
+let prop_ipaddr_roundtrip =
+  QCheck.Test.make ~name:"ipaddr print/parse roundtrip" ~count:1000
+    (QCheck.make int32_gen)
+    (fun bits ->
+      let a = Inet.Ipaddr.of_int32 bits in
+      match Inet.Ipaddr.of_string_opt (Inet.Ipaddr.to_string a) with
+      | Some b -> Inet.Ipaddr.equal a b
+      | None -> false)
+
+let prop_ipaddr_never_raises =
+  QCheck.Test.make ~name:"ipaddr of_string_opt never raises" ~count:2000
+    (QCheck.make (bytes_gen 24))
+    (fun s ->
+      match Inet.Ipaddr.of_string_opt s with
+      | Some _ | None -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "of_string_opt raised %s on %S"
+          (Printexc.to_string e) s)
+
+let prop_ipaddr_quad =
+  QCheck.Test.make ~name:"ipaddr parses what it prints, quad form"
+    ~count:1000
+    (QCheck.make
+       QCheck.Gen.(
+         quad (int_bound 255) (int_bound 255) (int_bound 255) (int_bound 255)))
+    (fun (a, b, c, d) ->
+      let s = Printf.sprintf "%d.%d.%d.%d" a b c d in
+      Inet.Ipaddr.to_string (Inet.Ipaddr.of_string s) = s)
+
+(* ---- the ndb tuple-file parser ---- *)
+
+(* render an entry list in the paper's format — first pair on the
+   header line at the left margin, the rest on tab-indented
+   continuation lines — and sprinkle comments and blank lines, which
+   the parser must ignore *)
+let attr_gen =
+  QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (1 -- 8))
+
+let val_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        string_size ~gen:(char_range 'a' 'z') (0 -- 10);
+        (* values with spaces must be quoted to survive *)
+        map
+          (fun (a, b) -> Printf.sprintf "%s %s" a b)
+          (pair
+             (string_size ~gen:(char_range 'a' 'z') (1 -- 5))
+             (string_size ~gen:(char_range 'a' 'z') (1 -- 5)));
+      ])
+
+let entry_gen =
+  QCheck.Gen.(list_size (1 -- 6) (pair attr_gen val_gen))
+
+let render_entries entries =
+  let b = Buffer.create 256 in
+  let quote v = if String.contains v ' ' then "\"" ^ v ^ "\"" else v in
+  List.iteri
+    (fun i entry ->
+      if i mod 2 = 0 then Buffer.add_string b "# a comment line\n";
+      (match entry with
+      | [] -> ()
+      | (a, v) :: rest ->
+        Printf.bprintf b "%s=%s\n" a (quote v);
+        List.iter (fun (a, v) -> Printf.bprintf b "\t%s=%s\n" a (quote v)) rest);
+      if i mod 3 = 0 then Buffer.add_string b "\n")
+    entries;
+  Buffer.contents b
+
+let prop_ndb_roundtrip =
+  QCheck.Test.make ~name:"ndb parses what it prints" ~count:500
+    (QCheck.make QCheck.Gen.(list_size (0 -- 5) entry_gen))
+    (fun entries ->
+      let entries = List.filter (fun e -> e <> []) entries in
+      Ndb.parse_string (render_entries entries) = entries)
+
+(* continuation lines: an entry split one-pair-per-indented-line parses
+   to the same entry as every pair packed onto the header line *)
+let prop_ndb_continuation =
+  QCheck.Test.make ~name:"ndb continuation lines join the entry" ~count:500
+    (QCheck.make entry_gen)
+    (fun entry ->
+      (* space-free values, so both renderings are legal unquoted *)
+      let entry =
+        List.map
+          (fun (a, v) ->
+            (a, String.concat "" (String.split_on_char ' ' v)))
+          entry
+      in
+      match entry with
+      | [] -> true
+      | (a0, v0) :: rest ->
+        let split =
+          Printf.sprintf "%s=%s\n" a0 v0
+          ^ String.concat ""
+              (List.map (fun (a, v) -> Printf.sprintf "\t%s=%s\n" a v) rest)
+        in
+        let packed =
+          String.concat " "
+            (List.map (fun (a, v) -> Printf.sprintf "%s=%s" a v) entry)
+          ^ "\n"
+        in
+        Ndb.parse_string split = [ entry ]
+        && Ndb.parse_string packed = [ entry ])
+
+let prop_ndb_never_raises =
+  QCheck.Test.make ~name:"ndb parser never raises" ~count:2000
+    (QCheck.make (bytes_gen 400))
+    (fun s ->
+      match Ndb.parse_string s with
+      | _ -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "parse_string raised %s on %S"
+          (Printexc.to_string e) s)
+
+let prop_ndb_comments_ignored =
+  QCheck.Test.make ~name:"ndb comments and blanks change nothing" ~count:500
+    (QCheck.make QCheck.Gen.(pair (list_size (1 -- 4) entry_gen) (bytes_gen 40)))
+    (fun (entries, junk) ->
+      let entries = List.filter (fun e -> e <> []) entries in
+      (* a comment whose body is arbitrary bytes, minus newlines *)
+      let junk = String.map (fun c -> if c = '\n' then '.' else c) junk in
+      let plain = render_entries entries in
+      let noisy =
+        "# " ^ junk ^ "\n\n" ^ plain ^ "\n# trailing " ^ junk ^ "\n"
+      in
+      Ndb.parse_string noisy = Ndb.parse_string plain)
+
+let () =
+  Alcotest.run "props"
+    [
+      ( "ninep-codec",
+        [
+          Alcotest.test_case "every message type roundtrips" `Quick
+            test_every_type_roundtrips;
+          QCheck_alcotest.to_alcotest prop_decode_arbitrary;
+          QCheck_alcotest.to_alcotest prop_decode_truncated;
+          QCheck_alcotest.to_alcotest prop_decode_mutated;
+        ] );
+      ( "ipaddr",
+        [
+          QCheck_alcotest.to_alcotest prop_ipaddr_roundtrip;
+          QCheck_alcotest.to_alcotest prop_ipaddr_never_raises;
+          QCheck_alcotest.to_alcotest prop_ipaddr_quad;
+        ] );
+      ( "ndb",
+        [
+          QCheck_alcotest.to_alcotest prop_ndb_roundtrip;
+          QCheck_alcotest.to_alcotest prop_ndb_continuation;
+          QCheck_alcotest.to_alcotest prop_ndb_never_raises;
+          QCheck_alcotest.to_alcotest prop_ndb_comments_ignored;
+        ] );
+    ]

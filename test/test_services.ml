@@ -4,15 +4,7 @@
 module F = Ninep.Fcall
 
 let in_world ?(horizon = 240.0) ?cpu_commands ~from f =
-  let w = P9net.World.bell_labs ?cpu_commands () in
-  let finished = ref false in
-  let h = P9net.World.host w from in
-  ignore
-    (P9net.Host.spawn h "test" (fun env ->
-         f w env;
-         finished := true));
-  P9net.World.run ~until:horizon w;
-  Alcotest.(check bool) "test body completed" true !finished
+  Util.in_world ~horizon ?cpu_commands ~from f
 
 (* ---- the cpu service ---- *)
 

@@ -1,0 +1,15 @@
+(* Shared setup for the integration suites: boot the canonical
+   bell-labs world, run the body in a user process on one host, and
+   require it to finish before the horizon — a hung test fails instead
+   of wedging the suite. *)
+
+let in_world ?seed ?cpu_commands ?(horizon = 240.0) ?(from = "philw-gnot") f =
+  let w = P9net.World.bell_labs ?seed ?cpu_commands () in
+  let finished = ref false in
+  let h = P9net.World.host w from in
+  ignore
+    (P9net.Host.spawn h "test" (fun env ->
+         f w env;
+         finished := true));
+  P9net.World.run ~until:horizon w;
+  Alcotest.(check bool) "test body completed" true !finished
