@@ -1,13 +1,29 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check smoke bench bench-cfs bench-faults bench-swarm coverage clean
+.PHONY: all check smoke explore explore-smoke bench bench-cfs bench-faults \
+	bench-swarm bench-guard coverage clean
 
 all:
 	dune build
 
-# Tier-1: full build + every test suite.
+# Tier-1: full build + every test suite + the schedule-exploration
+# smoke sweep (see DESIGN.md, "Schedule exploration").
 check:
 	dune build @runtest
+	$(MAKE) explore-smoke
+
+# Schedule exploration, smoke budget: every registered scenario under
+# FIFO + shuffle seeds 1..5 + adversarial, then the detector self-test
+# against the planted lost-wakeup bug.  Tier-1 time; wired into check.
+explore-smoke:
+	dune exec bin/p9explore.exe
+	dune exec bin/p9explore.exe -- --selftest
+
+# The full sweep: 50 shuffle seeds per scenario.  Not tier-1; run it
+# after touching anything that schedules events, sleeps, or wakeups.
+# Replay any failure it prints with: p9explore -s SCENARIO -p POLICY
+explore:
+	dune exec bin/p9explore.exe -- -n 50
 
 # Observability smoke: run the Table 1 bench with tracing attached and
 # emit BENCH_table1.json.  The bench exits non-zero if any path records
@@ -46,6 +62,15 @@ bench-faults:
 bench-swarm:
 	dune exec bench/main.exe -- swarm
 	@test -s BENCH_swarm.json
+
+# Guard: under the default FIFO policy the scheduling refactor must be
+# invisible — the faults and swarm benches have to reproduce the golden
+# JSONs captured before Sim.Sched existed, byte for byte.
+bench-guard:
+	dune exec bench/main.exe -- faults swarm
+	cmp BENCH_faults.json bench/golden/BENCH_faults.json
+	cmp BENCH_swarm.json bench/golden/BENCH_swarm.json
+	@echo "bench-guard: byte-identical under fifo"
 
 # Line-coverage report via bisect_ppx, when the switch has it; the dune
 # profile only turns instrumentation on under --instrument-with, so the

@@ -1,0 +1,163 @@
+(* p9explore — rerun the closed scenarios of test/scenarios.ml under
+   many same-time tie-break schedules and check that their observable
+   behaviour does not depend on the choice (see DESIGN.md, "Schedule
+   exploration").
+
+     p9explore                    # every scenario, smoke budget
+     p9explore -n 50              # ... with shuffle seeds 1..50
+     p9explore -s il-echo         # one scenario, full sweep
+     p9explore -s X -p shuffle:7  # replay one (scenario, policy) pair
+     p9explore --list             # registry
+     p9explore --selftest         # prove the detector catches the
+                                  # planted lost-wakeup bug
+
+   Every failure prints a one-line repro (`p9explore -s S -p P`) and an
+   event-trace tail.  Exit status: 0 all schedules agreed, 1 failures,
+   2 usage error. *)
+
+open Cmdliner
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "s"; "scenario" ] ~docv:"NAME"
+        ~doc:"Explore only this scenario (see $(b,--list)).")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "p"; "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Run a single schedule: $(b,fifo), $(b,adversarial) or \
+           $(b,shuffle:SEED).  This is the replay knob a failure report \
+           names.")
+
+let nseeds =
+  Arg.(
+    value
+    & opt int (List.length Sim.Explore.smoke_seeds)
+    & info [ "n"; "seeds" ] ~docv:"N"
+        ~doc:"Sweep shuffle seeds 1..N (plus fifo and adversarial).")
+
+let list_flag =
+  Arg.(value & flag & info [ "list" ] ~doc:"List registered scenarios.")
+
+let selftest_flag =
+  Arg.(
+    value & flag
+    & info [ "selftest" ]
+        ~doc:
+          "Arm the planted lost-wakeup bug (Block.Q.chaos_lost_wakeup) \
+           and verify the explorer catches it within the smoke budget.")
+
+let out = prerr_string
+
+let explore_sc policies sc =
+  let name = Sim.Explore.name sc in
+  let fails = Sim.Explore.explore ~out ~policies sc in
+  if fails = [] then
+    Printf.printf "ok   %-16s %d schedules agree\n%!" name
+      (List.length policies)
+  else
+    Printf.printf "FAIL %-16s %d of %d schedules diverged\n%!" name
+      (List.length fails) (List.length policies);
+  fails
+
+let selftest () =
+  match Scenarios.find "queue-race" with
+  | None ->
+    prerr_endline "selftest: queue-race scenario missing";
+    1
+  | Some sc ->
+    let fails =
+      Scenarios.with_planted_bug (fun () ->
+          Sim.Explore.explore ~out:ignore sc)
+    in
+    if fails = [] then begin
+      Printf.printf
+        "SELFTEST FAIL: planted lost-wakeup bug escaped the smoke budget\n";
+      1
+    end
+    else begin
+      let f = List.hd fails in
+      Printf.printf
+        "selftest ok: planted bug caught under %s (%s); clean run %s\n"
+        (Sim.Sched.to_string f.Sim.Explore.f_policy)
+        f.Sim.Explore.f_reason
+        (if Sim.Explore.explore ~out:ignore sc = [] then "agrees"
+         else "STILL FAILING");
+      if Sim.Explore.explore ~out:ignore sc = [] then 0 else 1
+    end
+
+let run scenario policy nseeds list selftest_req =
+  if list then begin
+    List.iter
+      (fun sc ->
+        Printf.printf "%-16s %s\n" (Sim.Explore.name sc)
+          (Sim.Explore.descr sc))
+      Scenarios.all;
+    `Ok 0
+  end
+  else if selftest_req then `Ok (selftest ())
+  else
+    let scs =
+      match scenario with
+      | None -> Ok Scenarios.all
+      | Some name -> (
+        match Scenarios.find name with
+        | Some sc -> Ok [ sc ]
+        | None -> Error (Printf.sprintf "unknown scenario: %s" name))
+    in
+    match scs with
+    | Error e -> `Error (false, e)
+    | Ok scs -> (
+      match policy with
+      | Some p -> (
+        match Sim.Sched.of_string p with
+        | None -> `Error (false, Printf.sprintf "bad policy: %s" p)
+        | Some pol ->
+          let bad =
+            List.concat_map
+              (fun sc ->
+                match Sim.Explore.run_one ~out sc pol with
+                | Ok _ ->
+                  Printf.printf "ok   %-16s %s\n%!" (Sim.Explore.name sc)
+                    (Sim.Sched.to_string pol);
+                  []
+                | Error f -> [ f ])
+              scs
+          in
+          `Ok (if bad = [] then 0 else 1))
+      | None ->
+        let seeds = List.init nseeds (fun i -> i + 1) in
+        let policies = Sim.Explore.policies ~seeds in
+        let bad = List.concat_map (explore_sc policies) scs in
+        if bad <> [] then begin
+          Printf.printf "%d divergent (scenario, schedule) pairs:\n"
+            (List.length bad);
+          List.iter
+            (fun f ->
+              Printf.printf "  p9explore -s %s -p %s   # %s\n"
+                f.Sim.Explore.f_scenario
+                (Sim.Sched.to_string f.Sim.Explore.f_policy)
+                f.Sim.Explore.f_reason)
+            bad
+        end;
+        `Ok (if bad = [] then 0 else 1))
+
+let cmd =
+  let doc = "explore same-time event schedules for ordering bugs" in
+  Cmd.v
+    (Cmd.info "p9explore" ~doc)
+    Term.(
+      ret
+        (const run $ scenario_arg $ policy_arg $ nseeds $ list_flag
+       $ selftest_flag))
+
+let () =
+  match Cmd.eval_value cmd with
+  | Ok (`Ok rc) -> exit rc
+  | Ok _ -> exit 0
+  | Error _ -> exit 2

@@ -99,6 +99,19 @@ module Q = struct
   let set_name q n = q.qname <- n
   let name q = q.qname
 
+  (* Test-only planted ordering bug (see DESIGN.md, "Schedule
+     exploration"): when set, a put onto a non-empty queue skips the
+     reader wakeup on the theory that the wakeup for the earlier block
+     is still pending — a classic lost wakeup.  It is harmless whenever
+     the woken reader drains the queue before the next put (which is
+     what FIFO schedules happen to do here), and strands a reader under
+     schedules where a second reader goes to sleep before a producer's
+     back-to-back puts: the first put wakes the wrong (older) sleeper
+     and the second put's wakeup — the one the young sleeper needed —
+     is the one skipped.
+     Never set outside the explorer's self-test. *)
+  let chaos_lost_wakeup = ref false
+
   let enqueue q b =
     Queue.push b q.items;
     q.nbytes <- q.nbytes + len b;
@@ -107,7 +120,8 @@ module Q = struct
     | Some tr ->
       Obs.Trace.emit tr (Obs.Event.Blk { op = `Alloc; bytes = len b });
       Obs.Trace.bump tr "blk.alloc" 1);
-    Sim.Rendez.wakeup q.readers;
+    if not (!chaos_lost_wakeup && Queue.length q.items > 1) then
+      Sim.Rendez.wakeup q.readers;
     match q.kick with None -> () | Some fn -> fn ()
 
   let force_put q b = if not q.eof then enqueue q b
@@ -147,7 +161,12 @@ module Q = struct
             (Obs.Event.Flow { dev = q.qname; stalled = false; qbytes = q.nbytes })
       end;
       if q.closed then raise Closed);
-    enqueue q b
+    enqueue q b;
+    (* cascade: a drain wakes only one blocked writer; if this put left
+       room, pass the wakeup along so every writer that now fits gets
+       through (found by the schedule explorer: stream-backpressure
+       stranded its second writer under every policy) *)
+    if not (full q) then Sim.Rendez.wakeup q.writers
 
   let dequeue q =
     let b = Queue.pop q.items in
@@ -226,6 +245,12 @@ module Q = struct
             if b.delim then stop := true
           end
       done;
+      (* cascade: this read satisfied one waiter but may have left data
+         behind (a partial take, or a delimiter stop); the enqueue-time
+         wakeup for those bytes was already consumed by us, so wake the
+         next reader ourselves (found by the schedule explorer:
+         stream-read-cascade stranded its second reader) *)
+      if not (Queue.is_empty q.items) then Sim.Rendez.wakeup q.readers;
       Buffer.contents buf
     end
 

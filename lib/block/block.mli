@@ -118,4 +118,12 @@ module Q : sig
   val set_kick : t -> (unit -> unit) option -> unit
   (** Callback invoked (outside process context) whenever a block is
       queued — how a device-end queue wakes its kernel process. *)
+
+  val chaos_lost_wakeup : bool ref
+  (** {e Test-only.}  When set, {!put} onto a non-empty queue skips the
+      reader wakeup — a planted lost-wakeup ordering bug, invisible
+      under FIFO schedules in the explorer's race scenario but fatal
+      under reordered ones.  It exists so the schedule explorer's
+      detector can be asserted against a known bug ([p9explore
+      --selftest]); never set it in real code. *)
 end

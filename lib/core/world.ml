@@ -6,8 +6,8 @@ type t = {
   mutable hosts : (string * Host.t) list;
 }
 
-let create ?seed ?(ether_loss = 0.) ?(ether_bandwidth = 10e6) ~db () =
-  let eng = Sim.Engine.create ?seed () in
+let create ?seed ?sched ?(ether_loss = 0.) ?(ether_bandwidth = 10e6) ~db () =
+  let eng = Sim.Engine.create ?seed ?sched () in
   {
     eng;
     ether =
@@ -98,9 +98,9 @@ udp=dns	port=53
 
 let mit_zone_ndb = "dom=ai.mit.edu ip=135.104.9.99\n"
 
-let bell_labs ?seed ?ether_loss ?(cpu_commands = []) () =
+let bell_labs ?seed ?sched ?ether_loss ?(cpu_commands = []) () =
   let db = Ndb.of_string bell_labs_ndb in
-  let w = create ?seed ?ether_loss ~db () in
+  let w = create ?seed ?sched ?ether_loss ~db () in
   let helix = add_host ~dns_server:true w "helix" in
   let musca = add_host w "musca" in
   let _bootes = add_host w "bootes" in

@@ -17,12 +17,15 @@ type t = {
 
 val create :
   ?seed:int ->
+  ?sched:Sim.Sched.policy ->
   ?ether_loss:float ->
   ?ether_bandwidth:float ->
   db:Ndb.t ->
   unit ->
   t
-(** Fresh media + engine; no hosts yet. *)
+(** Fresh media + engine; no hosts yet.  [sched] picks the engine's
+    same-time tie-break policy (default FIFO) — schedule exploration
+    builds whole worlds under adversarial orderings through this. *)
 
 val add_host :
   ?il_config:Inet.Il.config ->
@@ -50,6 +53,7 @@ val bell_labs_ndb : string
 
 val bell_labs :
   ?seed:int ->
+  ?sched:Sim.Sched.policy ->
   ?ether_loss:float ->
   ?cpu_commands:(string * Cpu_cmd.command) list ->
   unit ->

@@ -2,12 +2,65 @@ let src = Logs.Src.create "sim" ~doc:"discrete-event simulation kernel"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-(* Event queue: a binary min-heap ordered by (time, serial).  The serial
-   number makes same-time events FIFO, which is what determinism
-   requires. *)
+(* Tie-break policy for same-timestamp events.  Everything at distinct
+   times is ordered by time; within an equal-time batch the policy
+   decides, and every policy is a pure function of (policy, serial) so
+   a given (policy, seed) pair names exactly one schedule. *)
+module Sched = struct
+  type policy =
+    | Fifo  (* scheduling order: the historical behaviour *)
+    | Shuffle of int  (* seeded deterministic permutation of each batch *)
+    | Adversarial  (* LIFO: newest same-time event first *)
+
+  let to_string = function
+    | Fifo -> "fifo"
+    | Shuffle seed -> Printf.sprintf "shuffle:%d" seed
+    | Adversarial -> "adversarial"
+
+  let of_string s =
+    match String.lowercase_ascii (String.trim s) with
+    | "fifo" -> Some Fifo
+    | "adversarial" | "lifo" -> Some Adversarial
+    | s -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "shuffle" -> (
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt rest with
+        | Some seed -> Some (Shuffle seed)
+        | None -> None)
+      | _ -> None)
+
+  (* splitmix64-style finalizer: a deterministic hash of (seed, serial)
+     used as the shuffle rank.  Ordering an equal-time batch by a
+     per-entry random key is exactly a seeded random permutation of the
+     batch, and it needs no batch boundary bookkeeping in the heap. *)
+  let mix seed serial =
+    let open Int64 in
+    let z = add (mul (of_int (serial + 1)) 0x9E3779B97F4A7C15L) (of_int seed) in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = logxor z (shift_right_logical z 31) in
+    (* keep ranks well below max_int so deferred entries always lose *)
+    to_int (shift_right_logical z 34)
+end
+
+(* Scheduling class: [Deferred] entries are polling/yield rescheduling
+   loops (Proc.kill's retry, Time.yield) that must run after every
+   ordinary same-time event no matter the policy — under Adversarial a
+   LIFO-ordered self-rescheduling poll would livelock, and Time.yield's
+   contract is "after already-queued same-time events" by definition.
+   Under Fifo both classes rank 0, preserving the historical order
+   byte for byte. *)
+type sched_cls = Normal | Deferred
+
+(* Event queue: a binary min-heap ordered by (time, rank, serial).  The
+   rank is the policy's tie-break key (0 under Fifo, so same-time events
+   fall through to serial order = FIFO, which is what the default
+   deterministic schedule requires). *)
 module Heap = struct
   type entry = {
     time : float;
+    rank : int;  (* policy tie-break within an equal-time batch *)
     serial : int;
     mutable live : bool;  (* cancelled entries are skipped on pop *)
     fn : unit -> unit;
@@ -15,11 +68,14 @@ module Heap = struct
 
   type t = { mutable a : entry array; mutable n : int }
 
-  let dummy = { time = 0.; serial = 0; live = false; fn = ignore }
+  let dummy = { time = 0.; rank = 0; serial = 0; live = false; fn = ignore }
 
   let create () = { a = Array.make 64 dummy; n = 0 }
 
-  let before x y = x.time < y.time || (x.time = y.time && x.serial < y.serial)
+  let before x y =
+    x.time < y.time
+    || (x.time = y.time
+       && (x.rank < y.rank || (x.rank = y.rank && x.serial < y.serial)))
 
   let push h e =
     if h.n = Array.length h.a then begin
@@ -75,6 +131,7 @@ type engine = {
   mutable now : float;
   heap : Heap.t;
   mutable serial : int;
+  sched : Sched.policy;
   rng : Random.State.t;
   mutable procs : proc list;  (* live processes, newest first *)
   mutable crashes : (string * exn) list;
@@ -93,14 +150,22 @@ and proc = {
   mutable exit_waiters : (unit -> unit) list;
 }
 
-let schedule_entry eng time fn =
+let rank_of sched cls serial =
+  match (sched, cls) with
+  | Sched.Fifo, _ -> 0
+  | _, Deferred -> max_int
+  | Sched.Shuffle seed, Normal -> Sched.mix seed serial
+  | Sched.Adversarial, Normal -> -serial
+
+let schedule_entry ?(cls = Normal) eng time fn =
   let time = if time < eng.now then eng.now else time in
   eng.serial <- eng.serial + 1;
-  let e = { Heap.time; serial = eng.serial; live = true; fn } in
+  let rank = rank_of eng.sched cls eng.serial in
+  let e = { Heap.time; rank; serial = eng.serial; live = true; fn } in
   Heap.push eng.heap e;
   e
 
-let schedule_at eng time fn = ignore (schedule_entry eng time fn)
+let schedule_at ?cls eng time fn = ignore (schedule_entry ?cls eng time fn)
 
 (* The process currently executing, if any.  Engines never run
    concurrently, so a single global is safe and avoids threading a
@@ -115,11 +180,12 @@ type _ Effect.t +=
 module Engine = struct
   type t = engine
 
-  let create ?(seed = 9) () =
+  let create ?(seed = 9) ?(sched = Sched.Fifo) () =
     {
       now = 0.;
       heap = Heap.create ();
       serial = 0;
+      sched;
       rng = Random.State.make [| seed; 0x9b4e |];
       procs = [];
       crashes = [];
@@ -130,13 +196,14 @@ module Engine = struct
 
   let now t = t.now
   let random t = t.rng
+  let sched t = t.sched
 
   let attach_obs t tr =
     Obs.Trace.set_clock tr (fun () -> t.now);
     t.obs <- Some tr
 
   let obs t = t.obs
-  let at = schedule_at
+  let at t time fn = schedule_at t time fn
   let after t dt fn = schedule_at t (t.now +. dt) fn
   let pending t = t.heap.Heap.n
   let events t = t.events
@@ -308,13 +375,16 @@ module Proc = struct
       (* The kill lands when the victim next suspends: we poll cheaply
          by scheduling a check; a Ready proc will be Suspended or Dead
          once its current event completes. *)
+      (* Deferred class: the poll must run after the victim's pending
+         same-time work under every policy, or an adversarial schedule
+         would run the poll ahead of the victim forever. *)
       let rec retry () =
         match p.state with
         | Dead -> ()
         | Suspended abort -> abort Killed
-        | Ready | Running -> schedule_at p.eng p.eng.now retry
+        | Ready | Running -> schedule_at ~cls:Deferred p.eng p.eng.now retry
       in
-      schedule_at p.eng p.eng.now retry
+      schedule_at ~cls:Deferred p.eng p.eng.now retry
 
   let join p =
     if alive p then
@@ -326,9 +396,12 @@ end
 module Time = struct
   let sleep eng dt =
     (* the timer entry is cancelled when the sleep settles, so a killed
-       process leaves no phantom event behind *)
+       process leaves no phantom event behind.  A zero-length sleep is a
+       yield, whose contract is "after already-queued same-time events"
+       under every policy — hence the Deferred class. *)
+    let cls = if dt <= 0. then Deferred else Normal in
     Proc.suspend ~register:(fun ~resume ~abort:_ ->
-        let e = schedule_entry eng (eng.now +. dt) (fun () -> resume ()) in
+        let e = schedule_entry ~cls eng (eng.now +. dt) (fun () -> resume ()) in
         fun () -> e.Heap.live <- false)
 
   let yield eng = sleep eng 0.
@@ -486,4 +559,157 @@ module Mbox = struct
 
   let try_recv mb = Queue.take_opt mb.q
   let length mb = Queue.length mb.q
+end
+
+(* Schedule exploration: rerun a closed scenario under many tie-break
+   policies and check that its observable behaviour is independent of
+   same-time orderings.  Every run is named by a (policy) pair — the
+   policy string carries the shuffle seed — so a failure is a one-line
+   repro. *)
+module Explore = struct
+  type outcome = {
+    o_transcript : string;
+    o_stalled : string list;
+    o_crash : string option;
+    o_counters : (string * int) list;
+    o_events : int;
+  }
+
+  type bound = { b_counter : string; b_min : int; b_max : int }
+
+  type scenario = {
+    sc_name : string;
+    sc_descr : string;
+    sc_schedule_dependent : bool;
+    sc_check : outcome -> (unit, string) result;
+    sc_bounds : bound list;
+    sc_run : sched:Sched.policy -> trace:Obs.Trace.t option -> outcome;
+  }
+
+  let scenario ?(descr = "") ?(schedule_dependent = false)
+      ?(check = fun _ -> Ok ()) ?(bounds = []) name run =
+    {
+      sc_name = name;
+      sc_descr = descr;
+      sc_schedule_dependent = schedule_dependent;
+      sc_check = check;
+      sc_bounds = bounds;
+      sc_run = run;
+    }
+
+  let name sc = sc.sc_name
+  let descr sc = sc.sc_descr
+
+  type failure = {
+    f_scenario : string;
+    f_policy : Sched.policy;
+    f_reason : string;
+  }
+
+  let policies ~seeds =
+    (Sched.Fifo :: List.map (fun s -> Sched.Shuffle s) seeds)
+    @ [ Sched.Adversarial ]
+
+  let smoke_seeds = [ 1; 2; 3; 4; 5 ]
+
+  (* the per-run invariants; [baseline] is the Fifo transcript *)
+  let judge sc ~baseline (o : outcome) =
+    let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+    let* () =
+      match o.o_crash with
+      | Some e -> Error (Printf.sprintf "uncaught crash: %s" e)
+      | None -> Ok ()
+    in
+    let* () =
+      match o.o_stalled with
+      | [] -> Ok ()
+      | names ->
+        Error
+          (Printf.sprintf "stalled processes: %s" (String.concat ", " names))
+    in
+    let* () =
+      List.fold_left
+        (fun acc b ->
+          let* () = acc in
+          let v =
+            match List.assoc_opt b.b_counter o.o_counters with
+            | Some v -> v
+            | None -> 0
+          in
+          if v < b.b_min || v > b.b_max then
+            Error
+              (Printf.sprintf "counter %s = %d outside [%d, %d]" b.b_counter
+                 v b.b_min b.b_max)
+          else Ok ())
+        (Ok ()) sc.sc_bounds
+    in
+    let* () = sc.sc_check o in
+    match baseline with
+    | Some base
+      when (not sc.sc_schedule_dependent) && o.o_transcript <> base ->
+      Error "transcript differs from the fifo baseline"
+    | _ -> Ok ()
+
+  let render_trace ?(tail = 30) tr =
+    let evs = Obs.Trace.events tr in
+    let n = List.length evs in
+    let evs =
+      if n <= tail then evs
+      else
+        List.filteri (fun i _ -> i >= n - tail) evs
+    in
+    let buf = Buffer.create 1024 in
+    if n > tail then
+      Printf.bprintf buf "  ... (%d earlier events in the ring)\n" (n - tail);
+    List.iter
+      (fun (t, seq, e) ->
+        Printf.bprintf buf "  [%6d] %.6f %s\n" seq t (Obs.Event.render e))
+      evs;
+    Buffer.contents buf
+
+  (* run one (scenario, policy); on an invariant violation, rerun once
+     with a trace attached and hand the rendered tail to [out] *)
+  let run_one ?(out = prerr_string) ?baseline sc policy =
+    let o = sc.sc_run ~sched:policy ~trace:None in
+    match judge sc ~baseline o with
+    | Ok () -> Ok o
+    | Error reason ->
+      let f = { f_scenario = sc.sc_name; f_policy = policy; f_reason = reason } in
+      out
+        (Printf.sprintf "FAIL %s sched=%s: %s\n" sc.sc_name
+           (Sched.to_string policy) reason);
+      out
+        (Printf.sprintf "  repro: p9explore -s %s -p %s\n" sc.sc_name
+           (Sched.to_string policy));
+      (* the replay: same (policy, seed), tracing attached *)
+      let tr = Obs.Trace.create () in
+      let o2 = sc.sc_run ~sched:policy ~trace:(Some tr) in
+      out "  replay with tracing attached — event tail:\n";
+      out (render_trace tr);
+      (match o2.o_crash with
+      | Some e -> out (Printf.sprintf "  replay crash: %s\n" e)
+      | None -> ());
+      if o2.o_transcript <> o.o_transcript then
+        out "  (warning: replay transcript differs from the failing run)\n";
+      Error f
+
+  (* explore a scenario across [policies]; Fifo runs first and its
+     transcript is the cross-schedule baseline *)
+  let explore ?(out = prerr_string) ?(policies = policies ~seeds:smoke_seeds)
+      sc =
+    let baseline = ref None in
+    (* make sure Fifo is explored first so the baseline exists *)
+    let policies =
+      if List.mem Sched.Fifo policies then
+        Sched.Fifo :: List.filter (fun p -> p <> Sched.Fifo) policies
+      else policies
+    in
+    List.filter_map
+      (fun policy ->
+        match run_one ~out ?baseline:!baseline sc policy with
+        | Ok o ->
+          if policy = Sched.Fifo then baseline := Some o.o_transcript;
+          None
+        | Error f -> Some f)
+      policies
 end

@@ -6,17 +6,53 @@
     queue; {!Proc.spawn} creates a cooperative process implemented with
     OCaml 5 effect handlers.  Processes run until they block on a
     {!Rendez.t}, an {!Mbox.t}, a {!Time.sleep}, or exit.  Execution is
-    fully deterministic: events at equal timestamps fire in FIFO order
-    and all randomness flows from the engine's seeded {!Engine.random}
-    state, so every test and benchmark is reproducible. *)
+    fully deterministic: events at equal timestamps fire in the order
+    the engine's {!Sched.policy} dictates (FIFO by default) and all
+    randomness flows from the engine's seeded {!Engine.random} state, so
+    every test and benchmark is reproducible. *)
+
+module Sched : sig
+  type policy =
+    | Fifo
+        (** same-time events fire in scheduling order — the historical
+            behaviour, byte-identical to pre-policy engines *)
+    | Shuffle of int
+        (** each equal-time batch fires in a deterministic seeded random
+            permutation; the same seed always yields the same schedule *)
+    | Adversarial
+        (** LIFO: the newest same-time event fires first, driving
+            depth-first wakeup chains and starving the oldest work —
+            the nastiest legal ordering *)
+  (** Tie-break policy for same-timestamp events.  Any of these is a
+      {e legal} concurrency interleaving of the simulated kernel
+      processes; code whose observable behaviour depends on the choice
+      has an ordering bug.  Polling/yield reschedules ({!Proc.kill}'s
+      retry, {!Time.yield}) are exempt from reordering — they always run
+      after the ordinary same-time events, preserving their contract and
+      ruling out adversarial livelock. *)
+
+  val to_string : policy -> string
+  (** ["fifo"], ["shuffle:SEED"], ["adversarial"]. *)
+
+  val of_string : string -> policy option
+  (** Inverse of {!to_string} (also accepts ["lifo"]). *)
+
+  val mix : int -> int -> int
+  (** [mix seed serial] — the deterministic rank hash behind
+      [Shuffle].  Exposed for tests. *)
+end
 
 module Engine : sig
   type t
   (** A simulation world: virtual clock, event queue, process table. *)
 
-  val create : ?seed:int -> unit -> t
-  (** [create ?seed ()] makes an empty world.  [seed] (default 9) seeds
-      {!random}. *)
+  val create : ?seed:int -> ?sched:Sched.policy -> unit -> t
+  (** [create ?seed ?sched ()] makes an empty world.  [seed] (default 9)
+      seeds {!random}; [sched] (default {!Sched.Fifo}) picks the
+      same-time tie-break policy. *)
+
+  val sched : t -> Sched.policy
+  (** The tie-break policy this engine runs under. *)
 
   val now : t -> float
   (** Current virtual time in seconds. *)
@@ -205,4 +241,86 @@ module Mbox : sig
 
   val try_recv : 'a t -> 'a option
   val length : 'a t -> int
+end
+
+module Explore : sig
+  (** Schedule exploration: rerun a closed scenario under many
+      {!Sched.policy} choices and check that its observable behaviour is
+      independent of same-time event orderings (FoundationDB-style
+      deterministic simulation testing, restricted to tie-breaks).
+      Every failure names its exact [(policy, seed)] pair — the policy
+      string carries the shuffle seed — and is replayed once with
+      tracing attached, so each bug is a one-line repro:
+      [p9explore -s SCENARIO -p shuffle:SEED]. *)
+
+  type outcome = {
+    o_transcript : string;
+        (** the scenario's observable record; compared byte-for-byte
+            against the Fifo baseline unless the scenario declares
+            itself schedule-dependent *)
+    o_stalled : string list;
+        (** processes left blocked forever, from {!Engine.stalled},
+            minus whatever daemons the scenario expects to idle *)
+    o_crash : string option;  (** first uncaught process crash *)
+    o_counters : (string * int) list;  (** Obs counters, if traced *)
+    o_events : int;  (** live engine events executed *)
+  }
+
+  type bound = { b_counter : string; b_min : int; b_max : int }
+  (** An inclusive range an Obs counter must land in (missing counter
+      reads as 0). *)
+
+  type scenario
+
+  val scenario :
+    ?descr:string ->
+    ?schedule_dependent:bool ->
+    ?check:(outcome -> (unit, string) result) ->
+    ?bounds:bound list ->
+    string ->
+    (sched:Sched.policy -> trace:Obs.Trace.t option -> outcome) ->
+    scenario
+  (** [scenario name run] wraps a closed scenario.  [run] must build a
+      {e fresh} world with [Engine.create ~sched], attach [trace] when
+      given (the failure replay passes one), execute to quiescence, and
+      report.  [schedule_dependent] exempts the transcript from the
+      cross-schedule identity check — [check] then carries the
+      schedule-independent properties.  [bounds] constrain counters on
+      every run. *)
+
+  val name : scenario -> string
+  val descr : scenario -> string
+
+  type failure = {
+    f_scenario : string;
+    f_policy : Sched.policy;
+    f_reason : string;
+  }
+
+  val policies : seeds:int list -> Sched.policy list
+  (** [Fifo :: Shuffle seeds @ [Adversarial]] — the standard sweep. *)
+
+  val smoke_seeds : int list
+  (** The fixed shuffle seeds of the tier-1 smoke budget ([1..5]). *)
+
+  val run_one :
+    ?out:(string -> unit) ->
+    ?baseline:string ->
+    scenario ->
+    Sched.policy ->
+    (outcome, failure) result
+  (** Run one (scenario, policy) and judge the invariants: no crash, no
+      stall, counters within bounds, [check] holds, transcript equals
+      [baseline] when given.  On failure, prints the repro line to [out]
+      (default stderr), reruns once with tracing attached and prints the
+      event tail. *)
+
+  val explore :
+    ?out:(string -> unit) ->
+    ?policies:Sched.policy list ->
+    scenario ->
+    failure list
+  (** Sweep the policy list (default: smoke budget).  Fifo always runs
+      first; its transcript becomes the cross-schedule baseline.  An
+      empty result means every schedule agreed. *)
 end

@@ -1,0 +1,457 @@
+(* The scenario registry for schedule exploration (Sim.Explore).
+
+   Each scenario is a closed, seed-free workload: it builds a fresh
+   world under the tie-break policy the explorer hands it, runs to
+   quiescence, and reports an observable transcript.  The explorer
+   reruns every scenario under FIFO, seeded-shuffle, and adversarial
+   schedules and requires the transcript (or, for schedule-dependent
+   scenarios, the declared properties) to survive every legal same-time
+   ordering.  Used by both `dune runtest` (test_explore) and the
+   p9explore CLI / `make explore`.
+
+   Conventions: every process a scenario owns carries an "sc:" marker in
+   its name; those are the processes that must not be left stalled.
+   Daemons of the standing world (listeners, protocol kprocs) park
+   themselves blocked by design and are exempt. *)
+
+module E = Sim.Explore
+
+let contains_marker n =
+  let marker = "sc:" in
+  let m = String.length marker and ln = String.length n in
+  let rec find i = i + m <= ln && (String.sub n i m = marker || find (i + 1)) in
+  find 0
+
+let outcome eng tr buf ~finished ~crash =
+  let stalled = List.filter contains_marker (Sim.Engine.stalled eng) in
+  let crash =
+    match crash with
+    | Some _ as c -> c
+    | None when (not finished) && stalled = [] ->
+      Some "scenario body did not finish before the horizon"
+    | None -> None
+  in
+  {
+    E.o_transcript = Buffer.contents buf;
+    o_stalled = stalled;
+    o_crash = crash;
+    o_counters = Obs.Metrics.counters (Obs.Trace.metrics tr);
+    o_events = Sim.Engine.events eng;
+  }
+
+(* a raw-engine scenario: the body runs inside a process named sc:main
+   on a bare engine, and may spawn more sc:-marked workers *)
+let raw ?descr ?schedule_dependent ?check ?bounds ?(horizon = 240.0) name body
+    =
+  E.scenario name ?descr ?schedule_dependent ?check ?bounds
+    (fun ~sched ~trace ->
+      let eng = Sim.Engine.create ~sched () in
+      let tr =
+        match trace with
+        | Some tr -> tr
+        | None -> Obs.Trace.create ~capacity:512 ()
+      in
+      Sim.Engine.attach_obs eng tr;
+      let buf = Buffer.create 256 in
+      let say s =
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n'
+      in
+      let finished = ref false in
+      let crash = ref None in
+      ignore
+        (Sim.Proc.spawn eng ~name:"sc:main" (fun () ->
+             body eng say;
+             finished := true));
+      (try Sim.Engine.run ~until:horizon eng
+       with e -> crash := Some (Printexc.to_string e));
+      outcome eng tr buf ~finished:!finished ~crash:!crash)
+
+(* a bell-labs-world scenario: the body runs as a user process on
+   [from]; [prep] runs before any event fires (seed files, etc.) *)
+let world ?descr ?schedule_dependent ?check ?bounds ?(horizon = 240.0)
+    ?(from = "philw-gnot") ?prep name body =
+  E.scenario name ?descr ?schedule_dependent ?check ?bounds
+    (fun ~sched ~trace ->
+      let w = P9net.World.bell_labs ~sched () in
+      let eng = w.P9net.World.eng in
+      let tr =
+        match trace with
+        | Some tr -> tr
+        | None -> Obs.Trace.create ~capacity:512 ()
+      in
+      Sim.Engine.attach_obs eng tr;
+      (match prep with Some f -> f w | None -> ());
+      let buf = Buffer.create 256 in
+      let say s =
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n'
+      in
+      let finished = ref false in
+      let crash = ref None in
+      let h = P9net.World.host w from in
+      ignore
+        (P9net.Host.spawn h "sc:main" (fun env ->
+             (* let the world boot: every host's service daemons must
+                have announced before a closed workload starts dialing,
+                whatever order the t=0 batch ran in *)
+             Sim.Time.sleep eng 1.0;
+             body w env say;
+             finished := true));
+      (try P9net.World.run ~until:horizon w
+       with e -> crash := Some (Printexc.to_string e));
+      outcome eng tr buf ~finished:!finished ~crash:!crash)
+
+(* ---- IL and TCP: connect / transfer / close through dial ---- *)
+
+let echo_scenario name proto =
+  world name ~from:"musca"
+    ~descr:
+      (Printf.sprintf "%s connect/transfer/close against helix's echo service"
+         (String.uppercase_ascii proto))
+    (fun _w env say ->
+      let conn = P9net.Dial.dial env (Printf.sprintf "%s!helix!echo" proto) in
+      for i = 1 to 4 do
+        let msg = Printf.sprintf "%s ping %d" proto i in
+        ignore (Vfs.Env.write env conn.P9net.Dial.data_fd msg);
+        let reply = Vfs.Env.read env conn.P9net.Dial.data_fd 8192 in
+        say (Printf.sprintf "reply %d: %s" i reply)
+      done;
+      P9net.Dial.hangup env conn;
+      say "closed")
+
+let il_echo = echo_scenario "il-echo" "il"
+let tcp_echo = echo_scenario "tcp-echo" "tcp"
+
+(* ---- announce backlog: a full accept queue refuses cleanly ---- *)
+
+let backlog =
+  raw "backlog-refusal"
+    ~descr:"three same-time callers against a backlog of two; one refused"
+    (fun eng say ->
+      let seg = Netsim.Ether.create ~name:"e0" eng in
+      let mk n addr =
+        let nic =
+          Netsim.Ether.attach seg
+            (Netsim.Eaddr.of_string (Printf.sprintf "08006902%04x" n))
+        in
+        let port = Inet.Etherport.create eng nic in
+        Inet.Ip.create
+          ~addr:(Inet.Ipaddr.of_string addr)
+          ~mask:(Inet.Ipaddr.of_string "255.255.255.0")
+          port
+      in
+      let ila = Inet.Il.attach (mk 1 "10.0.0.1") in
+      let ilb = Inet.Il.attach (mk 2 "10.0.0.2") in
+      let lis = Inet.Il.announce ilb ~backlog:2 ~port:7 in
+      let connected = ref 0 and refused = ref 0 in
+      let client i delay =
+        ignore
+          (Sim.Proc.spawn eng ~name:(Printf.sprintf "sc:caller%d" i)
+             (fun () ->
+               Sim.Time.sleep eng delay;
+               match
+                 Inet.Il.connect ila
+                   ~raddr:(Inet.Ipaddr.of_string "10.0.0.2") ~rport:7
+               with
+               | _ -> incr connected
+               | exception Inet.Il.Refused _ -> incr refused))
+      in
+      (* three callers land at the same instant, before anyone accepts;
+         which one is refused is a schedule choice but the counts are
+         not *)
+      client 1 1.0;
+      client 2 1.0;
+      client 3 1.0;
+      ignore
+        (Sim.Proc.spawn eng ~name:"sc:server" (fun () ->
+             Sim.Time.sleep eng 5.0;
+             ignore (Inet.Il.listen lis);
+             ignore (Inet.Il.listen lis);
+             ignore (Inet.Il.listen lis)));
+      (* a late caller proves the listener was not wedged *)
+      client 4 10.0;
+      Sim.Time.sleep eng 30.0;
+      say
+        (Printf.sprintf "connected=%d refused=%d listener_refused=%d"
+           !connected !refused (Inet.Il.refused lis)))
+
+(* ---- 9P over a mount: walk / read / write / remove ---- *)
+
+let ninep_mount =
+  raw "9p-mount" ~descr:"mount a served ramfs and walk/read/write through it"
+    (fun eng say ->
+      let local = Ninep.Ramfs.make ~name:"root" () in
+      Ninep.Ramfs.mkdir local "/mnt";
+      let remote = Ninep.Ramfs.make ~name:"remote" () in
+      Ninep.Ramfs.mkdir remote "/sub";
+      Ninep.Ramfs.add_file remote "/sub/greeting" "hello from the server";
+      let ct, st = Ninep.Transport.pipe eng in
+      let _srv = Ninep.Server.serve eng (Ninep.Ramfs.fs remote) st in
+      let ns = Vfs.Ns.make ~root:(Ninep.Ramfs.fs local) ~uname:"u" in
+      let env = Vfs.Env.make ~ns ~uname:"u" in
+      let client = Ninep.Client.make eng ct in
+      Ninep.Client.session client;
+      Vfs.Env.mount env client ~onto:"/mnt" Vfs.Ns.Repl;
+      say (Printf.sprintf "read: %s" (Vfs.Env.read_file env "/mnt/sub/greeting"));
+      Vfs.Env.write_file env "/mnt/sub/out" "written through the mount";
+      say (Printf.sprintf "readback: %s" (Vfs.Env.read_file env "/mnt/sub/out"));
+      let names =
+        List.map (fun d -> d.Ninep.Fcall.d_name) (Vfs.Env.ls env "/mnt/sub")
+      in
+      say (Printf.sprintf "ls: %s" (String.concat "," (List.sort compare names)));
+      Vfs.Env.remove env "/mnt/sub/out";
+      say
+        (Printf.sprintf "removed: %b"
+           (match Vfs.Env.stat env "/mnt/sub/out" with
+           | _ -> false
+           | exception Vfs.Chan.Error _ -> true)))
+
+(* ---- cfs: coherence across a foreign write ---- *)
+
+let cfs_coherence =
+  raw "cfs-coherence"
+    ~descr:"cached read, foreign rewrite behind the cache, fresh reopen"
+    (fun eng say ->
+      let ram = Ninep.Ramfs.make ~name:"ram" () in
+      Ninep.Ramfs.add_file ram "/f" "old contents";
+      let up_ct, up_st = Ninep.Transport.pipe eng in
+      let _srv = Ninep.Server.serve eng (Ninep.Ramfs.fs ram) up_st in
+      let cache = Cfs.make eng ~upstream:up_ct () in
+      let foreign_ct, foreign_st = Ninep.Transport.pipe eng in
+      let _srv2 = Ninep.Server.serve eng (Ninep.Ramfs.fs ram) foreign_st in
+      let c = Ninep.Client.make eng (Cfs.transport cache) in
+      Ninep.Client.session c;
+      let fc = Ninep.Client.make eng foreign_ct in
+      Ninep.Client.session fc;
+      let open_file cl path mode =
+        let root = Ninep.Client.attach cl ~uname:"u" ~aname:"" in
+        let fid =
+          Ninep.Client.walk_path cl root
+            (List.filter (fun s -> s <> "") (String.split_on_char '/' path))
+        in
+        ignore (Ninep.Client.open_ cl fid mode);
+        Ninep.Client.clunk cl root;
+        fid
+      in
+      let fid = open_file c "/f" Ninep.Fcall.Oread in
+      say (Printf.sprintf "cold: %s" (Ninep.Client.read_all c fid));
+      Ninep.Client.clunk c fid;
+      (* someone else rewrites the file behind the cache's back *)
+      let wfid = open_file fc "/f" Ninep.Fcall.Owrite in
+      ignore (Ninep.Client.write fc wfid ~offset:0L "NEW contents");
+      Ninep.Client.clunk fc wfid;
+      let fid2 = open_file c "/f" Ninep.Fcall.Oread in
+      say (Printf.sprintf "fresh: %s" (Ninep.Client.read_all c fid2));
+      say
+        (Printf.sprintf "invalidated: %b"
+           (Cfs.counter cache "invalidations" > 0));
+      Ninep.Client.clunk c fid2)
+
+(* ---- URP over Datakit ---- *)
+
+let urp_dk =
+  raw "urp-dk" ~descr:"URP message echo across the Datakit switch"
+    (fun eng say ->
+      let sw = Dk.Switch.create ~name:"dk" eng in
+      let helix = Dk.Switch.attach sw ~name:"nj/astro/helix" in
+      let gnot = Dk.Switch.attach sw ~name:"nj/astro/gnot" in
+      ignore
+        (Sim.Proc.spawn eng ~name:"sc:urp-server" (fun () ->
+             let calls = Dk.Circuit.announce helix ~service:"urp" in
+             let inc = Sim.Mbox.recv calls in
+             let conv = Dk.Urp.over (Dk.Circuit.accept inc) in
+             let rec go () =
+               match Dk.Urp.read_msg conv with
+               | Some m ->
+                 Dk.Urp.write conv ("re:" ^ m);
+                 go ()
+               | None -> ()
+             in
+             go ()));
+      (* let the server's announce land before placing the call *)
+      Sim.Time.sleep eng 0.5;
+      let circ = Dk.Circuit.dial gnot ~dest:"nj/astro/helix" ~service:"urp" in
+      let conv = Dk.Urp.over circ in
+      List.iter
+        (fun m ->
+          Dk.Urp.write conv m;
+          match Dk.Urp.read_msg conv with
+          | Some r -> say (Printf.sprintf "echo: %s" r)
+          | None -> say "echo: EOF")
+        [ "one"; "two"; String.make 5000 'x' ];
+      Dk.Urp.close conv;
+      say "closed")
+
+(* ---- exportfs round trip, over the Datakit gateway host ---- *)
+
+let exportfs_rt =
+  world "exportfs" ~from:"philw-gnot"
+    ~descr:"import a helix tree over URP/dk; write, read back, remove"
+    ~prep:(fun w ->
+      Ninep.Ramfs.mkdir (P9net.World.host w "helix").P9net.Host.root "/tmp/sc")
+    (fun w env say ->
+      P9net.Exportfs.import w.P9net.World.eng env ~host:"helix"
+        ~remote_root:"/tmp/sc" ~onto:"/n" ~flag:Vfs.Ns.Repl ();
+      Vfs.Env.write_file env "/n/hello" "hello from gnot";
+      say (Printf.sprintf "readback: %s" (Vfs.Env.read_file env "/n/hello"));
+      let names =
+        List.map (fun d -> d.Ninep.Fcall.d_name) (Vfs.Env.ls env "/n")
+      in
+      say (Printf.sprintf "ls: %s" (String.concat "," (List.sort compare names)));
+      Vfs.Env.remove env "/n/hello";
+      say
+        (Printf.sprintf "removed: %b"
+           (match Vfs.Env.stat env "/n/hello" with
+           | _ -> false
+           | exception Vfs.Chan.Error _ -> true)))
+
+(* ---- streams under backpressure: every blocked writer must drain ---- *)
+
+(* Two writers block on a full stream queue; the consumer drains the
+   whole backlog in one read.  Both writers must complete — a queue
+   that wakes exactly one writer per take strands the other. *)
+let stream_backpressure =
+  raw "stream-backpressure"
+    ~descr:"two writers blocked on a full stream; one big drain frees both"
+    (fun eng say ->
+      let a, b = Streams.Pipe.create ~qlimit:1024 eng in
+      (* fill b's read queue past its limit so later writers block *)
+      Streams.write a (String.make 1200 'f');
+      let writer id delay =
+        ignore
+          (Sim.Proc.spawn eng
+             ~name:(Printf.sprintf "sc:w%d" id)
+             (fun () ->
+               Sim.Time.sleep eng delay;
+               Streams.write a (String.make 100 (Char.chr (Char.code '0' + id)));
+               say (Printf.sprintf "writer %d done" id)))
+      in
+      writer 1 0.5;
+      writer 2 0.6;
+      ignore
+        (Sim.Proc.spawn eng ~name:"sc:consumer" (fun () ->
+             Sim.Time.sleep eng 1.0;
+             let data = Streams.read b 4096 in
+             say (Printf.sprintf "drained %d bytes" (String.length data)))))
+
+(* One 200-byte delimited message, two 100-byte readers blocked before
+   it lands.  The first reader stops at its byte count, leaving half the
+   block queued — the second must still be woken to take it. *)
+let stream_read_cascade =
+  raw "stream-read-cascade"
+    ~descr:"two byte-readers split one delimited message"
+    (fun eng say ->
+      let a, b = Streams.Pipe.create eng in
+      let reader id delay =
+        ignore
+          (Sim.Proc.spawn eng
+             ~name:(Printf.sprintf "sc:r%d" id)
+             (fun () ->
+               Sim.Time.sleep eng delay;
+               let data = Streams.read b 100 in
+               say (Printf.sprintf "reader %d got %d bytes" id
+                      (String.length data))))
+      in
+      reader 1 0.5;
+      reader 2 0.6;
+      ignore
+        (Sim.Proc.spawn eng ~name:"sc:producer" (fun () ->
+             Sim.Time.sleep eng 1.0;
+             Streams.write a (String.make 200 'm');
+             say "wrote 200")))
+
+(* ---- the queue race: the planted-bug detector's hunting ground ---- *)
+
+(* Per round: R1 is already asleep on the queue; a producer that pushes
+   two blocks back-to-back (no suspension between the puts) and a second
+   reader land at the same instant.  Whichever order the schedule picks,
+   both blocks must reach a reader.  With Block.Q.chaos_lost_wakeup
+   planted, any schedule that runs R2 before the producer strands R2
+   forever: R2 parks, put #1 wakes R1 (the longer sleeper), put #2 hits
+   a non-empty queue and skips the wakeup R2 needed.  FIFO never picks
+   that order here (the producer's timer was armed first), so the
+   planted bug is invisible to the historical schedule — adversarial
+   LIFO hits it deterministically and shuffles hit it with probability
+   1/2 per round.  Which reader gets which block IS a schedule choice,
+   so the transcript is declared schedule-dependent and the property
+   checked is "everyone ate". *)
+let queue_race_rounds = 4
+
+let queue_race =
+  raw "queue-race" ~schedule_dependent:true
+    ~descr:"two readers race two same-time producers per round"
+    ~check:(fun o ->
+      let lines =
+        List.filter (fun l -> l <> "")
+          (String.split_on_char '\n' o.E.o_transcript)
+      in
+      let want = 2 * queue_race_rounds in
+      if List.length lines = want then Ok ()
+      else
+        Error
+          (Printf.sprintf "expected %d deliveries, saw %d" want
+             (List.length lines)))
+    (fun eng say ->
+      for round = 1 to queue_race_rounds do
+        let t = float_of_int round in
+        let q =
+          Block.Q.create ~name:(Printf.sprintf "race%d" round) eng
+        in
+        let reader id delays =
+          ignore
+            (Sim.Proc.spawn eng
+               ~name:(Printf.sprintf "sc:r%d.%d" id round)
+               (fun () ->
+                 List.iter (Sim.Time.sleep eng) delays;
+                 match Block.Q.get q with
+                 | Some b ->
+                   say
+                     (Printf.sprintf "round %d: reader %d got %d bytes"
+                        round id (Block.len b))
+                 | None ->
+                   say (Printf.sprintf "round %d: reader %d got EOF" round id)))
+        in
+        reader 1 [ t -. 0.5 ];
+        (* R1 parks early *)
+        ignore
+          (Sim.Proc.spawn eng
+             ~name:(Printf.sprintf "sc:p.%d" round)
+             (fun () ->
+               Sim.Time.sleep eng t;
+               (* two puts with no suspension point in between *)
+               Block.Q.put q (Block.make ~delim:true (String.make 16 'x'));
+               Block.Q.put q (Block.make ~delim:true (String.make 24 'y'))));
+        (* R2 reaches t in two hops so its final timer is armed at
+           t -. 0.2 — strictly after the producer's, whatever order the
+           t=0 batch ran in.  LIFO therefore always runs R2 first (the
+           stranding order); FIFO always runs the producer first. *)
+        reader 2 [ t -. 0.2; 0.2 ]
+      done)
+
+(* ---- the registry ---- *)
+
+let all : E.scenario list =
+  [
+    il_echo;
+    tcp_echo;
+    backlog;
+    ninep_mount;
+    cfs_coherence;
+    urp_dk;
+    exportfs_rt;
+    stream_backpressure;
+    stream_read_cascade;
+    queue_race;
+  ]
+
+let find name = List.find_opt (fun sc -> E.name sc = name) all
+
+(* run [f] with the planted lost-wakeup bug switched on — the
+   explorer's self-test: Explore must flag queue-race within the smoke
+   budget when this is active *)
+let with_planted_bug f =
+  Block.Q.chaos_lost_wakeup := true;
+  Fun.protect
+    ~finally:(fun () -> Block.Q.chaos_lost_wakeup := false)
+    f

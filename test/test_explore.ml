@@ -1,0 +1,98 @@
+(* The explorer explored: every registered scenario must survive the
+   tier-1 smoke sweep, and the detector must catch the planted
+   lost-wakeup bug within the same budget. *)
+
+let quiet = ignore
+
+let policy_str = Sim.Sched.to_string
+
+let test_registry_names () =
+  let names = List.map Sim.Explore.name Scenarios.all in
+  Alcotest.(check bool)
+    "registry non-trivial"
+    true
+    (List.length names >= 8);
+  let sorted = List.sort_uniq compare names in
+  Alcotest.(check int) "names unique" (List.length names)
+    (List.length sorted);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "find %s" n)
+        true
+        (Scenarios.find n <> None))
+    names
+
+(* every scenario, full smoke sweep: Fifo + 5 shuffle seeds +
+   Adversarial.  This IS `make explore-smoke`, run under alcotest so
+   tier-1 cannot go green while a schedule regression exists. *)
+let test_smoke_sweep () =
+  List.iter
+    (fun sc ->
+      let fails = Sim.Explore.explore ~out:quiet sc in
+      match fails with
+      | [] -> ()
+      | f :: _ ->
+        Alcotest.failf "scenario %s failed under %s: %s"
+          f.Sim.Explore.f_scenario
+          (policy_str f.Sim.Explore.f_policy)
+          f.Sim.Explore.f_reason)
+    Scenarios.all
+
+(* with the planted lost-wakeup bug armed, the queue-race scenario must
+   fail somewhere in the smoke budget — and the failure must name a
+   replayable policy that fails again on its own *)
+let test_planted_bug_caught () =
+  let sc =
+    match Scenarios.find "queue-race" with
+    | Some sc -> sc
+    | None -> Alcotest.fail "queue-race scenario missing"
+  in
+  let fails =
+    Scenarios.with_planted_bug (fun () ->
+        Sim.Explore.explore ~out:quiet sc)
+  in
+  (match fails with
+  | [] ->
+    Alcotest.fail
+      "planted lost-wakeup bug escaped the smoke budget undetected"
+  | f :: _ ->
+    (* the named (policy, seed) must reproduce in isolation *)
+    let repro =
+      Scenarios.with_planted_bug (fun () ->
+          Sim.Explore.run_one ~out:quiet sc f.Sim.Explore.f_policy)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "repro under %s" (policy_str f.Sim.Explore.f_policy))
+      true
+      (match repro with Error _ -> true | Ok _ -> false));
+  (* and with the flag back off, the same sweep is clean again *)
+  Alcotest.(check int) "clean after disarm" 0
+    (List.length (Sim.Explore.explore ~out:quiet sc))
+
+(* adversarial alone must catch the planted bug deterministically: the
+   LIFO ordering always runs the second reader's timer first *)
+let test_planted_bug_adversarial () =
+  let sc = Option.get (Scenarios.find "queue-race") in
+  Scenarios.with_planted_bug (fun () ->
+      match Sim.Explore.run_one ~out:quiet sc Sim.Sched.Adversarial with
+      | Ok _ -> Alcotest.fail "adversarial schedule missed the planted bug"
+      | Error f ->
+        Alcotest.(check bool)
+          "reason mentions a stall or count"
+          true
+          (String.length f.Sim.Explore.f_reason > 0))
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "explore",
+        [
+          Alcotest.test_case "registry names" `Quick test_registry_names;
+          Alcotest.test_case "smoke sweep" `Quick test_smoke_sweep;
+          Alcotest.test_case "planted bug caught" `Quick
+            test_planted_bug_caught;
+          Alcotest.test_case "planted bug adversarial" `Quick
+            test_planted_bug_adversarial;
+        ] );
+    ]

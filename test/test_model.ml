@@ -7,16 +7,25 @@
      - ramfs through a 9P connection and the mount driver (RPC 9P),
      - ramfs imported over IL through exportfs (the full network path).
    If the three ever disagree with the model — or with each other —
-   something in the chain is broken. *)
+   something in the chain is broken.
+
+   Every stack additionally runs each op stream under the FIFO schedule
+   AND the explorer's smoke shuffle seeds (Sim.Sched.Shuffle): the
+   answers a file server gives must not depend on how same-time event
+   ties were broken underneath it. *)
 
 module F = Ninep.Fcall
 
 type op =
-  | Write of string * string  (* path, contents *)
+  | Write of string * string  (* path, contents (whole-file rewrite) *)
+  | Trunc of string * string  (* open with OTRUNC, then write *)
+  | WriteAt of string * int * string  (* positional write, no truncate *)
   | Read of string
+  | ReadAt of string * int * int  (* positional read: offset, count *)
   | Remove of string
   | Mkdir of string
   | List of string
+  | Wstat of string * string  (* rename: path, new final name *)
 
 let dirs = [ "/d0"; "/d1"; "/d0/sub" ]
 let files = [ "f0"; "f1"; "f2" ]
@@ -32,18 +41,32 @@ let op_gen =
     frequency
       [
         (4, map2 (fun p c -> Write (p, c)) path (string_size (0 -- 30)));
+        (2, map2 (fun p c -> Trunc (p, c)) path (string_size (0 -- 10)));
+        ( 2,
+          map3
+            (fun p off c -> WriteAt (p, off, c))
+            path (0 -- 40) (string_size (1 -- 10)) );
         (4, map (fun p -> Read p) path);
+        ( 2,
+          map3 (fun p off n -> ReadAt (p, off, n)) path (0 -- 40) (0 -- 40)
+        );
         (1, map (fun p -> Remove p) path);
         (1, map (fun d -> Mkdir d) (oneofl dirs));
         (2, map (fun d -> List d) (oneofl ("/" :: dirs)));
+        (1, map2 (fun p n -> Wstat (p, n)) path (oneofl files));
       ])
 
 let print_op = function
   | Write (p, c) -> Printf.sprintf "Write(%s,%d bytes)" p (String.length c)
+  | Trunc (p, c) -> Printf.sprintf "Trunc(%s,%d bytes)" p (String.length c)
+  | WriteAt (p, off, c) ->
+    Printf.sprintf "WriteAt(%s,@%d,%d bytes)" p off (String.length c)
   | Read p -> "Read " ^ p
+  | ReadAt (p, off, n) -> Printf.sprintf "ReadAt(%s,@%d,%d)" p off n
   | Remove p -> "Remove " ^ p
   | Mkdir d -> "Mkdir " ^ d
   | List d -> "List " ^ d
+  | Wstat (p, n) -> Printf.sprintf "Wstat(%s -> %s)" p n
 
 (* ---- the model ---- *)
 
@@ -74,8 +97,51 @@ module Model = struct
         "ok"
       end
       else "error"
+    | Trunc (p, c) ->
+      (* open with OTRUNC does not create: the file must exist *)
+      if List.mem_assoc p m.files then begin
+        m.files <- (p, c) :: List.remove_assoc p m.files;
+        "ok"
+      end
+      else "error"
+    | WriteAt (p, off, c) -> (
+      match List.assoc_opt p m.files with
+      | None -> "error"
+      | Some cur ->
+        let curlen = String.length cur in
+        if off > curlen then "error"  (* ramfs: no holes *)
+        else begin
+          let tail = off + String.length c in
+          let patched =
+            String.sub cur 0 off ^ c
+            ^ (if tail < curlen then String.sub cur tail (curlen - tail)
+               else "")
+          in
+          m.files <- (p, patched) :: List.remove_assoc p m.files;
+          "ok"
+        end)
     | Read p -> (
       match List.assoc_opt p m.files with Some c -> c | None -> "error")
+    | ReadAt (p, off, n) -> (
+      match List.assoc_opt p m.files with
+      | None -> "error"
+      | Some cur ->
+        let len = String.length cur in
+        if off >= len then "" else String.sub cur off (min n (len - off)))
+    | Wstat (p, newname) -> (
+      match List.assoc_opt p m.files with
+      | None -> "error"
+      | Some contents ->
+        let dir = parent p in
+        let dest = if dir = "/" then "/" ^ newname else dir ^ "/" ^ newname in
+        (* ramfs renames only when the target name is free; a clash is a
+           silent no-op (and wstat still succeeds) *)
+        if Filename.basename p = newname || List.mem_assoc dest m.files
+        then "ok"
+        else begin
+          m.files <- (dest, contents) :: List.remove_assoc p m.files;
+          "ok"
+        end)
     | Remove p ->
       if List.mem_assoc p m.files then begin
         m.files <- List.remove_assoc p m.files;
@@ -136,9 +202,44 @@ let apply_env env op =
     match Vfs.Env.write_file env p c with
     | () -> "ok"
     | exception Vfs.Chan.Error _ -> "error")
+  | Trunc (p, c) -> (
+    match
+      let fd = Vfs.Env.open_ env p ~trunc:true F.Owrite in
+      Fun.protect
+        ~finally:(fun () -> Vfs.Env.close env fd)
+        (fun () -> ignore (Vfs.Env.pwrite env fd ~offset:0L c))
+    with
+    | () -> "ok"
+    | exception Vfs.Chan.Error _ -> "error")
+  | WriteAt (p, off, c) -> (
+    match
+      let fd = Vfs.Env.open_ env p F.Owrite in
+      Fun.protect
+        ~finally:(fun () -> Vfs.Env.close env fd)
+        (fun () ->
+          ignore (Vfs.Env.pwrite env fd ~offset:(Int64.of_int off) c))
+    with
+    | () -> "ok"
+    | exception Vfs.Chan.Error _ -> "error")
   | Read p -> (
     match Vfs.Env.read_file env p with
     | c -> c
+    | exception Vfs.Chan.Error _ -> "error")
+  | ReadAt (p, off, n) -> (
+    match
+      let fd = Vfs.Env.open_ env p F.Oread in
+      Fun.protect
+        ~finally:(fun () -> Vfs.Env.close env fd)
+        (fun () -> Vfs.Env.pread env fd ~offset:(Int64.of_int off) n)
+    with
+    | data -> data
+    | exception Vfs.Chan.Error _ -> "error")
+  | Wstat (p, newname) -> (
+    match
+      let d = Vfs.Env.stat env p in
+      Vfs.Env.wstat env p { d with F.d_name = newname }
+    with
+    | () -> "ok"
     | exception Vfs.Chan.Error _ -> "error")
   | Remove p -> (
     match Vfs.Env.remove env p with
@@ -151,19 +252,30 @@ let apply_env env op =
         (List.sort compare (List.map (fun e -> e.F.d_name) entries))
     | exception Vfs.Chan.Error _ -> "error")
 
-(* run one op list through a stack builder and compare with the model;
-   [prep] adapts paths for the driver (the model always sees the
-   original absolute ops) *)
+(* the schedules every stack must agree with the model under: the
+   historical FIFO tie-break plus the explorer's smoke shuffles.  A
+   stack whose answers depend on the schedule choice has an ordering
+   bug even if every schedule is individually plausible. *)
+let schedules =
+  Sim.Sched.Fifo
+  :: List.map (fun s -> Sim.Sched.Shuffle s) Sim.Explore.smoke_seeds
+
+(* run one op list through a stack builder under every schedule and
+   compare with the model; [prep] adapts paths for the driver (the
+   model always sees the original absolute ops) *)
 let agrees ?(prep = fun ops -> ops) ~build ops =
-  let results = ref [] in
-  build (fun env ->
-      results := List.rev_map (apply_env env) (prep ops));
   let m = Model.make () in
   let expected = List.map (Model.apply m) ops in
-  List.rev !results = expected
+  List.for_all
+    (fun sched ->
+      let results = ref [] in
+      build ~sched (fun env ->
+          results := List.rev_map (apply_env env) (prep ops));
+      List.rev !results = expected)
+    schedules
 
-let local_stack f =
-  let eng = Sim.Engine.create () in
+let local_stack ~sched f =
+  let eng = Sim.Engine.create ~sched () in
   let ram = Ninep.Ramfs.make ~name:"root" () in
   let _p =
     Sim.Proc.spawn eng (fun () ->
@@ -172,8 +284,8 @@ let local_stack f =
   in
   Sim.Engine.run eng
 
-let mounted_stack f =
-  let eng = Sim.Engine.create () in
+let mounted_stack ~sched f =
+  let eng = Sim.Engine.create ~sched () in
   let local = Ninep.Ramfs.make ~name:"root" () in
   Ninep.Ramfs.mkdir local "/mnt";
   let remote = Ninep.Ramfs.make ~name:"remote" () in
@@ -191,13 +303,17 @@ let mounted_stack f =
   in
   Sim.Engine.run eng
 
-let imported_stack f =
-  let w = P9net.World.bell_labs () in
+let imported_stack ~sched f =
+  let w = P9net.World.bell_labs ~sched () in
   let gnot = P9net.World.host w "philw-gnot" in
   let helix = P9net.World.host w "helix" in
   Ninep.Ramfs.mkdir helix.P9net.Host.root "/tmp/model";
   ignore
     (P9net.Host.spawn gnot "model" (fun env ->
+         (* let every host's listeners announce before dialing: under
+            shuffled schedules the workload can otherwise run ahead of
+            helix's exportfs service at t=0 *)
+         Sim.Time.sleep w.P9net.World.eng 1.0;
          P9net.Exportfs.import w.P9net.World.eng env ~host:"helix"
            ~remote_root:"/tmp/model" ~onto:"/n" ~flag:Vfs.Ns.Repl ();
          Vfs.Env.chdir env "/n";
@@ -207,14 +323,18 @@ let imported_stack f =
 (* relative paths: ops use absolute "/..." but the mounted stacks chdir
    first, so strip the leading slash to make them relative *)
 let relativize ops =
+  let rel p = String.sub p 1 (String.length p - 1) in
   List.map
     (function
-      | Write (p, c) -> Write (String.sub p 1 (String.length p - 1), c)
-      | Read p -> Read (String.sub p 1 (String.length p - 1))
-      | Remove p -> Remove (String.sub p 1 (String.length p - 1))
-      | Mkdir d -> Mkdir (String.sub d 1 (String.length d - 1))
-      | List d ->
-        List (if d = "/" then "." else String.sub d 1 (String.length d - 1)))
+      | Write (p, c) -> Write (rel p, c)
+      | Trunc (p, c) -> Trunc (rel p, c)
+      | WriteAt (p, off, c) -> WriteAt (rel p, off, c)
+      | Read p -> Read (rel p)
+      | ReadAt (p, off, n) -> ReadAt (rel p, off, n)
+      | Remove p -> Remove (rel p)
+      | Mkdir d -> Mkdir (rel d)
+      | List d -> List (if d = "/" then "." else rel d)
+      | Wstat (p, n) -> Wstat (rel p, n))
     ops
 
 let ops_arb =
@@ -253,6 +373,7 @@ let replay_case () =
   in
   let real = ref [] in
   (if Array.length Sys.argv > 2 then mounted_stack else local_stack)
+    ~sched:Sim.Sched.Fifo
     (fun env -> real := List.map (apply_env env) driver_ops);
   let m = Model.make () in
   List.iteri

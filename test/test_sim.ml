@@ -231,6 +231,157 @@ let test_determinism () =
   in
   Alcotest.(check string) "identical runs" (trace ()) (trace ())
 
+(* ---- scheduling policies (Sim.Sched) ---- *)
+
+(* record the firing order of [n] same-time events under a policy *)
+let batch_order ?(n = 10) sched =
+  let eng = Sim.Engine.create ~sched () in
+  let log = ref [] in
+  for i = 0 to n - 1 do
+    Sim.Engine.at eng 1.0 (fun () -> log := i :: !log)
+  done;
+  Sim.Engine.run eng;
+  List.rev !log
+
+let test_fifo_matches_recorded_order () =
+  (* the Fifo policy IS the historical engine: a same-time batch fires
+     in scheduling order, exactly as test_fifo_same_time has always
+     recorded it *)
+  Alcotest.(check (list int)) "fifo = scheduling order"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (batch_order Sim.Sched.Fifo);
+  Alcotest.(check (list int)) "default policy is fifo"
+    (let eng = Sim.Engine.create () in
+     ignore eng;
+     batch_order Sim.Sched.Fifo)
+    (let eng = Sim.Engine.create () in
+     let log = ref [] in
+     for i = 0 to 9 do
+       Sim.Engine.at eng 1.0 (fun () -> log := i :: !log)
+     done;
+     Sim.Engine.run eng;
+     List.rev !log)
+
+let test_shuffle_same_seed_same_schedule () =
+  for seed = 1 to 10 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "seed %d reproducible" seed)
+      (batch_order (Sim.Sched.Shuffle seed))
+      (batch_order (Sim.Sched.Shuffle seed))
+  done
+
+let test_shuffle_permutes () =
+  (* each batch is a permutation, and some seed must actually disturb
+     the order (10 seeds all mapping 10 events to the identity would be
+     a broken hash) *)
+  let disturbed = ref false in
+  for seed = 1 to 10 do
+    let order = batch_order (Sim.Sched.Shuffle seed) in
+    Alcotest.(check (list int))
+      (Printf.sprintf "seed %d is a permutation" seed)
+      [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+      (List.sort compare order);
+    if order <> [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] then disturbed := true
+  done;
+  Alcotest.(check bool) "some seed reorders" true !disturbed
+
+let test_shuffle_singleton_batch_is_identity () =
+  (* a 1-element batch has exactly one ordering: shuffling must change
+     nothing about a workload with no same-time ties *)
+  let run sched =
+    let eng = Sim.Engine.create ~sched () in
+    let log = ref [] in
+    for i = 0 to 9 do
+      Sim.Engine.at eng (float_of_int i) (fun () -> log := i :: !log)
+    done;
+    Sim.Engine.run eng;
+    List.rev !log
+  in
+  List.iter
+    (fun seed ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "seed %d" seed)
+        (run Sim.Sched.Fifo)
+        (run (Sim.Sched.Shuffle seed)))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_adversarial_is_lifo () =
+  Alcotest.(check (list int)) "newest first"
+    [ 9; 8; 7; 6; 5; 4; 3; 2; 1; 0 ]
+    (batch_order Sim.Sched.Adversarial)
+
+let test_adversarial_no_livelock () =
+  (* yield-style reschedules run after the ordinary same-time batch
+     even under LIFO, so a polling loop cannot starve the event that
+     would satisfy it *)
+  let eng = Sim.Engine.create ~sched:Sim.Sched.Adversarial () in
+  let victim = Sim.Proc.spawn eng ~name:"victim" (fun () ->
+      Sim.Time.sleep eng 100.) in
+  let killed_at = ref (-1.) in
+  ignore
+    (Sim.Proc.spawn eng ~name:"killer" (fun () ->
+         Sim.Time.sleep eng 1.0;
+         Sim.Proc.kill victim;
+         killed_at := Sim.Engine.now eng));
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "victim dead" false (Sim.Proc.alive victim);
+  check_float "kill landed at its own time" 1.0 !killed_at
+
+let test_sched_string_roundtrip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Sim.Sched.to_string p)
+        true
+        (Sim.Sched.of_string (Sim.Sched.to_string p) = Some p))
+    [ Sim.Sched.Fifo; Sim.Sched.Shuffle 7; Sim.Sched.Shuffle 0;
+      Sim.Sched.Adversarial ];
+  Alcotest.(check bool) "lifo alias" true
+    (Sim.Sched.of_string "lifo" = Some Sim.Sched.Adversarial);
+  Alcotest.(check bool) "garbage rejected" true
+    (Sim.Sched.of_string "shuffle:x" = None
+    && Sim.Sched.of_string "banana" = None)
+
+let test_whole_engine_schedule_determinism () =
+  (* same policy, same seed, a workload mixing procs, sleeps, rendez
+     and mbox traffic: the full event schedule must replay exactly
+     (this is what makes every explorer failure a one-line repro) *)
+  let trace sched =
+    let eng = Sim.Engine.create ~sched () in
+    let log = Buffer.create 256 in
+    let r = Sim.Rendez.create eng in
+    let mb = Sim.Mbox.create eng in
+    for i = 0 to 4 do
+      ignore
+        (Sim.Proc.spawn eng
+           ~name:(Printf.sprintf "p%d" i)
+           (fun () ->
+             Sim.Time.sleep eng 1.0;
+             Sim.Mbox.send mb i;
+             Sim.Rendez.sleep r;
+             Buffer.add_string log
+               (Printf.sprintf "%d@%.3f;" i (Sim.Engine.now eng))))
+    done;
+    ignore
+      (Sim.Proc.spawn eng ~name:"drain" (fun () ->
+           for _ = 1 to 5 do
+             let i = Sim.Mbox.recv mb in
+             Buffer.add_string log (Printf.sprintf "recv%d;" i)
+           done;
+           for _ = 1 to 5 do
+             Sim.Rendez.wakeup r
+           done));
+    Sim.Engine.run eng;
+    Buffer.contents log
+  in
+  List.iter
+    (fun sched ->
+      Alcotest.(check string)
+        (Sim.Sched.to_string sched)
+        (trace sched) (trace sched))
+    [ Sim.Sched.Fifo; Sim.Sched.Shuffle 3; Sim.Sched.Shuffle 4;
+      Sim.Sched.Adversarial ]
+
 let () =
   Alcotest.run "sim"
     [
@@ -265,5 +416,23 @@ let () =
         [
           Alcotest.test_case "serializes" `Quick test_cpu_serializes;
           Alcotest.test_case "busy wait" `Quick test_cpu_busy_wait;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "fifo matches recorded order" `Quick
+            test_fifo_matches_recorded_order;
+          Alcotest.test_case "same seed same schedule" `Quick
+            test_shuffle_same_seed_same_schedule;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+          Alcotest.test_case "singleton batch identity" `Quick
+            test_shuffle_singleton_batch_is_identity;
+          Alcotest.test_case "adversarial is lifo" `Quick
+            test_adversarial_is_lifo;
+          Alcotest.test_case "adversarial no livelock" `Quick
+            test_adversarial_no_livelock;
+          Alcotest.test_case "policy strings" `Quick
+            test_sched_string_roundtrip;
+          Alcotest.test_case "whole-engine determinism" `Quick
+            test_whole_engine_schedule_determinism;
         ] );
     ]

@@ -356,6 +356,71 @@ let test_delim_module () =
   | [ b ] -> Alcotest.(check bool) "forced delimiter" true b.Block.delim
   | _ -> Alcotest.fail "expected one block")
 
+(* ---- wakeup cascades (regressions for schedule-explorer findings) ----
+
+   Both bugs below were flushed out by `p9explore` (scenarios
+   stream-backpressure and stream-read-cascade) and stalled under every
+   policy, so the pinned repro schedule is plain fifo:
+
+     p9explore -s stream-backpressure -p fifo
+     p9explore -s stream-read-cascade -p fifo                          *)
+
+(* one big drain must free every writer that now fits, not just the
+   first: a put that leaves room passes the wakeup along *)
+let test_writer_wakeup_cascades () =
+  let eng = Sim.Engine.create () in
+  let a, b = Streams.Pipe.create ~qlimit:1024 eng in
+  let done1 = ref false and done2 = ref false in
+  ignore
+    (Sim.Proc.spawn eng ~name:"fill" (fun () ->
+         Streams.write a (String.make 1200 'f')));
+  let writer delay flag =
+    ignore
+      (Sim.Proc.spawn eng ~name:"writer" (fun () ->
+           Sim.Time.sleep eng delay;
+           Streams.write a (String.make 100 'w');
+           flag := true))
+  in
+  writer 0.5 done1;
+  writer 0.6 done2;
+  ignore
+    (Sim.Proc.spawn eng ~name:"consumer" (fun () ->
+         Sim.Time.sleep eng 1.0;
+         Alcotest.(check int) "drained backlog" 1200
+           (String.length (Streams.read b 4096))));
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "first writer completed" true !done1;
+  Alcotest.(check bool) "second writer completed" true !done2;
+  Alcotest.(check (list string)) "no stalled procs" []
+    (Sim.Engine.stalled eng)
+
+(* a read that stops at its byte count with data still queued must wake
+   the next reader: the enqueue-time wakeup was consumed by the first *)
+let test_reader_wakeup_cascades () =
+  let eng = Sim.Engine.create () in
+  let a, b = Streams.Pipe.create eng in
+  let got = ref [] in
+  let reader id delay =
+    ignore
+      (Sim.Proc.spawn eng ~name:"reader" (fun () ->
+           Sim.Time.sleep eng delay;
+           let data = Streams.read b 100 in
+           got := (id, String.length data) :: !got))
+  in
+  reader 1 0.5;
+  reader 2 0.6;
+  ignore
+    (Sim.Proc.spawn eng ~name:"producer" (fun () ->
+         Sim.Time.sleep eng 1.0;
+         Streams.write a (String.make 200 'm')));
+  Sim.Engine.run eng;
+  Alcotest.(check (list (pair int int)))
+    "both readers got their half"
+    [ (1, 100); (2, 100) ]
+    (List.sort compare !got);
+  Alcotest.(check (list string)) "no stalled procs" []
+    (Sim.Engine.stalled eng)
+
 let () =
   Alcotest.run "streams"
     [
@@ -398,5 +463,12 @@ let () =
             test_pipe_close_hangs_up_peer;
           Alcotest.test_case "delimiters preserved" `Quick
             test_delimiters_preserved_through_pipe;
+        ] );
+      ( "wakeup-cascades",
+        [
+          Alcotest.test_case "writer cascade" `Quick
+            test_writer_wakeup_cascades;
+          Alcotest.test_case "reader cascade" `Quick
+            test_reader_wakeup_cascades;
         ] );
     ]
