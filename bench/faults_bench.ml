@@ -61,6 +61,8 @@ let injected nics =
 let il_xfer ~seed =
   let eng, (nic_a, ipa), (nic_b, ipb) = ether_pair ~seed in
   let ila = Inet.Il.attach ipa and ilb = Inet.Il.attach ipb in
+  let prof = Obs.Prof.create ~clock:Unix.gettimeofday () in
+  Sim.Engine.attach_prof eng prof;
   let finish = ref 0. and got = ref 0 in
   ignore
     (Sim.Proc.spawn eng ~name:"rx" (fun () ->
@@ -85,21 +87,24 @@ let il_xfer ~seed =
   Sim.Engine.run ~until:600.0 eng;
   let ca = Inet.Il.counters ila and cb = Inet.Il.counters ilb in
   let d, u, r = injected [ nic_a; nic_b ] in
-  {
-    x_converged = !got = msgs;
-    x_elapsed = !finish;
-    x_retransmits = ca.Inet.Il.retransmits + cb.Inet.Il.retransmits;
-    x_queries = ca.Inet.Il.queries_sent + cb.Inet.Il.queries_sent;
-    x_dups_suppressed = ca.Inet.Il.dups_dropped + cb.Inet.Il.dups_dropped;
-    x_rtt_samples = ca.Inet.Il.rtt_samples;
-    x_drops_injected = d;
-    x_dups_injected = u;
-    x_reorders_injected = r;
-  }
+  ( {
+      x_converged = !got = msgs;
+      x_elapsed = !finish;
+      x_retransmits = ca.Inet.Il.retransmits + cb.Inet.Il.retransmits;
+      x_queries = ca.Inet.Il.queries_sent + cb.Inet.Il.queries_sent;
+      x_dups_suppressed = ca.Inet.Il.dups_dropped + cb.Inet.Il.dups_dropped;
+      x_rtt_samples = ca.Inet.Il.rtt_samples;
+      x_drops_injected = d;
+      x_dups_injected = u;
+      x_reorders_injected = r;
+    },
+    Obs.Prof.report prof )
 
 let tcp_xfer ~seed =
   let eng, (nic_a, ipa), (nic_b, ipb) = ether_pair ~seed in
   let tcpa = Inet.Tcp.attach ipa and tcpb = Inet.Tcp.attach ipb in
+  let prof = Obs.Prof.create ~clock:Unix.gettimeofday () in
+  Sim.Engine.attach_prof eng prof;
   let total = msgs * size in
   let finish = ref 0. and got = ref 0 in
   ignore
@@ -124,20 +129,23 @@ let tcp_xfer ~seed =
   Sim.Engine.run ~until:600.0 eng;
   let ca = Inet.Tcp.counters tcpa and cb = Inet.Tcp.counters tcpb in
   let d, u, r = injected [ nic_a; nic_b ] in
-  {
-    x_converged = !finish > 0.;
-    x_elapsed = !finish;
-    x_retransmits = ca.Inet.Tcp.retransmits + cb.Inet.Tcp.retransmits;
-    x_queries = 0;
-    x_dups_suppressed = ca.Inet.Tcp.dups_dropped + cb.Inet.Tcp.dups_dropped;
-    x_rtt_samples = 0;
-    x_drops_injected = d;
-    x_dups_injected = u;
-    x_reorders_injected = r;
-  }
+  ( {
+      x_converged = !finish > 0.;
+      x_elapsed = !finish;
+      x_retransmits = ca.Inet.Tcp.retransmits + cb.Inet.Tcp.retransmits;
+      x_queries = 0;
+      x_dups_suppressed = ca.Inet.Tcp.dups_dropped + cb.Inet.Tcp.dups_dropped;
+      x_rtt_samples = 0;
+      x_drops_injected = d;
+      x_dups_injected = u;
+      x_reorders_injected = r;
+    },
+    Obs.Prof.report prof )
 
 let urp_xfer ~seed =
   let eng = Sim.Engine.create ~seed () in
+  let prof = Obs.Prof.create ~clock:Unix.gettimeofday () in
+  Sim.Engine.attach_prof eng prof;
   let sw = Dk.Switch.create ~name:"dk" eng in
   let la = Dk.Switch.attach sw ~name:"nj/astro/a" in
   let lb = Dk.Switch.attach sw ~name:"nj/astro/b" in
@@ -189,17 +197,18 @@ let urp_xfer ~seed =
       }
   in
   let tx = cnt !tx_stats and rx = cnt !rx_stats in
-  {
-    x_converged = !got = msgs;
-    x_elapsed = !finish;
-    x_retransmits = tx.Dk.Urp.retransmits + rx.Dk.Urp.retransmits;
-    x_queries = tx.Dk.Urp.enqs_sent + rx.Dk.Urp.enqs_sent;
-    x_dups_suppressed = tx.Dk.Urp.dups_dropped + rx.Dk.Urp.dups_dropped;
-    x_rtt_samples = 0;
-    x_drops_injected = da + db;
-    x_dups_injected = ua + ub;
-    x_reorders_injected = ra + rb;
-  }
+  ( {
+      x_converged = !got = msgs;
+      x_elapsed = !finish;
+      x_retransmits = tx.Dk.Urp.retransmits + rx.Dk.Urp.retransmits;
+      x_queries = tx.Dk.Urp.enqs_sent + rx.Dk.Urp.enqs_sent;
+      x_dups_suppressed = tx.Dk.Urp.dups_dropped + rx.Dk.Urp.dups_dropped;
+      x_rtt_samples = 0;
+      x_drops_injected = da + db;
+      x_dups_injected = ua + ub;
+      x_reorders_injected = ra + rb;
+    },
+    Obs.Prof.report prof )
 
 let xfer_json name x =
   Printf.sprintf
@@ -212,16 +221,17 @@ let xfer_json name x =
     x.x_reorders_injected
 
 type result = {
-  res_json : string;
+  res_json : string;  (* deterministic: byte-identical across same-seed runs *)
   res_il : xfer;
   res_tcp : xfer;
   res_urp : xfer;
+  res_perf : (string * Obs.Prof.report) list;  (* wall clock; never in res_json *)
 }
 
 let run ?(seed = 9) () =
-  let il = il_xfer ~seed in
-  let tcp = tcp_xfer ~seed in
-  let urp = urp_xfer ~seed in
+  let il, perf_il = il_xfer ~seed in
+  let tcp, perf_tcp = tcp_xfer ~seed in
+  let urp, perf_urp = urp_xfer ~seed in
   let b = Buffer.create 1024 in
   Printf.bprintf b "{\n";
   Printf.bprintf b "  \"bench\": \"faults\",\n";
@@ -236,4 +246,10 @@ let run ?(seed = 9) () =
   Printf.bprintf b "%s,\n" (xfer_json "tcp" tcp);
   Printf.bprintf b "%s\n" (xfer_json "urp" urp);
   Printf.bprintf b "}\n";
-  { res_json = Buffer.contents b; res_il = il; res_tcp = tcp; res_urp = urp }
+  {
+    res_json = Buffer.contents b;
+    res_il = il;
+    res_tcp = tcp;
+    res_urp = urp;
+    res_perf = [ ("il", perf_il); ("tcp", perf_tcp); ("urp", perf_urp) ];
+  }

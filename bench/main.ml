@@ -531,6 +531,81 @@ let run_cfs () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* perf: the wall-clock engine profiler's report, carried in the BENCH  *)
+(* files as ONE line injected right after the opening brace.  Stripping *)
+(* that single line (grep -v '"perf"') restores the deterministic       *)
+(* document byte-for-byte, which is how the golden comparison works.    *)
+(* ------------------------------------------------------------------ *)
+
+let perf_line perfs =
+  "  \"perf\": {"
+  ^ String.concat ", "
+      (List.map
+         (fun (name, rep) ->
+           Printf.sprintf "%S: %s" name (Obs.Prof.report_json rep))
+         perfs)
+  ^ "}"
+
+let inject_perf json perfs =
+  if String.length json < 2 || json.[0] <> '{' || json.[1] <> '\n' then json
+  else "{\n" ^ perf_line perfs ^ ",\n" ^ String.sub json 2 (String.length json - 2)
+
+let is_perf_line l =
+  let p = "  \"perf\":" in
+  let n = String.length p in
+  String.length l >= n && String.sub l 0 n = p
+
+let strip_perf json =
+  String.split_on_char '\n' json
+  |> List.filter (fun l -> not (is_perf_line l))
+  |> String.concat "\n"
+
+(* soft regression guard: warn (never fail) when the engine dispatched
+   fewer events per wall-clock second than the floor; tune with
+   PERF_FLOOR=events_per_sec *)
+let perf_floor () =
+  match Sys.getenv_opt "PERF_FLOOR" with
+  | Some s -> ( match float_of_string_opt s with Some f -> f | None -> 1000.)
+  | None -> 1000.
+
+let perf_soft_guard bench perfs =
+  let floor = perf_floor () in
+  List.iter
+    (fun (name, (rep : Obs.Prof.report)) ->
+      if rep.Obs.Prof.r_events_per_sec < floor then
+        Printf.eprintf
+          "warning: %s/%s dispatched %.0f events/s, below the soft floor \
+           %.0f (set PERF_FLOOR to tune)\n%!"
+          bench name rep.Obs.Prof.r_events_per_sec floor)
+    perfs
+
+(* hard shape check: the values are machine-dependent, the shape is not *)
+let perf_shape_check bench perfs =
+  List.iter
+    (fun (name, (rep : Obs.Prof.report)) ->
+      let fail fmt =
+        Printf.ksprintf
+          (fun m ->
+            Printf.eprintf "error: perf shape %s/%s: %s\n" bench name m;
+            exit 1)
+          fmt
+      in
+      if rep.Obs.Prof.r_events <= 0 then fail "no events dispatched";
+      if rep.Obs.Prof.r_events_per_sec <= 0. then
+        fail "events_per_sec = %g" rep.Obs.Prof.r_events_per_sec;
+      if rep.Obs.Prof.r_minor_words_per_event < 0. then
+        fail "negative minor_words_per_event";
+      if rep.Obs.Prof.r_layers = [] then fail "no layers attributed";
+      let share_sum =
+        List.fold_left
+          (fun a l -> a +. l.Obs.Prof.l_share)
+          0. rep.Obs.Prof.r_layers
+      in
+      if abs_float (share_sum -. 1.0) > 0.05 then
+        fail "layer shares sum to %.3f, not ~1.0" share_sum)
+    perfs
+
+(* ------------------------------------------------------------------ *)
 (* fault injection: IL/TCP/URP under the canonical adverse schedule     *)
 (* ------------------------------------------------------------------ *)
 
@@ -540,9 +615,10 @@ let run_faults () =
   let r2 = Faults_bench.run () in
   print_string r.Faults_bench.res_json;
   let oc = open_out "BENCH_faults.json" in
-  output_string oc r.Faults_bench.res_json;
+  output_string oc (inject_perf r.Faults_bench.res_json r.Faults_bench.res_perf);
   close_out oc;
   Printf.printf "wrote BENCH_faults.json\n%!";
+  perf_soft_guard "faults" r.Faults_bench.res_perf;
   let check name (x : Faults_bench.xfer) =
     if not x.Faults_bench.x_converged then begin
       Printf.eprintf
@@ -595,11 +671,30 @@ let run_swarm () =
   let t2 = Unix.gettimeofday () in
   print_string r.Swarm_bench.res_json;
   let oc = open_out "BENCH_swarm.json" in
-  output_string oc r.Swarm_bench.res_json;
+  output_string oc (inject_perf r.Swarm_bench.res_json r.Swarm_bench.res_perf);
   close_out oc;
-  (* wall clock is machine-dependent: stdout only, never in the JSON *)
+  (* wall clock is machine-dependent: deterministic JSON stays perf-free;
+     the perf member is one strippable line *)
   Printf.printf "wrote BENCH_swarm.json (wall clock %.2fs + %.2fs rerun)\n%!"
     (t1 -. t0) (t2 -. t1);
+  perf_soft_guard "swarm" r.Swarm_bench.res_perf;
+  perf_shape_check "swarm" r.Swarm_bench.res_perf;
+  (* shape stability across same-seed reruns: same perf keys and the
+     same layer label sets, values exempt *)
+  let shape perfs =
+    List.map
+      (fun (n, (rep : Obs.Prof.report)) ->
+        ( n,
+          List.sort compare
+            (List.map (fun l -> l.Obs.Prof.l_label) rep.Obs.Prof.r_layers) ))
+      perfs
+  in
+  if shape r.Swarm_bench.res_perf <> shape r2.Swarm_bench.res_perf then begin
+    Printf.eprintf
+      "error: two same-seed runs attributed different layer sets — the \
+       profiler shape is unstable\n";
+    exit 1
+  end;
   let check baseline (s : Swarm_bench.side) =
     if not s.Swarm_bench.s_converged then begin
       Printf.eprintf
@@ -632,6 +727,85 @@ let run_swarm () =
     exit 1
   end;
   print_endline "same-seed rerun: byte-identical (determinism holds)"
+
+(* ------------------------------------------------------------------ *)
+(* guard: golden determinism with perf stripped + perf schema check     *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_guard () =
+  run_faults ();
+  run_swarm ();
+  section "bench-guard - golden JSON (perf-stripped) + perf schema";
+  List.iter
+    (fun base ->
+      let got = read_file base and want = read_file ("bench/golden/" ^ base) in
+      if strip_perf got <> want then begin
+        Printf.eprintf
+          "error: %s (perf stripped) differs from bench/golden/%s — the \
+           deterministic document changed\n"
+          base base;
+        exit 1
+      end;
+      (* the perf member itself: values are machine-dependent, but the
+         keys of the schema must all be present *)
+      let perf = List.find_opt is_perf_line (String.split_on_char '\n' got) in
+      match perf with
+      | None ->
+        Printf.eprintf "error: %s carries no perf line\n" base;
+        exit 1
+      | Some line ->
+        let has key =
+          let klen = String.length key and n = String.length line in
+          let rec go i =
+            i + klen <= n && (String.sub line i klen = key || go (i + 1))
+          in
+          go 0
+        in
+        List.iter
+          (fun key ->
+            if not (has ("\"" ^ key ^ "\"")) then begin
+              Printf.eprintf "error: %s perf line lacks key %S\n" base key;
+              exit 1
+            end)
+          [
+            "events"; "wall_s"; "dispatch_s"; "events_per_sec";
+            "minor_words"; "minor_words_per_event"; "share_sum"; "layers";
+            "layer"; "share"; "words_per_event";
+          ];
+        Printf.printf "%s: golden match (perf stripped), perf schema ok\n%!"
+          base)
+    [ "BENCH_faults.json"; "BENCH_swarm.json" ]
+
+(* ------------------------------------------------------------------ *)
+(* profile: a tiny swarm as a smoke test for the engine profiler        *)
+(* ------------------------------------------------------------------ *)
+
+let run_profile () =
+  section "profile smoke - engine profiler on a tiny swarm";
+  let r = Swarm_bench.run ~hosts:2 ~convs_per_host:3 () in
+  perf_shape_check "profile" r.Swarm_bench.res_perf;
+  List.iter
+    (fun (name, (rep : Obs.Prof.report)) ->
+      Printf.printf
+        "%-4s %6d events in %.3fs wall (%.0f events/s), %.1f minor \
+         words/event\n"
+        name rep.Obs.Prof.r_events rep.Obs.Prof.r_wall_s
+        rep.Obs.Prof.r_events_per_sec rep.Obs.Prof.r_minor_words_per_event;
+      List.iter
+        (fun l ->
+          Printf.printf "       %-10s %6d events  share %.3f  %.1f w/ev\n"
+            l.Obs.Prof.l_label l.Obs.Prof.l_events l.Obs.Prof.l_share
+            l.Obs.Prof.l_words_per_event)
+        rep.Obs.Prof.r_layers)
+    r.Swarm_bench.res_perf;
+  print_endline "profile smoke: shape ok (events/s > 0, shares sum to ~1)"
 
 (* ------------------------------------------------------------------ *)
 (* Wall-clock microbenchmarks (bechamel)                                *)
@@ -733,6 +907,8 @@ let sections =
     ("cfs", run_cfs);
     ("faults", run_faults);
     ("swarm", run_swarm);
+    ("guard", run_guard);
+    ("profile", run_profile);
     ("micro", run_bechamel);
   ]
 

@@ -24,7 +24,7 @@ let ramp_step = 0.002 (* seconds of virtual time between dials *)
 
 (* one /16 with the server at 10.1.0.1 and clients spread over
    10.1.1.* upward, plus the service ports the dials resolve through *)
-let swarm_ndb () =
+let swarm_ndb ~hosts () =
   let b = Buffer.create 4096 in
   Buffer.add_string b "ipnet=swarm ip=10.1.0.0 ipmask=255.255.0.0\n";
   Buffer.add_string b "sys = swarmsrv\n\tip=10.1.0.1 ether=0800aa000000\n";
@@ -39,6 +39,7 @@ let swarm_ndb () =
 
 type side = {
   s_proto : string;
+  s_total : int;  (* conversations this side ran *)
   s_converged : bool;  (* every conversation completed both exchanges *)
   s_completed : int;
   s_peak_convs : int;  (* server conversation table at barrier release *)
@@ -52,11 +53,11 @@ type side = {
   s_cs_misses : int;
 }
 
-let events_per_conv s = float_of_int s.s_events /. float_of_int total
+let events_per_conv s = float_of_int s.s_events /. float_of_int s.s_total
 
 let events_per_byte s =
   (* payload delivered to clients: two echoed messages per conversation *)
-  float_of_int s.s_events /. float_of_int (2 * msg_bytes * total)
+  float_of_int s.s_events /. float_of_int (2 * msg_bytes * s.s_total)
 
 (* write the payload and read the echo back; TCP may fragment, so
    accumulate until the full message returned *)
@@ -70,8 +71,9 @@ let echo_once env data_fd payload =
     else got := !got + String.length s
   done
 
-let run_side ~seed ~proto =
-  let db = Ndb.of_string (swarm_ndb ()) in
+let run_side ~seed ~proto ~hosts ~convs_per_host =
+  let total = hosts * convs_per_host in
+  let db = Ndb.of_string (swarm_ndb ~hosts ()) in
   (* 100 Mb/s: a thousand conversations on one segment must not queue
      past min_rto, or the measurement becomes a congestion-collapse
      study instead of an event-economy one *)
@@ -79,6 +81,10 @@ let run_side ~seed ~proto =
   let eng = w.P9net.World.eng in
   let tr = Obs.Trace.create () in
   Sim.Engine.attach_obs eng tr;
+  (* the profiler reads the real clock; its report never lands in the
+     deterministic JSON, only in the strippable perf line *)
+  let prof = Obs.Prof.create ~clock:Unix.gettimeofday () in
+  Sim.Engine.attach_prof eng prof;
   let server = P9net.World.add_host w "swarmsrv" in
   let clients =
     List.init hosts (fun i ->
@@ -177,8 +183,9 @@ let run_side ~seed ~proto =
         (h + h', m + m'))
       (0, 0) clients
   in
-  {
+  ( {
     s_proto = proto;
+    s_total = total;
     s_converged = !completed = total;
     s_completed = !completed;
     s_peak_convs = !peak;
@@ -190,7 +197,8 @@ let run_side ~seed ~proto =
     s_refused = refused;
     s_cs_hits = hits;
     s_cs_misses = misses;
-  }
+  },
+    Obs.Prof.report prof )
 
 let side_json s =
   Printf.sprintf
@@ -203,20 +211,30 @@ let side_json s =
     (events_per_conv s) (events_per_byte s) s.s_timer_arm s.s_timer_fire
     s.s_timer_disarm s.s_refused s.s_cs_hits s.s_cs_misses
 
-type result = { res_json : string; res_il : side; res_tcp : side }
+type result = {
+  res_json : string;  (* deterministic: byte-identical across same-seed runs *)
+  res_il : side;
+  res_tcp : side;
+  res_perf : (string * Obs.Prof.report) list;  (* wall clock; never in res_json *)
+}
 
-let run ?(seed = 11) () =
-  let il = run_side ~seed ~proto:"il" in
-  let tcp = run_side ~seed ~proto:"tcp" in
+let run ?(seed = 11) ?(hosts = hosts) ?(convs_per_host = convs_per_host) () =
+  let il, perf_il = run_side ~seed ~proto:"il" ~hosts ~convs_per_host in
+  let tcp, perf_tcp = run_side ~seed ~proto:"tcp" ~hosts ~convs_per_host in
   let b = Buffer.create 1024 in
   Printf.bprintf b "{\n";
   Printf.bprintf b "  \"bench\": \"swarm\",\n";
   Printf.bprintf b "  \"seed\": %d,\n" seed;
   Printf.bprintf b "  \"hosts\": %d,\n" hosts;
   Printf.bprintf b "  \"convs_per_host\": %d,\n" convs_per_host;
-  Printf.bprintf b "  \"convs\": %d,\n" total;
+  Printf.bprintf b "  \"convs\": %d,\n" (hosts * convs_per_host);
   Printf.bprintf b "  \"msg_bytes\": %d,\n" msg_bytes;
   Printf.bprintf b "%s,\n" (side_json il);
   Printf.bprintf b "%s\n" (side_json tcp);
   Printf.bprintf b "}\n";
-  { res_json = Buffer.contents b; res_il = il; res_tcp = tcp }
+  {
+    res_json = Buffer.contents b;
+    res_il = il;
+    res_tcp = tcp;
+    res_perf = [ ("il", perf_il); ("tcp", perf_tcp) ];
+  }

@@ -32,6 +32,13 @@ let log_lines =
     & info [ "l"; "log" ] ~docv:"N"
         ~doc:"Also print the last N lines of /net/log.")
 
+let metrics =
+  Arg.(
+    value & flag
+    & info [ "m"; "metrics" ]
+        ~doc:"Sample counters during the run and print /net/metrics \
+              (Prometheus-style name value ts lines).")
+
 let hostname =
   Arg.(
     value
@@ -42,7 +49,7 @@ let hostname =
 
 let protos = [ "il"; "tcp"; "udp"; "dk" ]
 
-let run seed verbose log_lines hostname =
+let run seed verbose log_lines metrics hostname =
   let w = P9net.World.bell_labs ~seed () in
   let tr = Obs.Trace.create () in
   Sim.Engine.attach_obs w.P9net.World.eng tr;
@@ -55,6 +62,12 @@ let run seed verbose log_lines hostname =
   | h ->
     ignore
       (P9net.Host.spawn h "p9stat" (fun env ->
+           if metrics then begin
+             (* arm the sampling ticker before any traffic happens *)
+             let fd = Vfs.Env.open_ env "/net/metrics" Ninep.Fcall.Ordwr in
+             ignore (Vfs.Env.write env fd "start 0.25");
+             Vfs.Env.close env fd
+           end;
            let conn = P9net.Dial.dial env "il!helix!echo" in
            ignore (Vfs.Env.write env conn.P9net.Dial.data_fd "ping");
            ignore (Vfs.Env.read env conn.P9net.Dial.data_fd 4096);
@@ -102,6 +115,24 @@ let run seed verbose log_lines hostname =
                Vfs.Env.close env fd
              with _ -> add "no log\n"
            end;
+           if metrics then begin
+             add "# /net/metrics\n";
+             try
+               let fd = Vfs.Env.open_ env "/net/metrics" Ninep.Fcall.Ordwr in
+               ignore (Vfs.Env.write env fd "sample");
+               Vfs.Env.seek env fd 0L;
+               let rec go () =
+                 let data = Vfs.Env.read env fd 8192 in
+                 if data <> "" then begin
+                   add "%s" data;
+                   go ()
+                 end
+               in
+               go ();
+               ignore (Vfs.Env.write env fd "stop");
+               Vfs.Env.close env fd
+             with _ -> add "no metrics\n"
+           end;
            P9net.Dial.hangup env conn));
     P9net.World.run ~until:60.0 w;
     print_string (Buffer.contents out));
@@ -111,6 +142,6 @@ let cmd =
   let doc = "print network status by reading files under /net" in
   Cmd.v
     (Cmd.info "p9stat" ~doc)
-    Term.(ret (const run $ seed $ verbose $ log_lines $ hostname))
+    Term.(ret (const run $ seed $ verbose $ log_lines $ metrics $ hostname))
 
 let () = exit (Cmd.eval cmd)

@@ -178,7 +178,22 @@ let read_cached t qid fid ~offset ~count =
       in
       let req = nb * bsize in
       let start = Int64.mul (Int64.of_int idx) bs64 in
-      let data = Ninep.Client.read t.client fid ~offset:start ~count:req in
+      (* the fill span parents the upstream 9p.Tread rpc span *)
+      let obs = Sim.Engine.obs t.eng in
+      let sp =
+        match obs with
+        | None -> Obs.Span.none
+        | Some tr -> Obs.Span.enter tr ~layer:"cfs" "cfs.fill"
+      in
+      let data =
+        match Ninep.Client.read t.client fid ~offset:start ~count:req with
+        | data ->
+          (match obs with None -> () | Some tr -> Obs.Span.exit tr sp);
+          data
+        | exception e ->
+          (match obs with None -> () | Some tr -> Obs.Span.exit tr sp);
+          raise e
+      in
       incr upstream;
       bump t "misses" 1;
       bump t "miss_bytes" (String.length data);

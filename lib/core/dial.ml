@@ -69,9 +69,14 @@ let reserve env clone_path =
   let proto_dir = Filename.dirname clone_path in
   (Printf.sprintf "%s/%s" proto_dir (String.trim n), ctl_fd)
 
-let dial env ?local addr =
-  ignore local;
-  let translations = translate env addr in
+(* the engine's obs sink, reached through the calling process — dial
+   has no engine parameter, and spans only make sense inside a proc *)
+let span_obs () =
+  match Sim.Proc.self_opt () with
+  | None -> None
+  | Some p -> Sim.Engine.obs (Sim.Proc.engine p)
+
+let dial_translated env ~addr translations =
   if translations = [] then
     raise (Dial_error ("cannot translate address " ^ addr));
   let rec try_each last_err = function
@@ -103,6 +108,39 @@ let dial env ?local addr =
       | Error e -> try_each (Some e) rest)
   in
   try_each None translations
+
+let dial env ?local addr =
+  ignore local;
+  let obs = span_obs () in
+  let sp =
+    match obs with
+    | None -> Obs.Span.none
+    | Some tr -> Obs.Span.enter tr ~layer:"dial" ("dial " ^ addr)
+  in
+  let fin () = match obs with None -> () | Some tr -> Obs.Span.exit tr sp in
+  match
+    let translations =
+      let csp =
+        match obs with
+        | None -> Obs.Span.none
+        | Some tr -> Obs.Span.enter tr ~layer:"cs" ("cs " ^ addr)
+      in
+      match translate env addr with
+      | r ->
+        (match obs with None -> () | Some tr -> Obs.Span.exit tr csp);
+        r
+      | exception e ->
+        (match obs with None -> () | Some tr -> Obs.Span.exit tr csp);
+        raise e
+    in
+    dial_translated env ~addr translations
+  with
+  | conn ->
+    fin ();
+    conn
+  | exception e ->
+    fin ();
+    raise e
 
 let redial env ?(tries = 5) ?(pause = fun () -> ()) ?local addr =
   (* dial with retries: the pattern every survivable client uses once

@@ -109,10 +109,27 @@ let fs env =
 let serve eng env tr = Ninep.Server.serve ~threaded:true eng (fs env) tr
 
 let import eng env ~host ~remote_root ~onto ?(flag = Vfs.Ns.After) () =
-  let conn = Dial.dial env (Printf.sprintf "net!%s!exportfs" host) in
-  (* the ctl fd must stay open or the connection would drop; it is
-     owned by the mount from here on.  9P flows over the data fd. *)
-  let tr = Fdtrans.of_fd env conn.Dial.data_fd in
-  let client = Ninep.Client.make eng tr in
-  Ninep.Client.session client;
-  Vfs.Env.mount env client ~aname:remote_root ~onto flag
+  (* the import span is the root covering dial (cs lookup + transport
+     handshake), the 9P session and the attach: one trace per mount *)
+  let obs = Sim.Engine.obs eng in
+  let sp =
+    match obs with
+    | None -> Obs.Span.none
+    | Some tr -> Obs.Span.enter tr ~layer:"import" ("import " ^ host)
+  in
+  let fin () = match obs with None -> () | Some tr -> Obs.Span.exit tr sp in
+  match
+    let conn = Dial.dial env (Printf.sprintf "net!%s!exportfs" host) in
+    (* the ctl fd must stay open or the connection would drop; it is
+       owned by the mount from here on.  9P flows over the data fd. *)
+    let tr = Fdtrans.of_fd env conn.Dial.data_fd in
+    let client = Ninep.Client.make eng tr in
+    Ninep.Client.session client;
+    Vfs.Env.mount env client ~aname:remote_root ~onto flag
+  with
+  | r ->
+    fin ();
+    r
+  | exception e ->
+    fin ();
+    raise e

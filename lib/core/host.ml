@@ -124,8 +124,9 @@ let create ?uname ?ether ?dk ?il_config ?tcp_config ?(dns_server = false)
   let cs = Cs.make ~sysname:name ~db ~networks ?dns:dns_fn () in
   Cs.mount env cs;
 
-  (* --- the kernel event log --- *)
+  (* --- the kernel event log and counter time-series --- *)
   Netinfo.mount_log env eng;
+  Netinfo.mount_metrics env eng;
   {
     name;
     eng;

@@ -64,6 +64,76 @@ let mount_log env eng =
        ())
     ~onto:"/net" Vfs.Ns.After
 
+(* /net/metrics: periodic counter snapshots as "name value ts" lines
+   (Prometheus exposition, virtual timestamps).  Sampling is opt-in —
+   an always-on ticker would add engine events to every run and
+   perturb the event-economy baselines — so a plain read without any
+   stored samples shows one live snapshot instead. *)
+let mount_metrics env eng =
+  let series = ref None in
+  let ticker = ref None in
+  let get_series () =
+    match Sim.Engine.obs eng with
+    | None -> None
+    | Some tr -> (
+      match !series with
+      | Some s -> Some s
+      | None ->
+        let s = Obs.Series.create (Obs.Trace.metrics tr) in
+        series := Some s;
+        Some s)
+  in
+  let stop () =
+    match !ticker with
+    | Some tk ->
+      Sim.Time.cancel tk;
+      ticker := None
+    | None -> ()
+  in
+  let start interval =
+    match get_series () with
+    | None -> Error "metrics: tracing disabled"
+    | Some s ->
+      stop ();
+      ticker :=
+        Some
+          (Sim.Time.every ~label:"obs" eng interval (fun () ->
+               Obs.Series.sample s (Sim.Engine.now eng)));
+      Ok ""
+  in
+  let text () =
+    match get_series () with
+    | None -> "tracing disabled\n"
+    | Some s -> Obs.Series.render ~live_ts:(Sim.Engine.now eng) s
+  in
+  Vfs.Env.mount_fs env
+    (Onefile.fs ~name:"netmetrics" ~filename:"metrics"
+       ~read_default:text
+       ~handle:(fun ~uname:_ req ->
+         match String.split_on_char ' ' (String.trim req) with
+         | [ "" ] -> Ok (text ())
+         | [ "start" ] -> ( match start 1.0 with Ok _ -> Ok "" | Error e -> Error e)
+         | [ "start"; iv ] -> (
+           match float_of_string_opt iv with
+           | Some dt when dt > 0. -> (
+             match start dt with Ok _ -> Ok "" | Error e -> Error e)
+           | _ -> Error ("metrics: bad interval: " ^ iv))
+         | [ "stop" ] ->
+           stop ();
+           Ok ""
+         | [ "sample" ] -> (
+           match get_series () with
+           | None -> Error "metrics: tracing disabled"
+           | Some s ->
+             Obs.Series.sample s (Sim.Engine.now eng);
+             Ok (text ()))
+         | [ "clear" ] ->
+           (match !series with Some s -> Obs.Series.clear s | None -> ());
+           Ok ""
+         | _ -> Error ("metrics: bad request: " ^ String.trim req))
+       ())
+    ~onto:"/net" Vfs.Ns.After
+
 let mount_ipifc env ip =
   Vfs.Env.mount_fs env
     (Onefile.fs ~name:"ipifc" ~filename:"ipifc"

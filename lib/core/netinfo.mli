@@ -10,7 +10,12 @@
     - [/net/log]: the newest events from the kernel trace
       ({!Obs.Trace}), one line each; reads report ring overflow,
       writing [clear] empties the ring, [limit N] tailors the next
-      read. *)
+      read.
+    - [/net/metrics]: periodic counter snapshots as Prometheus-style
+      [name value ts] lines (virtual timestamps).  Writing
+      [start [interval]] arms a sampling ticker, [stop] disarms it,
+      [sample] takes one snapshot now, [clear] empties the ring.  A
+      read with no stored samples shows one live snapshot. *)
 
 val mount_arp : Vfs.Env.t -> Inet.Ip.stack -> unit
 val mount_ipifc : Vfs.Env.t -> Inet.Ip.stack -> unit
@@ -18,3 +23,8 @@ val mount_ipifc : Vfs.Env.t -> Inet.Ip.stack -> unit
 val mount_log : Vfs.Env.t -> Sim.Engine.t -> unit
 (** Serve the engine's attached trace at [/net/log] ("tracing
     disabled" when no trace is attached). *)
+
+val mount_metrics : Vfs.Env.t -> Sim.Engine.t -> unit
+(** Serve periodic counter time-series at [/net/metrics] ("tracing
+    disabled" when no trace is attached).  Sampling is opt-in: write
+    [start [interval]] to arm the ticker. *)

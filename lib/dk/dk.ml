@@ -215,7 +215,7 @@ module Switch = struct
       | Some reason -> inject sw ~src:line.l_name ~dst ~kind:`Drop ~reason bytes
       | None ->
         let deliver at =
-          Sim.Engine.at sw.eng at (fun () ->
+          Sim.Engine.at ~label:"dk" sw.eng at (fun () ->
               if peer.ce_up then begin
                 dst.l_stats.cells_in <- dst.l_stats.cells_in + 1;
                 Sim.Mbox.send peer.ce_inq
@@ -258,8 +258,21 @@ module Circuit = struct
 
   let dial line ~dest ~service =
     let sw = line.Switch.l_sw in
+    let obs = Sim.Engine.obs sw.Switch.eng in
+    let sp =
+      match obs with
+      | None -> Obs.Span.none
+      | Some tr ->
+        Obs.Span.enter tr ~layer:"dk"
+          (Printf.sprintf "dk.dial %s!%s" dest service)
+    in
+    let fin () =
+      match obs with None -> () | Some tr -> Obs.Span.exit tr sp
+    in
     match Hashtbl.find_opt sw.Switch.lines dest with
-    | None -> raise (No_such_line dest)
+    | None ->
+      fin ();
+      raise (No_such_line dest)
     | Some callee -> (
       let listener =
         match Hashtbl.find_opt callee.Switch.l_services service with
@@ -267,9 +280,12 @@ module Circuit = struct
         | None -> Hashtbl.find_opt callee.Switch.l_services "*"
       in
       match listener with
-      | None -> raise (Rejected ("unknown service: " ^ service))
+      | None ->
+        fin ();
+        raise (Rejected ("unknown service: " ^ service))
       | Some mbox ->
-        Sim.Proc.suspend ~register:(fun ~resume ~abort ->
+        (match
+           Sim.Proc.suspend ~register:(fun ~resume ~abort ->
             let inc =
               {
                 Switch.in_caller = line.Switch.l_name;
@@ -282,9 +298,16 @@ module Circuit = struct
               }
             in
             (* call setup crosses the switch *)
-            Sim.Engine.after sw.Switch.eng sw.Switch.latency (fun () ->
+            Sim.Engine.after ~label:"dk" sw.Switch.eng sw.Switch.latency (fun () ->
                 Sim.Mbox.send mbox inc);
-            ignore))
+            ignore)
+         with
+        | ce ->
+          fin ();
+          ce
+        | exception e ->
+          fin ();
+          raise e))
 
   let accept (inc : incoming) =
     if inc.Switch.in_settled then invalid_arg "Dk.Circuit.accept: settled";
@@ -294,7 +317,7 @@ module Circuit = struct
     caller_end.Switch.ce_peer <- Some callee_end;
     callee_end.Switch.ce_peer <- Some caller_end;
     let sw = inc.Switch.in_callee.Switch.l_sw in
-    Sim.Engine.after sw.Switch.eng sw.Switch.latency (fun () ->
+    Sim.Engine.after ~label:"dk" sw.Switch.eng sw.Switch.latency (fun () ->
         inc.Switch.in_resume caller_end);
     callee_end
 
@@ -302,7 +325,7 @@ module Circuit = struct
     if inc.Switch.in_settled then invalid_arg "Dk.Circuit.reject: settled";
     inc.Switch.in_settled <- true;
     let sw = inc.Switch.in_callee.Switch.l_sw in
-    Sim.Engine.after sw.Switch.eng sw.Switch.latency (fun () ->
+    Sim.Engine.after ~label:"dk" sw.Switch.eng sw.Switch.latency (fun () ->
         inc.Switch.in_abort (Rejected reason))
 
   let send (ce : t) cell =
@@ -404,7 +427,7 @@ module Urp = struct
     match cell_cost c (String.length payload) with
     | None -> Circuit.send c.circ (Circuit.Data { payload; last = true })
     | Some (cpu, cost) ->
-      Sim.Cpu.run_after cpu cost (fun () ->
+      Sim.Cpu.run_after ~label:"dk" cpu cost (fun () ->
           Circuit.send c.circ (Circuit.Data { payload; last = true }))
 
   let tx_ctl c s = Circuit.send c.circ (Circuit.Ctl s)
@@ -556,7 +579,7 @@ module Urp = struct
           rq = Block.Q.create eng;
           closed_ = false;
           ticker =
-            Sim.Time.every eng (config.min_timeout /. 2.) (fun () ->
+            Sim.Time.every ~label:"dk" eng (config.min_timeout /. 2.) (fun () ->
                 tick (Lazy.force conv));
           kproc =
             Sim.Proc.spawn eng ~name:"urp" (fun () ->

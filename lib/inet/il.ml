@@ -258,7 +258,7 @@ let raw_output st ~dst pkt =
       st.cfg.cost_per_msg
       +. (st.cfg.cost_per_byte *. float_of_int (String.length pkt))
     in
-    Sim.Cpu.run_after cpu cost (fun () ->
+    Sim.Cpu.run_after ~label:"il" cpu cost (fun () ->
         Ip.send st.ip ~proto:Ip.proto_il ~dst pkt)
 
 let xmit c ty ~id ?(data = "") () =
@@ -599,10 +599,10 @@ let make_conv st ~lport ~rport ~raddr ~state ~start ~rstart =
       srtt = 0.;
       mdev = 0.;
       backoff = 0;
-      rexmit_tmr = Sim.Time.timer st.eng;
-      death_tmr = Sim.Time.timer st.eng;
+      rexmit_tmr = Sim.Time.timer ~label:"il" st.eng;
+      death_tmr = Sim.Time.timer ~label:"il" st.eng;
       death_at = Sim.Engine.now st.eng +. st.cfg.death_time;
-      ack_tmr = Sim.Time.timer st.eng;
+      ack_tmr = Sim.Time.timer ~label:"il" st.eng;
       rtt_id = 0;
       rtt_sent_at = 0.;
       err = None;
@@ -700,7 +700,7 @@ let attach ?(config = default_config) ip =
           config.cost_per_msg
           +. (config.cost_per_byte *. float_of_int (String.length pkt))
         in
-        Sim.Cpu.run_after cpu cost (fun () -> input st ~src ~dst pkt));
+        Sim.Cpu.run_after ~label:"il" cpu cost (fun () -> input st ~src ~dst pkt));
   st
 
 let alloc_port st =
@@ -721,6 +721,16 @@ let alloc_port st =
 
 let connect ?lport st ~raddr ~rport =
   let lport = match lport with Some p -> p | None -> alloc_port st in
+  let sp =
+    match Sim.Engine.obs st.eng with
+    | None -> Obs.Span.none
+    | Some tr -> Obs.Span.enter tr ~layer:"il" "il.connect"
+  in
+  let fin () =
+    match Sim.Engine.obs st.eng with
+    | None -> ()
+    | Some tr -> Obs.Span.exit tr sp
+  in
   let c =
     make_conv st ~lport ~rport ~raddr ~state:SSyncer ~start:(new_isn st)
       ~rstart:0
@@ -732,10 +742,16 @@ let connect ?lport st ~raddr ~rport =
     Sim.Rendez.sleep c.estwait
   done;
   (match (c.state, c.err) with
-  | SEstablished, _ -> ()
-  | _, Some "connect timed out" -> raise (Timeout "il connect")
-  | _, Some reason -> raise (Refused reason)
-  | _, None -> raise (Refused "closed"));
+  | SEstablished, _ -> fin ()
+  | _, Some "connect timed out" ->
+    fin ();
+    raise (Timeout "il connect")
+  | _, Some reason ->
+    fin ();
+    raise (Refused reason)
+  | _, None ->
+    fin ();
+    raise (Refused "closed"));
   c
 
 let default_backlog = 16

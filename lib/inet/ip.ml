@@ -174,7 +174,7 @@ let rec arp_retry t target =
     else begin
       incr tries;
       arp_request t target;
-      Sim.Engine.after t.eng arp_retry_interval (fun () -> arp_retry t target)
+      Sim.Engine.after ~label:"ip" t.eng arp_retry_interval (fun () -> arp_retry t target)
     end
   | Some (Resolved _) | None -> ()
 
@@ -188,7 +188,7 @@ let resolve_and_send t nexthop raw =
     t.stats.arp_misses <- t.stats.arp_misses + 1;
     Hashtbl.replace t.arp key (Pending (ref [ raw ], ref 1));
     arp_request t nexthop;
-    Sim.Engine.after t.eng arp_retry_interval (fun () -> arp_retry t nexthop)
+    Sim.Engine.after ~label:"ip" t.eng arp_retry_interval (fun () -> arp_retry t nexthop)
 
 let arp_input t (frame : Netsim.Ether.frame) =
   let p = frame.Netsim.Ether.payload in
@@ -228,7 +228,7 @@ let reassemble t h payload =
     | None ->
       let r = { frags = []; born = Sim.Engine.now t.eng } in
       Hashtbl.replace t.reasm_tbl key r;
-      Sim.Engine.after t.eng reasm_timeout (fun () ->
+      Sim.Engine.after ~label:"ip" t.eng reasm_timeout (fun () ->
           if Hashtbl.mem t.reasm_tbl key then begin
             Hashtbl.remove t.reasm_tbl key;
             t.stats.ip_reasm_drops <- t.stats.ip_reasm_drops + 1
@@ -294,7 +294,7 @@ let ip_input t (frame : Netsim.Ether.frame) =
 let send t ~proto ~dst payload =
   if Ipaddr.equal dst t.my_addr then
     (* loopback: deliver on the next tick, no wire *)
-    Sim.Engine.after t.eng 0. (fun () ->
+    Sim.Engine.after ~label:"ip" t.eng 0. (fun () ->
         dispatch t ~src:t.my_addr ~dst ~proto payload)
   else begin
     let nexthop =

@@ -249,7 +249,7 @@ let raw_output st ~dst pkt =
       st.cfg.cost_per_seg
       +. (st.cfg.cost_per_byte *. float_of_int (String.length pkt))
     in
-    Sim.Cpu.run_after cpu cost (fun () ->
+    Sim.Cpu.run_after ~label:"tcp" cpu cost (fun () ->
         Ip.send st.ip ~proto:Ip.proto_tcp ~dst pkt)
 
 let recv_window c =
@@ -493,7 +493,7 @@ let handle_established c (s : segment) =
         | TFinWait1 -> set_state c TTimeWait (* simultaneous close *)
         | TFinWait2 ->
           set_state c TTimeWait;
-          Sim.Engine.after c.stack.eng 1.0 (fun () -> destroy c None)
+          Sim.Engine.after ~label:"tcp" c.stack.eng 1.0 (fun () -> destroy c None)
         | TClosed | TSynSent | TSynRcvd | TCloseWait | TLastAck | TTimeWait
           ->
           ())
@@ -573,7 +573,7 @@ let handle_segment c (s : segment) =
         set_state c TFinWait2
       | TLastAck when c.snd_una = c.snd_nxt -> destroy c None
       | TTimeWait ->
-        Sim.Engine.after c.stack.eng 1.0 (fun () -> destroy c None)
+        Sim.Engine.after ~label:"tcp" c.stack.eng 1.0 (fun () -> destroy c None)
       | TClosed | TSynSent | TSynRcvd | TEstablished | TFinWait1
       | TFinWait2 | TCloseWait | TLastAck ->
         ())
@@ -621,8 +621,8 @@ let make_conv st ~lport ~rport ~raddr ~state ~iss =
       srtt = 0.;
       mdev = 0.;
       backoff = 0;
-      rexmit_tmr = Sim.Time.timer st.eng;
-      death_tmr = Sim.Time.timer st.eng;
+      rexmit_tmr = Sim.Time.timer ~label:"tcp" st.eng;
+      death_tmr = Sim.Time.timer ~label:"tcp" st.eng;
       death_at = Sim.Engine.now st.eng +. st.cfg.death_time;
       rtt_seq = 0;
       rtt_sent_at = 0.;
@@ -727,7 +727,7 @@ let attach ?(config = default_config) ip =
           config.cost_per_seg
           +. (config.cost_per_byte *. float_of_int (String.length pkt))
         in
-        Sim.Cpu.run_after cpu cost (fun () -> input st ~src ~dst pkt));
+        Sim.Cpu.run_after ~label:"tcp" cpu cost (fun () -> input st ~src ~dst pkt));
   st
 
 let alloc_port st =
@@ -748,6 +748,16 @@ let alloc_port st =
 
 let connect ?lport st ~raddr ~rport =
   let lport = match lport with Some p -> p | None -> alloc_port st in
+  let sp =
+    match Sim.Engine.obs st.eng with
+    | None -> Obs.Span.none
+    | Some tr -> Obs.Span.enter tr ~layer:"tcp" "tcp.connect"
+  in
+  let fin () =
+    match Sim.Engine.obs st.eng with
+    | None -> ()
+    | Some tr -> Obs.Span.exit tr sp
+  in
   let c = make_conv st ~lport ~rport ~raddr ~state:TSynSent ~iss:(new_iss st) in
   arm_rto c;
   xmit_initial_syn c;
@@ -755,10 +765,16 @@ let connect ?lport st ~raddr ~rport =
     Sim.Rendez.sleep c.estwait
   done;
   (match (c.state, c.err) with
-  | TEstablished, _ -> ()
-  | _, Some "connect timed out" -> raise (Timeout "tcp connect")
-  | _, Some reason -> raise (Refused reason)
-  | _, None -> raise (Refused "closed"));
+  | TEstablished, _ -> fin ()
+  | _, Some "connect timed out" ->
+    fin ();
+    raise (Timeout "tcp connect")
+  | _, Some reason ->
+    fin ();
+    raise (Refused reason)
+  | _, None ->
+    fin ();
+    raise (Refused "closed"));
   c
 
 let default_backlog = 16

@@ -411,14 +411,14 @@ module Ether = struct
             | None ->
               if v.Fault.v_reorder then
                 inject t station ~kind:`Reorder ~reason:"reorder" frame;
-              Sim.Engine.at t.eng
+              Sim.Engine.at ~label:"ether" t.eng
                 (deliver_at +. v.Fault.v_delay)
                 (fun () -> rx_deliver t station frame);
               if v.Fault.v_dup then begin
                 inject t station ~kind:`Dup ~reason:"dup" frame;
                 (* the copy trails by one frame time, like a stale
                    retransmission from a confused bridge *)
-                Sim.Engine.at t.eng
+                Sim.Engine.at ~label:"ether" t.eng
                   (deliver_at +. v.Fault.v_delay +. wire_time t frame)
                   (fun () -> rx_deliver t station frame)
               end
@@ -469,7 +469,7 @@ module Fiber = struct
         start +. (float_of_int (String.length msg * 8) /. e.bandwidth)
       in
       e.busy_until <- finish;
-      Sim.Engine.at e.eng (finish +. e.latency) (fun () -> peer.rx msg)
+      Sim.Engine.at ~label:"ether" e.eng (finish +. e.latency) (fun () -> peer.rx msg)
 end
 
 module Serial = struct
@@ -517,5 +517,5 @@ module Serial = struct
         start +. (float_of_int (String.length msg * 10) /. float_of_int e.baud_)
       in
       e.busy_until <- finish;
-      Sim.Engine.at e.eng finish (fun () -> peer.rx msg)
+      Sim.Engine.at ~label:"ether" e.eng finish (fun () -> peer.rx msg)
 end

@@ -54,6 +54,11 @@ let alloc_tag t =
 let rpc t tmsg =
   if t.dead then raise (Err "connection hung up");
   let tag = alloc_tag t in
+  let sp =
+    match Sim.Engine.obs t.eng with
+    | None -> Obs.Span.none
+    | Some tr -> Obs.Span.enter tr ~layer:"9p" ("9p." ^ Fcall.tmsg_name tmsg)
+  in
   (match Sim.Engine.obs t.eng with
   | None -> ()
   | Some tr ->
@@ -74,7 +79,8 @@ let rpc t tmsg =
     let dt = Sim.Engine.now t.eng -. t0 in
     Obs.Trace.emit tr
       (Obs.Event.Fcall { role = `R; tag; msg = name; latency = dt });
-    Obs.Trace.observe tr ("9p.rpc." ^ name) dt);
+    Obs.Trace.observe tr ("9p.rpc." ^ name) dt;
+    Obs.Span.exit tr sp);
   match r with Fcall.Rerror e -> raise (Err e) | r -> r
 
 let bad _t what = raise (Err (Printf.sprintf "9p: unexpected reply to %s" what))

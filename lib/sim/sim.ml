@@ -63,12 +63,14 @@ module Heap = struct
     rank : int;  (* policy tie-break within an equal-time batch *)
     serial : int;
     mutable live : bool;  (* cancelled entries are skipped on pop *)
+    label : string;  (* handler class, for the wall-clock profiler *)
     fn : unit -> unit;
   }
 
   type t = { mutable a : entry array; mutable n : int }
 
-  let dummy = { time = 0.; rank = 0; serial = 0; live = false; fn = ignore }
+  let dummy =
+    { time = 0.; rank = 0; serial = 0; live = false; label = ""; fn = ignore }
 
   let create () = { a = Array.make 64 dummy; n = 0 }
 
@@ -140,11 +142,15 @@ type engine = {
   mutable obs : Obs.Trace.t option;
       (* observability sink; every instrumented layer guards emission on
          this being [Some], so a world without a sink pays nothing *)
+  mutable prof : Obs.Prof.t option;
+      (* wall-clock profiler; when attached, [step] brackets each
+         dispatch with begin/end_event under the entry's label *)
 }
 
 and proc = {
   pid : int;
   pname : string;
+  pclass : string;  (* handler class for the profiler, from the name *)
   eng : engine;
   mutable state : proc_state;
   mutable exit_waiters : (unit -> unit) list;
@@ -157,15 +163,16 @@ let rank_of sched cls serial =
   | Sched.Shuffle seed, Normal -> Sched.mix seed serial
   | Sched.Adversarial, Normal -> -serial
 
-let schedule_entry ?(cls = Normal) eng time fn =
+let schedule_entry ?(cls = Normal) ?(label = "engine") eng time fn =
   let time = if time < eng.now then eng.now else time in
   eng.serial <- eng.serial + 1;
   let rank = rank_of eng.sched cls eng.serial in
-  let e = { Heap.time; rank; serial = eng.serial; live = true; fn } in
+  let e = { Heap.time; rank; serial = eng.serial; live = true; label; fn } in
   Heap.push eng.heap e;
   e
 
-let schedule_at ?cls eng time fn = ignore (schedule_entry ?cls eng time fn)
+let schedule_at ?cls ?label eng time fn =
+  ignore (schedule_entry ?cls ?label eng time fn)
 
 (* The process currently executing, if any.  Engines never run
    concurrently, so a single global is safe and avoids threading a
@@ -192,6 +199,7 @@ module Engine = struct
       next_pid = 1;
       events = 0;
       obs = None;
+      prof = None;
     }
 
   let now t = t.now
@@ -200,11 +208,15 @@ module Engine = struct
 
   let attach_obs t tr =
     Obs.Trace.set_clock tr (fun () -> t.now);
+    Obs.Trace.set_scope tr (fun () ->
+        match !current with Some p -> p.pid | None -> 0);
     t.obs <- Some tr
 
   let obs t = t.obs
-  let at t time fn = schedule_at t time fn
-  let after t dt fn = schedule_at t (t.now +. dt) fn
+  let attach_prof t p = t.prof <- Some p
+  let prof t = t.prof
+  let at ?label t time fn = schedule_at ?label t time fn
+  let after ?label t dt fn = schedule_at ?label t (t.now +. dt) fn
   let pending t = t.heap.Heap.n
   let events t = t.events
 
@@ -215,7 +227,12 @@ module Engine = struct
       if e.Heap.live then begin
         t.now <- e.Heap.time;
         t.events <- t.events + 1;
-        e.Heap.fn ();
+        (match t.prof with
+        | None -> e.Heap.fn ()
+        | Some p ->
+          Obs.Prof.begin_event p;
+          e.Heap.fn ();
+          Obs.Prof.end_event p e.Heap.label);
         true
       end
       else step t (* cancelled: skip without advancing time *)
@@ -238,6 +255,11 @@ module Engine = struct
     in
     let rec loop () = if continue_ () then if step t then loop () in
     loop ();
+    (* a drained queue means every open span's operation is blocked
+       forever (or abandoned): close them as orphans so the trace names
+       the stuck work instead of silently losing it *)
+    if t.heap.Heap.n = 0 then
+      (match t.obs with None -> () | Some tr -> Obs.Span.drain tr);
     (match until with Some limit when limit > t.now -> t.now <- limit | _ -> ());
     match List.rev t.crashes with
     | [] -> ()
@@ -262,10 +284,30 @@ module Proc = struct
   let engine p = p.eng
   let alive p = p.state <> Dead
 
+  (* handler class for the profiler, derived once at spawn from the
+     conventional process names used across the stack *)
+  let proc_class name =
+    let starts p =
+      String.length name >= String.length p
+      && String.sub name 0 (String.length p) = p
+    in
+    if starts "9p" then "9p"
+    else if starts "cfs" then "cfs"
+    else if starts "urp" || starts "dk" then "dk"
+    else if starts "ether" then "ether"
+    else if starts "udp" then "udp"
+    else if starts "dns" then "dns"
+    else if starts "cs" then "cs"
+    else if starts "listen" || starts "serve" || starts "exportfs" then
+      "listener"
+    else "app"
+
   let self () =
     match !current with
     | Some p -> p
     | None -> failwith "Sim.Proc.self: not inside a simulated process"
+
+  let self_opt () = !current
 
   let emit_phase p phase =
     match p.eng.obs with
@@ -285,7 +327,10 @@ module Proc = struct
     let pname =
       match name with Some n -> n | None -> Printf.sprintf "proc%d" pid
     in
-    let p = { pid; pname; eng; state = Ready; exit_waiters = [] } in
+    let p =
+      { pid; pname; pclass = proc_class pname; eng; state = Ready;
+        exit_waiters = [] }
+    in
     eng.procs <- p :: eng.procs;
     emit_phase p Obs.Event.Spawn;
     let handler : (unit, unit) Effect.Deep.handler =
@@ -324,7 +369,7 @@ module Proc = struct
                       settle ();
                       emit_phase p Obs.Event.Wake;
                       p.state <- Ready;
-                      schedule_at eng eng.now (fun () ->
+                      schedule_at ~label:p.pclass eng eng.now (fun () ->
                           p.state <- Running;
                           let saved = !current in
                           current := Some p;
@@ -339,7 +384,7 @@ module Proc = struct
                       settle ();
                       emit_phase p Obs.Event.Wake;
                       p.state <- Ready;
-                      schedule_at eng eng.now (fun () ->
+                      schedule_at ~label:p.pclass eng eng.now (fun () ->
                           p.state <- Running;
                           let saved = !current in
                           current := Some p;
@@ -356,7 +401,7 @@ module Proc = struct
             | _ -> None);
       }
     in
-    schedule_at eng eng.now (fun () ->
+    schedule_at ~label:p.pclass eng eng.now (fun () ->
         p.state <- Running;
         let saved = !current in
         current := Some p;
@@ -400,23 +445,28 @@ module Time = struct
        yield, whose contract is "after already-queued same-time events"
        under every policy — hence the Deferred class. *)
     let cls = if dt <= 0. then Deferred else Normal in
+    let label =
+      match !current with Some p -> p.pclass | None -> "engine"
+    in
     Proc.suspend ~register:(fun ~resume ~abort:_ ->
-        let e = schedule_entry ~cls eng (eng.now +. dt) (fun () -> resume ()) in
+        let e =
+          schedule_entry ~cls ~label eng (eng.now +. dt) (fun () -> resume ())
+        in
         fun () -> e.Heap.live <- false)
 
   let yield eng = sleep eng 0.
 
   type ticker = { mutable live : bool }
 
-  let every eng dt fn =
+  let every ?(label = "tick") eng dt fn =
     let tk = { live = true } in
     let rec tick () =
       if tk.live then begin
         fn ();
-        schedule_at eng (eng.now +. dt) tick
+        schedule_at ~label eng (eng.now +. dt) tick
       end
     in
-    schedule_at eng (eng.now +. dt) tick;
+    schedule_at ~label eng (eng.now +. dt) tick;
     tk
 
   let cancel tk = tk.live <- false
@@ -426,9 +476,13 @@ module Time = struct
      in O(1) by marking the entry dead (the heap skips it on pop).  This
      is what lets an idle protocol conversation cost zero events: its
      timers are simply not armed. *)
-  type timer = { teng : engine; mutable tentry : Heap.entry option }
+  type timer = {
+    teng : engine;
+    tlabel : string;
+    mutable tentry : Heap.entry option;
+  }
 
-  let timer eng = { teng = eng; tentry = None }
+  let timer ?(label = "timer") eng = { teng = eng; tlabel = label; tentry = None }
 
   let timer_bump t name =
     match t.teng.obs with
@@ -447,7 +501,7 @@ module Time = struct
     disarm t;
     timer_bump t "timer.arm";
     let e =
-      schedule_entry t.teng time (fun () ->
+      schedule_entry ~label:t.tlabel t.teng time (fun () ->
           t.tentry <- None;
           timer_bump t "timer.fire";
           fn ())
@@ -478,12 +532,15 @@ module Cpu = struct
       Obs.Trace.observe tr "cpu.queued" (start -. now));
     finish
 
-  let run_after t dt fn = schedule_at t.ceng (occupy t dt) fn
+  let run_after ?label t dt fn = schedule_at ?label t.ceng (occupy t dt) fn
 
   let busy_wait t dt =
     let finish = occupy t dt in
+    let label =
+      match !current with Some p -> p.pclass | None -> "engine"
+    in
     Proc.suspend ~register:(fun ~resume ~abort:_ ->
-        let e = schedule_entry t.ceng finish (fun () -> resume ()) in
+        let e = schedule_entry ~label t.ceng finish (fun () -> resume ()) in
         fun () -> e.Heap.live <- false)
 end
 
@@ -686,6 +743,25 @@ module Explore = struct
       let o2 = sc.sc_run ~sched:policy ~trace:(Some tr) in
       out "  replay with tracing attached — event tail:\n";
       out (render_trace tr);
+      (* spans still open when the replay drained are the operations
+         that never completed — for a lost-wakeup stall this names the
+         blocked work directly.  The engine closed them as orphans. *)
+      let open_spans =
+        List.filter_map
+          (fun (_, _, e) ->
+            match e with
+            | Obs.Event.Span_end { orphan = true; name; layer; span; trace; _ }
+              ->
+              Some
+                (Printf.sprintf "    [%s] %s (span %d, trace %d)\n" layer name
+                   span trace)
+            | _ -> None)
+          (Obs.Trace.events tr)
+      in
+      out "  open spans at stall (closed as orphans at drain):\n";
+      (match open_spans with
+      | [] -> out "    (none)\n"
+      | ls -> List.iter out ls);
       (match o2.o_crash with
       | Some e -> out (Printf.sprintf "  replay crash: %s\n" e)
       | None -> ());

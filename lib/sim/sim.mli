@@ -63,29 +63,45 @@ module Engine : sig
 
   val run : ?until:float -> t -> unit
   (** Execute events in time order until the queue is empty or virtual
-      time would exceed [until].  If any process crashed with an
-      uncaught exception, the first such exception is re-raised after
-      the queue drains (so tests fail loudly). *)
+      time would exceed [until].  When the queue fully drains with a
+      sink attached, open spans are force-closed as orphans
+      ({!Obs.Span.drain}) — a blocked-forever operation still names
+      itself in the trace.  If any process crashed with an uncaught
+      exception, the first such exception is re-raised after the queue
+      drains (so tests fail loudly). *)
 
   val step : t -> bool
   (** Execute a single event; [false] if the queue was empty. *)
 
-  val at : t -> float -> (unit -> unit) -> unit
+  val at : ?label:string -> t -> float -> (unit -> unit) -> unit
   (** [at eng time fn] schedules [fn] at absolute virtual [time]
-      (clamped to [now]).  [fn] runs outside any process context. *)
+      (clamped to [now]).  [fn] runs outside any process context.
+      [label] (default ["engine"]) is the handler class the profiler
+      attributes the dispatch to. *)
 
-  val after : t -> float -> (unit -> unit) -> unit
+  val after : ?label:string -> t -> float -> (unit -> unit) -> unit
   (** [after eng dt fn] = [at eng (now eng +. dt) fn]. *)
 
   val attach_obs : t -> Obs.Trace.t -> unit
   (** Install an observability sink: the trace's clock becomes this
-      engine's virtual clock and every instrumented layer holding the
-      engine starts emitting events into it.  Without a sink attached,
-      instrumentation is free (no allocation on hot paths). *)
+      engine's virtual clock, its span scope becomes the current pid,
+      and every instrumented layer holding the engine starts emitting
+      events into it.  Without a sink attached, instrumentation is free
+      (no allocation on hot paths). *)
 
   val obs : t -> Obs.Trace.t option
   (** The attached sink, if any.  Instrumented code matches on this
       around each emission. *)
+
+  val attach_prof : t -> Obs.Prof.t -> unit
+  (** Install a wall-clock profiler: every subsequent event dispatch is
+      bracketed with {!Obs.Prof.begin_event}/{!Obs.Prof.end_event}
+      under the heap entry's handler-class label.  Orthogonal to
+      {!attach_obs} — profiling reads the real clock and is therefore
+      not deterministic, but it never touches virtual time, so it does
+      not perturb the simulation. *)
+
+  val prof : t -> Obs.Prof.t option
 
   val stalled : t -> string list
   (** Names of processes that are neither dead nor scheduled — i.e.
@@ -119,6 +135,11 @@ module Proc : sig
   val self : unit -> t
   (** The currently running process.  @raise Failure outside one. *)
 
+  val self_opt : unit -> t option
+  (** [self ()] without the raise — [None] outside any process.  Lets
+      library code that may run in either context (dial, mounts) reach
+      the engine's observability sink without allocating. *)
+
   val kill : t -> unit
   (** Abort [t]: if it is blocked, it resumes by raising {!Killed}; if
       it is runnable the kill lands at its next blocking point.  Killing
@@ -151,9 +172,10 @@ module Time : sig
 
   type ticker
 
-  val every : Engine.t -> float -> (unit -> unit) -> ticker
+  val every : ?label:string -> Engine.t -> float -> (unit -> unit) -> ticker
   (** Run a callback every [dt] seconds (not in process context) until
-      {!cancel}. *)
+      {!cancel}.  [label] (default ["tick"]) is the profiler's handler
+      class for the tick dispatches. *)
 
   val cancel : ticker -> unit
 
@@ -166,8 +188,10 @@ module Time : sig
       disarms are counted under [timer.arm] / [timer.fire] /
       [timer.disarm]. *)
 
-  val timer : Engine.t -> timer
-  (** A fresh, disarmed timer. *)
+  val timer : ?label:string -> Engine.t -> timer
+  (** A fresh, disarmed timer.  [label] (default ["timer"]) is the
+      profiler's handler class for its fire dispatches — protocols pass
+      their own name ("il", "tcp"). *)
 
   val arm_at : timer -> float -> (unit -> unit) -> unit
   (** [arm_at t time fn] schedules [fn] at absolute virtual [time]
@@ -200,9 +224,10 @@ module Cpu : sig
   (** [occupy cpu dt] reserves the next [dt] seconds of CPU time and
       returns the absolute completion time (>= now). *)
 
-  val run_after : t -> float -> (unit -> unit) -> unit
+  val run_after : ?label:string -> t -> float -> (unit -> unit) -> unit
   (** Schedule [fn] at the completion time of a [dt]-second occupancy.
-      Not process context. *)
+      Not process context.  [label] names the handler class for the
+      profiler. *)
 
   val busy_wait : t -> float -> unit
   (** Occupy the CPU for [dt] and block the calling process until the

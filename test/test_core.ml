@@ -365,7 +365,8 @@ let test_import_unions_net () =
       let before = names (Vfs.Env.ls env "/net") in
       (* the paper: philw-gnot% ls /net -> /net/cs /net/dk
          (plus our kernel event log) *)
-      Alcotest.(check (list string)) "before import" [ "cs"; "dk"; "log" ]
+      Alcotest.(check (list string)) "before import"
+        [ "cs"; "dk"; "log"; "metrics" ]
         before;
       P9net.Exportfs.import w.P9net.World.eng env ~host:"helix"
         ~remote_root:"/net" ~onto:"/net" ~flag:Vfs.Ns.After ();

@@ -83,6 +83,57 @@ let test_planted_bug_adversarial () =
           true
           (String.length f.Sim.Explore.f_reason > 0))
 
+(* a stalled operation's failure replay must name the spans still open
+   at the stall — the "what was it in the middle of" line *)
+let test_replay_names_open_spans () =
+  let sc =
+    Sim.Explore.scenario "span-stall"
+      ~descr:"a reader that opens a span and blocks forever"
+      (fun ~sched ~trace ->
+        let eng = Sim.Engine.create ~sched () in
+        let tr =
+          match trace with
+          | Some tr -> tr
+          | None -> Obs.Trace.create ~capacity:512 ()
+        in
+        Sim.Engine.attach_obs eng tr;
+        let r = Sim.Rendez.create eng in
+        ignore
+          (Sim.Proc.spawn eng ~name:"sc:main" (fun () ->
+               ignore (Obs.Span.enter tr ~layer:"app" "op.read" : Obs.Span.h);
+               Sim.Rendez.sleep r));
+        Sim.Engine.run ~until:10.0 eng;
+        {
+          Sim.Explore.o_transcript = "";
+          o_stalled =
+            List.filter
+              (fun n ->
+                String.length n >= 3 && String.sub n 0 3 = "sc:")
+              (Sim.Engine.stalled eng);
+          o_crash = None;
+          o_counters = [];
+          o_events = Sim.Engine.events eng;
+        })
+  in
+  let buf = Buffer.create 1024 in
+  (match Sim.Explore.run_one ~out:(Buffer.add_string buf) sc Sim.Sched.Fifo with
+  | Ok _ -> Alcotest.fail "a blocked-forever scenario must stall"
+  | Error f ->
+    Alcotest.(check bool) "reason is the stall" true
+      (String.length f.Sim.Explore.f_reason > 0));
+  let out = Buffer.contents buf in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i =
+      i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "replay lists open spans" true
+    (contains out "open spans at stall");
+  Alcotest.(check bool) "the stuck operation is named" true
+    (contains out "op.read")
+
 let () =
   Alcotest.run "explore"
     [
@@ -94,5 +145,7 @@ let () =
             test_planted_bug_caught;
           Alcotest.test_case "planted bug adversarial" `Quick
             test_planted_bug_adversarial;
+          Alcotest.test_case "replay names open spans" `Quick
+            test_replay_names_open_spans;
         ] );
     ]
