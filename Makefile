@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all check smoke explore explore-smoke bench bench-cfs bench-faults \
-	bench-swarm bench-guard profile-smoke coverage clean
+	bench-swarm bench-routed bench-guard profile-smoke coverage clean
 
 all:
 	dune build
@@ -64,6 +64,17 @@ bench-swarm:
 	dune exec bench/main.exe -- swarm
 	@test -s BENCH_swarm.json
 
+# The routed-internet proof: 10k+ concurrent conversations dialed
+# across a 20-subnet topology (16 leaf subnets, two backbones, a server
+# subnet, and a Datakit transit) joined by gateway hosts.  The bench
+# exits non-zero on non-convergence, peak concurrency < 10000, fewer
+# than 12 segments, an idle Datakit transit, any drop at the routing
+# choke point, an events-per-conversation regression, or a determinism
+# break.
+bench-routed:
+	dune exec bench/main.exe -- routed
+	@test -s BENCH_routed.json
+
 # Guard: under the default FIFO policy the virtual-time behavior must
 # reproduce the golden JSONs byte for byte once the one wall-clock perf
 # line is stripped, and the perf member must carry the full schema
@@ -94,5 +105,6 @@ coverage:
 
 clean:
 	dune clean
-	rm -f BENCH_table1.json BENCH_cfs.json BENCH_faults.json BENCH_swarm.json
+	rm -f BENCH_table1.json BENCH_cfs.json BENCH_faults.json BENCH_swarm.json \
+		BENCH_routed.json
 	find . -name '*.coverage' -delete 2>/dev/null || true

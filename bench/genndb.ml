@@ -25,6 +25,72 @@ let generate ~lines =
 
 let nth_sys i = Printf.sprintf "sys%06d" i
 
+(* A routed internet in ndb form: [leaves] client subnets, each behind
+   its own gateway, the gateways joined by two Ethernet backbones that
+   meet over a point-to-point Datakit subnet (medium=dk), and a server
+   subnet hanging off the right-hand core.  Every subnet entry carries
+   an explicit ipmask, and clients inherit their default route from the
+   leaf's ipgw. *)
+
+let gw_sys k = Printf.sprintf "gw%02d" k
+let client_sys k i = Printf.sprintf "cl%02d-%03d" k i
+let leaf_net k = Printf.sprintf "leaf%d" k
+let server_sys = "swarmsrv"
+let server_ip = "10.200.0.9"
+
+let subnetted ?(leaves = 16) ?(clients_per_leaf = 14) () =
+  if leaves < 2 || leaves > 98 then invalid_arg "subnetted: leaves";
+  if clients_per_leaf < 1 || clients_per_leaf > 250 then
+    invalid_arg "subnetted: clients_per_leaf";
+  let b = Buffer.create 16384 in
+  let mac = ref 0 in
+  let next_mac () =
+    incr mac;
+    Printf.sprintf "aa1069%06x" !mac
+  in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  for k = 1 to leaves do
+    line "ipnet=%s ip=10.%d.0.0 ipmask=255.255.0.0" (leaf_net k) k;
+    line "\tipgw=10.%d.0.1" k
+  done;
+  line "ipnet=bbl ip=10.100.0.0 ipmask=255.255.0.0";
+  line "ipnet=bbr ip=10.101.0.0 ipmask=255.255.0.0";
+  line "ipnet=srv ip=10.200.0.0 ipmask=255.255.0.0";
+  line "\tipgw=10.200.0.1";
+  line "ipnet=dkt ip=10.255.0.0 ipmask=255.255.0.0";
+  line "\tmedium=dk";
+  (* leaf gateways: a NIC on the leaf, a NIC on their backbone *)
+  for k = 1 to leaves do
+    let bb = if 2 * k <= leaves then "100" else "101" in
+    line "sys=%s" (gw_sys k);
+    line "\tip=10.%d.0.1 ether=%s" k (next_mac ());
+    line "\tip=10.%s.0.%d ether=%s" bb k (next_mac ())
+  done;
+  (* the cores: left joins bbl to the Datakit transit, right joins the
+     transit to bbr and the server subnet *)
+  line "sys=gwcorel";
+  line "\tip=10.100.0.254 ether=%s" (next_mac ());
+  line "\tip=10.255.0.1";
+  line "\tdk=nj/bb/gwcorel";
+  line "sys=gwcorer";
+  line "\tip=10.101.0.254 ether=%s" (next_mac ());
+  line "\tip=10.200.0.1 ether=%s" (next_mac ());
+  line "\tip=10.255.0.2";
+  line "\tdk=nj/bb/gwcorer";
+  line "sys=%s" server_sys;
+  line "\tip=%s ether=%s" server_ip (next_mac ());
+  for k = 1 to leaves do
+    for i = 1 to clients_per_leaf do
+      line "sys=%s" (client_sys k i);
+      line "\tip=10.%d.1.%d ether=%s" k i (next_mac ())
+    done
+  done;
+  line "il=echo\tport=56";
+  line "tcp=echo\tport=7";
+  line "il=exportfs\tport=17007";
+  line "tcp=exportfs\tport=17007";
+  Buffer.contents b
+
 let write_temp ~lines =
   let dir = Filename.temp_file "ndbbench" "" in
   Sys.remove dir;

@@ -729,6 +729,66 @@ let run_swarm () =
   print_endline "same-seed rerun: byte-identical (determinism holds)"
 
 (* ------------------------------------------------------------------ *)
+(* routed swarm: 10k conversations across a multi-segment internet      *)
+(* ------------------------------------------------------------------ *)
+
+(* engine events per conversation for the routed topology (seed 11,
+   16 leaves x 14 clients x 45 conversations): dearer than the flat
+   swarm because every packet crosses two to four gateway hops *)
+let routed_baseline = 110.0 (* measured 85.82 *)
+
+let run_routed () =
+  section "routed swarm - 10k conversations across a 20-subnet internet";
+  let t0 = Unix.gettimeofday () in
+  let r = Routed_swarm_bench.run () in
+  let t1 = Unix.gettimeofday () in
+  let r2 = Routed_swarm_bench.run () in
+  let t2 = Unix.gettimeofday () in
+  print_string r.Routed_swarm_bench.res_json;
+  let perfs = [ ("il", r.Routed_swarm_bench.res_perf) ] in
+  let oc = open_out "BENCH_routed.json" in
+  output_string oc (inject_perf r.Routed_swarm_bench.res_json perfs);
+  close_out oc;
+  Printf.printf "wrote BENCH_routed.json (wall clock %.2fs + %.2fs rerun)\n%!"
+    (t1 -. t0) (t2 -. t1);
+  perf_soft_guard "routed" perfs;
+  perf_shape_check "routed" perfs;
+  let s = r.Routed_swarm_bench.res in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "error: routed swarm: %s\n" m;
+        exit 1)
+      fmt
+  in
+  if not s.Routed_swarm_bench.r_converged then
+    fail "converged only %d of %d conversations"
+      s.Routed_swarm_bench.r_completed s.Routed_swarm_bench.r_total;
+  if s.Routed_swarm_bench.r_peak_convs < 10000 then
+    fail "peak concurrency %d < 10000 — the barrier did not hold"
+      s.Routed_swarm_bench.r_peak_convs;
+  if s.Routed_swarm_bench.r_segments < 12 then
+    fail "only %d segments — not a multi-segment internet"
+      s.Routed_swarm_bench.r_segments;
+  if s.Routed_swarm_bench.r_forwarded = 0 then
+    fail "gateways forwarded nothing — traffic is not crossing subnets";
+  if s.Routed_swarm_bench.r_tun_tx = 0 || s.Routed_swarm_bench.r_tun_rx = 0 then
+    fail "the Datakit transit carried nothing (tun_tx %d, tun_rx %d)"
+      s.Routed_swarm_bench.r_tun_tx s.Routed_swarm_bench.r_tun_rx;
+  if s.Routed_swarm_bench.r_drops > 0 then
+    fail "%d packets dropped at the routing choke point"
+      s.Routed_swarm_bench.r_drops;
+  let epc = Routed_swarm_bench.events_per_conv s in
+  if epc > routed_baseline then
+    fail
+      "%.2f engine events per conversation (baseline %.2f) — the routed \
+       event economy regressed"
+      epc routed_baseline;
+  if r.Routed_swarm_bench.res_json <> r2.Routed_swarm_bench.res_json then
+    fail "two same-seed runs produced different BENCH_routed.json";
+  print_endline "same-seed rerun: byte-identical (determinism holds)"
+
+(* ------------------------------------------------------------------ *)
 (* guard: golden determinism with perf stripped + perf schema check     *)
 (* ------------------------------------------------------------------ *)
 
@@ -742,6 +802,7 @@ let read_file path =
 let run_guard () =
   run_faults ();
   run_swarm ();
+  run_routed ();
   section "bench-guard - golden JSON (perf-stripped) + perf schema";
   List.iter
     (fun base ->
@@ -781,7 +842,7 @@ let run_guard () =
           ];
         Printf.printf "%s: golden match (perf stripped), perf schema ok\n%!"
           base)
-    [ "BENCH_faults.json"; "BENCH_swarm.json" ]
+    [ "BENCH_faults.json"; "BENCH_swarm.json"; "BENCH_routed.json" ]
 
 (* ------------------------------------------------------------------ *)
 (* profile: a tiny swarm as a smoke test for the engine profiler        *)
@@ -907,6 +968,7 @@ let sections =
     ("cfs", run_cfs);
     ("faults", run_faults);
     ("swarm", run_swarm);
+    ("routed", run_routed);
     ("guard", run_guard);
     ("profile", run_profile);
     ("micro", run_bechamel);

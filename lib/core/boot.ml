@@ -125,6 +125,16 @@ let boot_diskless w ~ether_addr customize =
   let ip =
     Inet.Ip.create ?gateway:cfg.bc_gw ~addr:cfg.bc_ip ~mask:cfg.bc_mask port
   in
+  (* even a diskless station routes through a node: its on-link subnet
+     plus the boot-supplied gateway as default *)
+  let node = Route.create ~name:("boot:" ^ ether_addr) eng in
+  Route.set_deliver node (fun raw -> Inet.Ip.deliver_raw ip raw);
+  ignore (Route.attach_stack node ~ifname:"ether0" ip);
+  (match cfg.bc_gw with
+  | Some gw when not (Inet.Ipaddr.equal gw cfg.bc_ip) ->
+    Route.Table.add (Route.table node) ~dest:Inet.Ipaddr.any
+      ~mask:Inet.Ipaddr.any (Route.Table.Via gw)
+  | Some _ | None -> ());
   let il = Inet.Il.attach ip in
   let fs_ip =
     match cfg.bc_fs with

@@ -6,6 +6,8 @@ type t = {
   db : Ndb.t;
   etherport : Inet.Etherport.t option;
   ip : Inet.Ip.stack option;
+  ipstacks : Inet.Ip.stack list;
+  node : Route.t option;
   il : Inet.Il.stack option;
   tcp : Inet.Tcp.stack option;
   udp : Inet.Udp.stack option;
@@ -14,8 +16,17 @@ type t = {
   cs : Cs.t;
 }
 
-let create ?uname ?ether ?dk ?il_config ?tcp_config ?(dns_server = false)
-    ~db ~name eng =
+(* the entry's ip= attributes pair positionally with its ether=
+   attributes; addresses beyond the ether list ride other media
+   (a dk-medium subnet reached through a Datakit tunnel) *)
+let rec pair_addrs ips ethers =
+  match (ips, ethers) with
+  | ip :: ips', ea :: ethers' -> (ip, Some ea) :: pair_addrs ips' ethers'
+  | ip :: ips', [] -> (ip, None) :: pair_addrs ips' []
+  | [], _ -> []
+
+let create ?uname ?ether ?(segments = []) ?dk ?il_config ?tcp_config
+    ?(dns_server = false) ~db ~name eng =
   let entry =
     match Ndb.sys_entry db name with
     | Some e -> e
@@ -36,37 +47,84 @@ let create ?uname ?ether ?dk ?il_config ?tcp_config ?(dns_server = false)
     (Vfs.Mnt.stats_fs (fun () -> Vfs.Ns.mounts ns))
     ~onto:"/dev/mnt" Vfs.Ns.Repl;
 
-  (* --- Ethernet + the IP protocol suite --- *)
-  let etherport, ip, il, tcp, udp =
-    match
-      (ether, Ndb.get entry "ether", Ndb.get entry "ip")
-    with
-    | Some segment, Some ea, Some ipstr ->
-      let nic = Netsim.Ether.attach segment (Netsim.Eaddr.of_string ea) in
-      let port = Inet.Etherport.create eng nic in
-      let addr = Inet.Ipaddr.of_string ipstr in
-      let mask =
-        match Ndb.ipattr db ~ip:ipstr ~attr:"ipmask" with
-        | Some m -> Inet.Ipaddr.of_string m
-        | None -> Inet.Ipaddr.class_mask addr
-      in
-      let gateway =
-        Option.map Inet.Ipaddr.of_string
-          (Ndb.ipattr db ~ip:ipstr ~attr:"ipgw")
-      in
-      let ipstack = Inet.Ip.create ?gateway ~addr ~mask port in
+  (* --- address book: segment, mask, gateway per interface address --- *)
+  let subnet_of ipstr = Ndb.ipnet_entry db ~ip:ipstr in
+  let segment_for ipstr =
+    (* a routed world names its segments after the ipnet entries; the
+       single-segment worlds just hand every NIC the one wire *)
+    match Option.bind (subnet_of ipstr) (fun e -> Ndb.get e "ipnet") with
+    | Some netname -> (
+      match List.assoc_opt netname segments with
+      | Some seg -> Some seg
+      | None -> ether)
+    | None -> ether
+  in
+  let mask_for ipstr =
+    match Ndb.ipattr db ~ip:ipstr ~attr:"ipmask" with
+    | Some m -> Inet.Ipaddr.of_string m
+    | None -> (
+      match Option.bind (subnet_of ipstr) (fun e -> Ndb.get e "ipmask") with
+      | Some m -> Inet.Ipaddr.of_string m
+      | None -> Inet.Ipaddr.class_mask (Inet.Ipaddr.of_string ipstr))
+  in
+  let gateway_for ipstr =
+    match Ndb.ipattr db ~ip:ipstr ~attr:"ipgw" with
+    | Some g -> Some (Inet.Ipaddr.of_string g)
+    | None ->
+      Option.map Inet.Ipaddr.of_string
+        (Option.bind (subnet_of ipstr) (fun e -> Ndb.get e "ipgw"))
+  in
+
+  (* --- Ethernet NICs: one IP stack per ip=/ether= pair --- *)
+  let pairs = pair_addrs (Ndb.get_all entry "ip") (Ndb.get_all entry "ether") in
+  let nics =
+    List.filter_map
+      (fun (ipstr, ea) ->
+        match (ea, Option.bind ea (fun _ -> segment_for ipstr)) with
+        | Some ea, Some segment ->
+          let nic =
+            Netsim.Ether.attach segment (Netsim.Eaddr.of_string ea)
+          in
+          let port = Inet.Etherport.create eng nic in
+          let addr = Inet.Ipaddr.of_string ipstr in
+          let ipstack =
+            Inet.Ip.create ?gateway:(gateway_for ipstr) ~addr
+              ~mask:(mask_for ipstr) port
+          in
+          Some (port, ipstack)
+        | _, _ -> None)
+      pairs
+  in
+  let tunnel_addrs =
+    List.filter_map
+      (fun (ipstr, ea) -> if ea = None then Some ipstr else None)
+      pairs
+  in
+  let etherport = Option.map fst (List.nth_opt nics 0) in
+  let ipstacks = List.map snd nics in
+  let ip = List.nth_opt ipstacks 0 in
+
+  (* --- transports, on the primary stack --- *)
+  let il, tcp, udp =
+    match ip with
+    | Some ipstack ->
       let il = Inet.Il.attach ?config:il_config ipstack in
       let tcp = Inet.Tcp.attach ?config:tcp_config ipstack in
       let udp = Inet.Udp.attach ipstack in
-      Ether_dev.mount env port ~name:"ether0";
       Netdev.mount env eng (Netdev.il_proto il);
       Netdev.mount env eng (Netdev.tcp_proto tcp);
       Netdev.mount env eng (Netdev.udp_proto udp);
-      Netinfo.mount_arp env ipstack;
-      Netinfo.mount_ipifc env ipstack;
-      (Some port, Some ipstack, Some il, Some tcp, Some udp)
-    | _, _, _ -> (None, None, None, None, None)
+      (Some il, Some tcp, Some udp)
+    | None -> (None, None, None)
   in
+  List.iteri
+    (fun i (port, ipstack) ->
+      Ether_dev.mount env port ~name:(Printf.sprintf "ether%d" i);
+      if i = 0 then begin
+        Netinfo.mount_arp env ipstack;
+        Netinfo.mount_ipifc env ipstack
+      end)
+    nics;
 
   (* --- Datakit --- *)
   let dkline =
@@ -76,6 +134,78 @@ let create ?uname ?ether ?dk ?il_config ?tcp_config ?(dns_server = false)
       Netdev.mount env eng (Netdev.dk_proto line);
       Some line
     | _, _ -> None
+  in
+
+  (* --- the routing node: every IP host gets one --- *)
+  let node =
+    match ip with
+    | None -> None
+    | Some primary ->
+      let node = Route.create ~name eng in
+      Route.set_deliver node (fun raw -> Inet.Ip.deliver_raw primary raw);
+      List.iteri
+        (fun i st ->
+          ignore
+            (Route.attach_stack node ~ifname:(Printf.sprintf "ether%d" i) st))
+        ipstacks;
+      (* dk-medium subnets become point-to-point IP tunnels over the
+         Datakit switch: the member with the smallest system name
+         answers, the other calls *)
+      List.iteri
+        (fun i ipstr ->
+          match (dkline, subnet_of ipstr) with
+          | Some line, Some sub when Ndb.get sub "medium" = Some "dk" -> (
+            let netname =
+              Option.value ~default:"dk" (Ndb.get sub "ipnet")
+            in
+            let mask = mask_for ipstr in
+            let addr = Inet.Ipaddr.of_string ipstr in
+            let net = Inet.Ipaddr.logand addr mask in
+            let members =
+              List.filter_map
+                (fun e ->
+                  match (Ndb.get e "sys", Ndb.get e "dk") with
+                  | Some sys, Some dkname
+                    when List.exists
+                           (fun i ->
+                             match Inet.Ipaddr.of_string_opt i with
+                             | Some a ->
+                               Inet.Ipaddr.in_subnet a ~net ~mask
+                             | None -> false)
+                           (Ndb.get_all e "ip") ->
+                    Some (sys, dkname)
+                  | _, _ -> None)
+                (Ndb.entries db)
+              |> List.sort compare
+            in
+            let ifname = Printf.sprintf "dk%d" i in
+            let service = "ip." ^ netname in
+            match members with
+            | (first, _) :: _ when first = name ->
+              ignore
+                (Route.dk_tunnel_listen node ~ifname ~addr ~mask line
+                   ~service)
+            | (_, first_dk) :: _ ->
+              ignore
+                (Route.dk_tunnel_dial node ~ifname ~addr ~mask line
+                   ~dest:first_dk ~service)
+            | [] -> ())
+          | _, _ -> ())
+        tunnel_addrs;
+      (* the inherited ipgw is the default route, unless this host is
+         that gateway itself *)
+      (match Option.bind (List.nth_opt pairs 0) (fun (i, _) -> gateway_for i)
+       with
+      | Some gw
+        when not
+               (List.exists
+                  (fun i -> Inet.Ipaddr.equal gw i.Route.if_addr)
+                  (Route.ifaces node)) ->
+        Route.Table.add (Route.table node) ~dest:Inet.Ipaddr.any
+          ~mask:Inet.Ipaddr.any (Route.Table.Via gw)
+      | Some _ | None -> ());
+      Netinfo.mount_iproute env node;
+      Some node
   in
 
   (* --- DNS --- *)
@@ -135,6 +265,8 @@ let create ?uname ?ether ?dk ?il_config ?tcp_config ?(dns_server = false)
     db;
     etherport;
     ip;
+    ipstacks;
+    node;
     il;
     tcp;
     udp;

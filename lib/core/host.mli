@@ -15,8 +15,10 @@ type t = {
   env : Vfs.Env.t;  (** the boot environment; user procs fork it *)
   root : Ninep.Ramfs.t;
   db : Ndb.t;
-  etherport : Inet.Etherport.t option;
-  ip : Inet.Ip.stack option;
+  etherport : Inet.Etherport.t option;  (** the primary NIC *)
+  ip : Inet.Ip.stack option;  (** the primary stack (= List.nth ipstacks 0) *)
+  ipstacks : Inet.Ip.stack list;  (** one per ip=/ether= pair, in ndb order *)
+  node : Route.t option;  (** the routing node, present on any IP host *)
   il : Inet.Il.stack option;
   tcp : Inet.Tcp.stack option;
   udp : Inet.Udp.stack option;
@@ -28,6 +30,7 @@ type t = {
 val create :
   ?uname:string ->
   ?ether:Netsim.Ether.t ->
+  ?segments:(string * Netsim.Ether.t) list ->
   ?dk:Dk.Switch.t ->
   ?il_config:Inet.Il.config ->
   ?tcp_config:Inet.Tcp.config ->
@@ -37,9 +40,16 @@ val create :
   Sim.Engine.t ->
   t
 (** Boot a host named [name].  Its database entry supplies addresses:
-    [ip=]/[ether=] attach it to [ether]; [dk=] attaches it to [dk];
-    the inherited [dns=] attribute selects the resolver's server.  With
-    [dns_server] the host also answers zone queries from [db].
+    each [ip=]/[ether=] pair becomes a NIC — wired to the segment in
+    [segments] named by the address's [ipnet] entry, else to [ether] —
+    and [ip=] addresses beyond the [ether=] list become Datakit tunnel
+    interfaces when their [ipnet] says [medium=dk]; [dk=] attaches the
+    host to [dk]; the inherited [dns=] attribute selects the resolver's
+    server.  Transports, DNS, and CS ride the first (primary) stack;
+    every IP host gets a {!Route.t} node (forwarding auto-enables at
+    two interfaces) with its inherited [ipgw] as the default route, and
+    serves the table at [/net/iproute].  With [dns_server] the host
+    also answers zone queries from [db].
     @raise Failure if the database has no entry for [name]. *)
 
 val mount_cached :

@@ -134,6 +134,17 @@ let mount_metrics env eng =
        ())
     ~onto:"/net" Vfs.Ns.After
 
+(* /net/iproute: the host's route table — interfaces, entries
+   most-specific first with use counts, and the forward/drop counters.
+   Writes speak the Route.ctl grammar (add/del/flush). *)
+let mount_iproute env node =
+  Vfs.Env.mount_fs env
+    (Onefile.fs ~name:"iproute" ~filename:"iproute"
+       ~read_default:(fun () -> Route.dump node)
+       ~handle:(fun ~uname:_ req -> Route.ctl node req)
+       ())
+    ~onto:"/net" Vfs.Ns.After
+
 let mount_ipifc env ip =
   Vfs.Env.mount_fs env
     (Onefile.fs ~name:"ipifc" ~filename:"ipifc"

@@ -20,6 +20,11 @@
 val mount_arp : Vfs.Env.t -> Inet.Ip.stack -> unit
 val mount_ipifc : Vfs.Env.t -> Inet.Ip.stack -> unit
 
+val mount_iproute : Vfs.Env.t -> Route.t -> unit
+(** Serve the host's route table at [/net/iproute]: reads dump the
+    interfaces, entries, and counters; writes speak {!Route.ctl}'s
+    add/del/flush grammar. *)
+
 val mount_log : Vfs.Env.t -> Sim.Engine.t -> unit
 (** Serve the engine's attached trace at [/net/log] ("tracing
     disabled" when no trace is attached). *)

@@ -1,6 +1,7 @@
 type t = {
   eng : Sim.Engine.t;
   ether : Netsim.Ether.t;
+  segments : (string * Netsim.Ether.t) list;
   dk : Dk.Switch.t;
   db : Ndb.t;
   mutable hosts : (string * Host.t) list;
@@ -13,15 +14,46 @@ let create ?seed ?sched ?(ether_loss = 0.) ?(ether_bandwidth = 10e6) ~db () =
     ether =
       Netsim.Ether.create ~bandwidth_bps:ether_bandwidth ~loss:ether_loss
         ~name:"ether0" eng;
+    segments = [];
     dk = Dk.Switch.create ~name:"dk" eng;
+    db;
+    hosts = [];
+  }
+
+(* A routed world: one Ethernet segment per ipnet entry (dk-medium
+   subnets become tunnels over the one Datakit switch instead). *)
+let routed ?seed ?sched ?(ether_bandwidth = 10e6) ?dk_bandwidth ~db () =
+  let eng = Sim.Engine.create ?seed ?sched () in
+  let segments =
+    List.filter_map
+      (fun e ->
+        match Ndb.get e "ipnet" with
+        | Some netname when Ndb.get e "medium" <> Some "dk" ->
+          Some
+            ( netname,
+              Netsim.Ether.create ~bandwidth_bps:ether_bandwidth ~name:netname
+                eng )
+        | _ -> None)
+      (Ndb.entries db)
+  in
+  let ether =
+    match segments with
+    | (_, seg) :: _ -> seg
+    | [] -> Netsim.Ether.create ~bandwidth_bps:ether_bandwidth ~name:"ether0" eng
+  in
+  {
+    eng;
+    ether;
+    segments;
+    dk = Dk.Switch.create ?bandwidth_bps:dk_bandwidth ~name:"dk" eng;
     db;
     hosts = [];
   }
 
 let add_host ?il_config ?tcp_config ?dns_server t name =
   let h =
-    Host.create ?il_config ?tcp_config ?dns_server ~ether:t.ether ~dk:t.dk
-      ~db:t.db ~name t.eng
+    Host.create ?il_config ?tcp_config ?dns_server ~ether:t.ether
+      ~segments:t.segments ~dk:t.dk ~db:t.db ~name t.eng
   in
   t.hosts <- (name, h) :: t.hosts;
   h
@@ -29,7 +61,115 @@ let add_host ?il_config ?tcp_config ?dns_server t name =
 let host t name = List.assoc name t.hosts
 let run ?until t = Sim.Engine.run ?until t.eng
 let ether_faults t = Netsim.Ether.faults t.ether
+
+let segment_faults t name =
+  Netsim.Ether.faults (List.assoc name t.segments)
+
 let dk_faults t = Dk.Switch.faults t.dk
+
+(* Fill every gateway's route table from the topology itself: breadth
+   first over the gateway graph (two gateways are adjacent when they
+   have interfaces on the same subnet), each db subnet a gateway is not
+   on gets a route via the first hop toward the nearest gateway that
+   is.  Deterministic: gateways sort by name, neighbours explore in
+   that order. *)
+let autoroute t =
+  let gateways =
+    List.filter_map
+      (fun (name, h) ->
+        match h.Host.node with
+        | Some n when List.length (Route.ifaces n) >= 2 -> Some (name, n)
+        | _ -> None)
+      t.hosts
+    |> List.sort compare
+  in
+  let gws = Array.of_list gateways in
+  let n_gw = Array.length gws in
+  let on_subnet node ~net ~mask =
+    List.exists
+      (fun i ->
+        Inet.Ipaddr.equal i.Route.if_mask mask
+        && Inet.Ipaddr.equal (Inet.Ipaddr.logand i.Route.if_addr mask) net)
+      (Route.ifaces node)
+  in
+  (* the address of [other] on a subnet it shares with [node], if any *)
+  let shared_addr node other =
+    List.find_map
+      (fun i ->
+        let net = Inet.Ipaddr.logand i.Route.if_addr i.Route.if_mask in
+        List.find_map
+          (fun j ->
+            if
+              Inet.Ipaddr.equal i.Route.if_mask j.Route.if_mask
+              && Inet.Ipaddr.equal
+                   (Inet.Ipaddr.logand j.Route.if_addr j.Route.if_mask)
+                   net
+            then Some j.Route.if_addr
+            else None)
+          (Route.ifaces other))
+      (Route.ifaces node)
+  in
+  let subnets =
+    List.filter_map
+      (fun e ->
+        match (Ndb.get e "ipnet", Ndb.get e "ip") with
+        | Some _, Some ipstr -> (
+          match Inet.Ipaddr.of_string_opt ipstr with
+          | Some ip ->
+            let mask =
+              match Ndb.get e "ipmask" with
+              | Some m -> Inet.Ipaddr.of_string m
+              | None -> Inet.Ipaddr.class_mask ip
+            in
+            Some (Inet.Ipaddr.logand ip mask, mask)
+          | None -> None)
+        | _, _ -> None)
+      (Ndb.entries t.db)
+  in
+  Array.iteri
+    (fun src (_, node) ->
+      (* BFS: first_hop.(k) = the neighbour address src forwards through
+         to reach gateway k *)
+      let first_hop = Array.make n_gw None in
+      let visited = Array.make n_gw false in
+      visited.(src) <- true;
+      let order = ref [] in
+      let q = Queue.create () in
+      Queue.add src q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        Array.iteri
+          (fun v (_, vnode) ->
+            if not visited.(v) then
+              match shared_addr (snd gws.(u)) vnode with
+              | Some addr ->
+                visited.(v) <- true;
+                first_hop.(v) <-
+                  (if u = src then Some addr else first_hop.(u));
+                order := v :: !order;
+                Queue.add v q
+              | None -> ())
+          gws
+      done;
+      let order = List.rev !order in
+      List.iter
+        (fun (net, mask) ->
+          if not (on_subnet node ~net ~mask) then
+            (* nearest reached gateway on that subnet wins *)
+            match
+              List.find_opt
+                (fun k -> on_subnet (snd gws.(k)) ~net ~mask)
+                order
+            with
+            | Some k -> (
+              match first_hop.(k) with
+              | Some hop ->
+                Route.Table.add (Route.table node) ~dest:net ~mask
+                  (Route.Table.Via hop)
+              | None -> ())
+            | None -> ())
+        subnets)
+    gws
 
 let bell_labs_ndb =
   {|#

@@ -10,6 +10,10 @@
 type t = {
   eng : Sim.Engine.t;
   ether : Netsim.Ether.t;
+      (** flat worlds: the one wire; routed worlds: the first segment *)
+  segments : (string * Netsim.Ether.t) list;
+      (** routed worlds: one Ethernet per non-dk [ipnet] entry, keyed by
+          the subnet's name *)
   dk : Dk.Switch.t;
   db : Ndb.t;
   mutable hosts : (string * Host.t) list;
@@ -26,6 +30,27 @@ val create :
 (** Fresh media + engine; no hosts yet.  [sched] picks the engine's
     same-time tie-break policy (default FIFO) — schedule exploration
     builds whole worlds under adversarial orderings through this. *)
+
+val routed :
+  ?seed:int ->
+  ?sched:Sim.Sched.policy ->
+  ?ether_bandwidth:float ->
+  ?dk_bandwidth:float ->
+  db:Ndb.t ->
+  unit ->
+  t
+(** A multi-segment internet: one Ethernet segment per [ipnet] entry in
+    [db] (named after it), except [medium=dk] subnets, which gateway
+    hosts reach as IP tunnels over the Datakit switch.  Hosts added to
+    this world wire each NIC to the segment its address belongs to. *)
+
+val autoroute : t -> unit
+(** Fill every gateway's route table from the booted topology: breadth
+    first over the gateway graph (adjacent = interfaces on the same
+    subnet), each subnet a gateway is not on gets a route via the first
+    hop toward the nearest gateway that is.  Call after the last
+    {!add_host}.  Leaf hosts need nothing — their inherited [ipgw]
+    default route points at their segment's gateway. *)
 
 val add_host :
   ?il_config:Inet.Il.config ->
@@ -44,6 +69,10 @@ val run : ?until:float -> t -> unit
 val ether_faults : t -> Netsim.Fault.t
 (** The Ethernet segment's fault schedule — shorthand for
     [Netsim.Ether.faults t.ether]. *)
+
+val segment_faults : t -> string -> Netsim.Fault.t
+(** A named segment's fault schedule (routed worlds).
+    @raise Not_found *)
 
 val dk_faults : t -> Netsim.Fault.t
 (** The Datakit switch's fault schedule. *)

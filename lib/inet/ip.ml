@@ -48,8 +48,13 @@ type stack = {
   reasm_tbl : (int32 * int, reasm) Hashtbl.t;  (* src, ipid *)
   mutable next_ipid : int;
   stats : counters;
-  (* a router hands non-local packets here; None on hosts *)
+  (* a routing node hands non-local arrivals here; None until a
+     Route.Node claims the stack *)
   mutable forward : (string -> unit) option;
+  (* route selection for locally-originated packets, one raw fragment
+     at a time; None falls back to the built-in my-subnet-or-gateway
+     rule *)
+  mutable route_out : (string -> Ipaddr.t -> unit) option;
 }
 
 let engine t = t.eng
@@ -297,10 +302,19 @@ let send t ~proto ~dst payload =
     Sim.Engine.after ~label:"ip" t.eng 0. (fun () ->
         dispatch t ~src:t.my_addr ~dst ~proto payload)
   else begin
-    let nexthop =
-      if Ipaddr.in_subnet dst ~net:t.my_addr ~mask:t.my_mask then dst
-      else
-        match t.gw with Some gw -> gw | None -> raise (No_route dst)
+    let emit_frag =
+      match t.route_out with
+      | Some out -> fun raw -> out raw dst
+      | None ->
+        (* the built-in rule: on-subnet direct, else the one gateway *)
+        let nexthop =
+          if Ipaddr.in_subnet dst ~net:t.my_addr ~mask:t.my_mask then dst
+          else
+            match t.gw with Some gw -> gw | None -> raise (No_route dst)
+        in
+        fun raw ->
+          t.stats.ip_out <- t.stats.ip_out + 1;
+          resolve_and_send t nexthop raw
     in
     let ipid = t.next_ipid in
     t.next_ipid <- (t.next_ipid + 1) land 0xffff;
@@ -316,8 +330,7 @@ let send t ~proto ~dst payload =
         encode_header ~len:(header_len + take) ~ipid ~frag_off:off ~more
           ~proto ~src:t.my_addr ~dst
       in
-      t.stats.ip_out <- t.stats.ip_out + 1;
-      resolve_and_send t nexthop (hdr ^ String.sub payload off take);
+      emit_frag (hdr ^ String.sub payload off take);
       if more then emit (off + take)
     in
     emit 0
@@ -344,6 +357,7 @@ let create ?(mtu = 1500) ?gateway ~addr:my_addr ~mask:my_mask port =
       arp = Hashtbl.create 17;
       reasm_tbl = Hashtbl.create 7;
       next_ipid = 1;
+      route_out = None;
       stats =
         {
           ip_in = 0;
@@ -363,57 +377,32 @@ let create ?(mtu = 1500) ?gateway ~addr:my_addr ~mask:my_mask port =
   Etherport.set_rx t.arpconn (fun frame -> arp_input t frame);
   t
 
-(* re-emit a (possibly fragmented) raw IP packet toward its
-   destination on this interface's segment, TTL already decremented *)
-let emit_raw t raw dst =
-  let nexthop =
-    if Ipaddr.in_subnet dst ~net:t.my_addr ~mask:t.my_mask then dst
-    else match t.gw with Some gw -> gw | None -> raise (No_route dst)
-  in
+(* transmit one raw IP packet (routing already decided): resolve the
+   next hop's Ethernet address and put it on the wire *)
+let output_raw t ~nexthop raw =
   t.stats.ip_out <- t.stats.ip_out + 1;
   resolve_and_send t nexthop raw
 
-let make_router stacks =
-  let forward_from ingress raw =
-    if String.length raw >= header_len then begin
-      let ttl = Char.code raw.[8] in
-      if ttl <= 1 then
-        ingress.stats.ip_ttl_exceeded <- ingress.stats.ip_ttl_exceeded + 1
-      else begin
-        let b = Bytes.of_string raw in
-        Bytes.set b 8 (Char.chr (ttl - 1));
-        (* patch the header checksum for the new TTL *)
-        put16 b 10 0;
-        let sum =
-          Chksum.finish (Chksum.ones_sum (Bytes.to_string b) 0 header_len)
-        in
-        put16 b 10 sum;
-        let raw = Bytes.to_string b in
-        let dst = Ipaddr.of_int32 (get32 raw 16) in
-        let egress =
-          List.find_opt
-            (fun st ->
-              st != ingress
-              && Ipaddr.in_subnet dst ~net:st.my_addr ~mask:st.my_mask)
-            stacks
-        in
-        match egress with
-        | Some st -> (
-          ingress.stats.ip_forwarded <- ingress.stats.ip_forwarded + 1;
-          try emit_raw st raw dst with No_route _ -> ())
-        | None -> (
-          (* try any interface with a further gateway *)
-          match
-            List.find_opt (fun st -> st != ingress && st.gw <> None) stacks
-          with
-          | Some st -> (
-            ingress.stats.ip_forwarded <- ingress.stats.ip_forwarded + 1;
-            try emit_raw st raw dst with No_route _ -> ())
-          | None -> ())
-      end
-    end
-  in
-  List.iter (fun st -> st.forward <- Some (forward_from st)) stacks
+(* hand a raw IP packet to the local transports, whatever its
+   destination address — multi-homed delivery and tunnel receive.
+   Fragments reassemble as usual. *)
+let deliver_raw t raw =
+  match decode_header raw with
+  | None -> emit_badsum t
+  | Some h ->
+    if String.length raw < h.h_len then emit_badsum t
+    else
+      let payload = String.sub raw header_len (h.h_len - header_len) in
+      if h.h_frag_off = 0 && not h.h_more then
+        dispatch t ~src:h.h_src ~dst:h.h_dst ~proto:h.h_proto payload
+      else
+        match reassemble t h payload with
+        | Some whole ->
+          dispatch t ~src:h.h_src ~dst:h.h_dst ~proto:h.h_proto whole
+        | None -> ()
+
+let set_forward t fn = t.forward <- Some fn
+let set_route_out t fn = t.route_out <- Some fn
 
 let arp_cache_dump t =
   Hashtbl.fold

@@ -70,15 +70,47 @@ val arp_cache_dump : stack -> (Ipaddr.t * Netsim.Eaddr.t) list
 (** For the diagnostic interfaces (paper: "user-level protocols like
     ARP" are visible through the driver's files). *)
 
-(** {1 Forwarding}
+(** {1 The routing subsystem's hooks}
 
     A gateway machine (the paper's subnet entries name one with
-    [ipgw=]) has an interface on each network; {!make_router} stitches
-    the stacks together: packets arriving at any interface for a
-    non-local destination are re-emitted on the interface whose subnet
-    contains it, with the TTL decremented.  Fragments are forwarded as
-    fragments. *)
+    [ipgw=]) has an interface on each network.  The [Route] library
+    owns the route table and the forwarding policy; these hooks are how
+    it plugs into each interface's stack.  Without them, the stack
+    keeps the built-in one-gateway rule and refuses transit. *)
 
-val make_router : stack list -> unit
-(** Enable mutual forwarding between the given interfaces (they should
-    be on different segments). *)
+type header = {
+  h_len : int;
+  h_ipid : int;
+  h_frag_off : int;  (** byte offset of this fragment *)
+  h_more : bool;
+  h_proto : int;
+  h_src : Ipaddr.t;
+  h_dst : Ipaddr.t;
+}
+
+val header_len : int
+(** 20 — our headers are always option-free. *)
+
+val decode_header : string -> header option
+(** Parse and checksum-validate an IP header; [None] when malformed. *)
+
+val set_route_out : stack -> (string -> Ipaddr.t -> unit) -> unit
+(** Install the route-selection hook: {!send} hands it each raw
+    (already fragmented) packet with the destination, instead of
+    applying the built-in my-subnet-or-gateway rule. *)
+
+val set_forward : stack -> (string -> unit) -> unit
+(** Install the transit hook: packets arriving from the wire whose
+    destination is not this stack's address are handed over raw
+    (truncated to the header's length).  Without it they are silently
+    dropped, as hosts should. *)
+
+val output_raw : stack -> nexthop:Ipaddr.t -> string -> unit
+(** Transmit one raw IP packet toward [nexthop] on this interface's
+    segment (routing already decided).  ARP resolution as {!send}. *)
+
+val deliver_raw : stack -> string -> unit
+(** Hand a raw IP packet to this stack's transports regardless of its
+    destination address — multi-homed local delivery and tunnel
+    receive.  Fragments reassemble; bad headers count as checksum
+    errors. *)

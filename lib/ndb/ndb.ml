@@ -362,6 +362,56 @@ let ipattr t ~ip ~attr =
       | Some v -> Some v
       | None -> Option.bind network (fun e -> get e attr)))
 
+(* The subnet an address belongs to, by containment: every [ipnet]
+   entry covers the addresses under its mask — its own [ipmask] when it
+   carries one, else the [ipmask] of the classful network entry that
+   contains it (the paper's network/subnetwork hierarchy), else the
+   class mask.  The most specific covering entry wins, so a /24 subnet
+   shadows the /16 network that declares it. *)
+let masklen m =
+  let rec pop n v =
+    if v = 0l then n
+    else pop (n + Int32.to_int (Int32.logand v 1l)) (Int32.shift_right_logical v 1)
+  in
+  pop 0 m
+
+let ipnet_entry t ~ip =
+  match ip_of_string ip with
+  | None -> None
+  | Some ipn ->
+    let nets =
+      List.filter_map
+        (fun e ->
+          match (get e "ipnet", Option.bind (get e "ip") ip_of_string) with
+          | Some _, Some net -> Some (e, net)
+          | _, _ -> None)
+        (Array.to_list t.all)
+    in
+    let mask_of e net =
+      match Option.bind (get e "ipmask") ip_of_string with
+      | Some m -> m
+      | None -> (
+        let cmask = class_mask net in
+        let cnet = Int32.logand net cmask in
+        match
+          List.find_opt (fun (_, n) -> n = cnet && n <> net) nets
+        with
+        | Some (parent, _) -> (
+          match Option.bind (get parent "ipmask") ip_of_string with
+          | Some m -> m
+          | None -> cmask)
+        | None -> cmask)
+    in
+    List.filter_map
+      (fun (e, net) ->
+        let m = mask_of e net in
+        if Int32.logand ipn m = net then Some (masklen m, e) else None)
+      nets
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+    |> function
+    | (_, e) :: _ -> Some e
+    | [] -> None
+
 (* Datakit networks inherit through [dknet=<prefix>] entries: a system
    with dk=nj/astro/helix belongs to dknet=nj/astro.  Longest matching
    prefix wins. *)

@@ -80,6 +80,13 @@ val ipattr : t -> ip:string -> attr:string -> string option
     specific ([ipnet] entries whose [ip]/[ipmask] contain the host;
     classful mask when [ipmask] is absent). *)
 
+val ipnet_entry : t -> ip:string -> entry option
+(** The most specific [ipnet] entry whose subnet contains [ip] —
+    containment under the entry's own [ipmask], or the [ipmask] of the
+    classful network entry containing it, or the class mask.  This is
+    how the routed-topology builder maps an interface address to its
+    segment, mask, gateway, and medium. *)
+
 val sysattr : t -> sys:string -> attr:string -> string option
 (** Like {!ipattr} but starting from a system name ([sys=] or [dom=]);
     falls back through the system's IP networks via its [ip=], then

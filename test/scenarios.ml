@@ -306,6 +306,95 @@ let exportfs_rt =
            | _ -> false
            | exception Vfs.Chan.Error _ -> true)))
 
+(* ---- a 9P import across a routed internet, partition mid-read ---- *)
+
+(* client subnet — gwa — transit segment "mid" — gwb — server subnet:
+   the import crosses two gateway hops; partitioning the transit wire
+   mid-use must surface as a clean channel error, and a redial after
+   the window heals must work *)
+let routed_import_ndb =
+  {|ipnet=leafc ip=10.1.0.0 ipmask=255.255.0.0
+	ipgw=10.1.0.1
+ipnet=mid ip=10.2.0.0 ipmask=255.255.0.0
+ipnet=leafs ip=10.3.0.0 ipmask=255.255.0.0
+	ipgw=10.3.0.1
+sys=gwa
+	ip=10.1.0.1 ether=0800ab000001
+	ip=10.2.0.1 ether=0800ab000002
+sys=gwb
+	ip=10.3.0.1 ether=0800ab000003
+	ip=10.2.0.2 ether=0800ab000004
+sys=rsrv
+	ip=10.3.0.9 ether=0800ab000005
+sys=rcli
+	ip=10.1.0.9 ether=0800ab000006
+il=echo	port=56
+il=exportfs	port=17007
+tcp=exportfs	port=17007
+|}
+
+let routed_import =
+  E.scenario "routed-import"
+    ~descr:
+      "9P import across two gateway hops; the transit segment partitions \
+       mid-read, errors cleanly, redial works after heal"
+    (fun ~sched ~trace ->
+      let db = Ndb.of_string routed_import_ndb in
+      let w = P9net.World.routed ~sched ~db () in
+      let eng = w.P9net.World.eng in
+      let tr =
+        match trace with
+        | Some tr -> tr
+        | None -> Obs.Trace.create ~capacity:512 ()
+      in
+      Sim.Engine.attach_obs eng tr;
+      List.iter
+        (fun n -> ignore (P9net.World.add_host w n))
+        [ "gwa"; "gwb"; "rsrv" ];
+      let rcli = P9net.World.add_host w "rcli" in
+      P9net.World.autoroute w;
+      let rsrv = P9net.World.host w "rsrv" in
+      Ninep.Ramfs.mkdir rsrv.P9net.Host.root "/tmp/sc";
+      Ninep.Ramfs.add_file rsrv.P9net.Host.root "/tmp/sc/motd" "routed hello";
+      P9net.Host.serve_exportfs rsrv;
+      let buf = Buffer.create 256 in
+      let say s =
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n'
+      in
+      let finished = ref false in
+      let crash = ref None in
+      ignore
+        (P9net.Host.spawn rcli "sc:main" (fun env ->
+             Sim.Time.sleep eng 1.0;
+             P9net.Exportfs.import eng env ~host:"rsrv" ~remote_root:"/tmp/sc"
+               ~onto:"/n" ~flag:Vfs.Ns.Repl ();
+             say (Printf.sprintf "read: %s" (Vfs.Env.read_file env "/n/motd"));
+             let now = Sim.Engine.now eng in
+             Netsim.Fault.partition
+               (P9net.World.segment_faults w "mid")
+               ~from_:now ~until:(now +. 60.);
+             (match Vfs.Env.read_file env "/n/motd" with
+             | _ -> say "partition read: unexpectedly succeeded"
+             | exception Vfs.Chan.Error _ -> say "partition read: clean error");
+             (* the transit is still down: keep dialing until it heals *)
+             let conn =
+               P9net.Dial.redial env ~tries:40
+                 ~pause:(fun () -> Sim.Time.sleep eng 5.0)
+                 "il!rsrv!exportfs"
+             in
+             P9net.Dial.hangup env conn;
+             Ninep.Ramfs.mkdir rcli.P9net.Host.root "/n2";
+             P9net.Exportfs.import eng env ~host:"rsrv" ~remote_root:"/tmp/sc"
+               ~onto:"/n2" ~flag:Vfs.Ns.Repl ();
+             say
+               (Printf.sprintf "reimport read: %s"
+                  (Vfs.Env.read_file env "/n2/motd"));
+             finished := true));
+      (try P9net.World.run ~until:600.0 w
+       with e -> crash := Some (Printexc.to_string e));
+      outcome eng tr buf ~finished:!finished ~crash:!crash)
+
 (* ---- streams under backpressure: every blocked writer must drain ---- *)
 
 (* Two writers block on a full stream queue; the consumer drains the
@@ -440,6 +529,7 @@ let all : E.scenario list =
     cfs_coherence;
     urp_dk;
     exportfs_rt;
+    routed_import;
     stream_backpressure;
     stream_read_cascade;
     queue_race;

@@ -812,10 +812,14 @@ let make_routed_world () =
       (Netsim.Ether.attach seg (ea (Printf.sprintf "08006902%04x" n)))
   in
   let mask = ip "255.255.255.0" in
-  (* the router has an interface on each segment *)
+  (* the router has an interface on each segment; a Route node with
+     two attached stacks forwards between them *)
   let r_a = Inet.Ip.create ~addr:(ip "135.104.51.1") ~mask (nic seg_a 1) in
   let r_b = Inet.Ip.create ~addr:(ip "135.104.52.1") ~mask (nic seg_b 2) in
-  Inet.Ip.make_router [ r_a; r_b ];
+  let node = Route.create ~name:"router" eng in
+  Route.set_deliver node (fun raw -> Inet.Ip.deliver_raw r_a raw);
+  ignore (Route.attach_stack node ~ifname:"ether0" r_a);
+  ignore (Route.attach_stack node ~ifname:"ether1" r_b);
   (* one host per subnet, gateway = the router *)
   let host_a =
     Inet.Ip.create ~gateway:(ip "135.104.51.1") ~addr:(ip "135.104.51.5")
