@@ -1,7 +1,8 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all check smoke explore explore-smoke bench bench-cfs bench-faults \
-	bench-swarm bench-routed bench-guard profile-smoke coverage clean
+	bench-swarm bench-routed bench-congestion bench-guard profile-smoke \
+	coverage clean
 
 all:
 	dune build
@@ -75,6 +76,16 @@ bench-routed:
 	dune exec bench/main.exe -- routed
 	@test -s BENCH_routed.json
 
+# The congestion proof: IL vs baseline TCP vs tcpcc across uniform 5%
+# loss, Gilbert 20% burst loss, and the PR 4 synchronized-close collapse
+# schedule (10 Mb/s, a thousand conversations closing at once).  The
+# bench exits non-zero unless the baseline still collapses AND tcpcc
+# converges in bounded retransmissions on the same schedule, or on a
+# determinism break.  Golden-compared under bench-guard.
+bench-congestion:
+	dune exec bench/main.exe -- congestion-matrix
+	@test -s BENCH_congestion.json
+
 # Guard: under the default FIFO policy the virtual-time behavior must
 # reproduce the golden JSONs byte for byte once the one wall-clock perf
 # line is stripped, and the perf member must carry the full schema
@@ -106,5 +117,5 @@ coverage:
 clean:
 	dune clean
 	rm -f BENCH_table1.json BENCH_cfs.json BENCH_faults.json BENCH_swarm.json \
-		BENCH_routed.json
+		BENCH_routed.json BENCH_congestion.json
 	find . -name '*.coverage' -delete 2>/dev/null || true

@@ -789,6 +789,113 @@ let run_routed () =
   print_endline "same-seed rerun: byte-identical (determinism holds)"
 
 (* ------------------------------------------------------------------ *)
+(* collapse: the synchronized-close schedule, first class               *)
+(* ------------------------------------------------------------------ *)
+
+let collapse_table trio =
+  hr ();
+  Printf.printf "%-6s | %5s | %9s | %9s | %8s | %7s | %7s\n" "proto" "conv"
+    "completed" "elapsed s" "resent" "fastrtx" "refused";
+  hr ();
+  List.iter
+    (fun (_, (s : Swarm_bench.side)) ->
+      Printf.printf "%-6s | %5s | %5d/%-4d| %9.2f | %8d | %7d | %7d\n%!"
+        s.Swarm_bench.s_proto
+        (if s.Swarm_bench.s_converged then "yes" else "NO")
+        s.Swarm_bench.s_completed s.Swarm_bench.s_total
+        s.Swarm_bench.s_elapsed s.Swarm_bench.s_retransmits
+        s.Swarm_bench.s_fast_retransmits s.Swarm_bench.s_refused)
+    trio;
+  hr ()
+
+let run_collapse () =
+  section "collapse - 1000 synchronized closes on a 10 Mb/s ether";
+  Printf.printf
+    "schedule: %d hosts x %d conversations, zero close stagger, %d-byte\n\
+     messages; every conversation sends its second echo and hangs up at\n\
+     the same instant.  The baseline TCP answers the queueing delay with\n\
+     go-back-N at a fixed window; tcpcc answers with AIMD + fast\n\
+     retransmit on the same wire format.\n"
+    Congestion_bench.collapse_hosts Congestion_bench.collapse_convs_per_host
+    Congestion_bench.collapse_msg_bytes;
+  let trio = Congestion_bench.collapse_trio () in
+  collapse_table (List.map (fun (p, (s, _)) -> (p, s)) trio)
+
+(* ------------------------------------------------------------------ *)
+(* congestion-matrix: loss x flows x {il, tcp, tcpcc}                   *)
+(* ------------------------------------------------------------------ *)
+
+(* recorded bound on tcpcc retransmissions under the collapse schedule
+   (seed 9); the run fails if congestion control stops containing the
+   synchronized-close storm *)
+let collapse_tcpcc_retransmit_cap = 20_000 (* measured 17272, seed 9 *)
+
+let run_congestion_matrix () =
+  section "congestion matrix - {uniform, burst, collapse} x {il, tcp, tcpcc}";
+  let t0 = Unix.gettimeofday () in
+  let r = Congestion_bench.run () in
+  let t1 = Unix.gettimeofday () in
+  let r2 = Congestion_bench.run () in
+  let t2 = Unix.gettimeofday () in
+  print_string r.Congestion_bench.res_json;
+  let oc = open_out "BENCH_congestion.json" in
+  output_string oc
+    (inject_perf r.Congestion_bench.res_json r.Congestion_bench.res_perf);
+  close_out oc;
+  Printf.printf
+    "wrote BENCH_congestion.json (wall clock %.2fs + %.2fs rerun)\n%!"
+    (t1 -. t0) (t2 -. t1);
+  perf_soft_guard "congestion" r.Congestion_bench.res_perf;
+  perf_shape_check "congestion" r.Congestion_bench.res_perf;
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "error: congestion matrix: %s\n" m;
+        exit 1)
+      fmt
+  in
+  (* every transport must survive both loss schedules *)
+  List.iter
+    (fun (group, rows) ->
+      List.iter
+        (fun (proto, (x : Congestion_bench.xfer)) ->
+          if not x.Congestion_bench.c_converged then
+            fail "%s/%s did not complete the transfer (virtual %.1fs)" group
+              proto x.Congestion_bench.c_elapsed)
+        rows)
+    [ ("uniform", r.Congestion_bench.res_uniform);
+      ("burst", r.Congestion_bench.res_burst) ];
+  (* loss must actually reach tcpcc, and fast retransmit must fire:
+     recovery without it would mean the dupack machinery is dead code *)
+  let ucc = List.assoc "tcpcc" r.Congestion_bench.res_uniform in
+  if ucc.Congestion_bench.c_fast_retransmits = 0 then
+    fail "tcpcc recovered from 5%% uniform loss without one fast retransmit";
+  (* the headline: the same synchronized-close schedule that collapses
+     the baseline converges under tcpcc, in bounded retransmissions *)
+  let side p = List.assoc p r.Congestion_bench.res_collapse in
+  let cc = side "tcpcc" and base = side "tcp" in
+  if not cc.Swarm_bench.s_converged then
+    fail "tcpcc collapse run converged only %d of %d"
+      cc.Swarm_bench.s_completed cc.Swarm_bench.s_total;
+  if cc.Swarm_bench.s_retransmits > collapse_tcpcc_retransmit_cap then
+    fail "tcpcc resent %d segments under collapse (cap %d)"
+      cc.Swarm_bench.s_retransmits collapse_tcpcc_retransmit_cap;
+  (* the baseline's collapse is pinned, not fixed: if it ever converges
+     this cheaply the schedule stopped biting and the comparison is
+     meaningless *)
+  if
+    base.Swarm_bench.s_converged
+    && base.Swarm_bench.s_retransmits <= collapse_tcpcc_retransmit_cap
+  then
+    fail
+      "baseline tcp survived the collapse schedule (%d resent) — the \
+       schedule no longer collapses anything"
+      base.Swarm_bench.s_retransmits;
+  if r.Congestion_bench.res_json <> r2.Congestion_bench.res_json then
+    fail "two same-seed runs produced different BENCH_congestion.json";
+  print_endline "same-seed rerun: byte-identical (determinism holds)"
+
+(* ------------------------------------------------------------------ *)
 (* guard: golden determinism with perf stripped + perf schema check     *)
 (* ------------------------------------------------------------------ *)
 
@@ -803,6 +910,7 @@ let run_guard () =
   run_faults ();
   run_swarm ();
   run_routed ();
+  run_congestion_matrix ();
   section "bench-guard - golden JSON (perf-stripped) + perf schema";
   List.iter
     (fun base ->
@@ -842,7 +950,10 @@ let run_guard () =
           ];
         Printf.printf "%s: golden match (perf stripped), perf schema ok\n%!"
           base)
-    [ "BENCH_faults.json"; "BENCH_swarm.json"; "BENCH_routed.json" ]
+    [
+      "BENCH_faults.json"; "BENCH_swarm.json"; "BENCH_routed.json";
+      "BENCH_congestion.json";
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* profile: a tiny swarm as a smoke test for the engine profiler        *)
@@ -969,6 +1080,8 @@ let sections =
     ("faults", run_faults);
     ("swarm", run_swarm);
     ("routed", run_routed);
+    ("collapse", run_collapse);
+    ("congestion-matrix", run_congestion_matrix);
     ("guard", run_guard);
     ("profile", run_profile);
     ("micro", run_bechamel);

@@ -51,6 +51,8 @@ type side = {
   s_refused : int;  (* listener backlog refusals at the server *)
   s_cs_hits : int;  (* summed over every client's connection server *)
   s_cs_misses : int;
+  s_retransmits : int;  (* world-wide <proto>.retransmits *)
+  s_fast_retransmits : int;  (* tcpcc only; 0 elsewhere *)
 }
 
 let events_per_conv s = float_of_int s.s_events /. float_of_int s.s_total
@@ -71,13 +73,20 @@ let echo_once env data_fd payload =
     else got := !got + String.length s
   done
 
-let run_side ~seed ~proto ~hosts ~convs_per_host =
+let run_side ?(bandwidth = 100e6) ?(ramp = ramp_step) ?close_ramp
+    ?(msg_bytes = msg_bytes) ?(until = 600.0) ~seed ~proto ~hosts
+    ~convs_per_host () =
   let total = hosts * convs_per_host in
+  (* the close burst staggers like the dials unless told otherwise; the
+     congestion bench passes ~close_ramp:0. so every conversation fires
+     its second echo and hangup at the same barrier-released instant *)
+  let close_ramp = Option.value close_ramp ~default:ramp in
   let db = Ndb.of_string (swarm_ndb ~hosts ()) in
-  (* 100 Mb/s: a thousand conversations on one segment must not queue
-     past min_rto, or the measurement becomes a congestion-collapse
-     study instead of an event-economy one *)
-  let w = P9net.World.create ~seed ~ether_bandwidth:100e6 ~db () in
+  (* default 100 Mb/s: a thousand conversations on one segment must not
+     queue past min_rto, or the measurement becomes a congestion-collapse
+     study instead of an event-economy one.  The congestion bench passes
+     ~bandwidth:10e6 ~ramp:0. to study exactly that collapse. *)
+  let w = P9net.World.create ~seed ~ether_bandwidth:bandwidth ~db () in
   let eng = w.P9net.World.eng in
   let tr = Obs.Trace.create () in
   Sim.Engine.attach_obs eng tr;
@@ -115,6 +124,10 @@ let run_side ~seed ~proto ~hosts ~convs_per_host =
       match server.P9net.Host.il with
       | Some st -> Inet.Il.conv_count st
       | None -> 0)
+    | "tcpcc" -> (
+      match server.P9net.Host.tcpcc with
+      | Some st -> Inet.Tcp.conv_count st
+      | None -> 0)
     | _ -> (
       match server.P9net.Host.tcp with
       | Some st -> Inet.Tcp.conv_count st
@@ -129,8 +142,8 @@ let run_side ~seed ~proto ~hosts ~convs_per_host =
           (P9net.Host.spawn host
              (Printf.sprintf "swarm%d" idx)
              (fun env ->
-               (* deterministic ramp: one dial every [ramp_step] *)
-               Sim.Time.sleep eng (float_of_int idx *. ramp_step);
+               (* deterministic ramp: one dial every [ramp] seconds *)
+               Sim.Time.sleep eng (float_of_int idx *. ramp);
                let conn =
                  P9net.Dial.redial env ~tries:20
                    ~pause:(fun () -> Sim.Time.sleep eng 0.05)
@@ -145,11 +158,18 @@ let run_side ~seed ~proto ~hosts ~convs_per_host =
                else Sim.Rendez.sleep barrier;
                (* stagger the second exchange and the hangup: a
                   thousand synchronized closes on one wire is a
-                  congestion-collapse study, not an event-economy one *)
-               Sim.Time.sleep eng (float_of_int idx *. ramp_step);
-               echo_once env conn.P9net.Dial.data_fd payload;
-               P9net.Dial.hangup env conn;
-               incr completed;
+                  congestion-collapse study, not an event-economy one
+                  (with ~close_ramp:0. it IS the collapse study) *)
+               Sim.Time.sleep eng (float_of_int idx *. close_ramp);
+               (* under a collapse schedule the death timers reap
+                  stalled conversations and the echo sees EOF; that is
+                  the measurement (completed stays short), not a bench
+                  failure *)
+               (try
+                  echo_once env conn.P9net.Dial.data_fd payload;
+                  P9net.Dial.hangup env conn;
+                  incr completed
+                with Failure _ -> ());
                if !completed = total then finish := Sim.Engine.now eng))
       done)
     clients;
@@ -163,13 +183,17 @@ let run_side ~seed ~proto ~hosts ~convs_per_host =
                   proto (Sim.Engine.now eng) (Sim.Engine.events eng)
                   (Sim.Engine.pending eng) (server_convs ()))
               [ 1.; 1.; 1.; 1.; 1.; 1.; 4.; 10.; 30.; 50.; 100.; 100.; 100. ])));
-  P9net.World.run ~until:600.0 w;
+  P9net.World.run ~until w;
   let counter name = Obs.Metrics.counter (Obs.Trace.metrics tr) name in
   let refused =
     match proto with
     | "il" -> (
       match server.P9net.Host.il with
       | Some st -> Inet.Il.refusals st
+      | None -> 0)
+    | "tcpcc" -> (
+      match server.P9net.Host.tcpcc with
+      | Some st -> Inet.Tcp.refusals st
       | None -> 0)
     | _ -> (
       match server.P9net.Host.tcp with
@@ -197,6 +221,8 @@ let run_side ~seed ~proto ~hosts ~convs_per_host =
     s_refused = refused;
     s_cs_hits = hits;
     s_cs_misses = misses;
+    s_retransmits = counter (proto ^ ".retransmits");
+    s_fast_retransmits = counter (proto ^ ".fast_retransmits");
   },
     Obs.Prof.report prof )
 
@@ -219,8 +245,8 @@ type result = {
 }
 
 let run ?(seed = 11) ?(hosts = hosts) ?(convs_per_host = convs_per_host) () =
-  let il, perf_il = run_side ~seed ~proto:"il" ~hosts ~convs_per_host in
-  let tcp, perf_tcp = run_side ~seed ~proto:"tcp" ~hosts ~convs_per_host in
+  let il, perf_il = run_side ~seed ~proto:"il" ~hosts ~convs_per_host () in
+  let tcp, perf_tcp = run_side ~seed ~proto:"tcp" ~hosts ~convs_per_host () in
   let b = Buffer.create 1024 in
   Printf.bprintf b "{\n";
   Printf.bprintf b "  \"bench\": \"swarm\",\n";

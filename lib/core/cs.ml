@@ -69,6 +69,12 @@ let service_for t nw service =
     | `Inet -> (
       match Ndb.service_port t.db ~proto:nw.nw_proto ~service with
       | Some port -> Some (string_of_int port)
+      | None when nw.nw_proto = "tcpcc" -> (
+        (* tcpcc shares TCP's wire format and port space: databases
+           predating the variant need no tcpcc= service lines *)
+        match Ndb.service_port t.db ~proto:"tcp" ~service with
+        | Some port -> Some (string_of_int port)
+        | None -> None)
       | None -> None)
     | `Dk -> Some service
 
@@ -112,7 +118,7 @@ let translate_uncached t query =
              the clone file in the reply resolves to the gateway's
              device — that is the whole point of section 6.1 *)
           match netname with
-          | "il" | "tcp" | "udp" ->
+          | "il" | "tcp" | "tcpcc" | "udp" ->
             [
               {
                 nw_proto = netname;

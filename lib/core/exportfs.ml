@@ -108,7 +108,8 @@ let fs env =
 
 let serve eng env tr = Ninep.Server.serve ~threaded:true eng (fs env) tr
 
-let import eng env ~host ~remote_root ~onto ?(flag = Vfs.Ns.After) () =
+let import eng env ?(proto = "net") ~host ~remote_root ~onto
+    ?(flag = Vfs.Ns.After) () =
   (* the import span is the root covering dial (cs lookup + transport
      handshake), the 9P session and the attach: one trace per mount *)
   let obs = Sim.Engine.obs eng in
@@ -119,7 +120,7 @@ let import eng env ~host ~remote_root ~onto ?(flag = Vfs.Ns.After) () =
   in
   let fin () = match obs with None -> () | Some tr -> Obs.Span.exit tr sp in
   match
-    let conn = Dial.dial env (Printf.sprintf "net!%s!exportfs" host) in
+    let conn = Dial.dial env (Printf.sprintf "%s!%s!exportfs" proto host) in
     (* the ctl fd must stay open or the connection would drop; it is
        owned by the mount from here on.  9P flows over the data fd. *)
     let tr = Fdtrans.of_fd env conn.Dial.data_fd in

@@ -10,6 +10,7 @@ type t = {
   node : Route.t option;
   il : Inet.Il.stack option;
   tcp : Inet.Tcp.stack option;
+  tcpcc : Inet.Tcp.stack option;
   udp : Inet.Udp.stack option;
   dkline : Dk.Switch.line option;
   resolver : Dns.resolver option;
@@ -26,7 +27,7 @@ let rec pair_addrs ips ethers =
   | [], _ -> []
 
 let create ?uname ?ether ?(segments = []) ?dk ?il_config ?tcp_config
-    ?(dns_server = false) ~db ~name eng =
+    ?tcpcc_config ?(dns_server = false) ~db ~name eng =
   let entry =
     match Ndb.sys_entry db name with
     | Some e -> e
@@ -105,17 +106,19 @@ let create ?uname ?ether ?(segments = []) ?dk ?il_config ?tcp_config
   let ip = List.nth_opt ipstacks 0 in
 
   (* --- transports, on the primary stack --- *)
-  let il, tcp, udp =
+  let il, tcp, tcpcc, udp =
     match ip with
     | Some ipstack ->
       let il = Inet.Il.attach ?config:il_config ipstack in
       let tcp = Inet.Tcp.attach ?config:tcp_config ipstack in
+      let tcpcc = Inet.Tcp.attach_cc ?config:tcpcc_config ipstack in
       let udp = Inet.Udp.attach ipstack in
       Netdev.mount env eng (Netdev.il_proto il);
       Netdev.mount env eng (Netdev.tcp_proto tcp);
+      Netdev.mount env eng (Netdev.tcp_proto tcpcc);
       Netdev.mount env eng (Netdev.udp_proto udp);
-      (Some il, Some tcp, Some udp)
-    | None -> (None, None, None)
+      (Some il, Some tcp, Some tcpcc, Some udp)
+    | None -> (None, None, None, None)
   in
   List.iteri
     (fun i (port, ipstack) ->
@@ -240,6 +243,16 @@ let create ?uname ?ether ?(segments = []) ?dk ?il_config ?tcp_config
         | Some _ ->
           [ { Cs.nw_proto = "tcp"; nw_clone = "/net/tcp/clone"; nw_kind = `Inet } ]
         | None -> []);
+        (match tcpcc with
+        | Some _ ->
+          [
+            {
+              Cs.nw_proto = "tcpcc";
+              nw_clone = "/net/tcpcc/clone";
+              nw_kind = `Inet;
+            };
+          ]
+        | None -> []);
         (match udp with
         | Some _ ->
           [ { Cs.nw_proto = "udp"; nw_clone = "/net/udp/clone"; nw_kind = `Inet } ]
@@ -269,6 +282,7 @@ let create ?uname ?ether ?(segments = []) ?dk ?il_config ?tcp_config
     node;
     il;
     tcp;
+    tcpcc;
     udp;
     dkline;
     resolver;
@@ -294,6 +308,7 @@ let nets_of t =
       (match t.il with Some _ -> [ "il" ] | None -> []);
       (match t.dkline with Some _ -> [ "dk" ] | None -> []);
       (match t.tcp with Some _ -> [ "tcp" ] | None -> []);
+      (match t.tcpcc with Some _ -> [ "tcpcc" ] | None -> []);
     ]
 
 let serve_exportfs t =

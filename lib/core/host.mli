@@ -21,6 +21,9 @@ type t = {
   node : Route.t option;  (** the routing node, present on any IP host *)
   il : Inet.Il.stack option;
   tcp : Inet.Tcp.stack option;
+  tcpcc : Inet.Tcp.stack option;
+      (** the congestion-controlled TCP variant, always registered
+          alongside the baseline *)
   udp : Inet.Udp.stack option;
   dkline : Dk.Switch.line option;
   resolver : Dns.resolver option;
@@ -34,6 +37,7 @@ val create :
   ?dk:Dk.Switch.t ->
   ?il_config:Inet.Il.config ->
   ?tcp_config:Inet.Tcp.config ->
+  ?tcpcc_config:Inet.Tcp.config ->
   ?dns_server:bool ->
   db:Ndb.t ->
   name:string ->

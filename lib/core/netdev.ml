@@ -489,8 +489,11 @@ let tcp_conv st conv =
   }
 
 let tcp_proto st =
+  (* serves both registered variants: the directory name and error
+     strings follow the stack ("tcp" or "tcpcc") *)
+  let name = Inet.Tcp.proto_name st in
   {
-    pr_name = "tcp";
+    pr_name = name;
     pr_connect =
       (fun addr ->
         let host, port = split_addr addr in
@@ -500,7 +503,7 @@ let tcp_proto st =
           | Inet.Tcp.Refused e -> Error e
           | Inet.Tcp.Timeout e -> Error e
           | Inet.Tcp.Port_exhausted -> Error "no free local ports")
-        | _, _ -> Error ("bad tcp address: " ^ addr));
+        | _, _ -> Error (Printf.sprintf "bad %s address: %s" name addr));
     pr_announce =
       (fun addr ->
         let port_str =
@@ -509,7 +512,7 @@ let tcp_proto st =
           | None -> addr
         in
         match int_of_string_opt port_str with
-        | None -> Error ("bad tcp announcement: " ^ addr)
+        | None -> Error (Printf.sprintf "bad %s announcement: %s" name addr)
         | Some port -> (
           try
             let lis = Inet.Tcp.announce st ~port in

@@ -50,10 +50,10 @@ let routed ?seed ?sched ?(ether_bandwidth = 10e6) ?dk_bandwidth ~db () =
     hosts = [];
   }
 
-let add_host ?il_config ?tcp_config ?dns_server t name =
+let add_host ?il_config ?tcp_config ?tcpcc_config ?dns_server t name =
   let h =
-    Host.create ?il_config ?tcp_config ?dns_server ~ether:t.ether
-      ~segments:t.segments ~dk:t.dk ~db:t.db ~name t.eng
+    Host.create ?il_config ?tcp_config ?tcpcc_config ?dns_server
+      ~ether:t.ether ~segments:t.segments ~dk:t.dk ~db:t.db ~name t.eng
   in
   t.hosts <- (name, h) :: t.hosts;
   h

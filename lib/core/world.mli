@@ -55,6 +55,7 @@ val autoroute : t -> unit
 val add_host :
   ?il_config:Inet.Il.config ->
   ?tcp_config:Inet.Tcp.config ->
+  ?tcpcc_config:Inet.Tcp.config ->
   ?dns_server:bool ->
   t ->
   string ->

@@ -4,6 +4,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 let proto_il = 40
 let proto_tcp = 6
+let proto_tcpcc = 105
 let proto_udp = 17
 let etype_ip = 0x0800
 let etype_arp = 0x0806

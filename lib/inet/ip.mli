@@ -18,6 +18,11 @@ val proto_il : int
 val proto_tcp : int
 (** 6 *)
 
+val proto_tcpcc : int
+(** 105 — the congestion-controlled TCP variant.  It shares TCP's wire
+    format but is demultiplexed as its own transport so both can run on
+    one stack. *)
+
 val proto_udp : int
 (** 17 *)
 

@@ -43,6 +43,8 @@ type counters = {
   mutable out_of_order_dropped : int;
   mutable dups_dropped : int;
   mutable resets : int;
+  mutable fast_retransmits : int;  (* tcpcc: 3-dup-ack retransmits *)
+  mutable persist_probes : int;  (* zero-window probes sent *)
 }
 
 type tstate =
@@ -93,6 +95,19 @@ type conv = {
   mutable rtt_seq : int;  (* sequence being timed; 0 = none *)
   mutable rtt_sent_at : float;
   mutable retransmitting : bool;  (* Karn: don't time retransmitted data *)
+  (* congestion control (tcpcc only; inert on the baseline proto) *)
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable dupacks : int;  (* consecutive duplicate acks at snd_una *)
+  mutable recover : int;  (* snd_nxt at loss; fast recovery ends past it *)
+  mutable in_recovery : bool;
+  mutable ooo : (int * string) list;
+      (* out-of-order reassembly, (seq, data) sorted by seq — tcpcc
+         only.  The baseline receiver drops anything not at rcv_nxt,
+         which is what makes its sender's go-back-N necessary *)
+  (* zero-window persist state (both protos) *)
+  persist_tmr : Sim.Time.timer;
+  mutable persist_backoff : int;
   mutable err : string option;
   mutable lis : listener option;  (* half-open SynRcvd's listener slot *)
 }
@@ -110,6 +125,9 @@ and listener = {
 and stack = {
   eng : Sim.Engine.t;
   ip : Ip.stack;
+  pname : string;  (* "tcp" or "tcpcc": /net dir, Obs event tag *)
+  ipproto : int;
+  cc : bool;  (* congestion machinery enabled *)
   cfg : config;
   convs : (int * int * int32, conv) Hashtbl.t;
   listeners : (int, listener) Hashtbl.t;
@@ -122,6 +140,7 @@ and stack = {
 let engine st = st.eng
 let counters st = st.stats
 let local_addr st = Ip.addr st.ip
+let proto_name st = st.pname
 let conv_id c = c.cid
 let local_port c = c.lport
 let remote_port c = c.rport
@@ -140,29 +159,56 @@ let state_str = function
 
 let state_name c = state_str c.state
 
+(* the sender-side recovery state, surfaced in status/stats *)
+let recovery_str c =
+  if Sim.Time.armed c.persist_tmr then "Persist"
+  else if c.in_recovery then "Recovery"
+  else "Open"
+
 let status c =
-  Printf.sprintf "tcp/%d %d %s una %d nxt %d rcv %d rexmit %d rtt %.0fms"
-    c.cid c.lport (state_name c) c.snd_una c.snd_nxt c.rcv_nxt
-    c.cstats.retransmits (c.srtt *. 1000.)
+  let base =
+    Printf.sprintf "%s/%d %d %s una %d nxt %d rcv %d rexmit %d rtt %.0fms"
+      c.stack.pname c.cid c.lport (state_name c) c.snd_una c.snd_nxt c.rcv_nxt
+      c.cstats.retransmits (c.srtt *. 1000.)
+  in
+  if c.stack.cc then
+    base
+    ^ Printf.sprintf " cwnd %d ssthresh %d %s" c.cwnd c.ssthresh
+        (recovery_str c)
+  else base
 
 let conv_counters c = c.cstats
 
 let conv_stats c =
   let s = c.cstats in
   String.concat "\n"
-    [
-      Printf.sprintf "segs_sent %d" s.segs_sent;
-      Printf.sprintf "segs_rcvd %d" s.segs_rcvd;
-      Printf.sprintf "bytes_sent %d" s.bytes_sent;
-      Printf.sprintf "bytes_rcvd %d" s.bytes_rcvd;
-      Printf.sprintf "retransmits %d" s.retransmits;
-      Printf.sprintf "retransmitted_bytes %d" s.retransmitted_bytes;
-      Printf.sprintf "out_of_order_dropped %d" s.out_of_order_dropped;
-      Printf.sprintf "dups_dropped %d" s.dups_dropped;
-      Printf.sprintf "resets %d" s.resets;
-      Printf.sprintf "rtt_ms %.3f" (c.srtt *. 1000.);
-    ]
+    ([
+       Printf.sprintf "segs_sent %d" s.segs_sent;
+       Printf.sprintf "segs_rcvd %d" s.segs_rcvd;
+       Printf.sprintf "bytes_sent %d" s.bytes_sent;
+       Printf.sprintf "bytes_rcvd %d" s.bytes_rcvd;
+       Printf.sprintf "retransmits %d" s.retransmits;
+       Printf.sprintf "retransmitted_bytes %d" s.retransmitted_bytes;
+       Printf.sprintf "out_of_order_dropped %d" s.out_of_order_dropped;
+       Printf.sprintf "dups_dropped %d" s.dups_dropped;
+       Printf.sprintf "resets %d" s.resets;
+       Printf.sprintf "rtt_ms %.3f" (c.srtt *. 1000.);
+     ]
+    @
+    if c.stack.cc then
+      [
+        Printf.sprintf "cwnd %d" c.cwnd;
+        Printf.sprintf "ssthresh %d" c.ssthresh;
+        Printf.sprintf "fast_retransmits %d" s.fast_retransmits;
+        Printf.sprintf "persist_probes %d" s.persist_probes;
+        Printf.sprintf "recovery %s" (recovery_str c);
+      ]
+    else [])
   ^ "\n"
+
+let cwnd c = c.cwnd
+let ssthresh c = c.ssthresh
+let in_recovery c = c.in_recovery
 
 (* state transitions are traced; every change funnels through here *)
 let set_state c s =
@@ -173,7 +219,7 @@ let set_state c s =
       Obs.Trace.emit tr
         (Obs.Event.Proto_state
            {
-             proto = "tcp";
+             proto = c.stack.pname;
              conv = c.cid;
              from_ = state_str c.state;
              to_ = state_str s;
@@ -243,17 +289,23 @@ let decode pkt =
 
 let raw_output st ~dst pkt =
   match st.cfg.cpu with
-  | None -> Ip.send st.ip ~proto:Ip.proto_tcp ~dst pkt
+  | None -> Ip.send st.ip ~proto:st.ipproto ~dst pkt
   | Some cpu ->
     let cost =
       st.cfg.cost_per_seg
       +. (st.cfg.cost_per_byte *. float_of_int (String.length pkt))
     in
-    Sim.Cpu.run_after ~label:"tcp" cpu cost (fun () ->
-        Ip.send st.ip ~proto:Ip.proto_tcp ~dst pkt)
+    Sim.Cpu.run_after ~label:st.pname cpu cost (fun () ->
+        Ip.send st.ip ~proto:st.ipproto ~dst pkt)
 
 let recv_window c =
-  max 0 (c.stack.cfg.recv_window - Block.Q.bytes c.rq)
+  let w = max 0 (c.stack.cfg.recv_window - Block.Q.bytes c.rq) in
+  (* the wire field is 16 bits, so the default 64 KiB buffer wraps to an
+     advertised window of 0 whenever the receive queue is empty.  The
+     baseline keeps that wart (its sender's one-MSS floor masks it, and
+     the pinned goldens encode the resulting schedule); tcpcc clamps so
+     an advertised 0 genuinely means "stop" *)
+  if c.stack.cc then min 0xffff w else w
 
 let xmit c ~seq ~flags data =
   c.stack.stats.segs_sent <- c.stack.stats.segs_sent + 1;
@@ -272,8 +324,18 @@ let xmit_initial_syn c =
 
 let rto c =
   let t = if c.srtt = 0. then 0.5 else c.srtt +. (4. *. c.mdev) in
-  let t = t *. float_of_int (1 lsl min c.backoff 6) in
-  min c.stack.cfg.max_rto (max c.stack.cfg.min_rto t)
+  if c.stack.cc then
+    (* backoff exponentiates the clamped base.  The baseline multiplies
+       the raw srtt term first, so a stale few-millisecond estimate caps
+       the backed-off RTO at srtt * 64 — half a second against a queue
+       seconds deep, and Karn's rule keeps srtt stale for as long as the
+       retransmissions it causes continue: the RTO can never climb out
+       of the collapse it is feeding *)
+    min c.stack.cfg.max_rto
+      ((max c.stack.cfg.min_rto t) *. float_of_int (1 lsl min c.backoff 6))
+  else
+    let t = t *. float_of_int (1 lsl min c.backoff 6) in
+    min c.stack.cfg.max_rto (max c.stack.cfg.min_rto t)
 
 let conv_key c = (c.lport, c.rport, Ipaddr.to_int32 c.raddr)
 
@@ -283,6 +345,8 @@ let destroy c reason =
     c.err <- reason;
     Sim.Time.disarm c.rexmit_tmr;
     Sim.Time.disarm c.death_tmr;
+    Sim.Time.disarm c.persist_tmr;
+    c.ooo <- [];
     (match c.lis with
     | Some lis ->
       lis.lis_pending <- max 0 (lis.lis_pending - 1);
@@ -306,7 +370,16 @@ let destroy c reason =
    arrive. *)
 
 let tx_limit c =
-  min c.stack.cfg.send_window (max c.snd_wnd c.stack.cfg.mss)
+  (* under tcpcc an advertised zero window really closes the pipe (the
+     persist timer probes it open again) and a small nonzero window
+     still floors at one MSS; the baseline floors unconditionally — a
+     receiver's 0 never quenches it, which is part of the blind
+     behaviour the goldens pin *)
+  let wnd =
+    if c.stack.cc && c.snd_wnd = 0 then 0 else max c.snd_wnd c.stack.cfg.mss
+  in
+  let wnd = if c.stack.cc then min wnd c.cwnd else wnd in
+  min c.stack.cfg.send_window wnd
 
 let fin_seq c = c.tx_base + Buffer.length c.txbuf
 
@@ -315,8 +388,14 @@ let emit_retransmit c ~seq ~bytes =
   | None -> ()
   | Some tr ->
     Obs.Trace.emit tr
-      (Obs.Event.Retransmit { proto = "tcp"; conv = c.cid; id = seq; bytes });
-    Obs.Trace.bump tr "tcp.retransmits" 1
+      (Obs.Event.Retransmit
+         { proto = c.stack.pname; conv = c.cid; id = seq; bytes });
+    Obs.Trace.bump tr (c.stack.pname ^ ".retransmits") 1
+
+let bump_counter c name n =
+  match Sim.Engine.obs c.stack.eng with
+  | None -> ()
+  | Some tr -> Obs.Trace.bump tr (c.stack.pname ^ "." ^ name) n
 
 let rec arm_rto c =
   Sim.Time.arm_at c.rexmit_tmr
@@ -336,7 +415,22 @@ and rto_fire c =
     arm_rto c
   | TEstablished | TFinWait1 | TFinWait2 | TCloseWait | TLastAck
   | TTimeWait ->
-    if c.snd_una < c.snd_nxt then retransmit_all c
+    if c.snd_una < c.snd_nxt then
+      if c.stack.cc then begin
+        (* congestion-controlled timeout: multiplicative decrease and a
+           slow-start restart, resending only the head-of-window
+           segment — never the whole window blindly *)
+        let inflight = c.snd_nxt - c.snd_una in
+        c.ssthresh <- max (2 * c.stack.cfg.mss) (inflight / 2);
+        c.cwnd <- c.stack.cfg.mss;
+        c.in_recovery <- false;
+        c.dupacks <- 0;
+        bump_counter c "cwnd_reset" 1;
+        retransmit_head c;
+        c.backoff <- c.backoff + 1;
+        arm_rto c
+      end
+      else retransmit_all c
 
 and arm_death c =
   c.death_at <- Sim.Engine.now c.stack.eng +. c.stack.cfg.death_time;
@@ -393,8 +487,62 @@ and push_segments c =
         c.snd_nxt <- c.snd_nxt + 1;
         if not (Sim.Time.armed c.rexmit_tmr) then arm_rto c
       end
+      else if
+        (* zero-window sender state: data waiting, nothing in flight,
+           peer advertised 0 — only the persist probe may touch the
+           wire until the window reopens *)
+        c.stack.cc && unsent > 0
+        && c.snd_wnd = 0
+        && c.snd_una = c.snd_nxt
+        && not (Sim.Time.armed c.persist_tmr)
+      then arm_persist c
     end
   done
+
+and persist_interval c =
+  let t = 0.5 *. float_of_int (1 lsl min c.persist_backoff 6) in
+  min c.stack.cfg.max_rto (max c.stack.cfg.min_rto t)
+
+and arm_persist c =
+  Sim.Time.arm_at c.persist_tmr
+    (Sim.Engine.now c.stack.eng +. persist_interval c)
+    (fun () -> persist_fire c)
+
+and persist_fire c =
+  match c.state with
+  | TClosed -> ()
+  | TSynSent | TSynRcvd -> ()
+  | TEstablished | TFinWait1 | TFinWait2 | TCloseWait | TLastAck
+  | TTimeWait ->
+    if c.snd_wnd = 0 then begin
+      (* probe with one byte into the closed window; the probe owns its
+         own retry (this timer), never the RTO, and is never timed for
+         RTT (Karn) *)
+      let probe_seq =
+        if c.snd_una < c.snd_nxt then c.snd_una else c.snd_nxt
+      in
+      let data_end = min (fin_seq c) (probe_seq + 1) in
+      if probe_seq < data_end then begin
+        let data = Buffer.sub c.txbuf (probe_seq - c.tx_base) 1 in
+        c.stack.stats.persist_probes <- c.stack.stats.persist_probes + 1;
+        c.cstats.persist_probes <- c.cstats.persist_probes + 1;
+        bump_counter c "persist_probes" 1;
+        (if probe_seq = c.snd_nxt then begin
+           c.stack.stats.bytes_sent <- c.stack.stats.bytes_sent + 1;
+           c.cstats.bytes_sent <- c.cstats.bytes_sent + 1;
+           xmit c ~seq:probe_seq ~flags:0 data;
+           c.snd_nxt <- c.snd_nxt + 1
+         end
+         else xmit c ~seq:probe_seq ~flags:0 data);
+        arm_death c
+      end;
+      c.persist_backoff <- c.persist_backoff + 1;
+      arm_persist c
+    end
+    else begin
+      c.persist_backoff <- 0;
+      push_segments c
+    end
 
 and retransmit_all c =
   (* go-back-N: blind retransmission of everything outstanding *)
@@ -426,13 +574,39 @@ and retransmit_all c =
     arm_rto c
   end
 
+and retransmit_head c =
+  (* resend only the first unacknowledged segment; the rest of the
+     window stays put until acks (or further timeouts) call for it *)
+  c.retransmitting <- true;
+  c.rtt_seq <- 0;
+  let data_end = min c.snd_nxt (fin_seq c) in
+  if c.snd_una < data_end then begin
+    let take = min (data_end - c.snd_una) c.stack.cfg.mss in
+    let data = Buffer.sub c.txbuf (c.snd_una - c.tx_base) take in
+    c.stack.stats.retransmits <- c.stack.stats.retransmits + 1;
+    c.stack.stats.retransmitted_bytes <-
+      c.stack.stats.retransmitted_bytes + take;
+    c.cstats.retransmits <- c.cstats.retransmits + 1;
+    c.cstats.retransmitted_bytes <- c.cstats.retransmitted_bytes + take;
+    emit_retransmit c ~seq:c.snd_una ~bytes:take;
+    xmit c ~seq:c.snd_una ~flags:0 data
+  end
+  else if c.fin_queued && c.snd_nxt > fin_seq c then begin
+    c.stack.stats.retransmits <- c.stack.stats.retransmits + 1;
+    c.cstats.retransmits <- c.cstats.retransmits + 1;
+    emit_retransmit c ~seq:(fin_seq c) ~bytes:0;
+    xmit c ~seq:(fin_seq c) ~flags:flag_fin ""
+  end
+
 let process_ack c (s : segment) =
   if s.s_flags land flag_ack <> 0 then begin
     c.snd_wnd <- s.s_window;
     let ack = s.s_ack in
     if ack > c.snd_una && ack <= c.snd_nxt then begin
+      let acked = ack - c.snd_una in
       (* new data acknowledged *)
-      if c.rtt_seq <> 0 && ack >= c.rtt_seq then begin
+      let sampled = c.rtt_seq <> 0 && ack >= c.rtt_seq in
+      if sampled then begin
         let sample = Sim.Engine.now c.stack.eng -. c.rtt_sent_at in
         if c.srtt = 0. then begin
           c.srtt <- sample;
@@ -446,7 +620,12 @@ let process_ack c (s : segment) =
         c.rtt_seq <- 0
       end;
       c.retransmitting <- false;
-      c.backoff <- 0;
+      (* Karn, both halves: the baseline resets its backoff on any
+         advance, so once queueing delay exceeds the RTO it re-fires at
+         min_rto into a still-full queue forever — that loop IS the
+         collapse.  tcpcc keeps the backed-off RTO until a clean sample
+         from an untransmitted segment says the network recovered. *)
+      if sampled || not c.stack.cc then c.backoff <- 0;
       arm_death c;
       (* drop acked bytes from the front of txbuf *)
       let data_acked = min ack (fin_seq c) in
@@ -458,12 +637,74 @@ let process_ack c (s : segment) =
         c.tx_base <- data_acked
       end;
       c.snd_una <- ack;
+      if c.stack.cc then begin
+        let mss = c.stack.cfg.mss in
+        if c.in_recovery then
+          if ack >= c.recover then begin
+            (* full ack: recovery over, deflate to ssthresh *)
+            c.in_recovery <- false;
+            c.dupacks <- 0;
+            c.cwnd <- max mss c.ssthresh
+          end
+          else begin
+            (* NewReno partial ack: the next hole is now the head;
+               resend it at once rather than waiting out an RTO *)
+            retransmit_head c;
+            c.cwnd <- max mss (c.cwnd - acked + mss)
+          end
+        else begin
+          c.dupacks <- 0;
+          if c.cwnd < c.ssthresh then
+            (* slow start: one segment per segment acked *)
+            c.cwnd <- min c.stack.cfg.send_window (c.cwnd + min acked mss)
+          else
+            (* congestion avoidance: ~one segment per round trip *)
+            c.cwnd <-
+              min c.stack.cfg.send_window
+                (c.cwnd + max 1 (mss * mss / c.cwnd))
+        end
+      end;
       if c.snd_una = c.snd_nxt then Sim.Time.disarm c.rexmit_tmr
       else arm_rto c;
       Sim.Rendez.wakeup_all c.wwait;
       (* the ack may have opened the send window: the ticker used to
          retry this on the next tick, now the ack itself drives it *)
       if Buffer.length c.txbuf + c.tx_base > c.snd_nxt then push_segments c
+    end
+    else if
+      c.stack.cc && ack = c.snd_una
+      && c.snd_nxt > c.snd_una
+      && String.length s.s_data = 0
+      && s.s_flags land (flag_syn lor flag_fin) = 0
+    then begin
+      (* duplicate ack: the receiver saw something out of order *)
+      c.dupacks <- c.dupacks + 1;
+      if c.in_recovery then begin
+        (* inflate: each dup ack means a segment left the network *)
+        c.cwnd <- c.cwnd + c.stack.cfg.mss;
+        push_segments c
+      end
+      else if c.dupacks = 3 then begin
+        (* fast retransmit + fast recovery *)
+        let mss = c.stack.cfg.mss in
+        let inflight = c.snd_nxt - c.snd_una in
+        c.ssthresh <- max (2 * mss) (inflight / 2);
+        c.recover <- c.snd_nxt;
+        c.in_recovery <- true;
+        c.stack.stats.fast_retransmits <- c.stack.stats.fast_retransmits + 1;
+        c.cstats.fast_retransmits <- c.cstats.fast_retransmits + 1;
+        bump_counter c "fast_retransmits" 1;
+        bump_counter c "cwnd_halved" 1;
+        retransmit_head c;
+        c.cwnd <- c.ssthresh + (3 * mss);
+        arm_rto c
+      end
+    end;
+    (* a window update may end the zero-window persist state *)
+    if c.snd_wnd > 0 && Sim.Time.armed c.persist_tmr then begin
+      Sim.Time.disarm c.persist_tmr;
+      c.persist_backoff <- 0;
+      push_segments c
     end
   end
 
@@ -479,12 +720,50 @@ let deliver c data =
 
 let send_bare_ack c = xmit c ~seq:c.snd_nxt ~flags:0 ""
 
+(* drain the reassembly queue once the in-order edge moved: deliver
+   every buffered byte that is now contiguous with rcv_nxt *)
+let drain_ooo c =
+  let rec go () =
+    match c.ooo with
+    | (seq, data) :: rest when seq <= c.rcv_nxt ->
+      let len = String.length data in
+      if seq + len > c.rcv_nxt then begin
+        let take = seq + len - c.rcv_nxt in
+        deliver c (String.sub data (len - take) take);
+        c.rcv_nxt <- c.rcv_nxt + take
+      end;
+      c.ooo <- rest;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let ooo_bytes c =
+  List.fold_left (fun a (_, d) -> a + String.length d) 0 c.ooo
+
+(* stash a beyond-the-hole segment for later reassembly, keeping the
+   list seq-sorted and the total bounded by the receive buffer *)
+let stash_ooo c ~seq data =
+  if
+    ooo_bytes c + String.length data <= c.stack.cfg.recv_window
+    && not (List.exists (fun (q, _) -> q = seq) c.ooo)
+  then begin
+    c.ooo <-
+      List.merge (fun (a, _) (b, _) -> compare a b) [ (seq, data) ] c.ooo;
+    bump_counter c "ooo_queued" 1
+  end
+
 let handle_established c (s : segment) =
   process_ack c s;
   if String.length s.s_data > 0 || s.s_flags land flag_fin <> 0 then begin
     if s.s_seq = c.rcv_nxt then begin
       c.rcv_nxt <- c.rcv_nxt + String.length s.s_data;
       deliver c s.s_data;
+      (* no data follows a FIN, so draining there could only discard
+         stale sub-rcv_nxt leftovers — don't let it move rcv_nxt under
+         the FIN's own +1 *)
+      if c.stack.cc && s.s_flags land flag_fin = 0 && c.ooo <> [] then
+        drain_ooo c;
       if s.s_flags land flag_fin <> 0 then begin
         c.rcv_nxt <- c.rcv_nxt + 1;
         Block.Q.force_put c.rq (Block.hangup ());
@@ -493,7 +772,8 @@ let handle_established c (s : segment) =
         | TFinWait1 -> set_state c TTimeWait (* simultaneous close *)
         | TFinWait2 ->
           set_state c TTimeWait;
-          Sim.Engine.after ~label:"tcp" c.stack.eng 1.0 (fun () -> destroy c None)
+          Sim.Engine.after ~label:c.stack.pname c.stack.eng 1.0 (fun () ->
+              destroy c None)
         | TClosed | TSynSent | TSynRcvd | TCloseWait | TLastAck | TTimeWait
           ->
           ())
@@ -501,11 +781,20 @@ let handle_established c (s : segment) =
       send_bare_ack c
     end
     else begin
-      (* out of order or duplicate: drop, re-ack (forces go-back-N) *)
+      (* out of order or duplicate.  The baseline drops and re-acks —
+         forcing its sender's go-back-N; tcpcc buffers beyond-the-hole
+         data for reassembly, and the re-ack below becomes the dup ack
+         that drives the peer's fast retransmit *)
       if s.s_seq > c.rcv_nxt then begin
-        c.stack.stats.out_of_order_dropped <-
-          c.stack.stats.out_of_order_dropped + 1;
-        c.cstats.out_of_order_dropped <- c.cstats.out_of_order_dropped + 1
+        if
+          c.stack.cc && String.length s.s_data > 0
+          && s.s_flags land (flag_syn lor flag_fin) = 0
+        then stash_ooo c ~seq:s.s_seq s.s_data
+        else begin
+          c.stack.stats.out_of_order_dropped <-
+            c.stack.stats.out_of_order_dropped + 1;
+          c.cstats.out_of_order_dropped <- c.cstats.out_of_order_dropped + 1
+        end
       end
       else begin
         (* already-delivered data: a duplicate from the wire or a
@@ -573,7 +862,8 @@ let handle_segment c (s : segment) =
         set_state c TFinWait2
       | TLastAck when c.snd_una = c.snd_nxt -> destroy c None
       | TTimeWait ->
-        Sim.Engine.after ~label:"tcp" c.stack.eng 1.0 (fun () -> destroy c None)
+        Sim.Engine.after ~label:c.stack.pname c.stack.eng 1.0 (fun () ->
+            destroy c None)
       | TClosed | TSynSent | TSynRcvd | TEstablished | TFinWait1
       | TFinWait2 | TCloseWait | TLastAck ->
         ())
@@ -604,6 +894,8 @@ let make_conv st ~lport ~rport ~raddr ~state ~iss =
           out_of_order_dropped = 0;
           dups_dropped = 0;
           resets = 0;
+          fast_retransmits = 0;
+          persist_probes = 0;
         };
       state;
       iss;
@@ -621,12 +913,20 @@ let make_conv st ~lport ~rport ~raddr ~state ~iss =
       srtt = 0.;
       mdev = 0.;
       backoff = 0;
-      rexmit_tmr = Sim.Time.timer ~label:"tcp" st.eng;
-      death_tmr = Sim.Time.timer ~label:"tcp" st.eng;
+      rexmit_tmr = Sim.Time.timer ~label:st.pname st.eng;
+      death_tmr = Sim.Time.timer ~label:st.pname st.eng;
       death_at = Sim.Engine.now st.eng +. st.cfg.death_time;
       rtt_seq = 0;
       rtt_sent_at = 0.;
       retransmitting = false;
+      cwnd = 2 * st.cfg.mss;
+      ssthresh = st.cfg.send_window;
+      dupacks = 0;
+      recover = 0;
+      in_recovery = false;
+      ooo = [];
+      persist_tmr = Sim.Time.timer ~label:st.pname st.eng;
+      persist_backoff = 0;
       err = None;
       lis = None;
     }
@@ -639,7 +939,12 @@ let make_conv st ~lport ~rport ~raddr ~state ~iss =
   | Some tr ->
     Obs.Trace.emit tr
       (Obs.Event.Proto_state
-         { proto = "tcp"; conv = c.cid; from_ = "Closed"; to_ = state_str state }));
+         {
+           proto = st.pname;
+           conv = c.cid;
+           from_ = "Closed";
+           to_ = state_str state;
+         }));
   c
 
 let input st ~src:sa ~dst:_ pkt =
@@ -649,8 +954,8 @@ let input st ~src:sa ~dst:_ pkt =
     | None -> ()
     | Some tr ->
       if String.length pkt >= header_len && not (Chksum.valid pkt) then begin
-        Obs.Trace.emit tr (Obs.Event.Checksum_err { proto = "tcp" });
-        Obs.Trace.bump tr "tcp.badsum" 1
+        Obs.Trace.emit tr (Obs.Event.Checksum_err { proto = st.pname });
+        Obs.Trace.bump tr (st.pname ^ ".badsum") 1
       end)
   | Some s -> (
     match
@@ -671,7 +976,7 @@ let input st ~src:sa ~dst:_ pkt =
           st.refusals <- st.refusals + 1;
           (match Sim.Engine.obs st.eng with
           | None -> ()
-          | Some tr -> Obs.Trace.bump tr "tcp.backlog_refused" 1);
+          | Some tr -> Obs.Trace.bump tr (st.pname ^ ".backlog_refused") 1);
           send_rst st ~dst:sa ~sport:s.s_dport ~dport:s.s_sport ~seq:s.s_ack
             ~ack:(s.s_seq + String.length s.s_data)
         end
@@ -693,12 +998,15 @@ let input st ~src:sa ~dst:_ pkt =
           send_rst st ~dst:sa ~sport:s.s_dport ~dport:s.s_sport ~seq:s.s_ack
             ~ack:(s.s_seq + String.length s.s_data)))
 
-let attach ?(config = default_config) ip =
+let attach_gen ~pname ~ipproto ~cc ~config ip =
   let eng = Ip.engine ip in
   let st =
     {
       eng;
       ip;
+      pname;
+      ipproto;
+      cc;
       cfg = config;
       convs = Hashtbl.create 31;
       listeners = Hashtbl.create 7;
@@ -716,10 +1024,12 @@ let attach ?(config = default_config) ip =
           out_of_order_dropped = 0;
           dups_dropped = 0;
           resets = 0;
+          fast_retransmits = 0;
+          persist_probes = 0;
         };
     }
   in
-  Ip.register_proto ip ~proto:Ip.proto_tcp (fun ~src ~dst pkt ->
+  Ip.register_proto ip ~proto:ipproto (fun ~src ~dst pkt ->
       match config.cpu with
       | None -> input st ~src ~dst pkt
       | Some cpu ->
@@ -727,8 +1037,15 @@ let attach ?(config = default_config) ip =
           config.cost_per_seg
           +. (config.cost_per_byte *. float_of_int (String.length pkt))
         in
-        Sim.Cpu.run_after ~label:"tcp" cpu cost (fun () -> input st ~src ~dst pkt));
+        Sim.Cpu.run_after ~label:pname cpu cost (fun () ->
+            input st ~src ~dst pkt));
   st
+
+let attach ?(config = default_config) ip =
+  attach_gen ~pname:"tcp" ~ipproto:Ip.proto_tcp ~cc:false ~config ip
+
+let attach_cc ?(config = default_config) ip =
+  attach_gen ~pname:"tcpcc" ~ipproto:Ip.proto_tcpcc ~cc:true ~config ip
 
 let alloc_port st =
   let start = st.next_port - 5000 in
@@ -751,7 +1068,7 @@ let connect ?lport st ~raddr ~rport =
   let sp =
     match Sim.Engine.obs st.eng with
     | None -> Obs.Span.none
-    | Some tr -> Obs.Span.enter tr ~layer:"tcp" "tcp.connect"
+    | Some tr -> Obs.Span.enter tr ~layer:st.pname (st.pname ^ ".connect")
   in
   let fin () =
     match Sim.Engine.obs st.eng with

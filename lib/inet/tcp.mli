@@ -10,7 +10,16 @@
     congestion cost motivates IL's query scheme.
 
     Counters expose retransmitted byte counts so the [congestion] bench
-    can compare the two protocols under loss. *)
+    can compare the two protocols under loss.
+
+    The same module also implements [tcpcc] ({!attach_cc}): an identical
+    wire format registered as its own IP protocol, with a congestion
+    window (slow start + AIMD), fast retransmit on three duplicate acks,
+    NewReno-style fast recovery, and head-of-window retransmission on
+    timeout instead of the go-back-N burst.  The baseline proto is
+    untouched so the paper's blind-retransmission comparison stands;
+    [tcpcc] is the fix for the synchronized-close congestion collapse
+    the swarm bench pinned. *)
 
 type stack
 type conv
@@ -40,9 +49,21 @@ type counters = {
   mutable out_of_order_dropped : int;
   mutable dups_dropped : int;
   mutable resets : int;
+  mutable fast_retransmits : int;  (** three-dup-ack retransmissions (cc) *)
+  mutable persist_probes : int;  (** zero-window probe segments sent *)
 }
 
 val attach : ?config:config -> Ip.stack -> stack
+(** The minimal baseline TCP, registered as IP proto 6 under the name
+    ["tcp"]. *)
+
+val attach_cc : ?config:config -> Ip.stack -> stack
+(** The congestion-controlled variant, registered as IP proto 105 under
+    the name ["tcpcc"].  Both can coexist on one IP stack. *)
+
+val proto_name : stack -> string
+(** ["tcp"] or ["tcpcc"] — the /net directory name and counter prefix. *)
+
 val engine : stack -> Sim.Engine.t
 val counters : stack -> counters
 val local_addr : stack -> Ipaddr.t
@@ -108,4 +129,42 @@ val conv_counters : conv -> counters
 
 val conv_stats : conv -> string
 (** Per-conversation counters as [name value] lines — the contents of
-    the conversation's [stats] file. *)
+    the conversation's [stats] file.  On a [tcpcc] stack the congestion
+    state ([cwnd]/[ssthresh]/recovery) is appended. *)
+
+val cwnd : conv -> int
+(** Current congestion window in bytes (meaningful on [tcpcc]). *)
+
+val ssthresh : conv -> int
+val in_recovery : conv -> bool
+
+(** {1 Wire format}
+
+    Exposed for property tests: the codec must round-trip and must
+    never raise on truncated or mutated bytes. *)
+
+type segment = {
+  s_sport : int;
+  s_dport : int;
+  s_seq : int;
+  s_ack : int;
+  s_flags : int;
+  s_window : int;
+  s_data : string;
+}
+
+val header_len : int
+(** 20 bytes, option-free. *)
+
+val encode :
+  sport:int ->
+  dport:int ->
+  seq:int ->
+  ack:int ->
+  flags:int ->
+  window:int ->
+  string ->
+  string
+
+val decode : string -> segment option
+(** [None] on short input or checksum failure; never raises. *)

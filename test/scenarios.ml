@@ -176,6 +176,84 @@ let backlog =
         (Printf.sprintf "connected=%d refused=%d listener_refused=%d"
            !connected !refused (Inet.Il.refused lis)))
 
+(* ---- tcpcc under a synchronized close: bounded retransmission ---- *)
+
+(* a miniature of the swarm bench's congestion collapse: eight tcpcc
+   conversations on a slow (1 Mb/s) wire all fire a 4 KiB echo at the
+   same instant.  The queueing delay pushes past the minimum RTO, so
+   some retransmission is expected — the invariant is that congestion
+   control keeps it bounded under every schedule, where the baseline's
+   go-back-N storm would run away (that divergence is pinned by the
+   congestion bench, not here).  Which conversation finishes first is a
+   schedule choice; the transcript carries only the completion count. *)
+let tcpcc_collapse_convs = 8
+
+let tcpcc_collapse =
+  raw "tcpcc-collapse"
+    ~descr:"eight synchronized tcpcc echo bursts on a 1 Mb/s wire"
+    ~bounds:
+      [ { E.b_counter = "tcpcc.retransmits"; b_min = 0; b_max = 1000 } ]
+    (fun eng say ->
+      let seg = Netsim.Ether.create ~bandwidth_bps:1e6 ~name:"e0" eng in
+      let mk n addr =
+        let nic =
+          Netsim.Ether.attach seg
+            (Netsim.Eaddr.of_string (Printf.sprintf "08006902%04x" n))
+        in
+        let port = Inet.Etherport.create eng nic in
+        Inet.Tcp.attach_cc
+          (Inet.Ip.create
+             ~addr:(Inet.Ipaddr.of_string addr)
+             ~mask:(Inet.Ipaddr.of_string "255.255.255.0")
+             port)
+      in
+      let cca = mk 1 "10.0.0.1" in
+      let ccb = mk 2 "10.0.0.2" in
+      let lis = Inet.Tcp.announce ccb ~backlog:tcpcc_collapse_convs ~port:7 in
+      for i = 1 to tcpcc_collapse_convs do
+        ignore
+          (Sim.Proc.spawn eng
+             ~name:(Printf.sprintf "sc:echo%d" i)
+             (fun () ->
+               let conv = Inet.Tcp.listen lis in
+               let rec go () =
+                 let s = Inet.Tcp.read conv 8192 in
+                 if s <> "" then begin
+                   Inet.Tcp.write conv s;
+                   go ()
+                 end
+               in
+               go ()))
+      done;
+      let completed = ref 0 in
+      let payload = String.make 4096 'c' in
+      for i = 1 to tcpcc_collapse_convs do
+        ignore
+          (Sim.Proc.spawn eng
+             ~name:(Printf.sprintf "sc:burst%d" i)
+             (fun () ->
+               (* stagger the dials; the echo bursts are synchronized *)
+               Sim.Time.sleep eng (0.1 *. float_of_int i);
+               let conv =
+                 Inet.Tcp.connect cca ~raddr:(Inet.Ipaddr.of_string "10.0.0.2")
+                   ~rport:7
+               in
+               Sim.Time.sleep eng (5.0 -. Sim.Engine.now eng);
+               Inet.Tcp.write conv payload;
+               let got = ref 0 in
+               while !got < String.length payload do
+                 let s = Inet.Tcp.read conv 8192 in
+                 if s = "" then failwith "echo cut short"
+                 else got := !got + String.length s
+               done;
+               Inet.Tcp.close conv;
+               incr completed;
+               if !completed = tcpcc_collapse_convs then
+                 say
+                   (Printf.sprintf "completed=%d retransmits bounded"
+                      !completed)))
+      done)
+
 (* ---- 9P over a mount: walk / read / write / remove ---- *)
 
 let ninep_mount =
@@ -525,6 +603,7 @@ let all : E.scenario list =
     il_echo;
     tcp_echo;
     backlog;
+    tcpcc_collapse;
     ninep_mount;
     cfs_coherence;
     urp_dk;

@@ -470,7 +470,8 @@ let test_remote_cs_answers_with_its_networks () =
       Alcotest.(check string) "helix's view of the network"
         "/net/il/clone 135.104.9.6!56\n\
          /net/dk/clone nj/astro/musca!echo\n\
-         /net/tcp/clone 135.104.9.6!7\n"
+         /net/tcp/clone 135.104.9.6!7\n\
+         /net/tcpcc/clone 135.104.9.6!7\n"
         reply;
       (* and the il line is actionable: the clone file resolves to
          helix's device through the same union *)

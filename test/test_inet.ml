@@ -640,6 +640,177 @@ let test_il_out_of_window_discard () =
   Alcotest.(check bool) "receiver discarded out-of-window messages" true
     ((Inet.Il.counters ilb).Inet.Il.out_of_window > 0)
 
+(* ---- tcpcc: the congestion-controlled variant ---- *)
+
+(* a two-host world speaking tcpcc only; per-side configs let the
+   zero-window test shrink one receive buffer *)
+let make_cc_world ?(seed = 9) ?cfg1 ?cfg2 () =
+  let eng = Sim.Engine.create ~seed () in
+  let seg = Netsim.Ether.create ~name:"ether0" eng in
+  let mask = ip "255.255.255.0" in
+  let mk ?config n addr =
+    let nic = Netsim.Ether.attach seg (ea (Printf.sprintf "08006902%04x" n)) in
+    let port = Inet.Etherport.create eng nic in
+    Inet.Tcp.attach_cc ?config (Inet.Ip.create ~addr:(ip addr) ~mask port)
+  in
+  let cc1 = mk ?config:cfg1 1 "135.104.9.31" in
+  let cc2 = mk ?config:cfg2 2 "135.104.9.32" in
+  (eng, seg, cc1, cc2)
+
+let cc_sink eng cc ~port total =
+  spawn eng (fun () ->
+      let lis = Inet.Tcp.announce cc ~port in
+      let conv = Inet.Tcp.listen lis in
+      let rec go () =
+        let s = Inet.Tcp.read conv 8192 in
+        if s <> "" then begin
+          total := !total + String.length s;
+          go ()
+        end
+      in
+      go ())
+
+let cc_source eng cc ~rport want k =
+  spawn eng (fun () ->
+      let conv = Inet.Tcp.connect cc ~raddr:(ip "135.104.9.32") ~rport in
+      let sent = ref 0 in
+      while !sent < want do
+        let n = min 4096 (want - !sent) in
+        Inet.Tcp.write conv (String.make n 'x');
+        sent := !sent + n
+      done;
+      k conv;
+      Inet.Tcp.close conv)
+
+let test_tcpcc_connect_and_echo () =
+  let eng, _seg, cc1, cc2 = make_cc_world () in
+  let got = ref "" in
+  let _server =
+    spawn eng (fun () ->
+        let lis = Inet.Tcp.announce cc2 ~port:513 in
+        let conv = Inet.Tcp.listen lis in
+        let m = Inet.Tcp.read conv 100 in
+        Inet.Tcp.write conv ("echo:" ^ m))
+  in
+  let _client =
+    spawn eng (fun () ->
+        let conv =
+          Inet.Tcp.connect cc1 ~raddr:(ip "135.104.9.32") ~rport:513
+        in
+        Inet.Tcp.write conv "hello tcpcc";
+        got := Inet.Tcp.read conv 100;
+        Inet.Tcp.close conv)
+  in
+  Sim.Engine.run ~until:30.0 eng;
+  Alcotest.(check string) "echoed" "echo:hello tcpcc" !got
+
+let test_tcpcc_slow_start_opens_cwnd () =
+  (* a clean bulk transfer: the congestion window must grow past its
+     initial two segments *)
+  let eng, _seg, cc1, cc2 = make_cc_world () in
+  let total = ref 0 in
+  let want = 100_000 in
+  let cw = ref 0 in
+  let _server = cc_sink eng cc2 ~port:513 total in
+  let _client =
+    cc_source eng cc1 ~rport:513 want (fun conv -> cw := Inet.Tcp.cwnd conv)
+  in
+  Sim.Engine.run ~until:60.0 eng;
+  Alcotest.(check int) "entire stream delivered" want !total;
+  Alcotest.(check bool) "cwnd opened past the initial two segments" true
+    (!cw > 2 * Inet.Tcp.default_config.Inet.Tcp.mss)
+
+let test_tcpcc_fast_retransmit () =
+  (* deterministically drop one mid-flight data segment: the dup acks
+     from its successors must trigger a fast retransmit, not an RTO *)
+  let eng, seg, cc1, cc2 = make_cc_world () in
+  let total = ref 0 in
+  let want = 50_000 in
+  let seen = ref 0 in
+  Netsim.Fault.set_filter (Netsim.Ether.faults seg) (fun payload ->
+      (* data segments are the only large frames; drop the fourth *)
+      if String.length payload > 600 then begin
+        incr seen;
+        if !seen = 4 then Some "planted drop" else None
+      end
+      else None);
+  let _server = cc_sink eng cc2 ~port:513 total in
+  let _client = cc_source eng cc1 ~rport:513 want (fun _ -> ()) in
+  Sim.Engine.run ~until:60.0 eng;
+  Alcotest.(check int) "entire stream delivered" want !total;
+  Alcotest.(check bool) "recovered by fast retransmit" true
+    ((Inet.Tcp.counters cc1).Inet.Tcp.fast_retransmits > 0)
+
+(* the head-of-window comparison: under an identical deterministic
+   mid-stream drop of four data segments, go-back-N resends every
+   unacked byte per timeout while tcpcc retransmits only what was
+   lost (head of window, then the holes the acks reveal) — so tcpcc
+   must retransmit strictly fewer bytes *)
+let drop_mid_flight_xfer attach =
+  let eng = Sim.Engine.create ~seed:9 () in
+  let seg = Netsim.Ether.create ~name:"ether0" eng in
+  let mask = ip "255.255.255.0" in
+  let mk n addr =
+    let nic = Netsim.Ether.attach seg (ea (Printf.sprintf "08006902%04x" n)) in
+    let port = Inet.Etherport.create eng nic in
+    attach (Inet.Ip.create ~addr:(ip addr) ~mask port)
+  in
+  let a = mk 1 "135.104.9.31" and b = mk 2 "135.104.9.32" in
+  let seen = ref 0 in
+  Netsim.Fault.set_filter (Netsim.Ether.faults seg) (fun payload ->
+      if String.length payload > 600 then begin
+        incr seen;
+        if !seen >= 10 && !seen <= 13 then Some "planted drop" else None
+      end
+      else None);
+  let total = ref 0 in
+  let want = 30_000 in
+  let _server = cc_sink eng b ~port:513 total in
+  let _client = cc_source eng a ~rport:513 want (fun _ -> ()) in
+  Sim.Engine.run ~until:120.0 eng;
+  Alcotest.(check int) "entire stream delivered" want !total;
+  (Inet.Tcp.counters a).Inet.Tcp.retransmitted_bytes
+
+let test_tcpcc_rto_head_only () =
+  let blind = drop_mid_flight_xfer (fun ip -> Inet.Tcp.attach ip) in
+  let cc = drop_mid_flight_xfer (fun ip -> Inet.Tcp.attach_cc ip) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tcpcc resent fewer bytes (%d < %d)" cc blind)
+    true
+    (cc < blind)
+
+let test_tcpcc_zero_window_persist () =
+  (* regression for the zero-window bug: a stalled reader must quench
+     the sender (advertised window 0), the persist timer must probe the
+     window open again, and the stream must complete once the reader
+     drains.  The baseline proto keeps its bug-compatible behaviour;
+     this guards the cc-gated fix. *)
+  let small = { Inet.Tcp.default_config with recv_window = 4096 } in
+  let eng, _seg, cc1, cc2 = make_cc_world ~cfg2:small () in
+  let total = ref 0 in
+  let want = 32_768 in
+  let _server =
+    spawn eng (fun () ->
+        let lis = Inet.Tcp.announce cc2 ~port:513 in
+        let conv = Inet.Tcp.listen lis in
+        (* stall long enough for the sender to fill the 4 KiB buffer
+           and sit against a zero window across several probes *)
+        Sim.Time.sleep eng 5.0;
+        let rec go () =
+          let s = Inet.Tcp.read conv 8192 in
+          if s <> "" then begin
+            total := !total + String.length s;
+            go ()
+          end
+        in
+        go ())
+  in
+  let _client = cc_source eng cc1 ~rport:513 want (fun _ -> ()) in
+  Sim.Engine.run ~until:120.0 eng;
+  Alcotest.(check int) "entire stream delivered" want !total;
+  Alcotest.(check bool) "persist probes fired" true
+    ((Inet.Tcp.counters cc1).Inet.Tcp.persist_probes > 0)
+
 let test_tcp_half_close () =
   (* client closes its sending side; the server can keep writing and
      the client drains the rest (CloseWait path) *)
@@ -956,6 +1127,19 @@ let () =
             test_tcp_write_after_close_raises;
           Alcotest.test_case "il write after close" `Quick
             test_il_write_after_close_raises;
+        ] );
+      ( "tcpcc",
+        [
+          Alcotest.test_case "connect and echo" `Quick
+            test_tcpcc_connect_and_echo;
+          Alcotest.test_case "slow start opens cwnd" `Quick
+            test_tcpcc_slow_start_opens_cwnd;
+          Alcotest.test_case "fast retransmit" `Quick
+            test_tcpcc_fast_retransmit;
+          Alcotest.test_case "head-only rto beats go-back-n" `Quick
+            test_tcpcc_rto_head_only;
+          Alcotest.test_case "zero window persists" `Quick
+            test_tcpcc_zero_window_persist;
         ] );
       ( "udp",
         [

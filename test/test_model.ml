@@ -303,9 +303,9 @@ let mounted_stack ~sched f =
   in
   Sim.Engine.run eng
 
-let imported_stack ~sched f =
+let imported_stack ?proto ?(from = "philw-gnot") ~sched f =
   let w = P9net.World.bell_labs ~sched () in
-  let gnot = P9net.World.host w "philw-gnot" in
+  let gnot = P9net.World.host w from in
   let helix = P9net.World.host w "helix" in
   Ninep.Ramfs.mkdir helix.P9net.Host.root "/tmp/model";
   ignore
@@ -314,7 +314,7 @@ let imported_stack ~sched f =
             shuffled schedules the workload can otherwise run ahead of
             helix's exportfs service at t=0 *)
          Sim.Time.sleep w.P9net.World.eng 1.0;
-         P9net.Exportfs.import w.P9net.World.eng env ~host:"helix"
+         P9net.Exportfs.import w.P9net.World.eng env ?proto ~host:"helix"
            ~remote_root:"/tmp/model" ~onto:"/n" ~flag:Vfs.Ns.Repl ();
          Vfs.Env.chdir env "/n";
          f env));
@@ -352,7 +352,19 @@ let prop_mounted =
 
 let prop_imported =
   QCheck.Test.make ~name:"il-imported exportfs matches the model" ~count:8
-    ops_arb (fun ops -> agrees ~prep:relativize ~build:imported_stack ops)
+    ops_arb (fun ops ->
+      agrees ~prep:relativize ~build:(fun ~sched f -> imported_stack ~sched f)
+        ops)
+
+(* the same namespace model over the congestion-controlled transport
+   (from musca — philw-gnot is a Datakit terminal with no IP stack):
+   9P semantics must be transport-blind *)
+let prop_imported_tcpcc =
+  QCheck.Test.make ~name:"tcpcc-imported exportfs matches the model" ~count:4
+    ops_arb (fun ops ->
+      agrees ~prep:relativize
+        ~build:(imported_stack ~proto:"tcpcc" ~from:"musca")
+        ops)
 
 let replay_case () =
   let ops =
@@ -398,5 +410,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_local;
           QCheck_alcotest.to_alcotest prop_mounted;
           QCheck_alcotest.to_alcotest prop_imported;
+          QCheck_alcotest.to_alcotest prop_imported_tcpcc;
         ] );
     ]

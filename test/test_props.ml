@@ -267,6 +267,70 @@ let prop_ipaddr_quad =
       let s = Printf.sprintf "%d.%d.%d.%d" a b c d in
       Inet.Ipaddr.to_string (Inet.Ipaddr.of_string s) = s)
 
+(* ---- the TCP wire codec ---- *)
+
+(* segments come off the wire, so the decoder faces the same contract
+   as the 9P unmarshaller: round-trip what we encode, never raise on
+   anything else.  Field widths follow the header: 16-bit ports and
+   window, 32-bit seq/ack, 6 flag bits. *)
+let tcp_word32_gen =
+  QCheck.Gen.(
+    map2 (fun hi lo -> (hi lsl 16) lor lo) (int_bound 0xffff) (int_bound 0xffff))
+
+let tcp_seg_gen =
+  QCheck.Gen.(
+    map
+      (fun ((sport, dport, window), (seq, ack, flags), data) ->
+        (sport, dport, window, seq, ack, flags, data))
+      (triple
+         (triple w16_gen w16_gen w16_gen)
+         (triple tcp_word32_gen tcp_word32_gen (int_bound 0x3f))
+         (bytes_gen 200)))
+
+let prop_tcp_roundtrip =
+  QCheck.Test.make ~name:"tcp segment encode/decode roundtrip" ~count:1000
+    (QCheck.make tcp_seg_gen)
+    (fun (sport, dport, window, seq, ack, flags, data) ->
+      let pkt = Inet.Tcp.encode ~sport ~dport ~seq ~ack ~flags ~window data in
+      match Inet.Tcp.decode pkt with
+      | Some s ->
+        s.Inet.Tcp.s_sport = sport && s.s_dport = dport && s.s_seq = seq
+        && s.s_ack = ack && s.s_flags = flags && s.s_window = window
+        && s.s_data = data
+      | None -> false)
+
+let prop_tcp_decode_never_raises =
+  QCheck.Test.make ~name:"tcp decode never raises on arbitrary bytes"
+    ~count:2000
+    (QCheck.make (bytes_gen 64))
+    (fun s ->
+      match Inet.Tcp.decode s with
+      | Some _ | None -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "decode raised %s on %S"
+          (Printexc.to_string e) s)
+
+let prop_tcp_decode_truncated =
+  QCheck.Test.make ~name:"tcp decode never raises on truncated segments"
+    ~count:1000
+    (QCheck.make QCheck.Gen.(pair tcp_seg_gen (int_bound 250)))
+    (fun ((sport, dport, window, seq, ack, flags, data), cut) ->
+      let pkt = Inet.Tcp.encode ~sport ~dport ~seq ~ack ~flags ~window data in
+      match Inet.Tcp.decode (String.sub pkt 0 (min cut (String.length pkt))) with
+      | Some _ | None -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "decode raised %s" (Printexc.to_string e))
+
+let prop_tcp_decode_flip =
+  QCheck.Test.make ~name:"tcp checksum rejects a bit flip" ~count:1000
+    (QCheck.make QCheck.Gen.(triple tcp_seg_gen (int_bound 10000) (int_bound 7)))
+    (fun ((sport, dport, window, seq, ack, flags, data), pos, bit) ->
+      let pkt = Inet.Tcp.encode ~sport ~dport ~seq ~ack ~flags ~window data in
+      let b = Bytes.of_string pkt in
+      let pos = pos mod Bytes.length b in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      Inet.Tcp.decode (Bytes.to_string b) = None)
+
 (* ---- the ndb tuple-file parser ---- *)
 
 (* render an entry list in the paper's format — first pair on the
@@ -382,6 +446,13 @@ let () =
           QCheck_alcotest.to_alcotest prop_ipaddr_roundtrip;
           QCheck_alcotest.to_alcotest prop_ipaddr_never_raises;
           QCheck_alcotest.to_alcotest prop_ipaddr_quad;
+        ] );
+      ( "tcp-codec",
+        [
+          QCheck_alcotest.to_alcotest prop_tcp_roundtrip;
+          QCheck_alcotest.to_alcotest prop_tcp_decode_never_raises;
+          QCheck_alcotest.to_alcotest prop_tcp_decode_truncated;
+          QCheck_alcotest.to_alcotest prop_tcp_decode_flip;
         ] );
       ( "ndb",
         [
