@@ -16,7 +16,8 @@ check:
 
 # Schedule exploration, smoke budget: every registered scenario under
 # FIFO + shuffle seeds 1..5 + adversarial, then the detector self-test
-# against the planted lost-wakeup bug.  Tier-1 time; wired into check.
+# against the planted bugs (the lost wakeup and the union lost
+# fallback).  Tier-1 time; wired into check.
 explore-smoke:
 	dune exec bin/p9explore.exe
 	dune exec bin/p9explore.exe -- --selftest

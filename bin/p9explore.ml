@@ -49,8 +49,9 @@ let selftest_flag =
     value & flag
     & info [ "selftest" ]
         ~doc:
-          "Arm the planted lost-wakeup bug (Block.Q.chaos_lost_wakeup) \
-           and verify the explorer catches it within the smoke budget.")
+          "Arm the planted bugs (Block.Q.chaos_lost_wakeup and \
+           Vfs.Ns.chaos_union_lost_walk) one at a time and verify the \
+           explorer catches each within the smoke budget.")
 
 let out = prerr_string
 
@@ -65,31 +66,42 @@ let explore_sc policies sc =
       (List.length fails) (List.length policies);
   fails
 
-let selftest () =
-  match Scenarios.find "queue-race" with
+(* arm one planted bug, prove the explorer convicts its hunting-ground
+   scenario within the smoke budget, then prove the clean run agrees *)
+let selftest_one ~plant ~scenario ~bug =
+  match Scenarios.find scenario with
   | None ->
-    prerr_endline "selftest: queue-race scenario missing";
+    Printf.eprintf "selftest: %s scenario missing\n" scenario;
     1
   | Some sc ->
-    let fails =
-      Scenarios.with_planted_bug (fun () ->
-          Sim.Explore.explore ~out:ignore sc)
-    in
+    let fails = plant (fun () -> Sim.Explore.explore ~out:ignore sc) in
     if fails = [] then begin
-      Printf.printf
-        "SELFTEST FAIL: planted lost-wakeup bug escaped the smoke budget\n";
+      Printf.printf "SELFTEST FAIL: planted %s escaped the smoke budget\n"
+        bug;
       1
     end
     else begin
       let f = List.hd fails in
+      let clean = Sim.Explore.explore ~out:ignore sc = [] in
       Printf.printf
-        "selftest ok: planted bug caught under %s (%s); clean run %s\n"
+        "selftest ok: planted %s caught under %s (%s); clean run %s\n" bug
         (Sim.Sched.to_string f.Sim.Explore.f_policy)
         f.Sim.Explore.f_reason
-        (if Sim.Explore.explore ~out:ignore sc = [] then "agrees"
-         else "STILL FAILING");
-      if Sim.Explore.explore ~out:ignore sc = [] then 0 else 1
+        (if clean then "agrees" else "STILL FAILING");
+      if clean then 0 else 1
     end
+
+let selftest () =
+  let a =
+    selftest_one ~plant:Scenarios.with_planted_bug ~scenario:"queue-race"
+      ~bug:"lost-wakeup bug"
+  in
+  let b =
+    selftest_one ~plant:Scenarios.with_planted_union_bug
+      ~scenario:"union-member-dies-walk-continues"
+      ~bug:"union lost-fallback bug"
+  in
+  if a = 0 && b = 0 then 0 else 1
 
 let run scenario policy nseeds list selftest_req =
   if list then begin

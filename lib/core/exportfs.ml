@@ -9,7 +9,31 @@ let union_snapshot env ch =
   let entries = Vfs.Ns.read_dir (Vfs.Env.ns env) ch in
   String.concat "" (List.map Ninep.Fcall.encode_dir entries)
 
+(* Qids must be unique per 9P connection, but a re-exported name space
+   draws on several underlying servers whose qid spaces are
+   independent — relaying their qpaths verbatim can alias two distinct
+   files at the importer (whose mount table and caches key on the
+   qid).  Each export therefore issues its own qpaths, stable per
+   underlying file (keyed by the channel's device+qid identity); the
+   directory bit and the version — which caches watch for
+   invalidation — pass through. *)
+type qmap = { qm_tbl : (int * int32, int32) Hashtbl.t; mutable qm_next : int32 }
+
+let remap_qid qm key q =
+  let path =
+    match Hashtbl.find_opt qm.qm_tbl key with
+    | Some p -> p
+    | None ->
+      let p = qm.qm_next in
+      qm.qm_next <- Int32.add p 1l;
+      Hashtbl.add qm.qm_tbl key p;
+      p
+  in
+  let dir = Int32.logand q.Ninep.Fcall.qpath Ninep.Fcall.qdir_bit in
+  { q with Ninep.Fcall.qpath = Int32.logor path dir }
+
 let fs env =
+  let qm = { qm_tbl = Hashtbl.create 64; qm_next = 1l } in
   {
     Ninep.Server.fs_name = "exportfs";
     fs_attach =
@@ -18,7 +42,7 @@ let fs env =
         match Vfs.Env.resolve env path with
         | ch -> Ok { env; ch; opened = false; dirdata = None }
         | exception Vfs.Chan.Error e -> Error e);
-    fs_qid = (fun n -> Vfs.Chan.qid n.ch);
+    fs_qid = (fun n -> remap_qid qm (Vfs.Chan.key n.ch) (Vfs.Chan.qid n.ch));
     fs_walk =
       (fun n name ->
         if name = ".." then
@@ -26,11 +50,15 @@ let fs env =
              importer's lexical cleanup before it ever reaches us *)
           Error "walk .. not supported across export"
         else
+          (* walk1 clones union members under the hood; a member whose
+             upstream died can still raise through the clone path —
+             relay the error instead of letting it kill the server *)
           match Vfs.Ns.walk1 (Vfs.Env.ns n.env) n.ch name with
           | Ok ch ->
             n.ch <- ch;
             Ok n
-          | Error e -> Error e);
+          | Error e -> Error e
+          | exception Vfs.Chan.Error e -> Error e);
     fs_open =
       (fun n mode ~trunc ->
         match
@@ -69,11 +97,16 @@ let fs env =
           | exception Vfs.Chan.Error e -> Error e);
     fs_create =
       (fun n ~name ~perm mode ->
-        (* create lands in the first union member, as in the kernel *)
+        (* create lands in the first union member with MCREATE set, as
+           in the kernel; a union that forbids creation relays the
+           refusal *)
         match
-          Vfs.Chan.create
-            (Vfs.Ns.enter (Vfs.Env.ns n.env) n.ch)
-            ~name ~perm mode
+          let target =
+            match Vfs.Ns.create_target (Vfs.Env.ns n.env) n.ch with
+            | Ok c -> c
+            | Error e -> raise (Vfs.Chan.Error e)
+          in
+          Vfs.Chan.create target ~name ~perm mode
         with
         | ch ->
           n.ch <- ch;
@@ -88,7 +121,14 @@ let fs env =
     fs_stat =
       (fun n ->
         match Vfs.Chan.stat n.ch with
-        | d -> Ok d
+        | d ->
+          (* the stat's qid must agree with the walk's *)
+          Ok
+            {
+              d with
+              Ninep.Fcall.d_qid =
+                remap_qid qm (Vfs.Chan.key n.ch) d.Ninep.Fcall.d_qid;
+            }
         | exception Vfs.Chan.Error e -> Error e);
     fs_wstat =
       (fun n d ->
@@ -108,8 +148,8 @@ let fs env =
 
 let serve eng env tr = Ninep.Server.serve ~threaded:true eng (fs env) tr
 
-let import eng env ?(proto = "net") ~host ~remote_root ~onto
-    ?(flag = Vfs.Ns.After) () =
+let import eng env ?(proto = "net") ?(mcreate = true) ~host ~remote_root
+    ~onto ?(flag = Vfs.Ns.After) () =
   (* the import span is the root covering dial (cs lookup + transport
      handshake), the 9P session and the attach: one trace per mount *)
   let obs = Sim.Engine.obs eng in
@@ -126,7 +166,7 @@ let import eng env ?(proto = "net") ~host ~remote_root ~onto
     let tr = Fdtrans.of_fd env conn.Dial.data_fd in
     let client = Ninep.Client.make eng tr in
     Ninep.Client.session client;
-    Vfs.Env.mount env client ~aname:remote_root ~onto flag
+    Vfs.Env.mount ~mcreate env client ~aname:remote_root ~onto flag
   with
   | r ->
     fin ();

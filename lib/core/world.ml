@@ -171,6 +171,45 @@ let autoroute t =
         subnets)
     gws
 
+(* ---- the chain/union test cluster ---- *)
+
+let cluster_ndb n =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    "#\n# a flat cluster for import-chain and union-mount scenarios\n#\n";
+  Buffer.add_string b "ipnet=cluster ip=10.20.0.0 ipmask=255.255.255.0\n\n";
+  for i = 0 to n - 1 do
+    Printf.bprintf b "sys = c%d\n\tip=10.20.0.%d ether=0a00200000%02x\n\tproto=il\n\n"
+      i (10 + i) i
+  done;
+  Buffer.add_string b
+    "il=exportfs\tport=17007\ntcp=exportfs\tport=17007\nil=echo\tport=56\n";
+  Buffer.contents b
+
+let cluster ?seed ?sched ?(n = 4) () =
+  let db = Ndb.of_string (cluster_ndb n) in
+  let w = create ?seed ?sched ~db () in
+  for i = 0 to n - 1 do
+    let name = Printf.sprintf "c%d" i in
+    let h = add_host w name in
+    (* seed files every host exports; mount points must exist before
+       any import lands on them *)
+    Ninep.Ramfs.mkdir h.Host.root "/srv";
+    Ninep.Ramfs.add_file h.Host.root "/srv/motd"
+      (Printf.sprintf "hello from %s\n" name);
+    Ninep.Ramfs.add_file h.Host.root (Printf.sprintf "/srv/%s" name)
+      (Printf.sprintf "%s\n" name);
+    Ninep.Ramfs.mkdir h.Host.root "/n/next";
+    Ninep.Ramfs.mkdir h.Host.root "/u";
+    Host.serve_exportfs h
+  done;
+  w
+
+let host_faults t name =
+  match (host t name).Host.etherport with
+  | Some port -> Netsim.Ether.nic_faults (Inet.Etherport.nic port)
+  | None -> failwith ("host_faults: " ^ name ^ " has no NIC")
+
 let bell_labs_ndb =
   {|#
 # the canonical world, in the paper's own format (section 4.1)

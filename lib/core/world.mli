@@ -78,6 +78,23 @@ val segment_faults : t -> string -> Netsim.Fault.t
 val dk_faults : t -> Netsim.Fault.t
 (** The Datakit switch's fault schedule. *)
 
+val cluster_ndb : int -> string
+(** An ndb describing [n] identical hosts [c0 .. c(n-1)] on one flat
+    subnet ([10.20.0.0/24]), each speaking IL, with [exportfs] and
+    [echo] services registered. *)
+
+val cluster : ?seed:int -> ?sched:Sim.Sched.policy -> ?n:int -> unit -> t
+(** A booted cluster of [n] (default 4) hosts for the distributed
+    name-space scenarios: every host serves exportfs, carries seed
+    files [/srv/motd] ("hello from cN") and [/srv/cN] ("cN"), and has
+    empty [/n/next] and [/u] directories ready to be mount points for
+    import chains and union mounts. *)
+
+val host_faults : t -> string -> Netsim.Fault.t
+(** The named host's {e per-station} fault schedule (its primary NIC's
+    rx side): partition one machine while the rest of the segment keeps
+    talking.  @raise Failure if the host has no NIC. *)
+
 val bell_labs_ndb : string
 (** The ndb text for the canonical world (paper-style entries). *)
 

@@ -58,6 +58,7 @@ let create eng nic =
 
 let engine t = t.eng
 let addr t = Netsim.Ether.nic_addr t.nic
+let nic t = t.nic
 
 let connect t ptype =
   let c =

@@ -21,6 +21,11 @@ val create : Sim.Engine.t -> Netsim.Ether.nic -> t
 val engine : t -> Sim.Engine.t
 val addr : t -> Netsim.Eaddr.t
 
+val nic : t -> Netsim.Ether.nic
+(** The underlying station, e.g. to drive its per-station fault
+    schedule ({!Netsim.Ether.nic_faults}) and partition just this
+    host. *)
+
 val connect : t -> int -> conn
 (** Allocate a connection for the given packet type (-1 = all). *)
 

@@ -2,26 +2,54 @@ exception Err of string
 
 type fid = int
 
+let no_fid = -1
+
 type t = {
   eng : Sim.Engine.t;
   tr : Transport.t;
   waiting : (int, Fcall.rmsg -> unit) Hashtbl.t;
+  (* every fid the server still holds for us: allocated on attach /
+     clone / clwalk, dropped on clunk / remove.  Whatever is left when
+     the connection dies is leaked on the server side — the counter the
+     chain scenarios watch. *)
+  live_fids : (int, unit) Hashtbl.t;
+  mutable death_hooks : (int -> unit) list;
   mutable next_tag : int;
   mutable next_fid : int;
   mutable dead : bool;
+  mutable death_done : bool;
 }
 
 let alive t = not t.dead
 
+let open_fids t = Hashtbl.length t.live_fids
+
+let on_death t f = t.death_hooks <- t.death_hooks @ [ f ]
+
+(* the one-shot death path: every waiter learns the connection hung
+   up, and the fids the server still held for us are accounted as
+   leaked (both globally and through any registered hooks — the mount
+   driver surfaces them in its per-mount ledger) *)
 let fail_all t =
   let ws = Hashtbl.fold (fun _ w acc -> w :: acc) t.waiting [] in
   Hashtbl.reset t.waiting;
-  List.iter (fun w -> w (Fcall.Rerror "connection hung up")) ws
+  List.iter (fun w -> w (Fcall.Rerror "connection hung up")) ws;
+  if not t.death_done then begin
+    t.death_done <- true;
+    let leaked = Hashtbl.length t.live_fids in
+    if leaked > 0 then begin
+      (match Sim.Engine.obs t.eng with
+      | Some tr -> Obs.Trace.bump tr "9p.fids_leaked" leaked
+      | None -> ());
+      List.iter (fun f -> f leaked) t.death_hooks
+    end
+  end
 
 let make eng tr =
   let t =
-    { eng; tr; waiting = Hashtbl.create 17; next_tag = 1; next_fid = 1;
-      dead = false }
+    { eng; tr; waiting = Hashtbl.create 17; live_fids = Hashtbl.create 17;
+      death_hooks = []; next_tag = 1; next_fid = 1; dead = false;
+      death_done = false }
   in
   let _demux =
     Sim.Proc.spawn eng ~name:"9p-demux" (fun () ->
@@ -68,9 +96,27 @@ let rpc t tmsg =
   let t0 = Sim.Engine.now t.eng in
   t.tr.Transport.t_send (Fcall.encode (Fcall.T (tag, tmsg)));
   let r =
-    Sim.Proc.suspend ~register:(fun ~resume ~abort:_ ->
-        Hashtbl.replace t.waiting tag resume;
-        fun () -> Hashtbl.remove t.waiting tag)
+    try
+      Sim.Proc.suspend ~register:(fun ~resume ~abort:_ ->
+          Hashtbl.replace t.waiting tag resume;
+          fun () -> Hashtbl.remove t.waiting tag)
+    with e ->
+      (* the calling process was killed while waiting (e.g. the
+         server relaying this call saw a Tflush): tell our own server
+         to forget the tag before unwinding, so the flush propagates
+         hop by hop down an import chain.  Fire-and-forget — we are
+         mid-abort and must not block; the Rflush lands on a tag
+         nobody waits for. *)
+      if not t.dead then begin
+        (try
+           t.tr.Transport.t_send
+             (Fcall.encode (Fcall.T (alloc_tag t, Fcall.Tflush { oldtag = tag })))
+         with _ -> ());
+        match Sim.Engine.obs t.eng with
+        | Some tr -> Obs.Trace.bump tr "9p.flush_sent" 1
+        | None -> ()
+      end;
+      raise e
   in
   (match Sim.Engine.obs t.eng with
   | None -> ()
@@ -98,7 +144,9 @@ let alloc_fid t =
 let attach_q t ~uname ~aname =
   let fid = alloc_fid t in
   match rpc t (Fcall.Tattach { fid; uname; aname }) with
-  | Fcall.Rattach { qid; _ } -> (fid, qid)
+  | Fcall.Rattach { qid; _ } ->
+    Hashtbl.replace t.live_fids fid ();
+    (fid, qid)
   | _ -> bad t "Tattach"
 
 let attach t ~uname ~aname = fst (attach_q t ~uname ~aname)
@@ -106,7 +154,9 @@ let attach t ~uname ~aname = fst (attach_q t ~uname ~aname)
 let clone t fid =
   let newfid = alloc_fid t in
   match rpc t (Fcall.Tclone { fid; newfid }) with
-  | Fcall.Rclone _ -> newfid
+  | Fcall.Rclone _ ->
+    Hashtbl.replace t.live_fids newfid ();
+    newfid
   | _ -> bad t "Tclone"
 
 let walk t fid name =
@@ -116,8 +166,13 @@ let walk t fid name =
 
 let clunk t fid =
   match rpc t (Fcall.Tclunk { fid }) with
-  | Fcall.Rclunk _ -> ()
+  | Fcall.Rclunk _ -> Hashtbl.remove t.live_fids fid
   | _ -> bad t "Tclunk"
+  | exception Err e ->
+    (* a clunk the server answered with an error still clunks; only a
+       dead connection truly leaks the fid *)
+    if not t.dead then Hashtbl.remove t.live_fids fid;
+    raise (Err e)
 
 let walk_path t fid names =
   match names with
@@ -126,6 +181,7 @@ let walk_path t fid names =
     let newfid = alloc_fid t in
     match rpc t (Fcall.Tclwalk { fid; newfid; name = first }) with
     | Fcall.Rclwalk _ -> (
+      Hashtbl.replace t.live_fids newfid ();
       try
         List.iter (fun name -> ignore (walk t newfid name)) rest;
         newfid
@@ -155,9 +211,13 @@ let write t fid ~offset data =
   | _ -> bad t "Twrite"
 
 let remove t fid =
+  (* remove clunks whether or not it succeeds *)
   match rpc t (Fcall.Tremove { fid }) with
-  | Fcall.Rremove _ -> ()
+  | Fcall.Rremove _ -> Hashtbl.remove t.live_fids fid
   | _ -> bad t "Tremove"
+  | exception Err e ->
+    if not t.dead then Hashtbl.remove t.live_fids fid;
+    raise (Err e)
 
 let stat t fid =
   match rpc t (Fcall.Tstat { fid }) with

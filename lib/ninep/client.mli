@@ -11,6 +11,10 @@
 type t
 type fid
 
+val no_fid : fid
+(** A fid that was never allocated (a dead mount-driver node carries
+    it); any RPC on it is a server-side "unknown fid". *)
+
 exception Err of string
 (** An Rerror from the server (or a dead connection). *)
 
@@ -58,6 +62,17 @@ val rpc : t -> Fcall.tmsg -> Fcall.rmsg
 (** Raw escape hatch (used by tests). *)
 
 val alive : t -> bool
+
+val open_fids : t -> int
+(** How many fids the server currently holds for this client
+    (attached, cloned or clwalked, not yet clunked/removed).  After the
+    connection dies this is the leak count. *)
+
+val on_death : t -> (int -> unit) -> unit
+(** Register a hook run once when the connection dies with fids still
+    live; the argument is the leak count.  The mount driver uses this
+    to surface [leaked_fids] in its per-mount ledger, and the global
+    [9p.fids_leaked] trace counter is bumped alongside. *)
 
 val hangup : t -> unit
 (** Close the transport; outstanding and future calls raise

@@ -54,6 +54,9 @@ let serve ?(threaded = false) ?auth eng fs tr =
         Hashtbl.reset fids
       in
       let reply tag r = tr.Transport.t_send (Fcall.encode (Fcall.R (tag, r))) in
+      (* threaded mode: the handler process still working on each tag,
+         so a Tflush can abort exactly the request it names *)
+      let inflight : (int, Sim.Proc.t) Hashtbl.t = Hashtbl.create 17 in
       let handle tag (t : Fcall.tmsg) =
         let err e = reply tag (Fcall.Rerror e) in
         let with_fid fid k =
@@ -63,8 +66,18 @@ let serve ?(threaded = false) ?auth eng fs tr =
         in
         match t with
         | Fcall.Tnop -> reply tag Fcall.Rnop
-        | Fcall.Tflush _ ->
-          (* requests are served in order: nothing can be pending *)
+        | Fcall.Tflush { oldtag } ->
+          (* non-threaded servers serve requests in order, so nothing
+             can be pending; threaded ones abort the in-flight handler.
+             Either way Rflush guarantees the old request will never be
+             answered. *)
+          (match Hashtbl.find_opt inflight oldtag with
+          | Some p when Sim.Proc.alive p ->
+            Sim.Proc.kill p;
+            (match Sim.Engine.obs eng with
+            | Some obs_tr -> Obs.Trace.bump obs_tr "9p.flush_killed" 1
+            | None -> ())
+          | Some _ | None -> ());
           reply tag Fcall.Rflush
         | Fcall.Tsession _ ->
           clear_fids ();
@@ -181,18 +194,35 @@ let serve ?(threaded = false) ?auth eng fs tr =
             ("9p.serve." ^ Fcall.tmsg_name t)
             (Sim.Engine.now eng -. t0)
       in
+      (* an fs operation that raises must not take the whole connection
+         down with it: the client gets an Rerror and the serving loop
+         lives on.  Exportfs relays through live channels, so a dead
+         upstream surfaces here as Chan.Error — rendered by its
+         registered printer as the bare message.  A kill (Tflush
+         forwarding) is not an error: let it unwind. *)
+      let safe_handle tag t =
+        try timed_handle tag t with
+        | Sim.Proc.Killed as e -> raise e
+        | e -> reply tag (Fcall.Rerror (Printexc.to_string e))
+      in
       let rec loop () =
         match tr.Transport.t_recv () with
         | None -> clear_fids ()
         | Some raw ->
           (match Fcall.decode raw with
           | Fcall.T (tag, t) ->
-            if threaded then
-              ignore
-                (Sim.Proc.spawn eng
-                   ~name:(Printf.sprintf "9psrv:%s:t%d" fs.fs_name tag)
-                   (fun () -> timed_handle tag t))
-            else timed_handle tag t
+            if threaded then begin
+              let p =
+                Sim.Proc.spawn eng
+                  ~name:(Printf.sprintf "9psrv:%s:t%d" fs.fs_name tag)
+                  (fun () ->
+                    Fun.protect
+                      ~finally:(fun () -> Hashtbl.remove inflight tag)
+                      (fun () -> safe_handle tag t))
+              in
+              if Sim.Proc.alive p then Hashtbl.replace inflight tag p
+            end
+            else safe_handle tag t
           | Fcall.R (_, _) -> () (* servers ignore replies *)
           | exception Fcall.Bad_message m ->
             Log.debug (fun f -> f "%s: bad message: %s" fs.fs_name m));

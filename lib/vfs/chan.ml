@@ -8,6 +8,12 @@ type t =
 
 exception Error of string
 
+(* servers turn uncaught handler exceptions into Rerror text; render
+   channel errors as their message so "connection hung up" crosses an
+   exportfs hop intact instead of as Vfs__Chan.Error(...) *)
+let () =
+  Printexc.register_printer (function Error e -> Some e | _ -> None)
+
 let ok = function Ok v -> v | Error e -> raise (Error e)
 
 let attach ~devid ops ~uname ~aname =

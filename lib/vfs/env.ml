@@ -99,12 +99,17 @@ let create t path ~perm mode =
   | [] -> raise (Chan.Error "create: empty path")
   | name :: rev_dir ->
     let dirpath = "/" ^ String.concat "/" (List.rev rev_dir) in
-    let parent = Ns.resolve t.env_ns dirpath in
-    (* create happens in the first union member, Plan 9 style *)
+    (* the union lives on the underlying (mounted-upon) channel;
+       create happens in the first union member with MCREATE set *)
+    let parent = Ns.resolve_for_mount t.env_ns dirpath in
     let target =
-      match Ns.union_of t.env_ns parent with
-      | m :: _ -> Chan.clone m
-      | [] -> parent
+      match Ns.create_target t.env_ns parent with
+      | Ok c ->
+        Chan.clunk parent;
+        c
+      | Error e ->
+        Chan.clunk parent;
+        raise (Chan.Error (Printf.sprintf "%s: %s" dirpath e))
     in
     let c = Chan.create target ~name ~perm mode in
     install t
@@ -220,23 +225,26 @@ let install_chan t chan ~path =
     { of_chan = chan; of_path = path; of_offset = 0L; of_dirdata = None;
       of_refs = 1 }
 
-let bind t ~src ~onto flag =
+let bind ?(mcreate = true) t ~src ~onto flag =
   let csrc = resolve t src in
   let conto = Ns.resolve_for_mount t.env_ns (abspath t onto) in
-  Ns.bind t.env_ns ~src:csrc ~onto:conto flag
+  Ns.bind ~mcreate t.env_ns ~src:csrc ~onto:conto flag
 
-let mount_fs t fs ~onto flag =
+let mount_fs ?(mcreate = true) t fs ~onto flag =
   let devid = Ns.fresh_devid t.env_ns in
   let csrc = Chan.attach ~devid fs ~uname:t.env_uname ~aname:"" in
   let conto = Ns.resolve_for_mount t.env_ns (abspath t onto) in
-  Ns.bind t.env_ns ~src:csrc ~onto:conto flag
+  Ns.bind ~mcreate t.env_ns ~src:csrc ~onto:conto flag
 
-let mount t client ?(aname = "") ~onto flag =
+let mount ?(mcreate = true) t client ?(aname = "") ~onto flag =
   let metrics = Obs.Metrics.create () in
   Ns.register_mount t.env_ns ~onto:(abspath t onto) metrics;
+  Ninep.Client.on_death client (fun leaked ->
+      Obs.Metrics.bump metrics "leaked_fids" leaked);
   let fs = Mnt.fs client ~aname ~metrics ~name:("mnt:" ^ onto) () in
-  mount_fs t fs ~onto flag
+  mount_fs ~mcreate t fs ~onto flag
 
-let unmount t ~onto =
+let unmount ?src t ~onto =
   let under = Ns.resolve_for_mount t.env_ns (abspath t onto) in
-  Ns.unmount t.env_ns ~onto:under
+  let csrc = Option.map (resolve t) src in
+  Ns.unmount ?src:csrc t.env_ns ~onto:under

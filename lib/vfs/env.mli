@@ -59,20 +59,34 @@ val write_file : t -> string -> string -> unit
 
 (** {1 Name space operations} *)
 
-val bind : t -> src:string -> onto:string -> Ns.flag -> unit
-(** [bind t ~src:"/net.alt" ~onto:"/net" After]. *)
+val bind : ?mcreate:bool -> t -> src:string -> onto:string -> Ns.flag -> unit
+(** [bind t ~src:"/net.alt" ~onto:"/net" After].  [mcreate] (default
+    [true]) is the paper's [bind -c]: whether creation through the
+    union may land in this member (see {!Ns.create_target}). *)
 
-val mount : t -> Ninep.Client.t -> ?aname:string -> onto:string -> Ns.flag -> unit
+val mount :
+  ?mcreate:bool ->
+  t ->
+  Ninep.Client.t ->
+  ?aname:string ->
+  onto:string ->
+  Ns.flag ->
+  unit
 (** Mount a 9P connection: "The mount system call provides a file
     descriptor ... to be associated with the mount point.  After a
     mount, operations on the file tree below the mount point are sent
-    as messages to the file server." *)
+    as messages to the file server."  Registers the mount's RPC ledger
+    and a connection-death hook that surfaces leaked fids in the
+    ledger's [leaked_fids] counter. *)
 
-val mount_fs : t -> 'n Ninep.Server.fs -> onto:string -> Ns.flag -> unit
+val mount_fs :
+  ?mcreate:bool -> t -> 'n Ninep.Server.fs -> onto:string -> Ns.flag -> unit
 (** Bind a kernel-resident (procedural) file server into the name
     space — how device drivers appear under /net and /dev. *)
 
-val unmount : t -> onto:string -> unit
+val unmount : ?src:string -> t -> onto:string -> unit
+(** Without [src], drop every mount on [onto]; with [src], drop only
+    the union member that path resolves to (two-argument unmount). *)
 
 (** {1 Channel-level escape hatches (used by exportfs and devices)} *)
 

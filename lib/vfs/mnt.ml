@@ -3,9 +3,19 @@ type node = {
   mutable fid : Ninep.Client.fid;
   mutable nqid : Ninep.Fcall.qid;
   tick : string -> unit;
+  (* a clone that failed (typically: connection hung up) yields a dead
+     node carrying the reason instead of raising — walking a union
+     past a dead mount must not crash the walker, every operation on
+     the dead channel just answers the error *)
+  mutable dead : string option;
 }
 
 let wrap f = try Ok (f ()) with Ninep.Client.Err e -> Error e
+
+let wrapn n f =
+  match n.dead with
+  | Some e -> Error e
+  | None -> (try Ok (f ()) with Ninep.Client.Err e -> Error e)
 
 let rpc_names =
   [ "Tattach"; "Tclone"; "Twalk"; "Topen"; "Tcreate"; "Tread"; "Twrite";
@@ -23,56 +33,61 @@ let fs client ?(aname = "") ?metrics ~name () =
         tick "Tattach";
         wrap (fun () ->
             let fid, nqid = Ninep.Client.attach_q client ~uname ~aname in
-            { c = client; fid; nqid; tick }));
+            { c = client; fid; nqid; tick; dead = None }));
     fs_qid = (fun n -> n.nqid);
     fs_walk =
       (fun n name ->
         n.tick "Twalk";
-        wrap (fun () ->
+        wrapn n (fun () ->
             let q = Ninep.Client.walk n.c n.fid name in
             n.nqid <- q;
             n));
     fs_open =
       (fun n mode ~trunc ->
         n.tick "Topen";
-        wrap (fun () -> ignore (Ninep.Client.open_ n.c n.fid ~trunc mode)));
+        wrapn n (fun () -> ignore (Ninep.Client.open_ n.c n.fid ~trunc mode)));
     fs_read =
       (fun n ~offset ~count ->
         n.tick "Tread";
-        wrap (fun () -> Ninep.Client.read n.c n.fid ~offset ~count));
+        wrapn n (fun () -> Ninep.Client.read n.c n.fid ~offset ~count));
     fs_write =
       (fun n ~offset ~data ->
         n.tick "Twrite";
-        wrap (fun () -> Ninep.Client.write n.c n.fid ~offset data));
+        wrapn n (fun () -> Ninep.Client.write n.c n.fid ~offset data));
     fs_create =
       (fun n ~name ~perm mode ->
         n.tick "Tcreate";
-        wrap (fun () ->
+        wrapn n (fun () ->
             let q = Ninep.Client.create n.c n.fid ~name ~perm mode in
             n.nqid <- q;
             n));
     fs_remove =
       (fun n ->
         n.tick "Tremove";
-        wrap (fun () -> Ninep.Client.remove n.c n.fid));
+        wrapn n (fun () -> Ninep.Client.remove n.c n.fid));
     fs_stat =
       (fun n ->
         n.tick "Tstat";
-        wrap (fun () -> Ninep.Client.stat n.c n.fid));
+        wrapn n (fun () -> Ninep.Client.stat n.c n.fid));
     fs_wstat =
       (fun n d ->
         n.tick "Twstat";
-        wrap (fun () -> Ninep.Client.wstat n.c n.fid d));
+        wrapn n (fun () -> Ninep.Client.wstat n.c n.fid d));
     fs_clunk =
       (fun n ->
         n.tick "Tclunk";
-        try Ninep.Client.clunk n.c n.fid with Ninep.Client.Err _ -> ());
+        if n.dead = None then
+          try Ninep.Client.clunk n.c n.fid with Ninep.Client.Err _ -> ());
     fs_clone =
       (fun n ->
         n.tick "Tclone";
-        match wrap (fun () -> Ninep.Client.clone n.c n.fid) with
-        | Ok fid -> { c = n.c; fid; nqid = n.nqid; tick = n.tick }
-        | Error e -> raise (Chan.Error e));
+        match wrapn n (fun () -> Ninep.Client.clone n.c n.fid) with
+        | Ok fid -> { c = n.c; fid; nqid = n.nqid; tick = n.tick; dead = None }
+        | Error e ->
+          (* do NOT raise: the clone is taken mid-walk (Chan.walk1) and
+             mid-resolve; a dead server must degrade to per-operation
+             errors so union fallbacks and error isolation work *)
+          { c = n.c; fid = Ninep.Client.no_fid; nqid = n.nqid; tick = n.tick; dead = Some e });
   }
 
 let stats_text m =
@@ -85,6 +100,7 @@ let stats_text m =
       Printf.bprintf b "%s %d\n" name v)
     rpc_names;
   Printf.bprintf b "total %d\n" !total;
+  Printf.bprintf b "leaked_fids %d\n" (Obs.Metrics.counter m "leaked_fids");
   Buffer.contents b
 
 (* ---- the /dev/mnt stats directory ---- *)

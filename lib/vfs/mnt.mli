@@ -32,11 +32,19 @@ val fs :
     wire.  Errors come back as the server's Rerror strings.  With
     [metrics], every operation bumps the counter named after the
     T-message it sends (see {!rpc_names}), counted whether or not the
-    server answers with an error. *)
+    server answers with an error.
+
+    A clone against a dead connection does not raise: it yields a dead
+    node that answers every subsequent operation with the hangup error,
+    so a union walk steps past a partitioned member instead of
+    crashing, and directory merges skip it (per-mount error
+    isolation). *)
 
 val stats_text : Obs.Metrics.t -> string
 (** One ["name count\n"] line per {!rpc_names} entry (zeros included)
-    plus a final ["total n"] line. *)
+    plus ["total n"] and ["leaked_fids n"] lines — the latter counts
+    fids the server still held when the connection died (see
+    {!Ninep.Client.on_death}). *)
 
 type stats_node
 

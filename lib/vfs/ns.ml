@@ -1,6 +1,8 @@
 type flag = Repl | Before | After
 
-type entry = { onto_key : int * int32; mutable unions : Chan.t list }
+type member = { m_chan : Chan.t; m_create : bool }
+
+type entry = { onto_key : int * int32; mutable unions : member list }
 
 type t = {
   mutable table : entry list;
@@ -11,6 +13,22 @@ type t = {
       (* 9P-mount RPC ledgers, shared across forks (the [ref] itself is
          copied by [fork], so children see — and add to — one registry) *)
 }
+
+(* Selftest chaos plant (see p9explore --selftest): when armed, a
+   union walk that hits a dead connection gives up instead of falling
+   through to the remaining members — the lost-fallback bug the
+   union-member-dies scenario exists to catch.  Invisible to every
+   healthy-path test: local union misses say "file does not exist",
+   which is not a connection error. *)
+let chaos_union_lost_walk = ref false
+
+let is_conn_error e =
+  let needle = "hung up" in
+  let nl = String.length needle and el = String.length e in
+  let rec find i =
+    i + nl <= el && (String.sub e i nl = needle || find (i + 1))
+  in
+  find 0
 
 let make ~root ~uname =
   {
@@ -44,31 +62,51 @@ let mounts t = !(t.mounts)
 
 let lookup t key = List.find_opt (fun e -> e.onto_key = key) t.table
 
-let union_of t c =
+let members t c =
   match lookup t (Chan.key c) with
   | Some e -> e.unions
-  | None -> [ c ]
+  | None -> [ { m_chan = c; m_create = true } ]
+
+let union_of t c = List.map (fun m -> m.m_chan) (members t c)
 
 (* Walk one component from [c], consulting the union at [c]'s key.  The
    result is the {e underlying} channel — it is never "entered" even if
    it is itself a mount point, so the union information at its key
-   remains available for the next step. *)
+   remains available for the next step.  A member that fails (including
+   a member whose server died: the mount driver answers every op on a
+   dead connection with its hangup error) does not stop the walk — the
+   remaining members are still consulted, so one dead server cannot
+   take a whole union directory down with it. *)
 let walk1 t c name =
   let rec try_members last_err = function
     | [] ->
       Error (match last_err with Some e -> e | None -> "file does not exist")
     | m :: rest -> (
-      match Chan.walk1 m name with
+      match Chan.walk1 m.m_chan name with
       | Ok c' -> Ok c'
-      | Error e -> try_members (Some e) rest)
+      | Error e ->
+        if !chaos_union_lost_walk && rest <> [] && is_conn_error e then
+          Error e
+        else try_members (Some e) rest)
   in
-  try_members None (union_of t c)
+  try_members None (members t c)
 
 (* Cross into the mounted tree at [c], if any: the head of its union. *)
 let enter t c =
   match lookup t (Chan.key c) with
-  | Some { unions = m0 :: _; _ } -> Chan.clone m0
+  | Some { unions = m0 :: _; _ } -> Chan.clone m0.m_chan
   | Some { unions = []; _ } | None -> c
+
+(* The member creation lands in: the first with the MCREATE bit, per
+   the paper's bind -c.  A union where no member allows creation
+   refuses, like the kernel's "mounted directory forbids creation". *)
+let create_target t c =
+  match lookup t (Chan.key c) with
+  | None -> Ok (Chan.clone c)
+  | Some e -> (
+    match List.find_opt (fun m -> m.m_create) e.unions with
+    | Some m -> Ok (Chan.clone m.m_chan)
+    | None -> Error "mounted directory forbids creation")
 
 let normalize ~dot path =
   let full =
@@ -100,27 +138,47 @@ let resolve_gen ~enter_last t path =
 let resolve t path = resolve_gen ~enter_last:true t path
 let resolve_for_mount t path = resolve_gen ~enter_last:false t path
 
-let bind t ~src ~onto flag =
+let bind ?(mcreate = true) t ~src ~onto flag =
   let key = Chan.key onto in
+  let m = { m_chan = src; m_create = mcreate } in
   match lookup t key with
   | Some e ->
     e.unions <-
       (match flag with
-      | Repl -> [ src ]
-      | Before -> src :: e.unions
-      | After -> e.unions @ [ src ])
+      | Repl -> [ m ]
+      | Before -> m :: e.unions
+      | After -> e.unions @ [ m ])
   | None ->
+    (* the mounted-upon directory itself keeps its create permission,
+       matching the historical behaviour of this table (a documented
+       divergence from the 1993 kernel, which required an explicit
+       MCREATE even on the underlying directory) *)
+    let onto_m = { m_chan = onto; m_create = true } in
     let unions =
       match flag with
-      | Repl -> [ src ]
-      | Before -> [ src; onto ]
-      | After -> [ onto; src ]
+      | Repl -> [ m ]
+      | Before -> [ m; onto_m ]
+      | After -> [ onto_m; m ]
     in
     t.table <- { onto_key = key; unions } :: t.table
 
-let unmount t ~onto =
+let unmount ?src t ~onto =
   let key = Chan.key onto in
-  t.table <- List.filter (fun e -> e.onto_key <> key) t.table
+  match src with
+  | None -> t.table <- List.filter (fun e -> e.onto_key <> key) t.table
+  | Some s ->
+    let skey = Chan.key s in
+    t.table <-
+      List.filter_map
+        (fun e ->
+          if e.onto_key <> key then Some e
+          else
+            match
+              List.filter (fun m -> Chan.key m.m_chan <> skey) e.unions
+            with
+            | [] -> None
+            | unions -> Some { e with unions })
+        t.table
 
 let read_dir t c =
   let seen = Hashtbl.create 17 in
@@ -144,6 +202,12 @@ let read_dir t c =
       Chan.clunk m;
       List.rev !out
     end
+  in
+  (* per-mount error isolation: a member whose server is partitioned
+     away answers with an error, not a listing — skip it so the union
+     directory stays readable through the survivors *)
+  let member_entries m =
+    try member_entries m with Chan.Error _ -> []
   in
   List.concat_map
     (fun m ->

@@ -60,20 +60,47 @@ val enter : t -> Chan.t -> Chan.t
 (** Cross into the tree mounted at a channel (the head of its union);
     identity when nothing is mounted there. *)
 
-val bind : t -> src:Chan.t -> onto:Chan.t -> flag -> unit
+val bind : ?mcreate:bool -> t -> src:Chan.t -> onto:Chan.t -> flag -> unit
 (** Install [src] over [onto] in the mount table.  With [Before]/
-    [After] the original contents stay visible in union order. *)
+    [After] the original contents stay visible in union order.
+    [mcreate] (default [true]) grants the new member the MCREATE bit:
+    creation through the union may land in it (see {!create_target}).
+    When a bind establishes a fresh union, the mounted-upon directory
+    joins it with MCREATE set, preserving this table's historical
+    create-in-the-underlying-directory behaviour — a documented
+    divergence from the 1993 kernel, which required an explicit [-c]
+    even there. *)
 
-val unmount : t -> onto:Chan.t -> unit
-(** Drop every mount on [onto]. *)
+val unmount : ?src:Chan.t -> t -> onto:Chan.t -> unit
+(** Drop every mount on [onto]; with [src], drop only the union
+    member(s) whose channel key matches [src] (Plan 9's two-argument
+    unmount), dissolving the union when the last member goes. *)
 
 val union_of : t -> Chan.t -> Chan.t list
 (** The ordered union list at a channel ([[c]] if nothing is
     mounted). *)
 
+type member = { m_chan : Chan.t; m_create : bool }
+
+val members : t -> Chan.t -> member list
+(** Like {!union_of} but with each member's MCREATE bit. *)
+
+val create_target : t -> Chan.t -> (Chan.t, string) result
+(** Where a create through [c] lands: a clone of the first union
+    member carrying MCREATE — or of [c] itself when nothing is mounted
+    there.  [Error "mounted directory forbids creation"] when a union
+    exists but no member allows creation. *)
+
 val read_dir : t -> Chan.t -> Ninep.Fcall.dir list
 (** Union directory listing: entries of every member, duplicates
-    suppressed, first member wins. *)
+    suppressed, first member wins.  A member that fails (e.g. its
+    server is partitioned away) is skipped, not fatal — the union
+    stays readable through the surviving members. *)
+
+val chaos_union_lost_walk : bool ref
+(** Selftest plant (never set outside [--selftest]): a union walk that
+    hits a dead connection stops instead of falling through to the
+    remaining members. *)
 
 val normalize : dot:string -> string -> string list
 (** Resolve a possibly-relative path against [dot], apply [.]/[..]

@@ -596,6 +596,341 @@ let queue_race =
         reader 2 [ t -. 0.2; 0.2 ]
       done)
 
+(* ---- distributed namespaces: import chains and union mounts ---- *)
+
+(* a cluster-world scenario: n identical hosts c0..c(n-1) on one flat
+   subnet, every one serving exportfs; the body runs as a user process
+   on c0.  The horizon is generous — partition scenarios sleep through
+   IL death timers and staged re-imports. *)
+let cluster_sc ?descr ?schedule_dependent ?check ?bounds ?(horizon = 600.0)
+    ?(n = 4) ?prep name body =
+  E.scenario name ?descr ?schedule_dependent ?check ?bounds
+    (fun ~sched ~trace ->
+      let w = P9net.World.cluster ~sched ~n () in
+      let eng = w.P9net.World.eng in
+      let tr =
+        match trace with
+        | Some tr -> tr
+        | None -> Obs.Trace.create ~capacity:512 ()
+      in
+      Sim.Engine.attach_obs eng tr;
+      (match prep with Some f -> f w | None -> ());
+      let buf = Buffer.create 256 in
+      let say s =
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n'
+      in
+      let finished = ref false in
+      let crash = ref None in
+      let h = P9net.World.host w "c0" in
+      ignore
+        (P9net.Host.spawn h "sc:main" (fun env ->
+             Sim.Time.sleep eng 1.0;
+             body w env say;
+             finished := true));
+      (try P9net.World.run ~until:horizon w
+       with e -> crash := Some (Printexc.to_string e));
+      outcome eng tr buf ~finished:!finished ~crash:!crash)
+
+(* Build the base-env import chain c1 → c2 → … → c[last]: each c(i)
+   mounts c(i+1)'s root onto its /n/next.  Deepest import first, and
+   strictly sequentially, because a listener forks its host's name
+   space per connection {e at connect time} — c1's exportfs can only
+   re-export c2's tree to connections made after c1's own import
+   landed.  Runs in the calling process's context (imports are RPCs). *)
+let chain_imports w ~last =
+  let eng = w.P9net.World.eng in
+  for i = last - 1 downto 1 do
+    let h = P9net.World.host w (Printf.sprintf "c%d" i) in
+    P9net.Exportfs.import eng h.P9net.Host.env
+      ~host:(Printf.sprintf "c%d" (i + 1))
+      ~remote_root:"/" ~onto:"/n/next" ~flag:Vfs.Ns.Repl ()
+  done
+
+(* an import that keeps trying while the network heals *)
+let rec import_retry eng env ~host ~remote_root ~onto ~flag ~tries =
+  match P9net.Exportfs.import eng env ~host ~remote_root ~onto ~flag () with
+  | () -> ()
+  | exception
+      ( P9net.Dial.Dial_error _ | Vfs.Chan.Error _ | Ninep.Client.Err _ )
+    when tries > 1 ->
+    Sim.Time.sleep eng 5.0;
+    import_retry eng env ~host ~remote_root ~onto ~flag ~tries:(tries - 1)
+
+let sorted_names ls =
+  String.concat ","
+    (List.sort compare (List.map (fun d -> d.Ninep.Fcall.d_name) ls))
+
+(* One Tread from c0 fans out over three 9P connections: c0's mount of
+   c1, c1's re-export of its mount of c2, c2's of c3.  Partitioning the
+   middle host must surface at the head as a clean channel error while
+   the surviving hop keeps serving; the chain is then rebuilt bottom-up
+   and the head re-imports. *)
+let chain_partition =
+  cluster_sc "chain-partition-mid-walk" ~n:4
+    ~descr:
+      "3-hop import chain; the middle host partitions mid-use, errors \
+       cleanly at the head, staged re-import heals"
+    ~prep:(fun w ->
+      Ninep.Ramfs.mkdir (P9net.World.host w "c0").P9net.Host.root "/n2")
+    (fun w env say ->
+      let eng = w.P9net.World.eng in
+      chain_imports w ~last:3;
+      P9net.Exportfs.import eng env ~host:"c1" ~remote_root:"/"
+        ~onto:"/n/next" ~flag:Vfs.Ns.Repl ();
+      let deep = "/n/next/n/next/n/next/srv/c3" in
+      say
+        (Printf.sprintf "read c1: %s"
+           (String.trim (Vfs.Env.read_file env "/n/next/srv/c1")));
+      say
+        (Printf.sprintf "read c3: %s" (String.trim (Vfs.Env.read_file env deep)));
+      let now = Sim.Engine.now eng in
+      Netsim.Fault.partition
+        (P9net.World.host_faults w "c2")
+        ~from_:now ~until:(now +. 60.);
+      (match Vfs.Env.read_file env deep with
+      | _ -> say "partition read: unexpectedly succeeded"
+      | exception Vfs.Chan.Error _ -> say "partition read: clean error");
+      (* the c0 ↔ c1 connection must have survived the c2 outage *)
+      say
+        (Printf.sprintf "c1 still serves: %s"
+           (String.trim (Vfs.Env.read_file env "/n/next/srv/c1")));
+      (* staged heal: rebuild bottom-up, then re-import at the head (the
+         old per-connection forks upstream still hold the dead mounts,
+         so the head needs a fresh connection to see the fresh chain) *)
+      let c2 = P9net.World.host w "c2" in
+      import_retry eng c2.P9net.Host.env ~host:"c3" ~remote_root:"/"
+        ~onto:"/n/next" ~flag:Vfs.Ns.Repl ~tries:40;
+      let c1 = P9net.World.host w "c1" in
+      import_retry eng c1.P9net.Host.env ~host:"c2" ~remote_root:"/"
+        ~onto:"/n/next" ~flag:Vfs.Ns.Repl ~tries:40;
+      import_retry eng env ~host:"c1" ~remote_root:"/" ~onto:"/n2"
+        ~flag:Vfs.Ns.Repl ~tries:40;
+      say
+        (Printf.sprintf "reimport read c3: %s"
+           (String.trim (Vfs.Env.read_file env "/n2/n/next/n/next/srv/c3"))))
+
+(* the same chain under a flapping (not severed) middle link: every
+   read either completes or fails cleanly — which of the two is a
+   schedule choice — and after the flap window a rebuilt chain must
+   serve again *)
+let chain_flap =
+  cluster_sc "chain-flap-during-tread" ~n:3 ~schedule_dependent:true
+    ~descr:
+      "reads down a 2-hop chain while the middle host's link flaps; \
+       failures stay clean, the post-heal read succeeds"
+    ~check:(fun o ->
+      let lines = String.split_on_char '\n' o.E.o_transcript in
+      if List.mem "final read: c2" lines then Ok ()
+      else Error "post-heal read missing from transcript")
+    ~prep:(fun w ->
+      Ninep.Ramfs.mkdir (P9net.World.host w "c0").P9net.Host.root "/n2")
+    (fun w env say ->
+      let eng = w.P9net.World.eng in
+      chain_imports w ~last:2;
+      P9net.Exportfs.import eng env ~host:"c1" ~remote_root:"/"
+        ~onto:"/n/next" ~flag:Vfs.Ns.Repl ();
+      let deep = "/n/next/n/next/srv/c2" in
+      say (Printf.sprintf "read: %s" (String.trim (Vfs.Env.read_file env deep)));
+      let now = Sim.Engine.now eng in
+      Netsim.Fault.flap
+        (P9net.World.host_faults w "c1")
+        ~from_:now ~until:(now +. 30.) ~period:5.0 ~down:0.4;
+      let done_ = ref 0 in
+      for _ = 1 to 6 do
+        (match Vfs.Env.read_file env deep with
+        | s when String.trim s = "c2" -> incr done_
+        | _ -> ()
+        | exception Vfs.Chan.Error _ -> incr done_);
+        Sim.Time.sleep eng 5.0
+      done;
+      say (Printf.sprintf "flap reads resolved: %b" (!done_ = 6));
+      (* rebuild whatever the flap killed; c0 then reads through a
+         fresh connection *)
+      let c1 = P9net.World.host w "c1" in
+      import_retry eng c1.P9net.Host.env ~host:"c2" ~remote_root:"/"
+        ~onto:"/n/next" ~flag:Vfs.Ns.Repl ~tries:40;
+      import_retry eng env ~host:"c1" ~remote_root:"/" ~onto:"/n2"
+        ~flag:Vfs.Ns.Repl ~tries:40;
+      say
+        (Printf.sprintf "final read: %s"
+           (String.trim (Vfs.Env.read_file env "/n2/n/next/srv/c2"))))
+
+(* A union of three remote /srv trees loses its middle member: walks
+   must fall through past the dead mount to the survivors, listings
+   must skip it, and after heal a rebuilt union is whole again.  The
+   fall-through assertion ("read c3: c3") is an explicit check, not
+   just a transcript comparison: the planted chaos_union_lost_walk bug
+   is schedule-INdependent, so a FIFO baseline would be equally wrong
+   under every policy and only a semantic property can convict it. *)
+let union_member_dies =
+  cluster_sc "union-member-dies-walk-continues" ~n:4
+    ~descr:
+      "a 3-member union loses one server; walks fall through, listings \
+       skip it, re-import makes the union whole"
+    ~check:(fun o ->
+      let lines = String.split_on_char '\n' o.E.o_transcript in
+      if List.mem "read c3: c3" lines then Ok ()
+      else Error "union walk did not fall through past the dead member")
+    (fun w env say ->
+      let eng = w.P9net.World.eng in
+      let imp host flag =
+        P9net.Exportfs.import eng env ~host ~remote_root:"/srv" ~onto:"/u"
+          ~flag ()
+      in
+      imp "c1" Vfs.Ns.Repl;
+      imp "c2" Vfs.Ns.After;
+      imp "c3" Vfs.Ns.After;
+      say (Printf.sprintf "ls: %s" (sorted_names (Vfs.Env.ls env "/u")));
+      say
+        (Printf.sprintf "read c2: %s"
+           (String.trim (Vfs.Env.read_file env "/u/c2")));
+      let now = Sim.Engine.now eng in
+      Netsim.Fault.partition
+        (P9net.World.host_faults w "c2")
+        ~from_:now ~until:(now +. 60.);
+      (match Vfs.Env.read_file env "/u/c2" with
+      | _ -> say "dead read: unexpectedly succeeded"
+      | exception Vfs.Chan.Error _ -> say "dead read: clean error");
+      say
+        (Printf.sprintf "ls skips dead: %s"
+           (sorted_names (Vfs.Env.ls env "/u")));
+      say
+        (Printf.sprintf "read c3: %s"
+           (String.trim (Vfs.Env.read_file env "/u/c3")));
+      (* heal: drop the whole union, re-import all three members *)
+      Vfs.Env.unmount env ~onto:"/u";
+      import_retry eng env ~host:"c1" ~remote_root:"/srv" ~onto:"/u"
+        ~flag:Vfs.Ns.Repl ~tries:40;
+      import_retry eng env ~host:"c2" ~remote_root:"/srv" ~onto:"/u"
+        ~flag:Vfs.Ns.After ~tries:40;
+      import_retry eng env ~host:"c3" ~remote_root:"/srv" ~onto:"/u"
+        ~flag:Vfs.Ns.After ~tries:40;
+      say
+        (Printf.sprintf "healed read c2: %s"
+           (String.trim (Vfs.Env.read_file env "/u/c2"))))
+
+(* create through a union: the paper's bind -c.  The first member
+   mounted with MCREATE receives the new file; a union with no such
+   member refuses with the kernel's error *)
+let union_create =
+  cluster_sc "union-create-routing" ~n:4
+    ~descr:
+      "create lands on the first mcreate member of a union; an \
+       all-frozen union refuses cleanly"
+    ~prep:(fun w ->
+      Ninep.Ramfs.mkdir (P9net.World.host w "c0").P9net.Host.root "/u2")
+    (fun w env say ->
+      let eng = w.P9net.World.eng in
+      let imp ?mcreate host ~onto flag =
+        P9net.Exportfs.import eng env ?mcreate ~host ~remote_root:"/srv"
+          ~onto ~flag ()
+      in
+      imp "c1" ~mcreate:false ~onto:"/u" Vfs.Ns.Repl;
+      imp "c2" ~mcreate:true ~onto:"/u" Vfs.Ns.After;
+      imp "c3" ~mcreate:true ~onto:"/u" Vfs.Ns.After;
+      Vfs.Env.write_file env "/u/fresh" "made through the union";
+      say
+        (Printf.sprintf "union read: %s" (Vfs.Env.read_file env "/u/fresh"));
+      (* the file must be on c2 — the first member with MCREATE — and
+         nowhere else; verify against the ramfs underneath each server *)
+      let on host =
+        Ninep.Ramfs.exists (P9net.World.host w host).P9net.Host.root
+          "/srv/fresh"
+      in
+      say
+        (Printf.sprintf "landed c1=%b c2=%b c3=%b" (on "c1") (on "c2")
+           (on "c3"));
+      imp "c1" ~mcreate:false ~onto:"/u2" Vfs.Ns.Repl;
+      imp "c2" ~mcreate:false ~onto:"/u2" Vfs.Ns.After;
+      (match Vfs.Env.write_file env "/u2/fresh" "never" with
+      | () -> say "frozen create: unexpectedly succeeded"
+      | exception Vfs.Chan.Error e -> say ("frozen create: " ^ e)))
+
+(* exportfs as a relay: the tail of a 2-hop chain partitions.  The
+   relay's own connection to the head must survive and keep serving
+   local files while the dead hop answers with a clean relayed error —
+   and the fids the relay's mount held upstream are accounted leaked. *)
+let reexport_partition =
+  cluster_sc "reexport-upstream-partition" ~n:3
+    ~bounds:[ { E.b_counter = "9p.fids_leaked"; b_min = 1; b_max = 10000 } ]
+    ~descr:
+      "the re-export chain's tail partitions; the relay stays up, its \
+       upstream fids are accounted leaked, the dead hop errors cleanly"
+    ~prep:(fun w ->
+      Ninep.Ramfs.mkdir (P9net.World.host w "c0").P9net.Host.root "/n2")
+    (fun w env say ->
+      let eng = w.P9net.World.eng in
+      chain_imports w ~last:2;
+      P9net.Exportfs.import eng env ~host:"c1" ~remote_root:"/"
+        ~onto:"/n/next" ~flag:Vfs.Ns.Repl ();
+      let deep = "/n/next/n/next/srv/c2" in
+      say (Printf.sprintf "read: %s" (String.trim (Vfs.Env.read_file env deep)));
+      let now = Sim.Engine.now eng in
+      Netsim.Fault.partition
+        (P9net.World.host_faults w "c2")
+        ~from_:now ~until:(now +. 60.);
+      (match Vfs.Env.read_file env deep with
+      | _ -> say "dead hop: unexpectedly succeeded"
+      | exception Vfs.Chan.Error _ -> say "dead hop: clean relayed error");
+      (* same connection, same relay: its own tree still serves *)
+      say
+        (Printf.sprintf "relay serves: %s"
+           (String.trim (Vfs.Env.read_file env "/n/next/srv/c1")));
+      let c1 = P9net.World.host w "c1" in
+      import_retry eng c1.P9net.Host.env ~host:"c2" ~remote_root:"/"
+        ~onto:"/n/next" ~flag:Vfs.Ns.Repl ~tries:40;
+      import_retry eng env ~host:"c1" ~remote_root:"/" ~onto:"/n2"
+        ~flag:Vfs.Ns.Repl ~tries:40;
+      say
+        (Printf.sprintf "healed read: %s"
+           (String.trim (Vfs.Env.read_file env "/n2/n/next/srv/c2"))))
+
+(* three same-instant imports onto one union racing a reader: however
+   the mount RPCs interleave, the final table holds every member
+   exactly once (plus the mounted-upon directory) and the merged
+   listing has no duplicates *)
+let mount_race =
+  cluster_sc "concurrent-mount-race" ~n:4 ~schedule_dependent:true
+    ~descr:
+      "three same-instant imports onto one union racing a reader; the \
+       final union has every member exactly once"
+    ~check:(fun o ->
+      let lines = String.split_on_char '\n' o.E.o_transcript in
+      if List.mem "final: ls=c1,c2,c3,motd members=4" lines then Ok ()
+      else Error "union did not converge to all members")
+    (fun w env say ->
+      let eng = w.P9net.World.eng in
+      let importer i =
+        (* share_ns: the racers mutate the same mount table *)
+        let e = Vfs.Env.fork ~share_ns:true env in
+        Sim.Proc.spawn eng
+          ~name:(Printf.sprintf "sc:mnt%d" i)
+          (fun () ->
+            P9net.Exportfs.import eng e
+              ~host:(Printf.sprintf "c%d" i)
+              ~remote_root:"/srv" ~onto:"/u" ~flag:Vfs.Ns.After ())
+      in
+      let ps = List.map importer [ 1; 2; 3 ] in
+      let reader =
+        Sim.Proc.spawn eng ~name:"sc:lsloop" (fun () ->
+            (* a racing reader: sees any prefix of the union, must
+               never crash or duplicate *)
+            for _ = 1 to 5 do
+              ignore (Vfs.Env.ls env "/u");
+              Sim.Time.sleep eng 0.2
+            done)
+      in
+      List.iter Sim.Proc.join (ps @ [ reader ]);
+      let ns = Vfs.Env.ns env in
+      let c = Vfs.Ns.resolve_for_mount ns "/u" in
+      let members = List.length (Vfs.Ns.members ns c) in
+      Vfs.Chan.clunk c;
+      say
+        (Printf.sprintf "final: ls=%s members=%d"
+           (sorted_names (Vfs.Env.ls env "/u"))
+           members))
+
 (* ---- the registry ---- *)
 
 let all : E.scenario list =
@@ -612,6 +947,12 @@ let all : E.scenario list =
     stream_backpressure;
     stream_read_cascade;
     queue_race;
+    chain_partition;
+    chain_flap;
+    union_member_dies;
+    union_create;
+    reexport_partition;
+    mount_race;
   ]
 
 let find name = List.find_opt (fun sc -> E.name sc = name) all
@@ -623,4 +964,14 @@ let with_planted_bug f =
   Block.Q.chaos_lost_wakeup := true;
   Fun.protect
     ~finally:(fun () -> Block.Q.chaos_lost_wakeup := false)
+    f
+
+(* run [f] with the planted union-walk lost-fallback bug switched on —
+   the second self-test plant: a union walk that gives up at a dead
+   member instead of falling through.  Schedule-independent, so only
+   union-member-dies-walk-continues's explicit check can convict it. *)
+let with_planted_union_bug f =
+  Vfs.Ns.chaos_union_lost_walk := true;
+  Fun.protect
+    ~finally:(fun () -> Vfs.Ns.chaos_union_lost_walk := false)
     f

@@ -11,7 +11,7 @@ let test_registry_names () =
   Alcotest.(check bool)
     "registry non-trivial"
     true
-    (List.length names >= 8);
+    (List.length names >= 14);
   let sorted = List.sort_uniq compare names in
   Alcotest.(check int) "names unique" (List.length names)
     (List.length sorted);
@@ -83,6 +83,31 @@ let test_planted_bug_adversarial () =
           true
           (String.length f.Sim.Explore.f_reason > 0))
 
+(* The second plant: a union walk that gives up at a dead member
+   instead of falling through.  It is schedule-INdependent — a FIFO
+   baseline is exactly as wrong as every other policy, so transcript
+   comparison alone can never convict it; the scenario's explicit
+   semantic check ("read c3 still answers") must.  Fifo alone suffices
+   to catch it, which is what this pins. *)
+let test_planted_union_bug_caught () =
+  let sc =
+    match Scenarios.find "union-member-dies-walk-continues" with
+    | Some sc -> sc
+    | None -> Alcotest.fail "union-member-dies scenario missing"
+  in
+  Scenarios.with_planted_union_bug (fun () ->
+      match Sim.Explore.run_one ~out:quiet sc Sim.Sched.Fifo with
+      | Ok _ ->
+        Alcotest.fail
+          "planted union lost-fallback bug escaped the fifo baseline"
+      | Error f ->
+        Alcotest.(check bool)
+          "failure carries a reason" true
+          (String.length f.Sim.Explore.f_reason > 0));
+  (* disarmed, the full smoke sweep is clean again *)
+  Alcotest.(check int) "clean after disarm" 0
+    (List.length (Sim.Explore.explore ~out:quiet sc))
+
 (* a stalled operation's failure replay must name the spans still open
    at the stall — the "what was it in the middle of" line *)
 let test_replay_names_open_spans () =
@@ -145,6 +170,8 @@ let () =
             test_planted_bug_caught;
           Alcotest.test_case "planted bug adversarial" `Quick
             test_planted_bug_adversarial;
+          Alcotest.test_case "planted union bug caught" `Quick
+            test_planted_union_bug_caught;
           Alcotest.test_case "replay names open spans" `Quick
             test_replay_names_open_spans;
         ] );

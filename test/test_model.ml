@@ -337,6 +337,212 @@ let relativize ops =
       | Wstat (p, n) -> Wstat (rel p, n))
     ops
 
+(* a third mount hop: the tail ramfs is mounted by a middle machine
+   whose whole name space is re-exported (exportfs relay), and the head
+   mounts that — so every op crosses two 9P connections and the union-
+   aware walk of the relay *)
+let chained_stack ?(seed_dirs = []) ~sched f =
+  let eng = Sim.Engine.create ~sched () in
+  let tail = Ninep.Ramfs.make ~name:"tail" () in
+  List.iter (Ninep.Ramfs.mkdir tail) seed_dirs;
+  let ctC, stC = Ninep.Transport.pipe eng in
+  let _srvC = Ninep.Server.serve ~threaded:true eng (Ninep.Ramfs.fs tail) stC in
+  let ctB, stB = Ninep.Transport.pipe eng in
+  let _p =
+    Sim.Proc.spawn eng (fun () ->
+        let mid = Ninep.Ramfs.make ~name:"mid" () in
+        Ninep.Ramfs.mkdir mid "/mnt";
+        let nsB = Vfs.Ns.make ~root:(Ninep.Ramfs.fs mid) ~uname:"u" in
+        let envB = Vfs.Env.make ~ns:nsB ~uname:"u" in
+        let cC = Ninep.Client.make eng ctC in
+        Ninep.Client.session cC;
+        Vfs.Env.mount envB cC ~onto:"/mnt" Vfs.Ns.Repl;
+        ignore (P9net.Exportfs.serve eng envB stB);
+        let head = Ninep.Ramfs.make ~name:"head" () in
+        Ninep.Ramfs.mkdir head "/mnt";
+        let nsA = Vfs.Ns.make ~root:(Ninep.Ramfs.fs head) ~uname:"u" in
+        let envA = Vfs.Env.make ~ns:nsA ~uname:"u" in
+        let cB = Ninep.Client.make eng ctB in
+        Ninep.Client.session cB;
+        Vfs.Env.mount envA cB ~onto:"/mnt" Vfs.Ns.Repl;
+        Vfs.Env.chdir envA "/mnt/mnt";
+        f envA)
+  in
+  Sim.Engine.run eng
+
+(* ---- union-aware op streams ---- *)
+
+(* the same model idea with a mount table: bind/unmount ops interleave
+   with file ops, and a path below /u resolves through the ordered
+   union — the first member holding the name wins, creation lands in
+   the first MCREATE member (every member here, since these binds use
+   the default), removal takes the first holder's copy *)
+type uni_op =
+  | Fop of op
+  | Ubind of int * Vfs.Ns.flag  (* bind /dI onto /u *)
+  | Uunmount  (* dissolve the union at /u *)
+
+let flag_str = function
+  | Vfs.Ns.Repl -> "Repl"
+  | Vfs.Ns.Before -> "Before"
+  | Vfs.Ns.After -> "After"
+
+let print_uni = function
+  | Fop op -> print_op op
+  | Ubind (i, f) -> Printf.sprintf "Bind(/d%d -> /u, %s)" i (flag_str f)
+  | Uunmount -> "Unmount /u"
+
+module Umodel = struct
+  type mem = UOnto | UDir of int
+
+  type t = { base : Model.t; mutable union : mem list option }
+
+  let make () =
+    let m = Model.make () in
+    m.Model.dirs <- [ "/u"; "/d0"; "/d1"; "/" ];
+    { base = m; union = None }
+
+  let mem_dir = function UOnto -> "/u" | UDir i -> Printf.sprintf "/d%d" i
+
+  (* the kernel's bind rules: a fresh union keeps the mounted-upon
+     directory as a member (except under Repl); Repl over an existing
+     union replaces the whole list *)
+  let apply_bind t i flag =
+    let m = UDir i in
+    t.union <-
+      Some
+        (match (t.union, flag) with
+        | _, Vfs.Ns.Repl -> [ m ]
+        | None, Vfs.Ns.Before -> [ m; UOnto ]
+        | None, Vfs.Ns.After -> [ UOnto; m ]
+        | Some l, Vfs.Ns.Before -> m :: l
+        | Some l, Vfs.Ns.After -> l @ [ m ])
+
+  let members t = match t.union with None -> [ UOnto ] | Some l -> l
+
+  (* /u/x resolves in the first member holding x; a missing name
+     resolves in the creation target (the first member, all MCREATE) *)
+  let translate t p =
+    if String.length p > 3 && String.sub p 0 3 = "/u/" then begin
+      let x = String.sub p 3 (String.length p - 3) in
+      let holder =
+        List.find_opt
+          (fun m ->
+            List.mem_assoc (mem_dir m ^ "/" ^ x) t.base.Model.files)
+          (members t)
+      in
+      let m = match holder with Some m -> m | None -> List.hd (members t) in
+      mem_dir m ^ "/" ^ x
+    end
+    else p
+
+  let map_path f = function
+    | Write (p, c) -> Write (f p, c)
+    | Trunc (p, c) -> Trunc (f p, c)
+    | WriteAt (p, o, c) -> WriteAt (f p, o, c)
+    | Read p -> Read (f p)
+    | ReadAt (p, o, n) -> ReadAt (f p, o, n)
+    | Remove p -> Remove (f p)
+    | Mkdir d -> Mkdir d
+    | List d -> List d
+    | Wstat (p, n) -> Wstat (f p, n)
+
+  let apply t = function
+    | Ubind (i, f) ->
+      apply_bind t i f;
+      "ok"
+    | Uunmount ->
+      t.union <- None;
+      "ok"
+    | Fop (List "/u") ->
+      (* union listing: every member's entries, duplicates suppressed *)
+      let parts s = if s = "" then [] else String.split_on_char ',' s in
+      let all =
+        List.concat_map
+          (fun m -> parts (Model.apply t.base (List (mem_dir m))))
+          (members t)
+      in
+      String.concat "," (List.sort_uniq compare all)
+    | Fop op -> Model.apply t.base (map_path (translate t) op)
+end
+
+(* driver paths are mount-point relative so the same stream works in
+   the chained stack after its chdir *)
+let apply_uni env = function
+  | Fop op -> apply_env env op
+  | Ubind (i, f) ->
+    Vfs.Env.bind env ~src:(Printf.sprintf "d%d" i) ~onto:"u" f;
+    "ok"
+  | Uunmount ->
+    Vfs.Env.unmount env ~onto:"u";
+    "ok"
+
+let relativize_uni ops =
+  List.map
+    (function Fop op -> Fop (List.hd (relativize [ op ])) | o -> o)
+    ops
+
+let uni_agrees ?(prep = fun ops -> ops) ~build ops =
+  let m = Umodel.make () in
+  let expected = List.map (Umodel.apply m) ops in
+  List.for_all
+    (fun sched ->
+      let results = ref [] in
+      build ~sched (fun env ->
+          results := List.rev_map (apply_uni env) (prep ops));
+      List.rev !results = expected)
+    schedules
+
+let union_dirs = [ "/u"; "/d0"; "/d1" ]
+
+let union_local_stack ~sched f =
+  let eng = Sim.Engine.create ~sched () in
+  let ram = Ninep.Ramfs.make ~name:"root" () in
+  List.iter (Ninep.Ramfs.mkdir ram) union_dirs;
+  let _p =
+    Sim.Proc.spawn eng (fun () ->
+        let ns = Vfs.Ns.make ~root:(Ninep.Ramfs.fs ram) ~uname:"u" in
+        f (Vfs.Env.make ~ns ~uname:"u"))
+  in
+  Sim.Engine.run eng
+
+let uni_op_gen =
+  QCheck.Gen.(
+    let path =
+      map2 (fun d f -> d ^ "/" ^ f) (oneofl union_dirs) (oneofl files)
+    in
+    let fop =
+      frequency
+        [
+          (4, map2 (fun p c -> Write (p, c)) path (string_size (0 -- 20)));
+          (2, map2 (fun p c -> Trunc (p, c)) path (string_size (0 -- 8)));
+          ( 2,
+            map3
+              (fun p off c -> WriteAt (p, off, c))
+              path (0 -- 20) (string_size (1 -- 8)) );
+          (4, map (fun p -> Read p) path);
+          (2, map3 (fun p off n -> ReadAt (p, off, n)) path (0 -- 20) (0 -- 20));
+          (1, map (fun p -> Remove p) path);
+          (2, map (fun d -> List d) (oneofl ("/" :: union_dirs)));
+          (1, map2 (fun p n -> Wstat (p, n)) path (oneofl files));
+        ]
+    in
+    frequency
+      [
+        (5, map (fun o -> Fop o) fop);
+        ( 2,
+          map2
+            (fun i f -> Ubind (i, f))
+            (int_bound 1)
+            (oneofl [ Vfs.Ns.Repl; Vfs.Ns.Before; Vfs.Ns.After ]) );
+        (1, return Uunmount);
+      ])
+
+let uni_ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map print_uni ops))
+    QCheck.Gen.(list_size (1 -- 20) uni_op_gen)
+
 let ops_arb =
   QCheck.make
     ~print:(fun ops -> String.concat "; " (List.map print_op ops))
@@ -364,6 +570,28 @@ let prop_imported_tcpcc =
     ops_arb (fun ops ->
       agrees ~prep:relativize
         ~build:(imported_stack ~proto:"tcpcc" ~from:"musca")
+        ops)
+
+(* plain streams across two 9P connections and a relay: the extra hop
+   must be invisible *)
+let prop_chained =
+  QCheck.Test.make ~name:"3-hop chained mount matches the model" ~count:15
+    ops_arb (fun ops ->
+      agrees ~prep:relativize
+        ~build:(fun ~sched f -> chained_stack ~sched f)
+        ops)
+
+let prop_union_local =
+  QCheck.Test.make ~name:"union-aware streams match the model" ~count:50
+    uni_ops_arb (fun ops -> uni_agrees ~build:union_local_stack ops)
+
+(* the same union streams with every member three hops away: binds over
+   remote channels, creates routed through the union to the far server *)
+let prop_union_chained =
+  QCheck.Test.make ~name:"union streams over a 3-hop namespace match the model"
+    ~count:8 uni_ops_arb (fun ops ->
+      uni_agrees ~prep:relativize_uni
+        ~build:(fun ~sched f -> chained_stack ~seed_dirs:union_dirs ~sched f)
         ops)
 
 let replay_case () =
@@ -411,5 +639,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_mounted;
           QCheck_alcotest.to_alcotest prop_imported;
           QCheck_alcotest.to_alcotest prop_imported_tcpcc;
+          QCheck_alcotest.to_alcotest prop_chained;
+        ] );
+      ( "union",
+        [
+          QCheck_alcotest.to_alcotest prop_union_local;
+          QCheck_alcotest.to_alcotest prop_union_chained;
         ] );
     ]

@@ -430,6 +430,211 @@ let prop_ndb_comments_ignored =
       in
       Ndb.parse_string noisy = Ndb.parse_string plain)
 
+(* ---- the union mount table ---- *)
+
+(* Random bind/unmount sequences over one mount point, checked against
+   a pure reference model of the ordered member list (paper section 6:
+   union directories).  Three properties: walk precedence (the first
+   member holding a name wins), directory listing (every member's
+   entries, duplicates suppressed), and MCREATE routing (creation lands
+   in the first member bound with -c, or is refused). *)
+
+type umem = Onto | Usrc of int
+
+type uop =
+  | Ubind of int * Vfs.Ns.flag * bool
+  | Uunmount_src of int
+  | Uunmount_all
+
+let uflag_str = function
+  | Vfs.Ns.Repl -> "Repl"
+  | Vfs.Ns.Before -> "Before"
+  | Vfs.Ns.After -> "After"
+
+let uop_str = function
+  | Ubind (i, f, mc) ->
+    Printf.sprintf "bind%s /d%d %s" (if mc then " -c" else "") i (uflag_str f)
+  | Uunmount_src i -> Printf.sprintf "unmount /d%d /u" i
+  | Uunmount_all -> "unmount /u"
+
+let uops_print ops = String.concat "; " (List.map uop_str ops)
+
+(* overlapping source trees, so precedence and dedup are exercised *)
+let usrc_files = [| [ "a"; "b" ]; [ "b"; "c" ]; [ "c"; "d" ]; [ "a"; "d"; "e" ] |]
+let uonto_files = [ "a"; "e" ]
+let uuniverse = [ "a"; "b"; "c"; "d"; "e" ]
+let umem_files = function Onto -> uonto_files | Usrc i -> usrc_files.(i)
+let umem_dir = function Onto -> "/u" | Usrc i -> Printf.sprintf "/d%d" i
+
+let umem_content m name =
+  match m with
+  | Onto -> "u:" ^ name
+  | Usrc i -> Printf.sprintf "d%d:%s" i name
+
+(* the reference model: None = nothing mounted on /u, Some l = the
+   ordered union list with each member's MCREATE bit.  Mirrors the
+   kernel rules: a fresh union keeps the mounted-upon directory as a
+   creation-permitted member (except under Repl, which hides it);
+   rebinding Repl over an existing union replaces the whole list *)
+let umodel_apply u op =
+  match (op, u) with
+  | Ubind (i, f, mc), None ->
+    let m = (Usrc i, mc) and onto = (Onto, true) in
+    Some
+      (match f with
+      | Vfs.Ns.Repl -> [ m ]
+      | Vfs.Ns.Before -> [ m; onto ]
+      | Vfs.Ns.After -> [ onto; m ])
+  | Ubind (i, f, mc), Some l ->
+    let m = (Usrc i, mc) in
+    Some
+      (match f with
+      | Vfs.Ns.Repl -> [ m ]
+      | Vfs.Ns.Before -> m :: l
+      | Vfs.Ns.After -> l @ [ m ])
+  | Uunmount_src i, Some l -> (
+    match List.filter (fun (m, _) -> m <> Usrc i) l with
+    | [] -> None
+    | l -> Some l)
+  | Uunmount_src _, None -> None
+  | Uunmount_all, _ -> None
+
+let umodel_members = function None -> [ (Onto, true) ] | Some l -> l
+
+let umodel_walk u name =
+  List.find_opt (fun (m, _) -> List.mem name (umem_files m)) (umodel_members u)
+
+let umodel_ls u =
+  List.sort_uniq compare
+    (List.concat_map (fun (m, _) -> umem_files m) (umodel_members u))
+
+let umodel_create_target = function
+  | None -> Some Onto
+  | Some l -> Option.map fst (List.find_opt (fun (_, mc) -> mc) l)
+
+let fresh_union_env () =
+  let ram = Ninep.Ramfs.make ~name:"uroot" () in
+  Ninep.Ramfs.mkdir ram "/u";
+  List.iter
+    (fun n -> Ninep.Ramfs.add_file ram ("/u/" ^ n) (umem_content Onto n))
+    uonto_files;
+  Array.iteri
+    (fun i names ->
+      let d = umem_dir (Usrc i) in
+      Ninep.Ramfs.mkdir ram d;
+      List.iter
+        (fun n ->
+          Ninep.Ramfs.add_file ram (d ^ "/" ^ n) (umem_content (Usrc i) n))
+        names)
+    usrc_files;
+  let ns = Vfs.Ns.make ~root:(Ninep.Ramfs.fs ram) ~uname:"glenda" in
+  (ram, Vfs.Env.make ~ns ~uname:"glenda")
+
+let uapply_real env = function
+  | Ubind (i, f, mc) ->
+    Vfs.Env.bind ~mcreate:mc env ~src:(umem_dir (Usrc i)) ~onto:"/u" f
+  | Uunmount_src i -> Vfs.Env.unmount ~src:(umem_dir (Usrc i)) env ~onto:"/u"
+  | Uunmount_all -> Vfs.Env.unmount env ~onto:"/u"
+
+(* run a sequence against both the real mount table and the model *)
+let urun ops =
+  let ram, env = fresh_union_env () in
+  let u =
+    List.fold_left
+      (fun u op ->
+        uapply_real env op;
+        umodel_apply u op)
+      None ops
+  in
+  (ram, env, u)
+
+let uops_arb =
+  QCheck.make ~print:uops_print
+    QCheck.Gen.(
+      list_size (0 -- 12)
+        (frequency
+           [
+             ( 6,
+               map3
+                 (fun i f mc -> Ubind (i, f, mc))
+                 (int_bound 3)
+                 (oneofl [ Vfs.Ns.Repl; Vfs.Ns.Before; Vfs.Ns.After ])
+                 bool );
+             (2, map (fun i -> Uunmount_src i) (int_bound 3));
+             (1, return Uunmount_all);
+           ]))
+
+let prop_union_walk_order =
+  QCheck.Test.make ~name:"union walk: first member holding the name wins"
+    ~count:300 uops_arb (fun ops ->
+      let _ram, env, u = urun ops in
+      List.for_all
+        (fun name ->
+          let actual =
+            match Vfs.Env.read_file env ("/u/" ^ name) with
+            | s -> Some s
+            | exception Vfs.Chan.Error _ -> None
+          in
+          let expected =
+            Option.map (fun (m, _) -> umem_content m name) (umodel_walk u name)
+          in
+          actual = expected
+          || QCheck.Test.fail_reportf "walk /u/%s: real %s, model %s" name
+               (Option.value ~default:"<error>" actual)
+               (Option.value ~default:"<error>" expected))
+        uuniverse)
+
+let prop_union_ls =
+  QCheck.Test.make
+    ~name:"union listing: all members, no duplicate entries" ~count:300
+    uops_arb (fun ops ->
+      let _ram, env, u = urun ops in
+      let names =
+        List.map (fun d -> d.Ninep.Fcall.d_name) (Vfs.Env.ls env "/u")
+      in
+      let sorted = List.sort compare names in
+      (sorted = List.sort_uniq compare names
+      || QCheck.Test.fail_reportf "duplicate entries in ls /u: %s"
+           (String.concat "," names))
+      && (sorted = umodel_ls u
+         || QCheck.Test.fail_reportf "ls /u: real {%s}, model {%s}"
+              (String.concat "," sorted)
+              (String.concat "," (umodel_ls u))))
+
+let prop_union_mcreate =
+  QCheck.Test.make
+    ~name:"union create: lands in the first MCREATE member, or refused"
+    ~count:300 uops_arb (fun ops ->
+      let ram, env, u = urun ops in
+      let landed =
+        match Vfs.Env.write_file env "/u/zz" "zz" with
+        | () -> Ok ()
+        | exception Vfs.Chan.Error e -> Error e
+      in
+      match (umodel_create_target u, landed) with
+      | Some m, Ok () ->
+        let holders =
+          List.filter
+            (fun d -> Ninep.Ramfs.exists ram (d ^ "/zz"))
+            ("/u" :: List.init 4 (fun i -> Printf.sprintf "/d%d" i))
+        in
+        holders = [ umem_dir m ]
+        || QCheck.Test.fail_reportf "create landed in {%s}, model says %s"
+             (String.concat "," holders) (umem_dir m)
+      | None, Error e ->
+        let nl = String.length "forbids creation" and hl = String.length e in
+        let rec has i =
+          i + nl <= hl && (String.sub e i nl = "forbids creation" || has (i + 1))
+        in
+        has 0
+        || QCheck.Test.fail_reportf "refusal with the wrong error: %s" e
+      | Some m, Error e ->
+        QCheck.Test.fail_reportf "model routes to %s but create failed: %s"
+          (umem_dir m) e
+      | None, Ok () ->
+        QCheck.Test.fail_reportf
+          "model says creation forbidden but the create succeeded")
+
 let () =
   Alcotest.run "props"
     [
@@ -460,5 +665,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_ndb_continuation;
           QCheck_alcotest.to_alcotest prop_ndb_never_raises;
           QCheck_alcotest.to_alcotest prop_ndb_comments_ignored;
+        ] );
+      ( "union",
+        [
+          QCheck_alcotest.to_alcotest prop_union_walk_order;
+          QCheck_alcotest.to_alcotest prop_union_ls;
+          QCheck_alcotest.to_alcotest prop_union_mcreate;
         ] );
     ]
