@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all check smoke explore explore-smoke bench bench-cfs bench-faults \
-	bench-swarm bench-routed bench-congestion bench-guard profile-smoke \
-	coverage clean
+	bench-swarm bench-routed bench-congestion bench-bootstorm bench-guard \
+	fleet-smoke profile-smoke coverage clean
 
 all:
 	dune build
@@ -13,6 +13,7 @@ check:
 	dune build @runtest
 	$(MAKE) explore-smoke
 	$(MAKE) profile-smoke
+	$(MAKE) fleet-smoke
 
 # Schedule exploration, smoke budget: every registered scenario under
 # FIFO + shuffle seeds 1..5 + adversarial, then the detector self-test
@@ -87,6 +88,22 @@ bench-congestion:
 	dune exec bench/main.exe -- congestion-matrix
 	@test -s BENCH_congestion.json
 
+# The boot-storm proof: 104 terminals (8 racks x 13) power on at the
+# same instant and replay the staged boot through the terminal-tier /
+# rack-tier cfs hierarchy, then again mounted directly on the origin.
+# The bench exits non-zero unless every terminal boots, origin
+# round-trip offload is >= 2x, single-flight coalescing engaged at the
+# rack tier, and two same-seed runs emit byte-identical JSON.
+# Golden-compared under bench-guard.
+bench-bootstorm:
+	dune exec bench/main.exe -- bootstorm
+	@test -s BENCH_bootstorm.json
+
+# Fleet smoke: a 2-rack x 4-terminal storm with the same guards at
+# smoke thresholds.  Tier-1 time; wired into check.
+fleet-smoke:
+	dune exec bench/main.exe -- bootstorm-smoke
+
 # Guard: under the default FIFO policy the virtual-time behavior must
 # reproduce the golden JSONs byte for byte once the one wall-clock perf
 # line is stripped, and the perf member must carry the full schema
@@ -118,5 +135,5 @@ coverage:
 clean:
 	dune clean
 	rm -f BENCH_table1.json BENCH_cfs.json BENCH_faults.json BENCH_swarm.json \
-		BENCH_routed.json BENCH_congestion.json
+		BENCH_routed.json BENCH_congestion.json BENCH_bootstorm.json
 	find . -name '*.coverage' -delete 2>/dev/null || true

@@ -898,6 +898,85 @@ let run_congestion_matrix () =
 (* ------------------------------------------------------------------ *)
 (* guard: golden determinism with perf stripped + perf schema check     *)
 (* ------------------------------------------------------------------ *)
+(* bootstorm: the fleet powers on at once, tiered caches vs direct      *)
+(* ------------------------------------------------------------------ *)
+
+let bootstorm_checks ~smoke (r : Bootstorm_bench.result) =
+  let check (s : Bootstorm_bench.side) =
+    if s.Bootstorm_bench.b_booted <> s.Bootstorm_bench.b_total then begin
+      Printf.eprintf "error: %s storm booted %d of %d terminals\n"
+        s.Bootstorm_bench.b_mode s.Bootstorm_bench.b_booted
+        s.Bootstorm_bench.b_total;
+      exit 1
+    end;
+    if s.Bootstorm_bench.b_convergence <= 0. then begin
+      Printf.eprintf "error: %s storm converged in no virtual time\n"
+        s.Bootstorm_bench.b_mode;
+      exit 1
+    end
+  in
+  check r.Bootstorm_bench.res_tiered;
+  check r.Bootstorm_bench.res_direct;
+  (* the headline: the hierarchy must at least halve what reaches the
+     origin (the smoke fleet is too small to demand the full 2x) *)
+  let floor = if smoke then 1.2 else 2.0 in
+  if r.Bootstorm_bench.res_offload < floor then begin
+    Printf.eprintf
+      "error: origin round-trip offload %.2fx < %.1fx (tiered %d, direct \
+       %d) — the cache hierarchy regressed\n"
+      r.Bootstorm_bench.res_offload floor
+      r.Bootstorm_bench.res_tiered.Bootstorm_bench.b_origin_rts
+      r.Bootstorm_bench.res_direct.Bootstorm_bench.b_origin_rts;
+    exit 1
+  end;
+  if r.Bootstorm_bench.res_tiered.Bootstorm_bench.b_rack_coalesced = 0 then begin
+    Printf.eprintf
+      "error: the storm coalesced no same-block misses at the rack tier — \
+       single-flight is not engaging\n";
+    exit 1
+  end
+
+let run_bootstorm () =
+  section "bootstorm - the whole fleet powers on at once, tiered vs direct";
+  let t0 = Unix.gettimeofday () in
+  let r = Bootstorm_bench.run () in
+  let t1 = Unix.gettimeofday () in
+  let r2 = Bootstorm_bench.run () in
+  let t2 = Unix.gettimeofday () in
+  print_string r.Bootstorm_bench.res_json;
+  let oc = open_out "BENCH_bootstorm.json" in
+  output_string oc
+    (inject_perf r.Bootstorm_bench.res_json r.Bootstorm_bench.res_perf);
+  close_out oc;
+  Printf.printf
+    "wrote BENCH_bootstorm.json (wall clock %.2fs + %.2fs rerun)\n%!"
+    (t1 -. t0) (t2 -. t1);
+  perf_soft_guard "bootstorm" r.Bootstorm_bench.res_perf;
+  perf_shape_check "bootstorm" r.Bootstorm_bench.res_perf;
+  bootstorm_checks ~smoke:false r;
+  if r.Bootstorm_bench.res_json <> r2.Bootstorm_bench.res_json then begin
+    Printf.eprintf
+      "error: two same-seed runs produced different BENCH_bootstorm.json — \
+       the storm broke determinism\n";
+    exit 1
+  end;
+  print_endline "same-seed rerun: byte-identical (determinism holds)"
+
+(* the tier-1 fleet smoke: 2 racks x 4 terminals, same guards scaled *)
+let run_bootstorm_smoke () =
+  section "bootstorm-smoke - 8-terminal fleet storm";
+  let r = Bootstorm_bench.run ~racks:2 ~terminals:4 () in
+  bootstorm_checks ~smoke:true r;
+  Printf.printf
+    "fleet smoke: 8 terminals booted, offload %.2fx, rack hit ratio %.2f, \
+     %d misses coalesced\n%!"
+    r.Bootstorm_bench.res_offload
+    (Bootstorm_bench.hit_ratio
+       r.Bootstorm_bench.res_tiered.Bootstorm_bench.b_rack_hits
+       r.Bootstorm_bench.res_tiered.Bootstorm_bench.b_rack_misses)
+    r.Bootstorm_bench.res_tiered.Bootstorm_bench.b_rack_coalesced
+
+(* ------------------------------------------------------------------ *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -911,6 +990,7 @@ let run_guard () =
   run_swarm ();
   run_routed ();
   run_congestion_matrix ();
+  run_bootstorm ();
   section "bench-guard - golden JSON (perf-stripped) + perf schema";
   List.iter
     (fun base ->
@@ -952,7 +1032,7 @@ let run_guard () =
           base)
     [
       "BENCH_faults.json"; "BENCH_swarm.json"; "BENCH_routed.json";
-      "BENCH_congestion.json";
+      "BENCH_congestion.json"; "BENCH_bootstorm.json";
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -1082,6 +1162,8 @@ let sections =
     ("routed", run_routed);
     ("collapse", run_collapse);
     ("congestion-matrix", run_congestion_matrix);
+    ("bootstorm", run_bootstorm);
+    ("bootstorm-smoke", run_bootstorm_smoke);
     ("guard", run_guard);
     ("profile", run_profile);
     ("micro", run_bechamel);

@@ -31,13 +31,18 @@ type centry = {
 type t = {
   eng : Sim.Engine.t;
   mutable cfg : config;
-  client : Ninep.Client.t;  (* the upstream (real server) connection *)
+  mutable client : Ninep.Client.t;  (* the upstream (real server) connection *)
   mutable local : Ninep.Transport.t;  (* what the terminal mounts *)
   files : (int32, centry) Hashtbl.t;
   lru : blk;  (* sentinel *)
+  flights : (int32 * int, Sim.Rendez.t) Hashtbl.t;
+      (* blocks with an upstream read in flight: concurrent misses on
+         the same block wait here instead of fetching again *)
   metrics : Obs.Metrics.t;
   mutable used : int;  (* bytes of block data held *)
   mutable sessioned : bool;
+  mutable gen : int;  (* bumped by set_upstream: stale fids must not
+                         alias fresh ones on the new connection *)
 }
 
 let bump t name v =
@@ -185,6 +190,10 @@ let read_cached t qid fid ~offset ~count =
         | None -> Obs.Span.none
         | Some tr -> Obs.Span.enter tr ~layer:"cfs" "cfs.fill"
       in
+      (* the upstream read suspends this process; if a foreign change is
+         noticed meanwhile (another connection's walk), the reply bytes
+         belong to an unknown version and must not be cached *)
+      let vers0 = e.ce_vers in
       let data =
         match Ninep.Client.read t.client fid ~offset:start ~count:req with
         | data ->
@@ -198,19 +207,54 @@ let read_cached t qid fid ~offset ~count =
       bump t "misses" 1;
       bump t "miss_bytes" (String.length data);
       let len = String.length data in
-      let full = len / bsize in
-      for k = 0 to full - 1 do
-        insert t e (idx + k) (String.sub data (k * bsize) bsize)
-      done;
-      (* a reply shorter than asked means the file ends inside it; an
-         exact-multiple (or empty) short reply is remembered as an
-         empty end-of-file marker block *)
-      if len < req then
-        insert t e (idx + full)
-          (if len mod bsize > 0 then String.sub data (full * bsize) (len mod bsize)
-           else "");
+      let fresh =
+        match Hashtbl.find_opt t.files e.ce_path with
+        | Some e' -> e' == e && Int32.equal e.ce_vers vers0
+        | None -> false
+      in
+      if fresh then begin
+        let full = len / bsize in
+        for k = 0 to full - 1 do
+          insert t e (idx + k) (String.sub data (k * bsize) bsize)
+        done;
+        (* a reply shorter than asked means the file ends inside it; an
+           exact-multiple (or empty) short reply is remembered as an
+           empty end-of-file marker block *)
+        if len < req then
+          insert t e (idx + full)
+            (if len mod bsize > 0 then
+               String.sub data (full * bsize) (len mod bsize)
+             else "")
+      end;
       let blen = min bsize len in
       (String.sub data 0 blen, blen = bsize)
+    in
+    (* Single flight: when another client's miss on this very block is
+       already filling upstream, wait for that read instead of issuing a
+       second one — the boot storm's many first readers of one binary
+       must cost one origin round trip per block, not one per client.
+       A woken waiter re-checks the table and becomes the leader itself
+       if the fill failed, was version-guarded away, or was evicted. *)
+    let rec acquire idx boff =
+      match Hashtbl.find_opt e.ce_blocks idx with
+      | Some b ->
+        touch t b;
+        (b.bk_data, String.length b.bk_data = bsize)
+      | None -> (
+        let key = (e.ce_path, idx) in
+        match Hashtbl.find_opt t.flights key with
+        | Some r ->
+          bump t "coalesced" 1;
+          Sim.Rendez.sleep r;
+          acquire idx boff
+        | None ->
+          let r = Sim.Rendez.create t.eng in
+          Hashtbl.replace t.flights key r;
+          Fun.protect
+            ~finally:(fun () ->
+              Hashtbl.remove t.flights key;
+              Sim.Rendez.wakeup_all r)
+            (fun () -> fetch idx boff))
     in
     let rec serve () =
       let got = Buffer.length buf in
@@ -218,13 +262,7 @@ let read_cached t qid fid ~offset ~count =
         let pos = Int64.add offset (Int64.of_int got) in
         let idx = Int64.to_int (Int64.div pos bs64) in
         let boff = Int64.to_int (Int64.rem pos bs64) in
-        let chunk, full_block =
-          match Hashtbl.find_opt e.ce_blocks idx with
-          | Some b ->
-            touch t b;
-            (b.bk_data, String.length b.bk_data = bsize)
-          | None -> fetch idx boff
-        in
+        let chunk, full_block = acquire idx boff in
         let avail = String.length chunk - boff in
         if avail <= 0 then eof := true
         else begin
@@ -294,11 +332,16 @@ type pnode = {
   mutable fid : Ninep.Client.fid option;
       (* [None] only after a failed clone: every later use errors *)
   mutable nqid : Ninep.Fcall.qid;
+  p_gen : int;  (* upstream generation this fid was minted on *)
 }
 
 let wrap f = try Ok (f ()) with Ninep.Client.Err e -> Error e
 
-let getfid n =
+(* A fid minted before [set_upstream] belongs to a dead connection; the
+   fresh client numbers fids from scratch, so using the old number
+   would alias an unrelated file.  Refuse it: the holder must remount. *)
+let getfid t n =
+  if n.p_gen <> t.gen then raise (Ninep.Client.Err "upstream redialed: stale fid");
   match n.fid with
   | Some f -> f
   | None -> raise (Ninep.Client.Err "cloned fid unavailable")
@@ -314,19 +357,19 @@ let proxy_fs t =
               t.sessioned <- true
             end;
             let fid, nqid = Ninep.Client.attach_q t.client ~uname ~aname in
-            { fid = Some fid; nqid }));
+            { fid = Some fid; nqid; p_gen = t.gen }));
     fs_qid = (fun n -> n.nqid);
     fs_walk =
       (fun n name ->
         wrap (fun () ->
-            let q = Ninep.Client.walk t.client (getfid n) name in
+            let q = Ninep.Client.walk t.client (getfid t n) name in
             note_qid t q;
             n.nqid <- q;
             n));
     fs_open =
       (fun n mode ~trunc ->
         wrap (fun () ->
-            let q = Ninep.Client.open_ t.client (getfid n) ~trunc mode in
+            let q = Ninep.Client.open_ t.client (getfid t n) ~trunc mode in
             note_qid t q;
             n.nqid <- q));
     fs_read =
@@ -334,14 +377,14 @@ let proxy_fs t =
         wrap (fun () ->
             if Ninep.Fcall.qid_is_dir n.nqid then begin
               bump t "dir_reads" 1;
-              Ninep.Client.read t.client (getfid n) ~offset ~count
+              Ninep.Client.read t.client (getfid t n) ~offset ~count
             end
-            else read_cached t n.nqid (getfid n) ~offset ~count));
+            else read_cached t n.nqid (getfid t n) ~offset ~count));
     fs_write =
       (fun n ~offset ~data ->
         wrap (fun () ->
             (* write-through: the server confirms before the cache moves *)
-            let cnt = Ninep.Client.write t.client (getfid n) ~offset data in
+            let cnt = Ninep.Client.write t.client (getfid t n) ~offset data in
             bump t "write_through" 1;
             write_update t n.nqid ~offset
               ~data:(if cnt = String.length data then data
@@ -350,40 +393,55 @@ let proxy_fs t =
     fs_create =
       (fun n ~name ~perm mode ->
         wrap (fun () ->
-            let q = Ninep.Client.create t.client (getfid n) ~name ~perm mode in
+            let q = Ninep.Client.create t.client (getfid t n) ~name ~perm mode in
             note_qid t q;
             n.nqid <- q;
             n));
     fs_remove =
       (fun n ->
         wrap (fun () ->
-            Ninep.Client.remove t.client (getfid n);
+            Ninep.Client.remove t.client (getfid t n);
             drop_file t n.nqid.Ninep.Fcall.qpath));
     fs_stat =
       (fun n ->
         wrap (fun () ->
-            let d = Ninep.Client.stat t.client (getfid n) in
+            let d = Ninep.Client.stat t.client (getfid t n) in
             note_qid t d.Ninep.Fcall.d_qid;
             d));
-    fs_wstat = (fun n d -> wrap (fun () -> Ninep.Client.wstat t.client (getfid n) d));
+    fs_wstat =
+      (fun n d -> wrap (fun () -> Ninep.Client.wstat t.client (getfid t n) d));
     fs_clunk =
       (fun n ->
         match n.fid with
         | None -> ()
+        | Some f when n.p_gen <> t.gen -> ignore f
         | Some f -> (
           try Ninep.Client.clunk t.client f with Ninep.Client.Err _ -> ()));
     fs_clone =
       (fun n ->
-        match wrap (fun () -> Ninep.Client.clone t.client (getfid n)) with
-        | Ok fid -> { fid = Some fid; nqid = n.nqid }
+        match wrap (fun () -> Ninep.Client.clone t.client (getfid t n)) with
+        | Ok fid -> { fid = Some fid; nqid = n.nqid; p_gen = t.gen }
         | Error e ->
           (* the serve loop has no error path for clone; a node with no
              fid makes every later use fail cleanly instead *)
           Log.debug (fun f -> f "clone failed: %s" e);
-          { fid = None; nqid = n.nqid });
+          { fid = None; nqid = n.nqid; p_gen = t.gen });
   }
 
 (* ---- construction ---- *)
+
+(* Serve the cache's 9P face on [tr].  Each call runs its own server
+   process with its own fid table; every connection shares the one
+   block cache, flight table and upstream client — this is what makes
+   the cache stackable (a rack-tier cfs serves many terminals). *)
+let serve t tr = Ninep.Server.serve t.eng (proxy_fs t) tr
+
+(* A fresh in-process connection to the cache: one more client of the
+   shared cache, e.g. a terminal-tier cfs stacking on a rack tier. *)
+let connect t =
+  let local, remote = Ninep.Transport.pipe t.eng in
+  ignore (serve t remote);
+  local
 
 let make ?(config = default_config) eng ~upstream () =
   if config.bsize <= 0 || config.bsize > Ninep.Fcall.maxfdata then
@@ -397,11 +455,22 @@ let make ?(config = default_config) eng ~upstream () =
   let local, remote = Ninep.Transport.pipe eng in
   let t =
     { eng; cfg = config; client; local; files = Hashtbl.create 31;
-      lru = sentinel; metrics = Obs.Metrics.create (); used = 0;
-      sessioned = false }
+      lru = sentinel; flights = Hashtbl.create 7;
+      metrics = Obs.Metrics.create (); used = 0; sessioned = false; gen = 0 }
   in
   ignore (Ninep.Server.serve eng (proxy_fs t) remote);
   t
+
+(* Point the cache at a new upstream connection — the heal path after a
+   partition killed the old one.  Cached blocks and version tracking
+   survive (same origin, same qid space), so the cache comes back warm;
+   downstream fids minted on the dead connection are refused (see
+   [getfid]) and their holders must re-attach. *)
+let set_upstream t upstream =
+  (try Ninep.Client.hangup t.client with _ -> ());
+  t.client <- Ninep.Client.make t.eng upstream;
+  t.sessioned <- false;
+  t.gen <- t.gen + 1
 
 let transport t = t.local
 let config t = t.cfg
@@ -428,7 +497,7 @@ let cached_files t =
 
 let stat_names =
   [ "hits"; "misses"; "hit_bytes"; "miss_bytes"; "evictions";
-    "invalidations"; "write_through"; "dir_reads" ]
+    "invalidations"; "write_through"; "dir_reads"; "coalesced" ]
 
 let stats_text t =
   let b = Buffer.create 128 in

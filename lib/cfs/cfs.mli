@@ -63,6 +63,30 @@ val transport : t -> Ninep.Transport.t
     (and then to [mount]) wherever the raw server connection would have
     gone. *)
 
+val connect : t -> Ninep.Transport.t
+(** One more in-process connection to the cache, alongside
+    {!transport}.  Every connection shares the one block cache and
+    upstream client, so a cache can serve a whole rack of clients — or
+    another [Cfs.t] can stack on top of it ([make ~upstream:(connect
+    rack)]) to form a terminal-tier/rack-tier hierarchy.  Version
+    invalidations noticed on any connection discard the shared blocks,
+    so sibling clients never read bytes staler than the qid version the
+    proxy has seen. *)
+
+val serve : t -> Ninep.Transport.t -> Sim.Proc.t
+(** Serve the cache's 9P face on an existing transport (e.g. a network
+    fd accepted by a listener).  Returns the per-connection server
+    process; each connection has its own fid table but shares the
+    cache. *)
+
+val set_upstream : t -> Ninep.Transport.t -> unit
+(** Replace the upstream connection — the heal path after a partition
+    killed the old one.  The block cache and qid-version tracking
+    survive (the new transport must reach the {e same} file server), so
+    the cache comes back warm; fids minted through the old connection
+    are refused with ["upstream redialed: stale fid"] and their holders
+    must re-attach. *)
+
 val config : t -> config
 
 val flush : t -> unit
@@ -78,8 +102,10 @@ val set_budget : t -> int -> unit
 val counter : t -> string -> int
 (** Counters: ["hits"] (reads served entirely from cache), ["misses"]
     (upstream Treads issued for data), ["hit_bytes"], ["miss_bytes"],
-    ["evictions"], ["invalidations"], ["write_through"],
-    ["dir_reads"].  Unknown names read 0. *)
+    ["evictions"], ["invalidations"], ["write_through"], ["dir_reads"],
+    ["coalesced"] (concurrent same-block misses that waited on an
+    in-flight upstream read instead of issuing their own).  Unknown
+    names read 0. *)
 
 val counters : t -> (string * int) list
 (** All nonzero counters, sorted by name. *)

@@ -1,0 +1,72 @@
+(* The staged diskless bring-up: what a terminal reads, in order, when
+   it powers on.  Three stages — the kernel image first (the boot PROM
+   pulls it whole), then the binaries the init sequence execs, then the
+   startup libraries several of which every new shell re-reads.  The
+   kernel path and the database size come from ndb, so the workload is
+   shaped by the same file that shapes the network. *)
+
+type stage = { sg_name : string; sg_files : (string * int) list }
+
+let default_bootf = "/mips/9power"
+
+let bootf ~db ~sys =
+  match Ndb.find db ~attr:"sys" ~value:sys ~rattr:"bootf" with
+  | b :: _ -> b
+  | [] -> default_bootf
+
+(* /lib/ndb/local is the one file whose size genuinely scales with the
+   installation: every system entry costs lines.  64 bytes per entry is
+   the rough shape of the generated databases. *)
+let ndb_local_size db = max 512 (64 * List.length (Ndb.entries db))
+
+let stages ~db ~sys =
+  [
+    { sg_name = "kernel"; sg_files = [ (bootf ~db ~sys, 9336) ] };
+    {
+      sg_name = "binaries";
+      sg_files =
+        [ ("/bin/rc", 6100); ("/bin/ls", 2800); ("/bin/cat", 1400) ];
+    };
+    {
+      sg_name = "libraries";
+      sg_files =
+        [
+          ("/lib/namespace", 700);
+          ("/rc/lib/rcmain", 1200);
+          ("/lib/ndb/local", ndb_local_size db);
+        ];
+    };
+  ]
+
+let all_files ~db ~sys =
+  List.concat_map (fun s -> s.sg_files) (stages ~db ~sys)
+
+(* The replayed read sequence: each stage in order, then the re-reads —
+   each rc and each window opens the startup files again.  Re-reads are
+   what a cache tier turns into hits. *)
+let trace ~db ~sys =
+  List.map fst (all_files ~db ~sys)
+  @ [
+      "/lib/namespace"; "/rc/lib/rcmain"; "/lib/ndb/local"; "/lib/namespace";
+      "/rc/lib/rcmain"; "/bin/rc"; "/lib/ndb/local"; "/lib/namespace";
+    ]
+
+let trace_bytes ~db ~sys =
+  let files = all_files ~db ~sys in
+  List.fold_left (fun acc p -> acc + List.assoc p files) 0 (trace ~db ~sys)
+
+(* deterministic pseudo-file contents, keyed by path *)
+let file_body path size =
+  let b = Bytes.create size in
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h lsl 5) + !h + Char.code c) land 0xffffff) path;
+  for i = 0 to size - 1 do
+    h := ((!h * 1103515245) + 12345) land 0xffffff;
+    Bytes.set b i (Char.chr (32 + (!h mod 95)))
+  done;
+  Bytes.to_string b
+
+let populate ~db ~sys ramfs =
+  List.iter
+    (fun (path, size) -> Ninep.Ramfs.add_file ramfs path (file_body path size))
+    (all_files ~db ~sys)

@@ -1,0 +1,39 @@
+(** The staged diskless boot workload (paper section 7's "the terminal
+    boots by loading a kernel from the file server").
+
+    A powering-on terminal reads in three stages: the {b kernel} image
+    (whose path is the terminal's [bootf=] ndb attribute), the
+    {b binaries} the init sequence execs, and the startup {b libraries}
+    — several of which every subsequent shell re-reads, which is what a
+    cache tier turns into hits.  The workload is sized from the same
+    ndb that shapes the network: [/lib/ndb/local] grows with the number
+    of database entries.
+
+    Deterministic throughout: same [db]/[sys] → same files, same bytes,
+    same trace. *)
+
+type stage = { sg_name : string; sg_files : (string * int) list }
+
+val bootf : db:Ndb.t -> sys:string -> string
+(** The terminal's kernel path: its entry's [bootf=] value, or
+    ["/mips/9power"] when unset. *)
+
+val stages : db:Ndb.t -> sys:string -> stage list
+(** kernel, binaries, libraries — in boot order. *)
+
+val all_files : db:Ndb.t -> sys:string -> (string * int) list
+(** Every (path, size) across the stages, in boot order. *)
+
+val trace : db:Ndb.t -> sys:string -> string list
+(** The replayed read sequence: each stage's files once, then the
+    startup-file re-reads. *)
+
+val trace_bytes : db:Ndb.t -> sys:string -> int
+(** Total bytes a full trace replay reads. *)
+
+val file_body : string -> int -> string
+(** Deterministic pseudo-contents for a path. *)
+
+val populate : db:Ndb.t -> sys:string -> Ninep.Ramfs.t -> unit
+(** Install every stage file (with {!file_body} contents) into the
+    origin server's ramfs. *)

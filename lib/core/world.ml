@@ -210,6 +210,131 @@ let host_faults t name =
   | Some port -> Netsim.Ether.nic_faults (Inet.Etherport.nic port)
   | None -> failwith ("host_faults: " ^ name ^ " has no NIC")
 
+(* ---- the diskless fleet: terminals x racks x one origin ---- *)
+
+let fleet_origin = "origin"
+let rack_sys k = Printf.sprintf "rk%02d" k
+let terminal_sys k i = Printf.sprintf "tm%02d-%03d" k i
+let rack_net k = Printf.sprintf "rack%d" k
+
+(* The fleet's ndb: a spine subnet carrying the origin file server and
+   one gateway per rack, plus a leaf subnet per rack full of diskless
+   terminals.  The rack gateway's spine NIC comes FIRST so its primary
+   stack (which carries its transports and CS) sits on the spine — the
+   rack dials origin on-subnet, and terminals reach the rack's spine
+   address through their inherited default route, delivered locally at
+   the rack by the routing node. *)
+let fleet_ndb ?(racks = 2) ?(terminals = 4) () =
+  if racks < 1 || racks > 60 then invalid_arg "fleet_ndb: racks";
+  if terminals < 1 || terminals > 240 then invalid_arg "fleet_ndb: terminals";
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let mac = ref 0 in
+  let next_mac () =
+    incr mac;
+    Printf.sprintf "aa3069%06x" !mac
+  in
+  line "#";
+  line "# diskless fleet: %d racks x %d terminals, one origin" racks terminals;
+  line "#";
+  line "ipnet=spine ip=10.90.0.0 ipmask=255.255.0.0";
+  for k = 0 to racks - 1 do
+    line "ipnet=%s ip=10.%d.0.0 ipmask=255.255.0.0" (rack_net k) (30 + k);
+    line "\tipgw=10.%d.0.1" (30 + k)
+  done;
+  line "sys=%s" fleet_origin;
+  line "\tip=10.90.0.9 ether=%s" (next_mac ());
+  line "\tproto=il";
+  for k = 0 to racks - 1 do
+    line "sys=%s" (rack_sys k);
+    line "\tip=10.90.0.%d ether=%s" (100 + k) (next_mac ());
+    line "\tip=10.%d.0.1 ether=%s" (30 + k) (next_mac ());
+    line "\tproto=il";
+    for i = 0 to terminals - 1 do
+      line "sys=%s" (terminal_sys k i);
+      line "\tip=10.%d.1.%d ether=%s" (30 + k) (10 + i) (next_mac ());
+      line "\tbootf=/mips/9power";
+      line "\tproto=il"
+    done
+  done;
+  line "il=exportfs\tport=17007";
+  line "tcp=exportfs\tport=17007";
+  line "il=9fs\tport=17008";
+  line "tcp=9fs\tport=17008";
+  Buffer.contents b
+
+type fleet = {
+  f_world : t;
+  f_origin : Host.t;
+  f_racks : string list;
+  f_terminals : (string * string) list;  (* (rack sys, terminal sys) *)
+  f_caches : (string, Cfs.t) Hashtbl.t;  (* rack sys -> its cache tier *)
+}
+
+let fleet ?seed ?sched ?(racks = 2) ?(terminals = 4) ?rack_config
+    ?(tap = fun _rack tr -> tr) ?ether_bandwidth () =
+  let db = Ndb.of_string (fleet_ndb ~racks ~terminals ()) in
+  let w = routed ?seed ?sched ?ether_bandwidth ~db () in
+  let origin = add_host w fleet_origin in
+  (* every terminal boots the same staged file set; size it from the
+     fleet's own database *)
+  Bootstage.populate ~db ~sys:(terminal_sys 0 0) origin.Host.root;
+  Host.serve_exportfs origin;
+  let caches = Hashtbl.create (max 1 racks) in
+  let rack_names = List.init racks rack_sys in
+  List.iter
+    (fun rname ->
+      let rh = add_host w rname in
+      (* the rack's cfsd: dial the origin, interpose the shared cache,
+         and serve its 9P face to the rack's terminals *)
+      ignore
+        (Host.spawn rh "cfsd" (fun env ->
+             Sim.Time.sleep w.eng 0.5;
+             let conn =
+               Dial.redial env ~tries:20
+                 ~pause:(fun () -> Sim.Time.sleep w.eng 0.5)
+                 (Printf.sprintf "il!%s!exportfs" fleet_origin)
+             in
+             let up = tap rname (Fdtrans.of_fd env conn.Dial.data_fd) in
+             let cache = Cfs.make ?config:rack_config w.eng ~upstream:up () in
+             Hashtbl.replace caches rname cache;
+             Vfs.Env.mount_fs env (Cfs.ctl_fs cache) ~onto:"/mnt/cfs"
+               Vfs.Ns.Repl;
+             ignore
+               (Listener.start w.eng ~backlog:256 env ~addr:"il!*!9fs"
+                  ~handler:(fun henv _conn ~data_fd ->
+                    Sim.Proc.join
+                      (Cfs.serve cache (Fdtrans.of_fd henv data_fd)))))))
+    rack_names;
+  let terms =
+    List.concat
+      (List.init racks (fun k ->
+           List.init terminals (fun i -> (rack_sys k, terminal_sys k i))))
+  in
+  List.iter (fun (_, tname) -> ignore (add_host w tname)) terms;
+  autoroute w;
+  (* the spine has no single gateway — one per rack — so the origin's
+     inherited-ipgw shortcut cannot apply; it routes each rack subnet
+     via that rack's spine address explicitly *)
+  (match origin.Host.node with
+  | Some n ->
+    List.iteri
+      (fun k _ ->
+        Route.Table.add (Route.table n)
+          ~dest:(Inet.Ipaddr.of_string (Printf.sprintf "10.%d.0.0" (30 + k)))
+          ~mask:(Inet.Ipaddr.of_string "255.255.0.0")
+          (Route.Table.Via
+             (Inet.Ipaddr.of_string (Printf.sprintf "10.90.0.%d" (100 + k)))))
+      rack_names
+  | None -> ());
+  {
+    f_world = w;
+    f_origin = origin;
+    f_racks = rack_names;
+    f_terminals = terms;
+    f_caches = caches;
+  }
+
 let bell_labs_ndb =
   {|#
 # the canonical world, in the paper's own format (section 4.1)

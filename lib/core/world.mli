@@ -95,6 +95,59 @@ val host_faults : t -> string -> Netsim.Fault.t
     rx side): partition one machine while the rest of the segment keeps
     talking.  @raise Failure if the host has no NIC. *)
 
+(** {1 The diskless fleet (boot-storm topology)} *)
+
+val fleet_origin : string
+(** ["origin"], the fleet's one file server. *)
+
+val rack_sys : int -> string
+(** ["rkNN"], rack [k]'s gateway-plus-cache host. *)
+
+val terminal_sys : int -> int -> string
+(** ["tmNN-III"], terminal [i] of rack [k]. *)
+
+val rack_net : int -> string
+(** ["rackN"], rack [k]'s leaf subnet (and segment) name. *)
+
+val fleet_ndb : ?racks:int -> ?terminals:int -> unit -> string
+(** The fleet in ndb form: a [spine] subnet (10.90/16) carrying the
+    origin and one gateway per rack, plus a leaf subnet per rack
+    (10.(30+k)/16, [ipgw] at the rack gateway) of [terminals] diskless
+    terminals each carrying [bootf=/mips/9power].  The rack's spine NIC
+    is listed first so its primary stack — the one its dialer and
+    listeners ride — sits on the spine. *)
+
+type fleet = {
+  f_world : t;
+  f_origin : Host.t;
+  f_racks : string list;
+  f_terminals : (string * string) list;
+      (** [(rack sys, terminal sys)] pairs, in rack-major order *)
+  f_caches : (string, Cfs.t) Hashtbl.t;
+      (** rack sys → its shared cache tier, filled once each rack's
+          cfsd has dialed the origin (by virtual time ~1s) *)
+}
+
+val fleet :
+  ?seed:int ->
+  ?sched:Sim.Sched.policy ->
+  ?racks:int ->
+  ?terminals:int ->
+  ?rack_config:Cfs.config ->
+  ?tap:(string -> Ninep.Transport.t -> Ninep.Transport.t) ->
+  ?ether_bandwidth:float ->
+  unit ->
+  fleet
+(** A booted fleet: the origin serves the {!Bootstage} file set over
+    exportfs; each rack gateway runs a cfsd that dials the origin,
+    interposes a shared {!Cfs} (configured by [rack_config], its
+    upstream transport wrapped by [tap] — the benches count round
+    trips there), mounts the cache's ctl directory at [/mnt/cfs], and
+    listens on [il!*!9fs] serving the cache's 9P face to its
+    terminals.  Terminals are booted but {e not} wired: a storm driver
+    dials [il!rkNN!9fs] from each terminal when it powers on.
+    Routing comes from {!autoroute}. *)
+
 val bell_labs_ndb : string
 (** The ndb text for the canonical world (paper-style entries). *)
 

@@ -931,6 +931,207 @@ let mount_race =
            (sorted_names (Vfs.Env.ls env "/u"))
            members))
 
+(* ---- stacked cfs: a write-through racing a sibling's read ---- *)
+
+(* terminal A writes through the shared rack tier while terminal B
+   reads the same file at the same instant; under any interleaving the
+   stack must not crash or return torn bytes, and once the race
+   settles B must see A's write (the rack was patched in place, B's
+   tier invalidates on the bumped qid.vers) *)
+let cfs_stack_coherence =
+  raw "cfs-stack-coherence" ~schedule_dependent:true
+    ~descr:
+      "write-through at one terminal races a sibling's read across the \
+       shared rack tier; the settled read sees the write"
+    ~check:(fun o ->
+      let lines = String.split_on_char '\n' o.E.o_transcript in
+      let race_ok =
+        List.exists (fun l -> l = "race read: old" || l = "race read: new") lines
+      in
+      if not race_ok then Error "racing read returned torn bytes"
+      else if not (List.mem "settled read: new" lines) then
+        Error "read after the race missed the write-through"
+      else Ok ())
+    (fun eng say ->
+      let old_body = String.make 1024 'o' in
+      let fresh = "NEW" ^ String.sub old_body 3 (String.length old_body - 3) in
+      let ram = Ninep.Ramfs.make ~name:"origin" () in
+      Ninep.Ramfs.add_file ram "/f" old_body;
+      let up_ct, up_st = Ninep.Transport.pipe eng in
+      ignore (Ninep.Server.serve eng (Ninep.Ramfs.fs ram) up_st);
+      let rack = Cfs.make eng ~upstream:up_ct () in
+      let ta = Cfs.make eng ~upstream:(Cfs.connect rack) () in
+      let tb = Cfs.make eng ~upstream:(Cfs.connect rack) () in
+      let open_file cl mode =
+        let root = Ninep.Client.attach cl ~uname:"sc" ~aname:"" in
+        let fid = Ninep.Client.walk_path cl root [ "f" ] in
+        ignore (Ninep.Client.open_ cl fid mode);
+        Ninep.Client.clunk cl root;
+        fid
+      in
+      let writer =
+        Sim.Proc.spawn eng ~name:"sc:writer" (fun () ->
+            let c = Ninep.Client.make eng (Cfs.connect ta) in
+            Ninep.Client.session c;
+            let fid = open_file c Ninep.Fcall.Ordwr in
+            ignore (Ninep.Client.write c fid ~offset:0L "NEW");
+            Ninep.Client.clunk c fid)
+      in
+      let reader =
+        Sim.Proc.spawn eng ~name:"sc:reader" (fun () ->
+            let c = Ninep.Client.make eng (Cfs.connect tb) in
+            Ninep.Client.session c;
+            let fid = open_file c Ninep.Fcall.Oread in
+            let got = Ninep.Client.read_all c fid in
+            Ninep.Client.clunk c fid;
+            say
+              (Printf.sprintf "race read: %s"
+                 (if got = old_body then "old"
+                  else if got = fresh then "new"
+                  else "torn")))
+      in
+      Sim.Proc.join writer;
+      Sim.Proc.join reader;
+      let c = Ninep.Client.make eng (Cfs.connect tb) in
+      Ninep.Client.session c;
+      let fid = open_file c Ninep.Fcall.Oread in
+      let got = Ninep.Client.read_all c fid in
+      Ninep.Client.clunk c fid;
+      say
+        (Printf.sprintf "settled read: %s"
+           (if got = fresh then "new" else "stale")))
+
+(* ---- boot storm: the spine partitions mid-storm ---- *)
+
+(* a one-rack fleet: a terminal boots warm through the rack cache,
+   then the spine (rack <-> origin) goes dark.  An uncached read must
+   surface as a clean 9P error, not a crash.  After the heal the rack
+   redials the origin and swaps the upstream under its warm cache
+   (Cfs.set_upstream); the terminal remounts and the warm re-read is
+   served from cache — the rack's miss counter must not move *)
+let bootstorm_partition =
+  E.scenario "bootstorm-partition" ~schedule_dependent:true
+    ~descr:
+      "rack cache partitioned from the origin mid-storm; clean errors, \
+       redial after heal resumes from the warm cache"
+    ~check:(fun o ->
+      let lines = String.split_on_char '\n' o.E.o_transcript in
+      let want =
+        [
+          "warm boot: 9336 bytes";
+          "partition read: clean error";
+          "warm re-read: 9336 bytes, rack misses unchanged: true";
+          "cold read over new upstream: ok";
+        ]
+      in
+      match List.find_opt (fun l -> not (List.mem l lines)) want with
+      | Some missing -> Error (Printf.sprintf "missing %S" missing)
+      | None -> Ok ())
+    (fun ~sched ~trace ->
+      let fl = P9net.World.fleet ~sched ~racks:1 ~terminals:2 () in
+      let w = fl.P9net.World.f_world in
+      let eng = w.P9net.World.eng in
+      let tr =
+        match trace with
+        | Some tr -> tr
+        | None -> Obs.Trace.create ~capacity:512 ()
+      in
+      Sim.Engine.attach_obs eng tr;
+      let buf = Buffer.create 256 in
+      let say s =
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n'
+      in
+      let finished = ref false in
+      let crash = ref None in
+      let rack = List.hd fl.P9net.World.f_racks in
+      let term = snd (List.hd fl.P9net.World.f_terminals) in
+      let th = P9net.World.host w term in
+      ignore
+        (P9net.Host.spawn th "sc:main" (fun env ->
+             (* wait for the rack cfsd to have dialed the origin *)
+             let rec get_cache () =
+               match Hashtbl.find_opt fl.P9net.World.f_caches rack with
+               | Some c -> c
+               | None ->
+                 Sim.Time.sleep eng 0.5;
+                 get_cache ()
+             in
+             let cache = get_cache () in
+             let dial () =
+               let conn =
+                 P9net.Dial.redial env ~tries:40
+                   ~pause:(fun () -> Sim.Time.sleep eng 0.5)
+                   ("il!" ^ rack ^ "!9fs")
+               in
+               let c =
+                 Ninep.Client.make eng
+                   (P9net.Fdtrans.of_fd env conn.P9net.Dial.data_fd)
+               in
+               Ninep.Client.session c;
+               c
+             in
+             let read_file c path =
+               let root = Ninep.Client.attach c ~uname:"sc" ~aname:"" in
+               let fid =
+                 Ninep.Client.walk_path c root
+                   (List.filter
+                      (fun s -> s <> "")
+                      (String.split_on_char '/' path))
+               in
+               ignore (Ninep.Client.open_ c fid Ninep.Fcall.Oread);
+               let s = Ninep.Client.read_all c fid in
+               Ninep.Client.clunk c fid;
+               Ninep.Client.clunk c root;
+               s
+             in
+             let c = dial () in
+             let kern = read_file c "/mips/9power" in
+             say (Printf.sprintf "warm boot: %d bytes" (String.length kern));
+             let warm_misses = Cfs.counter cache "misses" in
+             (* the spine goes dark mid-storm *)
+             let now = Sim.Engine.now eng in
+             Netsim.Fault.partition
+               (P9net.World.segment_faults w "spine")
+               ~from_:now ~until:(now +. 60.);
+             (match read_file c "/lib/ndb/local" with
+             | _ -> say "partition read: unexpectedly succeeded"
+             | exception Ninep.Client.Err _ ->
+               say "partition read: clean error");
+             (* outlive the heal, then swap the upstream under the
+                warm cache from the rack side *)
+             Sim.Time.sleep eng 65.0;
+             let rh = P9net.World.host w rack in
+             let healer =
+               P9net.Host.spawn rh "sc:heal" (fun renv ->
+                   let conn =
+                     P9net.Dial.redial renv ~tries:40
+                       ~pause:(fun () -> Sim.Time.sleep eng 1.0)
+                       "il!origin!exportfs"
+                   in
+                   Cfs.set_upstream cache
+                     (P9net.Fdtrans.of_fd renv conn.P9net.Dial.data_fd))
+             in
+             Sim.Proc.join healer;
+             (* the terminal remounts the rack 9fs on a fresh wire *)
+             let c2 = dial () in
+             let kern2 = read_file c2 "/mips/9power" in
+             say
+               (Printf.sprintf "warm re-read: %d bytes, rack misses \
+                                unchanged: %b"
+                  (String.length kern2)
+                  (String.equal kern kern2
+                  && Cfs.counter cache "misses" = warm_misses));
+             (* the new upstream is live: an uncached file now serves *)
+             let ndb = read_file c2 "/lib/ndb/local" in
+             say
+               (Printf.sprintf "cold read over new upstream: %s"
+                  (if String.length ndb > 0 then "ok" else "empty"));
+             finished := true));
+      (try P9net.World.run ~until:600.0 w
+       with e -> crash := Some (Printexc.to_string e));
+      outcome eng tr buf ~finished:!finished ~crash:!crash)
+
 (* ---- the registry ---- *)
 
 let all : E.scenario list =
@@ -953,6 +1154,8 @@ let all : E.scenario list =
     union_create;
     reexport_partition;
     mount_race;
+    cfs_stack_coherence;
+    bootstorm_partition;
   ]
 
 let find name = List.find_opt (fun sc -> E.name sc = name) all

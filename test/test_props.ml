@@ -635,6 +635,148 @@ let prop_union_mcreate =
         QCheck.Test.fail_reportf
           "model says creation forbidden but the create succeeded")
 
+(* ---- the stacked-cfs coherence property ----------------------------
+
+   Random read / write-through / foreign-write streams through a
+   2-tier cfs stack (two terminal caches over one shared mid tier over
+   a ramfs origin) checked against a flat byte-array model: a fresh
+   walk+open before every read must observe exactly the model contents
+   (qid.vers propagates through the tiers), and the mid tier's
+   upstream data reads stay within one-miss-per-block per version
+   epoch (epochs advance only on foreign writes). *)
+
+type sop =
+  | SRead of int * int * int  (* client, offset, length *)
+  | SWrite of int * int * int  (* client, offset, length — write-through *)
+  | SForeign of int * int  (* offset, length — direct to origin *)
+
+let sfile_size = 4096
+let sbsize = 512
+
+let sop_print = function
+  | SRead (c, o, l) -> Printf.sprintf "read[%d] %d+%d" c o l
+  | SWrite (c, o, l) -> Printf.sprintf "write[%d] %d+%d" c o l
+  | SForeign (o, l) -> Printf.sprintf "foreign %d+%d" o l
+
+let sops_print ops = String.concat "; " (List.map sop_print ops)
+
+let sops_arb =
+  QCheck.make ~print:sops_print
+    QCheck.Gen.(
+      list_size (1 -- 15)
+        (frequency
+           [
+             ( 4,
+               map3
+                 (fun c o l -> SRead (c, o, l))
+                 (int_bound 1)
+                 (int_bound (sfile_size - 1))
+                 (int_bound 600) );
+             ( 3,
+               map3
+                 (fun c o l -> SWrite (c, o, 1 + l))
+                 (int_bound 1)
+                 (int_bound (sfile_size - 1))
+                 (int_bound 199) );
+             ( 2,
+               map2
+                 (fun o l -> SForeign (o, 1 + l))
+                 (int_bound (sfile_size - 1))
+                 (int_bound 199) );
+           ]))
+
+let swalk_open ?(mode = Ninep.Fcall.Oread) c =
+  let root = Ninep.Client.attach c ~uname:"prop" ~aname:"" in
+  let fid = Ninep.Client.walk_path c root [ "f" ] in
+  ignore (Ninep.Client.open_ c fid mode);
+  Ninep.Client.clunk c root;
+  fid
+
+let srun ops =
+  let eng = Sim.Engine.create () in
+  let ram = Ninep.Ramfs.make ~name:"origin" () in
+  let init = String.make sfile_size 'z' in
+  Ninep.Ramfs.add_file ram "/f" init;
+  let up_ct, up_st = Ninep.Transport.pipe eng in
+  ignore (Ninep.Server.serve eng (Ninep.Ramfs.fs ram) up_st);
+  let cfg = { Cfs.bsize = sbsize; budget = 1024 * 1024; readahead = 4 } in
+  let mid = Cfs.make ~config:cfg eng ~upstream:up_ct () in
+  let ta = Cfs.make ~config:cfg eng ~upstream:(Cfs.connect mid) () in
+  let tb = Cfs.make ~config:cfg eng ~upstream:(Cfs.connect mid) () in
+  let foreign_ct, foreign_st = Ninep.Transport.pipe eng in
+  ignore (Ninep.Server.serve eng (Ninep.Ramfs.fs ram) foreign_st);
+  let model = Bytes.of_string init in
+  let mismatches = ref [] in
+  let foreign_writes = ref 0 in
+  let finished = ref false in
+  ignore
+    (Sim.Proc.spawn eng ~name:"driver" (fun () ->
+         let ca = Ninep.Client.make eng (Cfs.transport ta) in
+         Ninep.Client.session ca;
+         let cb = Ninep.Client.make eng (Cfs.transport tb) in
+         Ninep.Client.session cb;
+         let cf = Ninep.Client.make eng foreign_ct in
+         Ninep.Client.session cf;
+         List.iteri
+           (fun i op ->
+             let fill len = String.make len (Char.chr (65 + (i mod 26))) in
+             match op with
+             | SRead (cl, off, len) ->
+               let c = if cl = 0 then ca else cb in
+               let fid = swalk_open c in
+               let got =
+                 Ninep.Client.read c fid ~offset:(Int64.of_int off)
+                   ~count:len
+               in
+               Ninep.Client.clunk c fid;
+               let want =
+                 Bytes.sub_string model off (min len (sfile_size - off))
+               in
+               if got <> want then
+                 mismatches := sop_print op :: !mismatches
+             | SWrite (cl, off, len) ->
+               let len = min len (sfile_size - off) in
+               let c = if cl = 0 then ca else cb in
+               let fid = swalk_open ~mode:Ninep.Fcall.Ordwr c in
+               ignore
+                 (Ninep.Client.write c fid ~offset:(Int64.of_int off)
+                    (fill len));
+               Ninep.Client.clunk c fid;
+               Bytes.blit_string (fill len) 0 model off len
+             | SForeign (off, len) ->
+               let len = min len (sfile_size - off) in
+               let fid = swalk_open ~mode:Ninep.Fcall.Ordwr cf in
+               ignore
+                 (Ninep.Client.write cf fid ~offset:(Int64.of_int off)
+                    (fill len));
+               Ninep.Client.clunk cf fid;
+               incr foreign_writes;
+               Bytes.blit_string (fill len) 0 model off len)
+           ops;
+         finished := true));
+  Sim.Engine.run eng;
+  (mid, !mismatches, !foreign_writes, !finished)
+
+let prop_cfs_stack =
+  QCheck.Test.make
+    ~name:
+      "cfs stack: contents match a flat store; origin reads within the \
+       per-epoch block bound"
+    ~count:300 sops_arb (fun ops ->
+      let mid, mismatches, foreign, finished = srun ops in
+      (finished || QCheck.Test.fail_reportf "driver did not finish")
+      && (mismatches = []
+         || QCheck.Test.fail_reportf "stale or wrong reads: %s"
+              (String.concat "; " mismatches))
+      &&
+      let bound = (1 + foreign) * ((sfile_size / sbsize) + 1) in
+      let misses = Cfs.counter mid "misses" in
+      misses <= bound
+      || QCheck.Test.fail_reportf
+           "mid tier issued %d upstream data reads; one-miss-per-block \
+            allows %d (epochs %d)"
+           misses bound (1 + foreign))
+
 let () =
   Alcotest.run "props"
     [
@@ -672,4 +814,5 @@ let () =
           QCheck_alcotest.to_alcotest prop_union_ls;
           QCheck_alcotest.to_alcotest prop_union_mcreate;
         ] );
+      ("cfs-stack", [ QCheck_alcotest.to_alcotest prop_cfs_stack ]);
     ]
